@@ -1,0 +1,260 @@
+//! The paper's §3.1 analytic example (Figure 1).
+//!
+//! A single source multicasts down a small lossy tree.  The paper derives:
+//!
+//! * total loss at each node by compounding link losses,
+//! * `P(all nodes receive a given packet) = Π (1 − loss)` over every link
+//!   — 27.0 % for its example tree, "a better than 70 % probability that
+//!   at least one receiver will fail to receive",
+//! * the *normalized traffic volume* when non-scoped FEC is sized for the
+//!   worst receiver X (9.73 % loss): every node then carries
+//!   `(1 − loss_node) / (1 − loss_X)` units per useful packet, i.e.
+//!   lightly-lossy receivers pay for X's losses.
+//!
+//! The figure's exact tree is not printed in the text, so
+//! [`ExampleTree::paper`] reconstructs one pinned to the two quantities
+//! the text *does* give (27.0 % and 9.73 %); the analytics themselves are
+//! generic over any tree.
+
+/// A node in the example multicast tree.
+#[derive(Clone, Debug)]
+pub struct TreeNode {
+    /// Parent index (`None` for the root/source).
+    pub parent: Option<usize>,
+    /// Loss probability of the link from the parent (0 for the root).
+    pub link_loss: f64,
+    /// Human label.
+    pub label: String,
+}
+
+/// A rooted tree with per-link loss probabilities.
+#[derive(Clone, Debug)]
+pub struct ExampleTree {
+    nodes: Vec<TreeNode>,
+}
+
+impl ExampleTree {
+    /// An empty tree with just the source.
+    pub fn new() -> ExampleTree {
+        ExampleTree {
+            nodes: vec![TreeNode {
+                parent: None,
+                link_loss: 0.0,
+                label: "src".into(),
+            }],
+        }
+    }
+
+    /// Adds a node under `parent` with the given link loss; returns its
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown parent or a loss outside `[0, 1)`.
+    pub fn add(&mut self, parent: usize, link_loss: f64, label: impl Into<String>) -> usize {
+        assert!(parent < self.nodes.len(), "unknown parent {parent}");
+        assert!(
+            (0.0..1.0).contains(&link_loss),
+            "link loss must be in [0, 1)"
+        );
+        self.nodes.push(TreeNode {
+            parent: Some(parent),
+            link_loss,
+            label: label.into(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Number of nodes including the source.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the source exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Node access.
+    pub fn node(&self, i: usize) -> &TreeNode {
+        &self.nodes[i]
+    }
+
+    /// Total (compounded) loss from the source to node `i`:
+    /// `1 − Π (1 − link_loss)` over the path.
+    pub fn total_loss(&self, i: usize) -> f64 {
+        let mut survive = 1.0;
+        let mut cur = i;
+        while let Some(p) = self.nodes[cur].parent {
+            survive *= 1.0 - self.nodes[cur].link_loss;
+            cur = p;
+        }
+        1.0 - survive
+    }
+
+    /// `P(all nodes receive a given packet) = Π (1 − loss)` over all links
+    /// (the paper's independence assumption).
+    pub fn p_all_receive(&self) -> f64 {
+        self.nodes
+            .iter()
+            .skip(1)
+            .map(|n| 1.0 - n.link_loss)
+            .product()
+    }
+
+    /// The worst total loss over all nodes and which node suffers it.
+    pub fn worst(&self) -> (usize, f64) {
+        (1..self.nodes.len())
+            .map(|i| (i, self.total_loss(i)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("loss is finite"))
+            .expect("tree has receivers")
+    }
+
+    /// Reconstructs the paper's example: a 3-branch two-level tree whose
+    /// worst receiver X loses exactly 9.73 % and whose
+    /// `P(all receive) = 27.0 %`, the two quantities §3.1 states.
+    ///
+    /// Shape: three mid nodes (2 %, 3 %, 4 % links), eight leaves each.
+    /// One leaf under the 4 % branch is pinned so its compound loss is
+    /// exactly 9.73 %; the remaining leaf losses share a base rate solved
+    /// numerically so the all-links product is 0.270.
+    pub fn paper() -> ExampleTree {
+        // Worst leaf: (1-0.04)(1-x) = 1-0.0973  =>  x = 1 - 0.9027/0.96.
+        let worst_leaf = 1.0 - 0.9027 / 0.96;
+
+        let build = |base: f64| -> ExampleTree {
+            let mut t = ExampleTree::new();
+            let mids = [
+                t.add(0, 0.02, "A"),
+                t.add(0, 0.03, "B"),
+                t.add(0, 0.04, "C"),
+            ];
+            for (m, &mid) in mids.iter().enumerate() {
+                for l in 0..8 {
+                    if m == 2 && l == 0 {
+                        t.add(mid, worst_leaf, "X");
+                    } else {
+                        t.add(mid, base, format!("m{m}l{l}"));
+                    }
+                }
+            }
+            t
+        };
+
+        // Solve the base leaf loss so P(all receive) = 0.270 by bisection
+        // (monotone decreasing in `base`).
+        let (mut lo, mut hi) = (0.0f64, 0.06f64);
+        for _ in 0..60 {
+            let mid = (lo + hi) / 2.0;
+            if build(mid).p_all_receive() > 0.270 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        build((lo + hi) / 2.0)
+    }
+}
+
+impl Default for ExampleTree {
+    fn default() -> ExampleTree {
+        ExampleTree::new()
+    }
+}
+
+/// The paper's non-scoped FEC traffic model: redundancy sized for the
+/// worst receiver is carried (and wasted) everywhere.
+#[derive(Clone, Debug)]
+pub struct NonScopedFecModel {
+    /// Worst receiver's total loss (the paper's receiver X at 9.73 %).
+    pub worst_loss: f64,
+}
+
+impl NonScopedFecModel {
+    /// Builds the model from a tree's worst receiver.
+    pub fn for_tree(tree: &ExampleTree) -> NonScopedFecModel {
+        NonScopedFecModel {
+            worst_loss: tree.worst().1,
+        }
+    }
+
+    /// Redundancy ratio `h/k` the source must add so the worst receiver's
+    /// expected arrivals cover the group: `h/k = p/(1−p)`.
+    pub fn redundancy_ratio(&self) -> f64 {
+        self.worst_loss / (1.0 - self.worst_loss)
+    }
+
+    /// Normalized traffic volume seen at a node with the given total loss:
+    /// `(1 + h/k) · (1 − loss) = (1 − loss) / (1 − worst_loss)` units per
+    /// useful data packet (1.0 means "exactly what the node needed").
+    pub fn normalized_traffic(&self, node_loss: f64) -> f64 {
+        (1.0 - node_loss) / (1.0 - self.worst_loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compound_loss_multiplies_along_path() {
+        let mut t = ExampleTree::new();
+        let a = t.add(0, 0.1, "a");
+        let b = t.add(a, 0.2, "b");
+        assert!((t.total_loss(a) - 0.1).abs() < 1e-12);
+        assert!((t.total_loss(b) - (1.0 - 0.9 * 0.8)).abs() < 1e-12);
+        assert_eq!(t.total_loss(0), 0.0);
+    }
+
+    #[test]
+    fn p_all_is_product_over_links() {
+        let mut t = ExampleTree::new();
+        let a = t.add(0, 0.1, "a");
+        t.add(a, 0.2, "b");
+        t.add(0, 0.3, "c");
+        assert!((t.p_all_receive() - 0.9 * 0.8 * 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_tree_reproduces_both_stated_quantities() {
+        let t = ExampleTree::paper();
+        // P(all receive) = 27.0%
+        assert!(
+            (t.p_all_receive() - 0.270).abs() < 1e-6,
+            "P(all) = {}",
+            t.p_all_receive()
+        );
+        // Worst receiver loses 9.73%.
+        let (worst_idx, worst_loss) = t.worst();
+        assert!((worst_loss - 0.0973).abs() < 1e-6, "worst = {worst_loss}");
+        assert_eq!(t.node(worst_idx).label, "X");
+        // "better than 70% probability that at least one receiver fails".
+        assert!(1.0 - t.p_all_receive() > 0.70);
+    }
+
+    #[test]
+    fn fec_model_wastes_bandwidth_on_clean_receivers() {
+        let t = ExampleTree::paper();
+        let model = NonScopedFecModel::for_tree(&t);
+        // X gets exactly what it needs…
+        assert!((model.normalized_traffic(0.0973) - 1.0).abs() < 1e-9);
+        // …while a lossless node carries ~10.8% extra.
+        let clean = model.normalized_traffic(0.0);
+        assert!((clean - 1.0 / (1.0 - 0.0973)).abs() < 1e-12);
+        assert!(clean > 1.07 && clean < 1.12);
+        // Redundancy ratio matches h/k = p/(1-p).
+        assert!((model.redundancy_ratio() - 0.0973 / 0.9027).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn bad_parent_rejected() {
+        ExampleTree::new().add(5, 0.1, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "link loss")]
+    fn total_loss_probability_rejected() {
+        ExampleTree::new().add(0, 1.0, "x");
+    }
+}

@@ -1,0 +1,165 @@
+//! Time-series binning of recorder events.
+
+use sharqfec_netsim::metrics::{Record, TrafficClass};
+use sharqfec_netsim::{NodeId, SimTime};
+
+/// A binning specification: window `[start, end)` cut into fixed-width
+/// intervals (the paper uses 0.1 s bins over the data phase).
+#[derive(Clone, Debug)]
+pub struct BinSpec {
+    /// Window start.
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Bin width in seconds.
+    pub width_secs: f64,
+}
+
+impl BinSpec {
+    /// The paper's measurement window: 0.1 s bins.
+    pub fn paper(start: SimTime, end: SimTime) -> BinSpec {
+        BinSpec {
+            start,
+            end,
+            width_secs: 0.1,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        let span = self.end.saturating_since(self.start).as_secs_f64();
+        (span / self.width_secs).ceil() as usize
+    }
+
+    /// Bin index for an instant, or `None` if outside the window.
+    pub fn index(&self, t: SimTime) -> Option<usize> {
+        if t < self.start || t >= self.end {
+            return None;
+        }
+        let offset = t.saturating_since(self.start).as_secs_f64();
+        let idx = (offset / self.width_secs) as usize;
+        (idx < self.bins()).then_some(idx)
+    }
+
+    /// Midpoint time (seconds) of each bin, for plotting.
+    pub fn midpoints(&self) -> Vec<f64> {
+        let t0 = self.start.as_secs_f64();
+        (0..self.bins())
+            .map(|i| t0 + (i as f64 + 0.5) * self.width_secs)
+            .collect()
+    }
+}
+
+/// Bins delivery records matching `classes` and `nodes`, yielding the
+/// *average packet count per selected node* per bin — the paper's
+/// Figures 14–21 y-axis.
+pub fn bin_deliveries(
+    records: &[Record],
+    spec: &BinSpec,
+    classes: &[TrafficClass],
+    nodes: &[NodeId],
+) -> Vec<f64> {
+    let mut counts = vec![0u64; spec.bins()];
+    let node_set: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
+    for r in records {
+        if !classes.contains(&r.class) || !node_set.contains(&r.node) {
+            continue;
+        }
+        if let Some(i) = spec.index(r.time) {
+            counts[i] += 1;
+        }
+    }
+    let n = nodes.len().max(1) as f64;
+    counts.into_iter().map(|c| c as f64 / n).collect()
+}
+
+/// Bins transmission records matching `classes` across *all* nodes,
+/// yielding total transmissions per bin (used for aggregate NACK counts).
+pub fn bin_transmissions(records: &[Record], spec: &BinSpec, classes: &[TrafficClass]) -> Vec<f64> {
+    let mut counts = vec![0f64; spec.bins()];
+    for r in records {
+        if !classes.contains(&r.class) {
+            continue;
+        }
+        if let Some(i) = spec.index(r.time) {
+            counts[i] += 1.0;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharqfec_netsim::ChannelId;
+
+    fn rec(t_ms: u64, node: u32, class: TrafficClass) -> Record {
+        Record {
+            time: SimTime::from_millis(t_ms),
+            node: NodeId(node),
+            src: NodeId(0),
+            class,
+            bytes: 1000,
+            channel: ChannelId(0),
+        }
+    }
+
+    #[test]
+    fn spec_geometry() {
+        let spec = BinSpec::paper(SimTime::from_secs(6), SimTime::from_secs(17));
+        assert_eq!(spec.bins(), 110);
+        assert_eq!(spec.index(SimTime::from_secs(6)), Some(0));
+        assert_eq!(spec.index(SimTime::from_millis(6099)), Some(0));
+        assert_eq!(spec.index(SimTime::from_millis(6100)), Some(1));
+        assert_eq!(spec.index(SimTime::from_secs(17)), None);
+        assert_eq!(spec.index(SimTime::from_secs(5)), None);
+        let mids = spec.midpoints();
+        assert_eq!(mids.len(), 110);
+        assert!((mids[0] - 6.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deliveries_average_over_nodes() {
+        let spec = BinSpec::paper(SimTime::ZERO, SimTime::from_secs(1));
+        let records = vec![
+            rec(10, 1, TrafficClass::Data),
+            rec(20, 2, TrafficClass::Data),
+            rec(30, 1, TrafficClass::Repair),
+            rec(40, 3, TrafficClass::Data),  // node 3 not selected
+            rec(50, 1, TrafficClass::Nack),  // class not selected
+            rec(950, 2, TrafficClass::Data), // last bin
+        ];
+        let bins = bin_deliveries(
+            &records,
+            &spec,
+            &[TrafficClass::Data, TrafficClass::Repair],
+            &[NodeId(1), NodeId(2)],
+        );
+        assert_eq!(bins.len(), 10);
+        assert!((bins[0] - 1.5).abs() < 1e-9); // 3 packets / 2 nodes
+        assert!((bins[9] - 0.5).abs() < 1e-9);
+        assert_eq!(bins[1], 0.0);
+    }
+
+    #[test]
+    fn transmissions_count_totals() {
+        let spec = BinSpec::paper(SimTime::ZERO, SimTime::from_secs(1));
+        let records = vec![
+            rec(10, 1, TrafficClass::Nack),
+            rec(20, 2, TrafficClass::Nack),
+            rec(130, 9, TrafficClass::Nack),
+            rec(140, 9, TrafficClass::Data),
+        ];
+        let bins = bin_transmissions(&records, &spec, &[TrafficClass::Nack]);
+        assert_eq!(bins[0], 2.0);
+        assert_eq!(bins[1], 1.0);
+        assert_eq!(bins[2], 0.0);
+    }
+
+    #[test]
+    fn empty_selection_is_all_zeroes() {
+        let spec = BinSpec::paper(SimTime::ZERO, SimTime::from_secs(1));
+        let bins = bin_deliveries(&[], &spec, &[TrafficClass::Data], &[NodeId(1)]);
+        assert!(bins.iter().all(|&b| b == 0.0));
+    }
+}

@@ -1,0 +1,113 @@
+//! Tiny ASCII/Unicode sparklines so the figure harnesses can *show* the
+//! binned time series in a terminal, not just summarize them — the
+//! closest a text interface gets to the paper's traffic plots.
+
+/// Unicode block ramp used for sparklines.
+const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a series as a one-line sparkline scaled to `max` (pass the
+/// shared maximum when comparing several series on one scale).  Empty
+/// input renders as an empty string; a zero `max` renders all-low.
+pub fn sparkline(series: &[f64], max: f64) -> String {
+    series
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                RAMP[0]
+            } else {
+                let t = (v / max).clamp(0.0, 1.0);
+                RAMP[((t * (RAMP.len() - 1) as f64).round()) as usize]
+            }
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `width` points by bucket-averaging, so
+/// long runs fit a terminal row.
+pub fn downsample(series: &[f64], width: usize) -> Vec<f64> {
+    assert!(width > 0, "width must be positive");
+    if series.len() <= width {
+        return series.to_vec();
+    }
+    let mut out = Vec::with_capacity(width);
+    for b in 0..width {
+        let lo = b * series.len() / width;
+        let hi = ((b + 1) * series.len() / width).max(lo + 1);
+        let slice = &series[lo..hi];
+        out.push(slice.iter().sum::<f64>() / slice.len() as f64);
+    }
+    out
+}
+
+/// Convenience: label + downsampled sparkline + max annotation, one line.
+pub fn spark_row(label: &str, series: &[f64], shared_max: f64, width: usize) -> String {
+    let ds = downsample(series, width);
+    format!(
+        "{label:<26} {} (peak {:.2})",
+        sparkline(&ds, shared_max),
+        series.iter().copied().fold(0.0, f64::max)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let s = sparkline(&[0.0, 1.0], 1.0);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], RAMP[0]);
+        assert_eq!(chars[1], RAMP[7]);
+    }
+
+    #[test]
+    fn sparkline_clamps_above_max() {
+        let s = sparkline(&[5.0], 1.0);
+        assert_eq!(s.chars().next().unwrap(), RAMP[7]);
+    }
+
+    #[test]
+    fn zero_max_renders_low() {
+        let s = sparkline(&[0.0, 0.0], 0.0);
+        assert!(s.chars().all(|c| c == RAMP[0]));
+    }
+
+    #[test]
+    fn empty_series_is_empty() {
+        assert_eq!(sparkline(&[], 1.0), "");
+    }
+
+    #[test]
+    fn downsample_averages_buckets() {
+        let series: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ds = downsample(&series, 10);
+        assert_eq!(ds.len(), 10);
+        // Each bucket of 10 consecutive ints averages to its midpoint.
+        assert!((ds[0] - 4.5).abs() < 1e-9);
+        assert!((ds[9] - 94.5).abs() < 1e-9);
+        // Monotone input stays monotone.
+        for w in ds.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn downsample_short_input_passthrough() {
+        let s = [1.0, 2.0];
+        assert_eq!(downsample(&s, 10), s.to_vec());
+    }
+
+    #[test]
+    fn spark_row_contains_label_and_peak() {
+        let row = spark_row("SRM", &[0.0, 3.0, 1.0], 3.0, 20);
+        assert!(row.starts_with("SRM"));
+        assert!(row.contains("peak 3.00"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        downsample(&[1.0], 0);
+    }
+}

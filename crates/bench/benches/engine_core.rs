@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the discrete-event engine itself: routing
+//! setup on the paper topology and raw multicast event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sharqfec_netsim::prelude::*;
+use sharqfec_topology::{figure10, Figure10Params};
+use std::hint::black_box;
+
+#[derive(Clone, Debug)]
+struct Blob;
+impl Classify for Blob {
+    fn class(&self) -> TrafficClass {
+        TrafficClass::Data
+    }
+}
+
+struct Cbr {
+    chan: ChannelId,
+    left: u32,
+}
+impl Agent<Blob> for Cbr {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Blob>) {
+        ctx.set_timer(SimDuration::from_millis(1), 0);
+    }
+    fn on_packet(&mut self, _: &mut Ctx<'_, Blob>, _: &Packet<Blob>) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Blob>, _: u64) {
+        if self.left > 0 {
+            self.left -= 1;
+            ctx.multicast(self.chan, Blob, 1000);
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+    }
+}
+
+fn bench_spt_setup(c: &mut Criterion) {
+    let built = figure10(&Figure10Params::default());
+    c.bench_function("engine_new_figure10", |b| {
+        b.iter(|| {
+            let e: Engine<Blob> = Engine::new(black_box(built.topology.clone()), 1);
+            e
+        });
+    });
+}
+
+fn bench_multicast_storm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_multicast");
+    let packets = 500u32;
+    // ~500 packets fanned out to 112 receivers ≈ 56k delivery events.
+    g.throughput(Throughput::Elements(packets as u64 * 112));
+    g.bench_function("figure10_500pkts", |b| {
+        b.iter(|| {
+            let built = figure10(&Figure10Params::default());
+            let mut e: Engine<Blob> = Engine::new(built.topology.clone(), 1);
+            let chan = e.add_channel(&built.members());
+            e.set_agent(
+                built.source,
+                Box::new(Cbr {
+                    chan,
+                    left: packets,
+                }),
+            );
+            e.run();
+            black_box(e.recorder().deliveries.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_spt_setup, bench_multicast_storm);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks for the Reed–Solomon erasure codec at the paper's
+//! group shape (k = 16, 1000-byte packets) and a parameter sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sharqfec_fec::codec::GroupCodec;
+use std::hint::black_box;
+
+fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| (0..len).map(|j| ((i * 131 + j * 17) % 256) as u8).collect())
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fec_encode");
+    for &(k, h) in &[(16usize, 1usize), (16, 4), (16, 8), (32, 8)] {
+        let codec = GroupCodec::new(k, h).unwrap();
+        let data = sample_data(k, 1000);
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        g.throughput(Throughput::Bytes((k * 1000) as u64));
+        g.bench_with_input(BenchmarkId::new("k_h", format!("{k}_{h}")), &refs, |b, refs| {
+            b.iter(|| codec.encode(black_box(refs)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fec_decode");
+    for &(k, h, erasures) in &[(16usize, 4usize, 0usize), (16, 4, 4), (32, 8, 8)] {
+        let codec = GroupCodec::new(k, h).unwrap();
+        let data = sample_data(k, 1000);
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let parity = codec.encode(&refs).unwrap();
+        // Drop the first `erasures` data packets, replace with parity.
+        let shards: Vec<(usize, &[u8])> = (erasures..k)
+            .map(|i| (i, data[i].as_slice()))
+            .chain((0..erasures).map(|j| (k + j, parity[j].as_slice())))
+            .collect();
+        g.throughput(Throughput::Bytes((k * 1000) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("k_h_e", format!("{k}_{h}_{erasures}")),
+            &shards,
+            |b, shards| {
+                b.iter(|| codec.decode(black_box(shards)).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_codec_construction(c: &mut Criterion) {
+    c.bench_function("fec_codec_new_16_8", |b| {
+        b.iter(|| GroupCodec::new(black_box(16), black_box(8)).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_codec_construction);
+criterion_main!(benches);

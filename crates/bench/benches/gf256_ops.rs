@@ -1,0 +1,45 @@
+//! Criterion benchmarks for the GF(256) inner loops that dominate FEC
+//! encode/decode cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sharqfec_gf256::{mul_acc_slice, Gf256};
+use std::hint::black_box;
+
+fn bench_mul_acc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf256_mul_acc_slice");
+    for &len in &[64usize, 1000, 16384] {
+        let src: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_function(format!("len_{len}"), |b| {
+            let mut dst = vec![0u8; len];
+            b.iter(|| {
+                mul_acc_slice(black_box(&mut dst), black_box(&src), Gf256(0x1D));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_scalar_ops(c: &mut Criterion) {
+    c.bench_function("gf256_mul_scalar", |b| {
+        b.iter(|| {
+            let mut acc = Gf256(1);
+            for i in 1..=255u8 {
+                acc = acc * black_box(Gf256(i));
+            }
+            acc
+        });
+    });
+    c.bench_function("gf256_inverse_all", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for i in 1..=255u8 {
+                acc ^= black_box(Gf256(i)).inverse().unwrap().0;
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, bench_mul_acc, bench_scalar_ops);
+criterion_main!(benches);

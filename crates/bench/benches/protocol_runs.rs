@@ -1,0 +1,48 @@
+//! Criterion benchmarks of whole protocol runs at reduced scale: how fast
+//! the simulator executes the paper's §6.2 scenario per protocol variant.
+//! These double as regression guards on simulation cost — a suppression
+//! bug typically shows up as an event-count explosion long before it shows
+//! up as a wrong figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sharqfec::{setup_sharqfec_sim, SharqfecConfig, Variant};
+use sharqfec_netsim::SimTime;
+use sharqfec_srm::{setup_srm_sim, SrmConfig};
+use sharqfec_topology::{figure10, Figure10Params};
+use std::hint::black_box;
+
+const PACKETS: u32 = 32;
+
+fn bench_variants(c: &mut Criterion) {
+    let built = figure10(&Figure10Params::default());
+    let mut g = c.benchmark_group("protocol_run_32pkts");
+    g.sample_size(10);
+    for v in [Variant::Ecsrm, Variant::NoScoping, Variant::Full] {
+        g.bench_with_input(BenchmarkId::new("sharqfec", v.label()), &v, |b, &v| {
+            b.iter(|| {
+                let cfg = SharqfecConfig {
+                    total_packets: PACKETS,
+                    ..SharqfecConfig::variant(v)
+                };
+                let mut e = setup_sharqfec_sim(&built, 1, cfg, SimTime::from_secs(1));
+                e.run_until(SimTime::from_secs(40));
+                black_box(e.recorder().deliveries.len())
+            });
+        });
+    }
+    g.bench_function("srm", |b| {
+        b.iter(|| {
+            let cfg = SrmConfig {
+                total_packets: PACKETS,
+                ..SrmConfig::default()
+            };
+            let mut e = setup_srm_sim(&built, 1, cfg, SimTime::from_secs(1));
+            e.run_until(SimTime::from_secs(40));
+            black_box(e.recorder().deliveries.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion benchmarks for session-layer hot paths: announce processing
+//! and indirect RTT estimation, which every NACK reception performs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sharqfec_netsim::{NodeId, SimDuration, SimRng, SimTime};
+use sharqfec_scoping::ZoneHierarchyBuilder;
+use sharqfec_session::core::{SessionCore, SessionCtx, ZcrSeeding};
+use sharqfec_session::msg::{AncestorEntry, Announce, PeerEntry, SessionMsg};
+use sharqfec_session::SessionConfig;
+use sharqfec_netsim::agent::TimerId;
+use sharqfec_scoping::ZoneId;
+use std::hint::black_box;
+use std::rc::Rc;
+
+struct NullCtx {
+    now: SimTime,
+    rng: SimRng,
+    next: u64,
+}
+impl SessionCtx for NullCtx {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+    fn send(&mut self, _zone: ZoneId, _msg: SessionMsg, _bytes: u32) {}
+    fn set_timer(&mut self, _delay: SimDuration, _token: u64) -> TimerId {
+        self.next += 1;
+        TimerId(self.next)
+    }
+    fn cancel_timer(&mut self, _id: TimerId) {}
+}
+
+/// A 3-level hierarchy with a 50-member smallest zone.
+fn make_core() -> (SessionCore, NullCtx) {
+    let n = |i: u32| NodeId(i);
+    let mut b = ZoneHierarchyBuilder::new(200);
+    let all: Vec<NodeId> = (0..200).map(n).collect();
+    let z0 = b.root(&all);
+    let z1 = b.child(z0, &(50..200).map(n).collect::<Vec<_>>()).unwrap();
+    b.child(z1, &(100..150).map(n).collect::<Vec<_>>()).unwrap();
+    let hier = Rc::new(b.build().unwrap());
+    let seeding = ZcrSeeding::Designed(vec![n(0), n(50), n(100)]);
+    let mut core = SessionCore::new(n(120), hier, SessionConfig::default(), &seeding);
+    let mut ctx = NullCtx {
+        now: SimTime::from_secs(1),
+        rng: SimRng::new(1),
+        next: 0,
+    };
+    core.start(&mut ctx);
+    (core, ctx)
+}
+
+fn big_announce(zone: ZoneId, peers: std::ops::Range<u32>, me: u32) -> SessionMsg {
+    let entries: Vec<PeerEntry> = peers
+        .map(|p| PeerEntry {
+            peer: NodeId(p),
+            echo_sent_at: SimTime::from_millis(900),
+            elapsed: SimDuration::from_millis(5),
+            rtt_est: Some(SimDuration::from_millis(40 + (p % 7) as u64)),
+        })
+        .chain(std::iter::once(PeerEntry {
+            peer: NodeId(me),
+            echo_sent_at: SimTime::from_millis(950),
+            elapsed: SimDuration::from_millis(10),
+            rtt_est: None,
+        }))
+        .collect();
+    SessionMsg::Announce(Announce {
+        zone,
+        sent_at: SimTime::from_secs(1),
+        zcr: Some(NodeId(100)),
+        zcr_to_parent: Some(SimDuration::from_millis(20)),
+        report: None,
+        entries,
+    })
+}
+
+fn bench_announce_processing(c: &mut Criterion) {
+    c.bench_function("session_on_announce_50_peers", |b| {
+        let (mut core, mut ctx) = make_core();
+        let msg = big_announce(ZoneId(2), 100..150, 120);
+        ctx.now = SimTime::from_secs(2);
+        b.iter(|| {
+            core.on_msg(&mut ctx, black_box(NodeId(100)), &msg);
+        });
+    });
+}
+
+fn bench_estimate_rtt(c: &mut Criterion) {
+    let (mut core, mut ctx) = make_core();
+    // Feed state: ZCR announce in own zone + ZCR's parent-zone announce.
+    ctx.now = SimTime::from_secs(2);
+    core.on_msg(&mut ctx, NodeId(100), &big_announce(ZoneId(2), 100..150, 120));
+    core.on_msg(&mut ctx, NodeId(100), &big_announce(ZoneId(1), 50..100, 120));
+    let chain = vec![
+        AncestorEntry {
+            zone: ZoneId(2),
+            zcr: NodeId(70),
+            dist: SimDuration::from_millis(15),
+        },
+        AncestorEntry {
+            zone: ZoneId(1),
+            zcr: NodeId(50),
+            dist: SimDuration::from_millis(35),
+        },
+    ];
+    c.bench_function("session_estimate_rtt_chained", |b| {
+        b.iter(|| core.estimate_rtt(black_box(NodeId(180)), black_box(&chain)));
+    });
+    c.bench_function("session_ancestor_chain", |b| {
+        b.iter(|| core.ancestor_chain());
+    });
+}
+
+criterion_group!(benches, bench_announce_processing, bench_estimate_rtt);
+criterion_main!(benches);

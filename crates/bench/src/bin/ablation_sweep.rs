@@ -1,0 +1,121 @@
+//! Ablation sweeps over SHARQFEC's design choices (DESIGN.md §8):
+//!
+//! * **group size** `k` — 8 / 16 (paper) / 32: smaller groups repair
+//!   faster but amortize FEC worse;
+//! * **ZLC EWMA gain** — 0.1 / 0.25 (paper) / 0.5: how fast preemptive
+//!   injection tracks loss;
+//! * **adaptive request timers** (the §7 future-work extension) vs the
+//!   paper's fixed C1 = C2 = 2;
+//! * **loss scaling** — ×0.5 / ×1.0 / ×1.5 the paper's loss plan.
+//!
+//! Each run reports per-receiver recovery traffic, NACK exposure, repair
+//! count, and the recovery tail.
+//!
+//! Run: `cargo run -p sharqfec-bench --release --bin ablation_sweep`
+
+use sharqfec::{setup_sharqfec_sim, SfAgent, SharqfecConfig};
+use sharqfec_analysis::table::Table;
+use sharqfec_netsim::{SimTime, TrafficClass};
+use sharqfec_topology::{figure10, Figure10Params};
+
+struct Outcome {
+    data_repair_per_rx: f64,
+    nacks: usize,
+    repairs: usize,
+    unrecovered: u32,
+}
+
+fn run(cfg: SharqfecConfig, loss_scale: f64, seed: u64) -> Outcome {
+    let built = figure10(&Figure10Params::default().scaled_loss(loss_scale));
+    let mut engine = setup_sharqfec_sim(&built, seed, cfg, SimTime::from_secs(1));
+    engine.run_until(SimTime::from_secs(60));
+    let rec = engine.recorder();
+    let dr = rec
+        .deliveries
+        .iter()
+        .filter(|d| {
+            matches!(d.class, TrafficClass::Data | TrafficClass::Repair)
+                && d.node != built.source
+        })
+        .count() as f64
+        / built.receivers.len() as f64;
+    Outcome {
+        data_repair_per_rx: dr,
+        nacks: rec
+            .transmissions
+            .iter()
+            .filter(|t| t.class == TrafficClass::Nack)
+            .count(),
+        repairs: rec
+            .transmissions
+            .iter()
+            .filter(|t| t.class == TrafficClass::Repair)
+            .count(),
+        unrecovered: built
+            .receivers
+            .iter()
+            .map(|&r| engine.agent::<SfAgent>(r).expect("receiver").missing())
+            .sum(),
+    }
+}
+
+fn base() -> SharqfecConfig {
+    SharqfecConfig {
+        total_packets: 256,
+        ..SharqfecConfig::full()
+    }
+}
+
+fn main() {
+    let seed = 42;
+    let mut t = Table::new(vec![
+        "sweep",
+        "setting",
+        "data+repair/rx",
+        "NACKs",
+        "repairs",
+        "unrecovered",
+    ]);
+    let mut add = |sweep: &str, setting: String, o: Outcome| {
+        t.row(vec![
+            sweep.to_string(),
+            setting,
+            format!("{:.0}", o.data_repair_per_rx),
+            o.nacks.to_string(),
+            o.repairs.to_string(),
+            o.unrecovered.to_string(),
+        ]);
+    };
+
+    for k in [8u32, 16, 32] {
+        let cfg = SharqfecConfig {
+            group_size: k,
+            ..base()
+        };
+        add("group size", format!("k={k}"), run(cfg, 1.0, seed));
+    }
+    for gain in [0.1f64, 0.25, 0.5] {
+        let cfg = SharqfecConfig {
+            zlc_gain: gain,
+            ..base()
+        };
+        add("zlc EWMA gain", format!("w={gain}"), run(cfg, 1.0, seed));
+    }
+    for adaptive in [false, true] {
+        let cfg = SharqfecConfig {
+            adaptive_timers: adaptive,
+            ..base()
+        };
+        add(
+            "request timers",
+            if adaptive { "adaptive (§7)" } else { "fixed (paper)" }.into(),
+            run(cfg, 1.0, seed),
+        );
+    }
+    for scale in [0.5f64, 1.0, 1.5] {
+        add("loss scale", format!("x{scale}"), run(base(), scale, seed));
+    }
+    println!("SHARQFEC ablation sweeps (256 packets, Figure 10, seed {seed})");
+    println!();
+    println!("{}", t.to_aligned());
+}

@@ -1,0 +1,53 @@
+//! Regenerates the paper's Figure 1 analysis (§3.1): compounded loss on
+//! the example delivery tree, the probability that every receiver gets a
+//! given packet, and the normalized traffic volume when non-scoped FEC is
+//! sized for the worst receiver.
+//!
+//! Run: `cargo run -p sharqfec-bench --release --bin fig01_nonscoped_fec`
+
+use sharqfec_analysis::fig1::{ExampleTree, NonScopedFecModel};
+use sharqfec_analysis::table::Table;
+
+fn main() {
+    let tree = ExampleTree::paper();
+    let model = NonScopedFecModel::for_tree(&tree);
+
+    println!("Figure 1 — example delivery tree, non-scoped FEC analysis");
+    println!();
+    println!(
+        "P(all nodes receive a given packet) = {:.3}   (paper: 0.270)",
+        tree.p_all_receive()
+    );
+    println!(
+        "P(at least one receiver misses)     = {:.3}   (paper: \"better than 70%\")",
+        1.0 - tree.p_all_receive()
+    );
+    let (worst_idx, worst_loss) = tree.worst();
+    println!(
+        "worst receiver ({}) total loss      = {:.4}  (paper: 0.0973)",
+        tree.node(worst_idx).label,
+        worst_loss
+    );
+    println!(
+        "source redundancy ratio h/k         = {:.4}",
+        model.redundancy_ratio()
+    );
+    println!();
+
+    let mut t = Table::new(vec!["node", "link loss", "total loss", "normalized traffic"]);
+    for i in 1..tree.len() {
+        let n = tree.node(i);
+        t.row(vec![
+            n.label.clone(),
+            format!("{:.4}", n.link_loss),
+            format!("{:.4}", tree.total_loss(i)),
+            format!("{:.4}", model.normalized_traffic(tree.total_loss(i))),
+        ]);
+    }
+    println!("{}", t.to_aligned());
+    println!(
+        "Reading: every node with less loss than {} carries > 1.0 units per useful",
+        tree.node(worst_idx).label
+    );
+    println!("packet — the bandwidth waste scoped injection (Figure 2) eliminates.");
+}

@@ -1,0 +1,227 @@
+//! Regenerates the paper's Figures 14–21 (§6.2): data/repair and NACK
+//! traffic for SRM and the SHARQFEC ablation ladder on the Figure 10
+//! network under the paper's workload (1024 × 1000 B packets at
+//! 800 kbit/s, groups of 16, joins at t = 1 s, data from t = 6 s).
+//!
+//! Run: `cargo run -p sharqfec-bench --release --bin fig14_21_traffic -- [--fig N] [--packets P] [--seed S] [--tsv]`
+//!
+//! Without `--fig` all eight figures are printed.  `--tsv` emits the raw
+//! binned series for plotting.
+
+use sharqfec::Variant;
+use sharqfec_analysis::spark::spark_row;
+use sharqfec_analysis::table::Table;
+use sharqfec_bench::{run_sharqfec, run_srm, TrafficRun, Workload};
+
+struct Args {
+    fig: Option<u32>,
+    packets: u32,
+    seed: u64,
+    tsv: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        fig: None,
+        packets: 1024,
+        seed: 42,
+        tsv: false,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--fig" => {
+                i += 1;
+                args.fig = Some(argv[i].parse().expect("--fig takes a number 14..=21"));
+            }
+            "--packets" => {
+                i += 1;
+                args.packets = argv[i].parse().expect("--packets takes a count");
+            }
+            "--seed" => {
+                i += 1;
+                args.seed = argv[i].parse().expect("--seed takes a number");
+            }
+            "--tsv" => args.tsv = true,
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Which series a figure plots: receiver data+repair, NACKs, or the
+/// source's view.
+enum Series {
+    DataRepair,
+    Nacks,
+    SourceDataRepair,
+    SourceNacks,
+}
+
+fn series_of(run: &TrafficRun, which: &Series) -> Vec<f64> {
+    match which {
+        Series::DataRepair => run.data_repair.clone(),
+        Series::Nacks => run.nacks.clone(),
+        Series::SourceDataRepair => run.source_data_repair.clone(),
+        Series::SourceNacks => run.source_nacks.clone(),
+    }
+}
+
+fn print_figure(fig: u32, runs: &[&TrafficRun], which: Series, caption: &str, tsv: bool) {
+    println!("=== Figure {fig}: {caption} ===");
+    for r in runs {
+        if r.unrecovered > 0 {
+            // SRM's exponential backoff leaves a long repair tail (the
+            // paper's Figure 14 remarks on it); packets still in flight at
+            // the measurement horizon are reported, not hidden.
+            println!(
+                "note: {} still had {} packets in recovery at the horizon",
+                r.label, r.unrecovered
+            );
+        }
+    }
+    if tsv {
+        let mut header = vec!["t".to_string()];
+        header.extend(runs.iter().map(|r| r.label.clone()));
+        let mut t = Table::new(header);
+        let series: Vec<Vec<f64>> = runs.iter().map(|r| series_of(r, &which)).collect();
+        for (i, &mid) in runs[0].time.iter().enumerate() {
+            let mut row = vec![format!("{mid:.2}")];
+            for s in &series {
+                row.push(format!("{:.3}", s[i]));
+            }
+            t.row(row);
+        }
+        println!("{}", t.to_tsv());
+    } else {
+        let mut t = Table::new(vec![
+            "protocol",
+            "total",
+            "peak/bin",
+            "mean/bin",
+            "repairs sent",
+            "NACKs sent",
+            "unrecovered",
+        ]);
+        for r in runs {
+            let s = series_of(r, &which);
+            let total: f64 = s.iter().sum();
+            let peak = s.iter().copied().fold(0.0, f64::max);
+            let mean = total / s.len().max(1) as f64;
+            t.row(vec![
+                r.label.clone(),
+                format!("{total:.1}"),
+                format!("{peak:.2}"),
+                format!("{mean:.3}"),
+                r.total_repairs.to_string(),
+                r.total_nacks.to_string(),
+                r.unrecovered.to_string(),
+            ]);
+        }
+        println!("{}", t.to_aligned());
+        // Shared-scale sparklines of the binned series (the figure's shape).
+        let series: Vec<Vec<f64>> = runs.iter().map(|r| series_of(r, &which)).collect();
+        let max = series
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .fold(0.0, f64::max);
+        for (r, s) in runs.iter().zip(&series) {
+            println!("{}", spark_row(&r.label, s, max, 72));
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let w = Workload {
+        packets: args.packets,
+        seed: args.seed,
+        tail_secs: 45,
+    };
+    let want = |f: u32| args.fig.is_none() || args.fig == Some(f);
+
+    // Run each protocol at most once and reuse across figures.
+    let need_srm = want(14) || want(15);
+    let srm = need_srm.then(|| run_srm(w));
+    let ecsrm = run_sharqfec(Variant::Ecsrm, w);
+    let ns_ni = (want(16)).then(|| run_sharqfec(Variant::NoScopingNoInjection, w));
+    let ns = (want(16)).then(|| run_sharqfec(Variant::NoScoping, w));
+    let ni = (want(18)).then(|| run_sharqfec(Variant::NoInjection, w));
+    let full = run_sharqfec(Variant::Full, w);
+
+    if want(14) {
+        print_figure(
+            14,
+            &[srm.as_ref().unwrap(), &ecsrm],
+            Series::DataRepair,
+            "data and repair traffic — SRM vs SHARQFEC(ns,ni,so)/ECSRM",
+            args.tsv,
+        );
+    }
+    if want(15) {
+        print_figure(
+            15,
+            &[srm.as_ref().unwrap(), &ecsrm],
+            Series::Nacks,
+            "NACK traffic — SRM vs SHARQFEC(ns,ni,so)/ECSRM",
+            args.tsv,
+        );
+    }
+    if want(16) {
+        print_figure(
+            16,
+            &[ns_ni.as_ref().unwrap(), ns.as_ref().unwrap()],
+            Series::DataRepair,
+            "data and repair traffic — SHARQFEC(ns,ni) vs SHARQFEC(ns)",
+            args.tsv,
+        );
+    }
+    if want(17) {
+        print_figure(
+            17,
+            &[&ecsrm, &full],
+            Series::DataRepair,
+            "data and repair traffic — SHARQFEC(ns,ni,so) vs SHARQFEC",
+            args.tsv,
+        );
+    }
+    if want(18) {
+        print_figure(
+            18,
+            &[ni.as_ref().unwrap(), &full],
+            Series::DataRepair,
+            "data and repair traffic — SHARQFEC(ni) vs SHARQFEC",
+            args.tsv,
+        );
+    }
+    if want(19) {
+        print_figure(
+            19,
+            &[&ecsrm, &full],
+            Series::Nacks,
+            "NACK traffic — SHARQFEC(ns,ni,so) vs SHARQFEC",
+            args.tsv,
+        );
+    }
+    if want(20) {
+        print_figure(
+            20,
+            &[&ecsrm, &full],
+            Series::SourceDataRepair,
+            "data and repair traffic seen by the source",
+            args.tsv,
+        );
+    }
+    if want(21) {
+        print_figure(
+            21,
+            &[&ecsrm, &full],
+            Series::SourceNacks,
+            "NACK traffic seen by the source",
+            args.tsv,
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! Shared machinery for the figure-regeneration harnesses.
+//!
+//! Every table and figure in the paper's evaluation maps to one binary in
+//! `src/bin/` (see `DESIGN.md` §3 for the index); this library holds the
+//! experiment runners they share, so integration tests can assert on the
+//! same numbers the binaries print.
+//!
+//! * Figures 14–21: [`run_srm`] / [`run_sharqfec`] execute the §6.2
+//!   workload (1024 × 1000 B packets at 800 kbit/s on the Figure 10
+//!   network) and return 0.1-second-binned traffic series.
+//! * Figures 11–13: [`run_rtt_probes`] executes the §6.1 session
+//!   experiment and returns per-receiver estimated/actual RTT ratios.
+//! * Figure 1 / Figure 8 are analytic (`sharqfec-analysis`); their
+//!   binaries format those computations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sharqfec::{setup_sharqfec_sim, SfAgent, SharqfecConfig, Variant};
+use sharqfec_analysis::series::{bin_deliveries, BinSpec};
+use sharqfec_netsim::{NodeId, SimTime, TrafficClass};
+use sharqfec_session::core::ZcrSeeding;
+use sharqfec_session::{setup_session_sim, ProbePlan, SessionAgent, SessionConfig};
+use sharqfec_srm::{setup_srm_sim, SrmConfig, SrmReceiver};
+use sharqfec_topology::{figure10, BuiltTopology, Figure10Params};
+
+/// Binned traffic observed in one protocol run.
+#[derive(Clone, Debug)]
+pub struct TrafficRun {
+    /// Protocol label (matches the paper's figure annotations).
+    pub label: String,
+    /// Bin midpoints in seconds (x-axis).
+    pub time: Vec<f64>,
+    /// Average data+repair packets per receiver per 0.1 s bin
+    /// (Figures 14, 16, 17, 18).
+    pub data_repair: Vec<f64>,
+    /// Average NACK packets *seen per receiver* per bin (Figures 15, 19
+    /// plot "average NACK traffic", which administrative scoping shrinks
+    /// because most NACKs never leave their zone).
+    pub nacks: Vec<f64>,
+    /// Data+repair packets crossing the source per bin — its own
+    /// transmissions plus repairs delivered to it (Figure 20 plots the
+    /// traffic in the core around the source, "the volume of additional
+    /// traffic above the original transmissions").
+    pub source_data_repair: Vec<f64>,
+    /// NACKs delivered to the source per bin (Figure 21).
+    pub source_nacks: Vec<f64>,
+    /// Packets still unrecovered at the end (must be 0).
+    pub unrecovered: u32,
+    /// Total repair transmissions over the run.
+    pub total_repairs: usize,
+    /// Total NACK transmissions over the run.
+    pub total_nacks: usize,
+}
+
+/// Workload scale for a traffic run.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// Data packets (paper: 1024; tests use fewer).
+    pub packets: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Extra tail time after the stream ends, seconds.
+    pub tail_secs: u64,
+}
+
+impl Workload {
+    /// The paper's full workload.
+    pub fn paper(seed: u64) -> Workload {
+        Workload {
+            packets: 1024,
+            seed,
+            tail_secs: 45,
+        }
+    }
+
+    /// A reduced workload for tests.
+    pub fn small(seed: u64) -> Workload {
+        Workload {
+            packets: 128,
+            seed,
+            tail_secs: 20,
+        }
+    }
+
+    fn stream_end(&self) -> SimTime {
+        SimTime::from_secs(6) + sharqfec_netsim::SimDuration::from_millis(10 * self.packets as u64)
+    }
+
+    fn run_end(&self) -> SimTime {
+        self.stream_end() + sharqfec_netsim::SimDuration::from_secs(self.tail_secs)
+    }
+
+    fn spec(&self) -> BinSpec {
+        BinSpec::paper(SimTime::from_secs(6), self.run_end())
+    }
+}
+
+fn extract_run<M: sharqfec_netsim::Classify + Clone + 'static>(
+    label: String,
+    engine: &sharqfec_netsim::Engine<M>,
+    built: &BuiltTopology,
+    spec: &BinSpec,
+    unrecovered: u32,
+) -> TrafficRun {
+    let rec = engine.recorder();
+    let dr = [TrafficClass::Data, TrafficClass::Repair];
+    let nk = [TrafficClass::Nack];
+    let source_sent = bin_deliveries(&rec.transmissions, spec, &dr, &[built.source]);
+    let source_recv = bin_deliveries(&rec.deliveries, spec, &dr, &[built.source]);
+    TrafficRun {
+        label,
+        time: spec.midpoints(),
+        data_repair: bin_deliveries(&rec.deliveries, spec, &dr, &built.receivers),
+        nacks: bin_deliveries(&rec.deliveries, spec, &nk, &built.receivers),
+        source_data_repair: source_sent
+            .iter()
+            .zip(&source_recv)
+            .map(|(a, b)| a + b)
+            .collect(),
+        source_nacks: bin_deliveries(&rec.deliveries, spec, &nk, &[built.source]),
+        unrecovered,
+        total_repairs: rec
+            .transmissions
+            .iter()
+            .filter(|t| t.class == TrafficClass::Repair)
+            .count(),
+        total_nacks: rec
+            .transmissions
+            .iter()
+            .filter(|t| t.class == TrafficClass::Nack)
+            .count(),
+    }
+}
+
+/// Runs SRM (adaptive timers, as the paper's comparison does) on the
+/// Figure 10 network.
+pub fn run_srm(w: Workload) -> TrafficRun {
+    let built = figure10(&Figure10Params::default());
+    let cfg = SrmConfig {
+        total_packets: w.packets,
+        ..SrmConfig::default()
+    };
+    let mut engine = setup_srm_sim(&built, w.seed, cfg, SimTime::from_secs(1));
+    engine.run_until(w.run_end());
+    let unrecovered: u32 = built
+        .receivers
+        .iter()
+        .map(|&r| engine.agent::<SrmReceiver>(r).expect("receiver").missing())
+        .sum();
+    extract_run("SRM".into(), &engine, &built, &w.spec(), unrecovered)
+}
+
+/// Runs a SHARQFEC variant on the Figure 10 network.
+pub fn run_sharqfec(variant: Variant, w: Workload) -> TrafficRun {
+    let built = figure10(&Figure10Params::default());
+    let cfg = SharqfecConfig {
+        total_packets: w.packets,
+        ..SharqfecConfig::variant(variant)
+    };
+    let mut engine = setup_sharqfec_sim(&built, w.seed, cfg, SimTime::from_secs(1));
+    engine.run_until(w.run_end());
+    let unrecovered: u32 = built
+        .receivers
+        .iter()
+        .map(|&r| engine.agent::<SfAgent>(r).expect("receiver").missing())
+        .sum();
+    extract_run(
+        variant.label().into(),
+        &engine,
+        &built,
+        &w.spec(),
+        unrecovered,
+    )
+}
+
+/// One receiver's estimated/actual RTT ratios for successive probes from
+/// one prober (Figures 11–13 plot these per receiver).
+#[derive(Clone, Debug)]
+pub struct RttRatioResult {
+    /// The probing node (the paper uses receivers 3, 25, 36).
+    pub prober: NodeId,
+    /// `(receiver, probe seq, ratio)`; ratio `None` = no estimate formed.
+    pub ratios: Vec<(NodeId, u32, Option<f64>)>,
+}
+
+/// Runs the §6.1 RTT-estimation experiment: the session protocol alone on
+/// a lossless Figure 10, with `probers` multicasting probes at the largest
+/// scope at the given times.
+pub fn run_rtt_probes(
+    probers: &[NodeId],
+    probe_times: &[SimTime],
+    seed: u64,
+    elect: bool,
+) -> Vec<RttRatioResult> {
+    let built = figure10(&Figure10Params::lossless());
+    let seeding = if elect {
+        ZcrSeeding::Elect {
+            root: built.source,
+        }
+    } else {
+        ZcrSeeding::Designed(built.designed_zcrs.clone())
+    };
+    let plans: Vec<(NodeId, ProbePlan)> = probers
+        .iter()
+        .map(|&p| {
+            (
+                p,
+                ProbePlan {
+                    times: probe_times.to_vec(),
+                },
+            )
+        })
+        .collect();
+    let (mut engine, _) = setup_session_sim(
+        &built,
+        seed,
+        seeding,
+        SessionConfig::default(),
+        SimTime::from_secs(1),
+        &plans,
+    );
+    let end = probe_times.iter().max().copied().unwrap_or(SimTime::from_secs(10))
+        + sharqfec_netsim::SimDuration::from_secs(2);
+    engine.run_until(end);
+
+    probers
+        .iter()
+        .map(|&prober| {
+            let mut ratios = Vec::new();
+            for &r in &built.receivers {
+                if r == prober {
+                    continue;
+                }
+                let agent = engine.agent::<SessionAgent>(r).expect("receiver");
+                for obs in agent.observations.iter().filter(|o| o.src == prober) {
+                    ratios.push((r, obs.seq, obs.ratio()));
+                }
+            }
+            RttRatioResult { prober, ratios }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke test shared by the figure binaries: a small ECSRM-vs-full run
+    /// must exhibit the paper's headline ordering (full SHARQFEC's source
+    /// sees less recovery traffic and fewer NACKs fly overall than in the
+    /// unscoped baseline).
+    #[test]
+    fn figure_shapes_hold_on_small_workload() {
+        let w = Workload {
+            packets: 64,
+            seed: 3,
+            tail_secs: 20,
+        };
+        let ecsrm = run_sharqfec(Variant::Ecsrm, w);
+        let full = run_sharqfec(Variant::Full, w);
+        assert_eq!(ecsrm.unrecovered, 0);
+        assert_eq!(full.unrecovered, 0);
+
+        // Fig 20/21 shape: the source is insulated by scoping.
+        let src_ecsrm: f64 = ecsrm.source_data_repair.iter().sum::<f64>()
+            + ecsrm.source_nacks.iter().sum::<f64>();
+        let src_full: f64 = full.source_data_repair.iter().sum::<f64>()
+            + full.source_nacks.iter().sum::<f64>();
+        assert!(
+            src_full < src_ecsrm,
+            "source traffic: full={src_full} ecsrm={src_ecsrm}"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Adaptive request-timer constants — the paper's §7 future work.
+//!
+//! "SHARQFEC currently uses fixed timers for suppression purposes.  As was
+//! noted in \[SRM\] fixed timers are incapable of coping with all network
+//! topologies, and therefore inclusion of some mechanism for adjusting the
+//! timer constants can lead to enhanced performance.  Further work is
+//! needed to explore mechanisms for adjusting the timer constants used by
+//! SHARQFEC."
+//!
+//! This module is that exploration: the SRM §V adjustment structure
+//! applied to SHARQFEC's request window `2^i·[C1·d, (C1+C2)·d]`.  Each
+//! receiver tracks an EWMA of duplicate NACKs overheard per recovery
+//! round and of its own recovery delay (in units of `d_SA`), widening the
+//! window under duplicate pressure and narrowing it when rounds are quiet
+//! but slow.  Off by default ([`crate::SharqfecConfig::adaptive_timers`]);
+//! the `ablation_sweep` harness compares both settings.
+
+/// Adaptive request window state for one receiver.
+#[derive(Clone, Debug)]
+pub struct AdaptiveWindow {
+    /// Current window start factor (C1).
+    pub c1: f64,
+    /// Current window width factor (C2).
+    pub c2: f64,
+    ave_dup: f64,
+    ave_delay: f64,
+    round_dups: u32,
+    enabled: bool,
+}
+
+/// EWMA gain for the averages (SRM: 1/4).
+const GAIN: f64 = 0.25;
+/// Duplicate pressure above which the window widens.
+const DUP_HIGH: f64 = 1.0;
+/// Duplicate pressure below which narrowing is considered.
+const DUP_LOW: f64 = 0.25;
+/// Recovery delay (in units of d_SA) above which narrowing kicks in.
+const DELAY_HIGH: f64 = 4.0;
+/// Floors.
+const MIN_C1: f64 = 0.5;
+const MIN_C2: f64 = 0.5;
+
+impl AdaptiveWindow {
+    /// Starts from the configured fixed constants.
+    pub fn new(c1: f64, c2: f64, enabled: bool) -> AdaptiveWindow {
+        AdaptiveWindow {
+            c1,
+            c2,
+            ave_dup: 0.0,
+            ave_delay: 1.0,
+            round_dups: 0,
+            enabled,
+        }
+    }
+
+    /// Records an overheard NACK that did not raise any ZLC (a duplicate
+    /// in SRM's sense).
+    pub fn saw_duplicate(&mut self) {
+        self.round_dups = self.round_dups.saturating_add(1);
+    }
+
+    /// Closes a recovery round (a group completed after losses): folds
+    /// the duplicate count and this receiver's recovery delay into the
+    /// EWMAs and adjusts the window.
+    pub fn end_round(&mut self, delay_in_d: f64) {
+        let dups = self.round_dups as f64;
+        self.round_dups = 0;
+        self.ave_dup += GAIN * (dups - self.ave_dup);
+        self.ave_delay += GAIN * (delay_in_d - self.ave_delay);
+        if !self.enabled {
+            return;
+        }
+        if self.ave_dup >= DUP_HIGH {
+            self.c1 += 0.1;
+            self.c2 += 0.5;
+        } else if self.ave_dup < DUP_LOW && self.ave_delay > DELAY_HIGH {
+            self.c1 = (self.c1 - 0.05).max(MIN_C1);
+            self.c2 = (self.c2 - 0.1).max(MIN_C2);
+        }
+    }
+
+    /// Current duplicate-pressure EWMA (diagnostics).
+    pub fn ave_dup(&self) -> f64 {
+        self.ave_dup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_window_stays_fixed() {
+        let mut w = AdaptiveWindow::new(2.0, 2.0, false);
+        for _ in 0..20 {
+            w.saw_duplicate();
+            w.saw_duplicate();
+            w.end_round(10.0);
+        }
+        assert_eq!((w.c1, w.c2), (2.0, 2.0));
+    }
+
+    #[test]
+    fn duplicate_pressure_widens() {
+        let mut w = AdaptiveWindow::new(2.0, 2.0, true);
+        for _ in 0..10 {
+            for _ in 0..3 {
+                w.saw_duplicate();
+            }
+            w.end_round(1.0);
+        }
+        assert!(w.c1 > 2.0 && w.c2 > 2.0, "({}, {})", w.c1, w.c2);
+        assert!(w.ave_dup() > 1.0);
+    }
+
+    #[test]
+    fn quiet_slow_rounds_narrow_with_floors() {
+        let mut w = AdaptiveWindow::new(1.0, 1.0, true);
+        for _ in 0..100 {
+            w.end_round(10.0);
+        }
+        assert_eq!((w.c1, w.c2), (MIN_C1, MIN_C2));
+    }
+
+    #[test]
+    fn quiet_fast_rounds_hold() {
+        let mut w = AdaptiveWindow::new(2.0, 2.0, true);
+        for _ in 0..10 {
+            w.end_round(1.0);
+        }
+        assert_eq!((w.c1, w.c2), (2.0, 2.0));
+    }
+}

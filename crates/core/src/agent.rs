@@ -1,0 +1,847 @@
+//! The SHARQFEC protocol agent.
+//!
+//! One agent type plays both roles: the *source* is simply the member
+//! that originates data packets and is born holding every group, while
+//! *receivers* run the Loss Detection Phase / Repair Phase state machine
+//! of paper §4.  Both embed a [`SessionCore`] for RTT estimates and ZCR
+//! identity, and both act as repairers for the zones they belong to.
+
+use crate::adapt::AdaptiveWindow;
+use crate::config::SharqfecConfig;
+use crate::group::{GroupState, Phase};
+use crate::msg::SfMsg;
+use sharqfec_netsim::prelude::*;
+use sharqfec_scoping::{ZoneHierarchy, ZoneId};
+use sharqfec_session::core::{is_session_token, SessionCore, SessionCtx};
+use sharqfec_session::msg::SessionMsg;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Whether this member originates the stream or receives it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// The data source (root ZCR).
+    Source,
+    /// A receiving session member.
+    Receiver,
+}
+
+// Timer token layout (bit 63 is reserved for the session layer):
+// bits 40..44 = kind, bits 8..40 = group, bits 0..8 = chain level.
+const KIND_SEND: u64 = 1;
+const KIND_LDP: u64 = 2;
+const KIND_REQ: u64 = 3;
+const KIND_REPLY: u64 = 4;
+const KIND_SPACING: u64 = 5;
+const KIND_MEASURE: u64 = 6;
+const KIND_AUDIT: u64 = 7;
+
+fn tok(kind: u64, group: u32, level: usize) -> u64 {
+    (kind << 40) | ((group as u64) << 8) | level as u64
+}
+
+fn tok_parts(token: u64) -> (u64, u32, usize) {
+    (
+        (token >> 40) & 0xF,
+        ((token >> 8) & 0xFFFF_FFFF) as u32,
+        (token & 0xFF) as usize,
+    )
+}
+
+/// The SHARQFEC protocol state machine for one session member.
+pub struct SfAgent {
+    cfg: SharqfecConfig,
+    role: Role,
+    session: SessionCore,
+    /// Channel of each zone, indexed by `ZoneId`.
+    channels: Rc<Vec<ChannelId>>,
+    /// Reverse map for classifying received repairs by scope.
+    chan_to_level: HashMap<ChannelId, usize>,
+    /// This member's zone chain (smallest zone first).
+    chain: Vec<ZoneId>,
+    /// Data channel = the root zone's channel (maximum scope).
+    root_channel: ChannelId,
+    /// The scope index new NACKs start at (paper §4's smallest-partition
+    /// rule).
+    initial_scope: usize,
+    groups: HashMap<u32, GroupState>,
+    /// Predicted ZLC per chain level (EWMA, paper §4); drives preemptive
+    /// injection where this member is the level's ZCR.
+    zlc_pred: Vec<f64>,
+    /// Source only: next absolute data sequence number.
+    next_seq: u32,
+    /// Request-window constants, optionally adapted (paper §7 extension).
+    window: AdaptiveWindow,
+    /// EWMA of this receiver's observed loss fraction, fed to the session
+    /// layer's §7 receiver-report summarization.
+    observed_loss: f64,
+    /// NACKs transmitted (diagnostics).
+    pub nacks_sent: u32,
+    /// Repair packets transmitted, including preemptive injections.
+    pub repairs_sent: u32,
+}
+
+/// Bridges the netsim context to the session layer.
+struct Bridge<'a, 'b> {
+    ctx: &'a mut Ctx<'b, SfMsg>,
+    channels: &'a [ChannelId],
+}
+
+impl SessionCtx for Bridge<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+    fn rng(&mut self) -> &mut SimRng {
+        self.ctx.rng()
+    }
+    fn send(&mut self, zone: ZoneId, msg: SessionMsg, bytes: u32) {
+        self.ctx
+            .multicast(self.channels[zone.idx()], SfMsg::Session(msg), bytes);
+    }
+    fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        self.ctx.set_timer(delay, token)
+    }
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.ctx.cancel_timer(id);
+    }
+}
+
+macro_rules! bridge {
+    ($self:ident, $ctx:ident) => {
+        Bridge {
+            ctx: $ctx,
+            channels: &$self.channels,
+        }
+    };
+}
+
+impl SfAgent {
+    /// Creates an agent.  `channels[zone.idx()]` must carry zone traffic;
+    /// the root zone's channel doubles as the maximum-scope data channel.
+    pub fn new(
+        cfg: SharqfecConfig,
+        role: Role,
+        session: SessionCore,
+        hier: Rc<ZoneHierarchy>,
+        channels: Rc<Vec<ChannelId>>,
+        source_node: NodeId,
+    ) -> SfAgent {
+        cfg.validate();
+        let chain = session.chain_zones().to_vec();
+        let chan_to_level = chain
+            .iter()
+            .enumerate()
+            .map(|(l, z)| (channels[z.idx()], l))
+            .collect();
+        let root_channel = channels[chain.last().expect("chain nonempty").idx()];
+        let initial_scope = if hier.is_member(chain[0], source_node) {
+            chain.len() - 1
+        } else {
+            0
+        };
+        let zlc_pred = vec![cfg.initial_zlc_pred; chain.len()];
+        let window = AdaptiveWindow::new(cfg.c1, cfg.c2, cfg.adaptive_timers);
+        SfAgent {
+            cfg,
+            role,
+            session,
+            channels,
+            chan_to_level,
+            chain,
+            root_channel,
+            initial_scope,
+            groups: HashMap::new(),
+            zlc_pred,
+            next_seq: 0,
+            window,
+            observed_loss: 0.0,
+            nacks_sent: 0,
+            repairs_sent: 0,
+        }
+    }
+
+    /// The embedded session state machine.
+    pub fn session(&self) -> &SessionCore {
+        &self.session
+    }
+
+    /// Whether every group of the stream is reconstructable here.
+    pub fn complete(&self) -> bool {
+        if self.role == Role::Source {
+            return true;
+        }
+        (0..self.cfg.group_count()).all(|g| self.groups.get(&g).is_some_and(|s| s.complete()))
+    }
+
+    /// Total packets still missing across all groups.
+    pub fn missing(&self) -> u32 {
+        if self.role == Role::Source {
+            return 0;
+        }
+        (0..self.cfg.group_count())
+            .map(|g| {
+                self.groups
+                    .get(&g)
+                    .map_or(self.cfg.packets_in_group(g), |s| s.deficit())
+            })
+            .sum()
+    }
+
+    /// Current predicted ZLC at a chain level (diagnostics / benches).
+    pub fn zlc_prediction(&self, level: usize) -> f64 {
+        self.zlc_pred[level]
+    }
+
+    /// The packet indices this member holds for group `g`, sorted — the
+    /// shards an application hands to `sharqfec-fec`'s decoder.
+    pub fn held_indices(&self, g: u32) -> Vec<u32> {
+        self.groups
+            .get(&g)
+            .map(|s| s.held_indices())
+            .unwrap_or_default()
+    }
+
+    fn group_entry(&mut self, g: u32) -> &mut GroupState {
+        let k = self.cfg.packets_in_group(g);
+        let levels = self.chain.len();
+        let initial_scope = self.initial_scope;
+        let role = self.role;
+        self.groups.entry(g).or_insert_with(|| match role {
+            Role::Source => GroupState::complete_source(k, levels),
+            Role::Receiver => GroupState::new(k, levels, initial_scope),
+        })
+    }
+
+    /// One-way distance estimate to the source (the root ZCR) for request
+    /// timers, with the configured fallback before the session converges.
+    fn d_sa(&self) -> SimDuration {
+        if self.role == Role::Source {
+            return self.cfg.default_dist;
+        }
+        self.session
+            .dist_to_ancestor(self.chain.len() - 1)
+            .unwrap_or(self.cfg.default_dist)
+    }
+
+    // ---- request (NACK) side ---------------------------------------------
+
+    fn arm_request(&mut self, ctx: &mut Ctx<'_, SfMsg>, g: u32) {
+        let d = self.d_sa();
+        let (c1, c2, max_backoff) = (self.window.c1, self.window.c2, self.cfg.max_backoff);
+        let st = self.groups.get_mut(&g).expect("group exists");
+        let factor = ctx.rng().range_f64(c1, c1 + c2);
+        let delay = d.mul_f64(factor) * (1u64 << st.i.min(max_backoff));
+        if let Some(old) = st.request_timer.take() {
+            ctx.cancel_timer(old);
+        }
+        st.request_timer = Some(ctx.set_timer(delay, tok(KIND_REQ, g, 0)));
+    }
+
+    /// Arms a request timer if this receiver's losses exceed the ZLC known
+    /// at *every* zone it belongs to (the paper's suppression rule: a NACK
+    /// at any enclosing scope with `llc >= ours` provokes repairs that
+    /// reach us, since zone channels nest).
+    fn maybe_request(&mut self, ctx: &mut Ctx<'_, SfMsg>, g: u32) {
+        if self.role == Role::Source {
+            return;
+        }
+        let st = self.groups.get(&g).expect("group exists");
+        if st.request_timer.is_some() || st.complete() || st.deficit() == 0 {
+            return;
+        }
+        let covered_by = st.zlc.iter().copied().max().unwrap_or(0);
+        if st.llc() > covered_by {
+            self.arm_request(ctx, g);
+        }
+    }
+
+    fn request_fire(&mut self, ctx: &mut Ctx<'_, SfMsg>, g: u32) {
+        let chain_entries = self.session.ancestor_chain();
+        // A zone's representative asks *upstream*: its own zone shares its
+        // losses by construction (everything it missed, its subtree missed
+        // too), so its requests start at the parent scope.
+        let zcr_floor = if self.chain.len() > 1 && self.session.is_zcr_of(self.chain[0]) {
+            1
+        } else {
+            0
+        };
+        let st = self.groups.get_mut(&g).expect("group exists");
+        st.request_timer = None;
+        if st.complete() || st.deficit() == 0 {
+            return;
+        }
+        st.scope_idx = st.scope_idx.max(zcr_floor);
+        let zone = self.chain[st.scope_idx];
+        let needed = st.deficit();
+        let llc = st.llc();
+        let max_idx = st.max_idx().unwrap_or(st.k.saturating_sub(1));
+        // Our own NACK establishes the new ZLC for the zone.
+        st.zlc[st.scope_idx] = st.zlc[st.scope_idx].max(llc);
+        st.attempts += 1;
+        if st.attempts >= self.cfg.attempts_per_zone && st.scope_idx + 1 < self.chain.len() {
+            // Escalate to the next-larger scope (paper §4: "after two
+            // attempts at each zone").
+            st.scope_idx += 1;
+            st.attempts = 0;
+        }
+        st.i = (st.i + 1).min(self.cfg.max_backoff);
+        let bytes = self.cfg.nack_bytes + 12 * chain_entries.len() as u32;
+        ctx.multicast(
+            self.channels[zone.idx()],
+            SfMsg::Nack {
+                group: g,
+                zone,
+                llc,
+                needed,
+                max_idx,
+                chain: chain_entries,
+            },
+            bytes,
+        );
+        self.nacks_sent += 1;
+        // Keep waiting: if the repairs get lost we must re-request.
+        self.arm_request(ctx, g);
+    }
+
+    // ---- reply (repair) side ---------------------------------------------
+
+    fn can_repair(&self, g: u32) -> bool {
+        match self.role {
+            Role::Source => true,
+            Role::Receiver => {
+                self.cfg.receiver_repairs
+                    && self.groups.get(&g).is_some_and(|s| s.complete())
+            }
+        }
+    }
+
+    fn arm_reply(&mut self, ctx: &mut Ctx<'_, SfMsg>, g: u32, level: usize) {
+        let (d1, d2, default) = (self.cfg.d1, self.cfg.d2, self.cfg.default_dist);
+        let st = self.groups.get_mut(&g).expect("group exists");
+        if st.reply_timer[level].is_some() || st.outstanding[level] == 0 {
+            return;
+        }
+        let d = st.last_nack_dist[level].unwrap_or(default);
+        let factor = ctx.rng().range_f64(d1, d1 + d2);
+        // No backoff on reply timers (paper §4).
+        st.reply_timer[level] = Some(ctx.set_timer(d.mul_f64(factor), tok(KIND_REPLY, g, level)));
+    }
+
+    /// Starts (or continues) transmitting queued repairs for a zone if a
+    /// pacing chain is not already running.  The zone's ZCR and the sender
+    /// call this directly on NACK arrival / group completion — they repair
+    /// *immediately* (paper §4: the sender "immediately generating and
+    /// transmitting the first of any queued repairs"), which is what
+    /// suppresses the slower timer-based repairers.
+    fn kick_repairs(&mut self, ctx: &mut Ctx<'_, SfMsg>, g: u32, level: usize) {
+        let st = self.groups.get_mut(&g).expect("group exists");
+        if st.pacing[level] || st.outstanding[level] == 0 {
+            return;
+        }
+        if !self.can_repair(g) {
+            return;
+        }
+        self.send_repair(ctx, g, level);
+    }
+
+    /// Transmits one FEC repair into the given zone and paces the next.
+    fn send_repair(&mut self, ctx: &mut Ctx<'_, SfMsg>, g: u32, level: usize) {
+        let spacing = self.cfg.send_interval / 2;
+        let bytes = self.cfg.packet_bytes;
+        let zone = self.chain[level];
+        let chan = self.channels[zone.idx()];
+        let st = self.groups.get_mut(&g).expect("group exists");
+        if st.outstanding[level] == 0 {
+            st.pacing[level] = false;
+            return;
+        }
+        let idx = st.next_repair_idx();
+        st.receive(idx); // a repairer holds what it generates
+        st.outstanding[level] -= 1;
+        let k = st.k;
+        let more = st.outstanding[level] > 0;
+        st.pacing[level] = more;
+        // Announce the whole paced burst (paper §4's "what will be the new
+        // highest packet identifier") so one heard packet suppresses rival
+        // repairers for the entire burst.
+        let burst_end = idx + st.outstanding[level];
+        st.reserve(burst_end);
+        ctx.multicast(
+            chan,
+            SfMsg::Fec {
+                group: g,
+                idx,
+                k,
+                burst_end,
+            },
+            bytes,
+        );
+        self.repairs_sent += 1;
+        if more {
+            // Half the inter-packet interval, the paper's §4 repair pacing.
+            ctx.set_timer(spacing, tok(KIND_SPACING, g, level));
+        }
+    }
+
+    fn reply_fire(&mut self, ctx: &mut Ctx<'_, SfMsg>, g: u32, level: usize) {
+        let st = self.groups.get_mut(&g).expect("group exists");
+        st.reply_timer[level] = None;
+        if st.outstanding[level] == 0 {
+            return;
+        }
+        if !self.can_repair(g) {
+            // Speculation failed: we never completed the group, so we
+            // cannot generate FEC.  Surrender this round; the requester
+            // will escalate if nobody else answered either.
+            self.groups.get_mut(&g).expect("group exists").outstanding[level] = 0;
+            return;
+        }
+        self.kick_repairs(ctx, g, level);
+    }
+
+    // ---- preemptive injection and ZLC measurement --------------------------
+
+    /// On group completion: inject predicted FEC into zones this member
+    /// represents, and schedule the ZLC measurement that feeds the EWMA.
+    fn on_complete(&mut self, ctx: &mut Ctx<'_, SfMsg>, g: u32) {
+        let now = ctx.now();
+        let d_sa = self.d_sa().as_secs_f64().max(1e-9);
+        {
+            let st = self.groups.get_mut(&g).expect("group exists");
+            st.complete_at = Some(now);
+            // Close the adaptive-timer round if this group saw losses.
+            if st.peak_llc > 0 {
+                let waited = st
+                    .first_heard
+                    .map(|t| now.saturating_since(t).as_secs_f64())
+                    .unwrap_or(0.0);
+                self.window.end_round(waited / d_sa);
+            }
+            st.phase = Phase::Repair;
+            st.i = 1;
+            if let Some(t) = st.request_timer.take() {
+                ctx.cancel_timer(t);
+            }
+            if let Some(t) = st.ldp_timer.take() {
+                ctx.cancel_timer(t);
+            }
+            // Feed the §7 receiver-report summary: the fraction of this
+            // group's identifiers we never received, smoothed.
+            if self.role == Role::Receiver {
+                let span = st.max_idx().map(|m| m + 1).unwrap_or(st.k).max(1);
+                let frac = st.peak_llc as f64 / span as f64;
+                self.observed_loss += 0.25 * (frac - self.observed_loss);
+                self.session.set_local_loss(self.observed_loss);
+            }
+        }
+        let repairs_allowed =
+            self.role == Role::Source || self.cfg.receiver_repairs;
+        for level in 0..self.chain.len() {
+            let zone = self.chain[level];
+            let is_zcr = match self.role {
+                Role::Source => level == self.chain.len() - 1,
+                Role::Receiver => self.session.is_zcr_of(zone),
+            };
+            if !is_zcr {
+                // Plain repairers answer queued NACKs now that they can.
+                if repairs_allowed && self.groups[&g].outstanding[level] > 0 {
+                    self.arm_reply(ctx, g, level);
+                }
+                continue;
+            }
+            // ZCR duties: preemptive injection sized by the ZLC EWMA…
+            if self.cfg.injection && repairs_allowed && !self.groups[&g].injected[level] {
+                self.groups.get_mut(&g).expect("exists").injected[level] = true;
+                let n = self.zlc_pred[level].round().max(0.0) as u32;
+                let n = n.min(self.cfg.group_size);
+                if n > 0 {
+                    let st = self.groups.get_mut(&g).expect("exists");
+                    st.outstanding[level] += n;
+                }
+            }
+            // …the first queued repair goes out immediately (paper §4)…
+            if repairs_allowed {
+                self.kick_repairs(ctx, g, level);
+            }
+            // …and the true ZLC is measured 2.5 RTTs later (paper §4).
+            if !self.groups[&g].measured[level] {
+                let rtt = self
+                    .session
+                    .max_known_rtt()
+                    .unwrap_or(self.cfg.default_dist * 2);
+                let delay = rtt.mul_f64(self.cfg.zlc_measure_rtt_factor);
+                ctx.set_timer(delay, tok(KIND_MEASURE, g, level));
+            }
+        }
+    }
+
+    fn measure_fire(&mut self, _ctx: &mut Ctx<'_, SfMsg>, g: u32, level: usize) {
+        let gain = self.cfg.zlc_gain;
+        let st = self.groups.get_mut(&g).expect("group exists");
+        if st.measured[level] {
+            return;
+        }
+        st.measured[level] = true;
+        // The zone's observed repair demand for this group: the largest
+        // `needed` any NACK in the zone advertised.  This is measured net
+        // of upstream redundancy — a receiver already covered by packets
+        // injected at larger scopes never NACKed — which realizes the
+        // paper's rule that subservient zones add less redundancy when
+        // upstream zones add more.  When injection suppressed every NACK
+        // the observation is 0 and the prediction decays, matching the
+        // paper's "decays over time; receivers request additional repairs
+        // as necessary".
+        let observed = st.zone_needed[level] as f64;
+        self.zlc_pred[level] += gain * (observed - self.zlc_pred[level]);
+    }
+
+    // ---- packet handling ---------------------------------------------------
+
+    fn handle_payload(
+        &mut self,
+        ctx: &mut Ctx<'_, SfMsg>,
+        g: u32,
+        idx: u32,
+        channel: ChannelId,
+        // For repairs: the sender's announced burst end (its "new highest
+        // packet identifier"); `idx` for data packets.
+        burst_end: u32,
+        is_repair: bool,
+    ) {
+        self.group_entry(g);
+        let send_interval = self.cfg.send_interval;
+        {
+            let st = self.groups.get_mut(&g).expect("exists");
+            if st.first_heard.is_none() {
+                st.first_heard = Some(ctx.now());
+            }
+            // First contact with the group: arm the LDP timer (receivers).
+            if self.role == Role::Receiver
+                && st.phase == Phase::Ldp
+                && st.ldp_timer.is_none()
+                && st.complete_at.is_none()
+            {
+                // Expected residue of the group at the advertised rate,
+                // plus slack for jitter (paper §4's inter-packet estimate).
+                let remaining = st.k.saturating_sub(idx.min(st.k - 1) + 1) as u64;
+                let delay = send_interval * (remaining + 3);
+                st.ldp_timer = Some(ctx.set_timer(delay, tok(KIND_LDP, g, 0)));
+            }
+            st.receive(idx);
+        }
+
+        if is_repair {
+            // Repairs heard on zone `z` also satisfy every nested zone we
+            // belong to: dequeue speculative repairs at this level and all
+            // deeper ones (paper §4) — an entire announced burst at once,
+            // and the promised identifier range is reserved so our own
+            // later repairs cannot collide with it.
+            let burst = burst_end.saturating_sub(idx) + 1;
+            if let Some(&level) = self.chan_to_level.get(&channel) {
+                for j in 0..=level {
+                    let st = self.groups.get_mut(&g).expect("exists");
+                    st.reserve(burst_end);
+                    st.outstanding[j] = st.outstanding[j].saturating_sub(burst);
+                    if st.outstanding[j] == 0 {
+                        if let Some(t) = st.reply_timer[j].take() {
+                            // Enough repairs seen or promised: suppress.
+                            ctx.cancel_timer(t);
+                        }
+                    }
+                }
+            }
+            // A repair resets the request backoff (paper §4: "any time a
+            // repair arrives, i is reset to 1").
+            let st = self.groups.get_mut(&g).expect("exists");
+            if st.request_timer.is_some() && !st.complete() {
+                st.i = 1;
+                self.arm_request(ctx, g);
+            }
+        }
+
+        let complete_now = {
+            let st = self.groups.get_mut(&g).expect("exists");
+            st.complete() && st.complete_at.is_none()
+        };
+        if complete_now {
+            self.on_complete(ctx, g);
+        } else {
+            self.maybe_request(ctx, g);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_nack(
+        &mut self,
+        ctx: &mut Ctx<'_, SfMsg>,
+        src: NodeId,
+        g: u32,
+        zone: ZoneId,
+        llc: u32,
+        needed: u32,
+        max_idx: u32,
+        chain: &[sharqfec_session::AncestorEntry],
+    ) {
+        let Some(level) = self.chain.iter().position(|&z| z == zone) else {
+            return; // NACK for a zone we are not in (cannot happen via scoping)
+        };
+        self.group_entry(g);
+        let dist = self
+            .session
+            .estimate_rtt(src, chain)
+            .map(|rtt| rtt / 2)
+            .unwrap_or(self.cfg.default_dist);
+        let max_backoff = self.cfg.max_backoff;
+
+        let (became_visible, suppressed_mine) = {
+            let st = self.groups.get_mut(&g).expect("exists");
+            let newly = st.note_exists(max_idx);
+            let zlc_increased = llc > st.zlc[level];
+            st.zlc[level] = st.zlc[level].max(llc);
+            // Repairer bookkeeping: the zone needs max(needed) repairs —
+            // FEC covers concurrent NACKers with one set of packets.
+            st.outstanding[level] = st.outstanding[level].max(needed);
+            st.zone_needed[level] = st.zone_needed[level].max(needed);
+            st.last_nack_dist[level] = Some(dist);
+
+            // Requester-side suppression.
+            let mut suppressed = false;
+            if st.request_timer.is_some() && !st.complete() {
+                if !zlc_increased {
+                    // Duplicate pressure: back off (paper §4's `i` rule)
+                    // and, with §7 adaptive timers, widen the window.
+                    st.i = (st.i + 1).min(max_backoff);
+                    self.window.saw_duplicate();
+                    suppressed = true;
+                } else if st.llc() <= st.zlc.iter().copied().max().unwrap_or(0) {
+                    // Someone worse off spoke for us at some enclosing
+                    // scope: the repairs it provokes reach every nested
+                    // member, so push our NACK out.
+                    suppressed = true;
+                }
+            }
+            (newly > 0, suppressed)
+        };
+        if suppressed_mine {
+            self.arm_request(ctx, g); // redraw with the (possibly bumped) i
+        }
+        if became_visible {
+            // The advertised identifier revealed losses we hadn't seen.
+            self.maybe_request(ctx, g);
+        }
+        // Reply scheduling.  The zone's representative (and the sender at
+        // the largest scope) repairs immediately; everyone else arms a
+        // suppression timer and usually gets beaten to it (speculative for
+        // receivers that have not completed the group yet).
+        let is_zone_rep = match self.role {
+            Role::Source => level == self.chain.len() - 1,
+            Role::Receiver => self.session.is_zcr_of(self.chain[level]),
+        };
+        let may_reply = match self.role {
+            Role::Source => true,
+            Role::Receiver => self.cfg.receiver_repairs,
+        };
+        if is_zone_rep && may_reply && self.can_repair(g) {
+            self.kick_repairs(ctx, g, level);
+        } else if may_reply {
+            self.arm_reply(ctx, g, level);
+        }
+    }
+
+    fn ldp_fire(&mut self, ctx: &mut Ctx<'_, SfMsg>, g: u32) {
+        {
+            let st = self.groups.get_mut(&g).expect("exists");
+            st.ldp_timer = None;
+            if st.complete() {
+                return;
+            }
+            st.phase = Phase::Repair;
+            // Every data identifier must exist by now; tail losses that no
+            // gap could reveal become visible here.
+            st.note_exists(st.k - 1);
+        }
+        self.maybe_request(ctx, g);
+    }
+
+    fn audit_fire(&mut self, ctx: &mut Ctx<'_, SfMsg>, _token_group: u32) {
+        if self.role == Role::Source {
+            return;
+        }
+        let mut all_done = true;
+        for g in 0..self.cfg.group_count() {
+            self.group_entry(g);
+            let (incomplete, needs_timer) = {
+                let st = self.groups.get_mut(&g).expect("exists");
+                if st.complete() {
+                    (false, false)
+                } else {
+                    st.phase = Phase::Repair;
+                    st.note_exists(st.k - 1);
+                    (true, st.request_timer.is_none())
+                }
+            };
+            if incomplete {
+                all_done = false;
+                if needs_timer {
+                    // Liveness watchdog: regardless of suppression state,
+                    // a receiver still missing packets must eventually ask
+                    // again (the paper's repairee rule).
+                    self.arm_request(ctx, g);
+                }
+            }
+        }
+        if !all_done {
+            ctx.set_timer(self.cfg.send_interval * 50, tok(KIND_AUDIT, 0, 0));
+        }
+    }
+
+    // ---- source transmission ------------------------------------------------
+
+    fn send_tick(&mut self, ctx: &mut Ctx<'_, SfMsg>) {
+        debug_assert_eq!(self.role, Role::Source);
+        if self.next_seq >= self.cfg.total_packets {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let g = seq / self.cfg.group_size;
+        let idx = seq % self.cfg.group_size;
+        let k = self.cfg.packets_in_group(g);
+        self.group_entry(g);
+        ctx.multicast(
+            self.root_channel,
+            SfMsg::Data { group: g, idx, k },
+            self.cfg.packet_bytes,
+        );
+        let group_finished = idx + 1 == k;
+        if group_finished {
+            self.finish_group(ctx, g);
+        }
+        if self.next_seq < self.cfg.total_packets {
+            ctx.set_timer(self.cfg.send_interval, tok(KIND_SEND, 0, 0));
+        }
+    }
+
+    /// The source's end-of-group duties: preemptive redundancy sized by
+    /// the root-zone ZLC EWMA, the first queued repair, and the ZLC
+    /// measurement timer.
+    fn finish_group(&mut self, ctx: &mut Ctx<'_, SfMsg>, g: u32) {
+        let root = self.chain.len() - 1;
+        if self.cfg.injection && !self.groups[&g].injected[root] {
+            self.groups.get_mut(&g).expect("exists").injected[root] = true;
+            let n = (self.zlc_pred[root].round().max(0.0) as u32).min(self.cfg.group_size);
+            if n > 0 {
+                self.groups.get_mut(&g).expect("exists").outstanding[root] += n;
+            }
+        }
+        self.kick_repairs(ctx, g, root);
+        if !self.groups[&g].measured[root] {
+            let rtt = self
+                .session
+                .max_known_rtt()
+                .unwrap_or(self.cfg.default_dist * 2);
+            ctx.set_timer(
+                rtt.mul_f64(self.cfg.zlc_measure_rtt_factor),
+                tok(KIND_MEASURE, g, root),
+            );
+        }
+    }
+}
+
+impl Agent<SfMsg> for SfAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SfMsg>) {
+        {
+            let mut b = bridge!(self, ctx);
+            self.session.start(&mut b);
+        }
+        match self.role {
+            Role::Source => {
+                let delay = self.cfg.data_start.saturating_since(ctx.now());
+                ctx.set_timer(delay, tok(KIND_SEND, 0, 0));
+            }
+            Role::Receiver => {
+                let end = self.cfg.data_start
+                    + self.cfg.send_interval * self.cfg.total_packets as u64
+                    + self.cfg.send_interval * 50;
+                ctx.set_timer(end.saturating_since(ctx.now()), tok(KIND_AUDIT, 0, 0));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SfMsg>, token: u64) {
+        if is_session_token(token) {
+            let mut b = bridge!(self, ctx);
+            self.session.on_timer(&mut b, token);
+            return;
+        }
+        let (kind, g, level) = tok_parts(token);
+        match kind {
+            KIND_SEND => self.send_tick(ctx),
+            KIND_LDP => self.ldp_fire(ctx, g),
+            KIND_REQ => self.request_fire(ctx, g),
+            KIND_REPLY => self.reply_fire(ctx, g, level),
+            KIND_SPACING => {
+                self.groups
+                    .get_mut(&g)
+                    .expect("group exists")
+                    .pacing[level] = false;
+                if self.can_repair(g) {
+                    self.send_repair(ctx, g, level);
+                }
+            }
+            KIND_MEASURE => self.measure_fire(ctx, g, level),
+            KIND_AUDIT => self.audit_fire(ctx, g),
+            other => unreachable!("unknown protocol timer kind {other}"),
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, SfMsg>, pkt: &Packet<SfMsg>) {
+        match &pkt.payload {
+            SfMsg::Session(msg) => {
+                let mut b = bridge!(self, ctx);
+                self.session.on_msg(&mut b, pkt.src, msg);
+            }
+            SfMsg::Data { group, idx, .. } => {
+                self.handle_payload(ctx, *group, *idx, pkt.channel, *idx, false);
+            }
+            SfMsg::Fec {
+                group,
+                idx,
+                burst_end,
+                ..
+            } => {
+                self.handle_payload(ctx, *group, *idx, pkt.channel, *burst_end, true);
+            }
+            SfMsg::Nack {
+                group,
+                zone,
+                llc,
+                needed,
+                max_idx,
+                chain,
+            } => {
+                self.handle_nack(
+                    ctx, pkt.src, *group, *zone, *llc, *needed, *max_idx, chain,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_round_trip() {
+        for kind in [KIND_SEND, KIND_REQ, KIND_REPLY, KIND_MEASURE] {
+            for g in [0u32, 1, 63, 1000] {
+                for l in [0usize, 1, 2] {
+                    let t = tok(kind, g, l);
+                    assert!(!is_session_token(t));
+                    assert_eq!(tok_parts(t), (kind, g, l));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! SHARQFEC configuration and the §6.2 ablation ladder.
+
+use sharqfec_netsim::{SimDuration, SimTime};
+use sharqfec_session::SessionConfig;
+
+/// The protocol variants the paper evaluates (its figures annotate
+/// `ns` = no scoping, `ni` = no injection, `so` = sender-only repairs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Full SHARQFEC: scoping + injection + receiver repairs.
+    Full,
+    /// `SHARQFEC(ni)`: scoping, receiver repairs, no preemptive injection.
+    NoInjection,
+    /// `SHARQFEC(ns)`: no scoping; source injection + receiver repairs.
+    NoScoping,
+    /// `SHARQFEC(ns,ni)`: no scoping, no injection, receiver repairs.
+    NoScopingNoInjection,
+    /// `SHARQFEC(ns,ni,so)`: the paper's ECSRM-equivalent — reactive FEC
+    /// from the sender only.
+    Ecsrm,
+}
+
+impl Variant {
+    /// The paper's figure annotation for this variant.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Full => "SHARQFEC",
+            Variant::NoInjection => "SHARQFEC(ni)",
+            Variant::NoScoping => "SHARQFEC(ns)",
+            Variant::NoScopingNoInjection => "SHARQFEC(ns,ni)",
+            Variant::Ecsrm => "SHARQFEC(ns,ni,so)/ECSRM",
+        }
+    }
+}
+
+/// Full parameter set for a SHARQFEC run.  Defaults reproduce the paper's
+/// §6.2 workload and §4 constants.
+#[derive(Clone, Debug)]
+pub struct SharqfecConfig {
+    // ---- workload (paper §6.2) ----
+    /// Total data packets in the stream (paper: 1024).
+    pub total_packets: u32,
+    /// Data/FEC packet size in bytes (paper: 1000).
+    pub packet_bytes: u32,
+    /// NACK base size in bytes (ancestor-chain entries add 12 B each).
+    pub nack_bytes: u32,
+    /// CBR inter-packet interval (paper: 10 ms = 800 kbit/s).
+    pub send_interval: SimDuration,
+    /// When the source starts sending (paper: t = 6 s).
+    pub data_start: SimTime,
+    /// Data packets per group (paper: 16).
+    pub group_size: u32,
+
+    // ---- feature switches (ablations) ----
+    /// Administrative scoping (`false` ⇒ the `ns` variants: one global
+    /// zone).
+    pub scoping: bool,
+    /// Preemptive FEC injection by ZCRs (`false` ⇒ the `ni` variants).
+    pub injection: bool,
+    /// Receivers repair their peers (`false` ⇒ the `so` variant: sender
+    /// only).
+    pub receiver_repairs: bool,
+
+    // ---- timers (paper §4) ----
+    /// Request window start factor (paper: C1 = 2).
+    pub c1: f64,
+    /// Request window width factor (paper: C2 = 2).
+    pub c2: f64,
+    /// Reply window start factor (paper: D1 = 1).
+    pub d1: f64,
+    /// Reply window width factor (paper: D2 = 1); no reply backoff.
+    pub d2: f64,
+    /// Cap on the request backoff exponent `i`.
+    pub max_backoff: u32,
+    /// NACK attempts per zone before escalating scope (paper: 2).
+    pub attempts_per_zone: u32,
+    /// §7 future-work extension: adapt C1/C2 per receiver from observed
+    /// duplicate NACKs and recovery delay (SRM §V structure).  Off by
+    /// default — the paper's evaluation uses fixed timers.
+    pub adaptive_timers: bool,
+
+    // ---- EWMA / injection (paper §4) ----
+    /// New-sample weight in `zlc_pred = (1-w)·zlc_pred + w·zlc`
+    /// (paper: 0.25).
+    pub zlc_gain: f64,
+    /// ZLC measurement delay as a multiple of the RTT to the most distant
+    /// known receiver (paper: 2.5).
+    pub zlc_measure_rtt_factor: f64,
+    /// Initial `zlc_pred` before any group has been measured ("a small
+    /// number of redundant FEC packets").
+    pub initial_zlc_pred: f64,
+
+    /// Fallback one-way distance used for timers before the session has
+    /// produced an estimate.
+    pub default_dist: SimDuration,
+    /// Session-protocol constants.
+    pub session: SessionConfig,
+}
+
+impl Default for SharqfecConfig {
+    fn default() -> SharqfecConfig {
+        SharqfecConfig {
+            total_packets: 1024,
+            packet_bytes: 1000,
+            nack_bytes: 40,
+            send_interval: SimDuration::from_millis(10),
+            data_start: SimTime::from_secs(6),
+            group_size: 16,
+            scoping: true,
+            injection: true,
+            receiver_repairs: true,
+            c1: 2.0,
+            c2: 2.0,
+            d1: 1.0,
+            d2: 1.0,
+            max_backoff: 8,
+            attempts_per_zone: 2,
+            adaptive_timers: false,
+            zlc_gain: 0.25,
+            zlc_measure_rtt_factor: 2.5,
+            initial_zlc_pred: 1.0,
+            default_dist: SimDuration::from_millis(50),
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+impl SharqfecConfig {
+    /// Configuration for a named variant.
+    pub fn variant(v: Variant) -> SharqfecConfig {
+        let base = SharqfecConfig::default();
+        match v {
+            Variant::Full => base,
+            Variant::NoInjection => SharqfecConfig {
+                injection: false,
+                ..base
+            },
+            Variant::NoScoping => SharqfecConfig {
+                scoping: false,
+                ..base
+            },
+            Variant::NoScopingNoInjection => SharqfecConfig {
+                scoping: false,
+                injection: false,
+                ..base
+            },
+            Variant::Ecsrm => SharqfecConfig {
+                scoping: false,
+                injection: false,
+                receiver_repairs: false,
+                ..base
+            },
+        }
+    }
+
+    /// Full SHARQFEC.
+    pub fn full() -> SharqfecConfig {
+        Self::variant(Variant::Full)
+    }
+
+    /// `SHARQFEC(ni)`.
+    pub fn ni() -> SharqfecConfig {
+        Self::variant(Variant::NoInjection)
+    }
+
+    /// `SHARQFEC(ns)`.
+    pub fn ns() -> SharqfecConfig {
+        Self::variant(Variant::NoScoping)
+    }
+
+    /// `SHARQFEC(ns,ni)`.
+    pub fn ns_ni() -> SharqfecConfig {
+        Self::variant(Variant::NoScopingNoInjection)
+    }
+
+    /// `SHARQFEC(ns,ni,so)` — the ECSRM-equivalent baseline.
+    pub fn ecsrm() -> SharqfecConfig {
+        Self::variant(Variant::Ecsrm)
+    }
+
+    /// Number of groups in the stream (last group may be short).
+    pub fn group_count(&self) -> u32 {
+        self.total_packets.div_ceil(self.group_size)
+    }
+
+    /// Data packets in group `g` (the tail group may be shorter).
+    pub fn packets_in_group(&self, g: u32) -> u32 {
+        let start = g * self.group_size;
+        (self.total_packets - start).min(self.group_size)
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn validate(&self) {
+        assert!(self.total_packets > 0, "need at least one packet");
+        assert!(self.group_size > 0, "group size must be positive");
+        assert!(
+            self.group_size as usize <= sharqfec_fec::MAX_GROUP,
+            "group size exceeds the GF(256) erasure-code limit"
+        );
+        assert!(self.packet_bytes > 0, "packets must have a size");
+        assert!(
+            self.c1 > 0.0 && self.c2 >= 0.0 && self.d1 > 0.0 && self.d2 >= 0.0,
+            "timer factors must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.zlc_gain),
+            "zlc_gain must be a weight in [0,1]"
+        );
+        assert!(self.attempts_per_zone >= 1, "need at least one attempt per zone");
+        assert!(
+            self.send_interval > SimDuration::ZERO,
+            "CBR interval must be positive"
+        );
+        self.session.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = SharqfecConfig::default();
+        c.validate();
+        assert_eq!(c.total_packets, 1024);
+        assert_eq!(c.group_size, 16);
+        assert_eq!(c.group_count(), 64);
+        assert_eq!((c.c1, c.c2, c.d1, c.d2), (2.0, 2.0, 1.0, 1.0));
+        assert_eq!(c.zlc_gain, 0.25);
+        assert_eq!(c.zlc_measure_rtt_factor, 2.5);
+        assert_eq!(c.attempts_per_zone, 2);
+    }
+
+    #[test]
+    fn variant_ladder_flags() {
+        assert!(SharqfecConfig::full().scoping);
+        assert!(SharqfecConfig::full().injection);
+        assert!(SharqfecConfig::full().receiver_repairs);
+
+        let ecsrm = SharqfecConfig::ecsrm();
+        assert!(!ecsrm.scoping && !ecsrm.injection && !ecsrm.receiver_repairs);
+
+        let ns = SharqfecConfig::ns();
+        assert!(!ns.scoping && ns.injection && ns.receiver_repairs);
+
+        let ni = SharqfecConfig::ni();
+        assert!(ni.scoping && !ni.injection && ni.receiver_repairs);
+
+        let ns_ni = SharqfecConfig::ns_ni();
+        assert!(!ns_ni.scoping && !ns_ni.injection && ns_ni.receiver_repairs);
+    }
+
+    #[test]
+    fn variant_labels_match_figures() {
+        assert_eq!(Variant::Full.label(), "SHARQFEC");
+        assert_eq!(Variant::Ecsrm.label(), "SHARQFEC(ns,ni,so)/ECSRM");
+        assert_eq!(Variant::NoScoping.label(), "SHARQFEC(ns)");
+    }
+
+    #[test]
+    fn tail_group_arithmetic() {
+        let c = SharqfecConfig {
+            total_packets: 20,
+            group_size: 16,
+            ..SharqfecConfig::default()
+        };
+        assert_eq!(c.group_count(), 2);
+        assert_eq!(c.packets_in_group(0), 16);
+        assert_eq!(c.packets_in_group(1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn zero_group_size_rejected() {
+        SharqfecConfig {
+            group_size: 0,
+            ..SharqfecConfig::default()
+        }
+        .validate();
+    }
+}

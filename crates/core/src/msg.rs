@@ -1,0 +1,95 @@
+//! SHARQFEC wire messages.
+
+use sharqfec_netsim::{Classify, TrafficClass};
+use sharqfec_scoping::ZoneId;
+use sharqfec_session::{AncestorEntry, SessionMsg};
+
+/// SHARQFEC packets.  Within a group, packet indices `0..k` are original
+/// data and indices `>= k` are FEC packets; *any* `k` distinct indices
+/// reconstruct the group, which is why [`SfMsg::Nack`] carries a count.
+#[derive(Clone, Debug)]
+pub enum SfMsg {
+    /// Original data packet `idx` (`0..k`) of `group`.
+    Data {
+        /// Group sequence number.
+        group: u32,
+        /// Packet index within the group.
+        idx: u32,
+        /// Data packets in this group (`k`); the tail group may be short.
+        /// Advertised in-band so receivers can detect completion.
+        k: u32,
+    },
+    /// FEC packet for `group` with unique index `idx >= k`.  Sent by the
+    /// source (initial redundancy), by ZCRs (preemptive injection), and by
+    /// repairers (on request).
+    Fec {
+        /// Group sequence number.
+        group: u32,
+        /// Packet index (unique within the group across all repairers via
+        /// the max-identifier rule).
+        idx: u32,
+        /// Data packets in this group.
+        k: u32,
+        /// "What will be the new highest packet identifier" (paper §4):
+        /// the sender of this repair is pacing a burst through this index,
+        /// so hearing one packet cancels the whole promised burst at other
+        /// would-be repairers and reserves the identifier range.
+        burst_end: u32,
+    },
+    /// Count-based repair request (paper §4): "the NACK now indicates how
+    /// many additional FEC packets are needed to complete the group and
+    /// not the identity of an individual packet."
+    Nack {
+        /// Group sequence number.
+        group: u32,
+        /// Zone scope this NACK is addressed to.
+        zone: ZoneId,
+        /// Sender's Local Loss Count — becomes the zone's new ZLC.
+        llc: u32,
+        /// FEC packets needed to complete the group.
+        needed: u32,
+        /// Greatest packet identifier the sender has seen for this group
+        /// (lets hearers detect losses they did not notice, and repairers
+        /// avoid duplicating identifiers).
+        max_idx: u32,
+        /// Sender's ancestor-ZCR distances, so hearers can estimate their
+        /// RTT to it for reply suppression (paper §5).
+        chain: Vec<AncestorEntry>,
+    },
+    /// Embedded session-protocol message.
+    Session(SessionMsg),
+}
+
+impl Classify for SfMsg {
+    fn class(&self) -> TrafficClass {
+        match self {
+            SfMsg::Data { .. } => TrafficClass::Data,
+            SfMsg::Fec { .. } => TrafficClass::Repair,
+            SfMsg::Nack { .. } => TrafficClass::Nack,
+            SfMsg::Session(SessionMsg::Announce(_)) => TrafficClass::Session,
+            SfMsg::Session(_) => TrafficClass::Control,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_follow_the_papers_loss_rules() {
+        // Data and FEC repairs are lossy; NACKs and session are not.
+        assert!(SfMsg::Data { group: 0, idx: 0, k: 16 }.class().lossy());
+        assert!(SfMsg::Fec { group: 0, idx: 16, k: 16, burst_end: 16 }.class().lossy());
+        assert!(!SfMsg::Nack {
+            group: 0,
+            zone: ZoneId(0),
+            llc: 1,
+            needed: 1,
+            max_idx: 15,
+            chain: vec![],
+        }
+        .class()
+        .lossy());
+    }
+}

@@ -1,0 +1,412 @@
+//! The systematic "any k of n" erasure codec.
+//!
+//! Construction (Rizzo '97): start from the `n × k` Vandermonde matrix `V`
+//! over GF(256) with distinct evaluation points, then post-multiply by the
+//! inverse of its top `k × k` block: `W = V · (V_top)⁻¹`.  The top `k` rows
+//! of `W` are the identity — so the first `k` output packets are the data
+//! packets verbatim (systematic) — while any `k` rows of `W` remain
+//! invertible, because they are the product of an invertible Vandermonde
+//! row-selection with a fixed invertible matrix.
+
+use crate::matrix::Matrix;
+use crate::{FecError, MAX_GROUP};
+use sharqfec_gf256::{mul_acc_slice, Gf256};
+
+/// A fixed-rate systematic erasure codec for one packet-group shape.
+///
+/// `k` is the number of data packets per group and `h` the maximum number of
+/// parity ("FEC") packets this codec can produce.  Construction cost is
+/// O(k³); encoding one parity packet is O(k · len); decoding with `e`
+/// erasures costs one k×k inversion plus O(e · k · len).
+///
+/// The codec is immutable and shareable; in the simulator one codec per
+/// group shape is built once and reused for every group.
+#[derive(Clone)]
+pub struct GroupCodec {
+    k: usize,
+    h: usize,
+    /// The full (k+h) × k generator matrix `W`; rows `0..k` are identity.
+    generator: Matrix,
+}
+
+impl core::fmt::Debug for GroupCodec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "GroupCodec(k={}, h={})", self.k, self.h)
+    }
+}
+
+impl GroupCodec {
+    /// Creates a codec for groups of `k` data packets and up to `h` parity
+    /// packets.
+    pub fn new(k: usize, h: usize) -> Result<GroupCodec, FecError> {
+        if k == 0 {
+            return Err(FecError::ZeroDataShards);
+        }
+        if k + h > MAX_GROUP {
+            return Err(FecError::GroupTooLarge { k, h });
+        }
+        let n = k + h;
+        let v = Matrix::vandermonde(n, k);
+        let top = v.select_rows(&(0..k).collect::<Vec<_>>());
+        let top_inv = top
+            .inverse()
+            .expect("top block of a Vandermonde matrix is invertible");
+        let generator = v.mul(&top_inv);
+        debug_assert!(generator
+            .select_rows(&(0..k).collect::<Vec<_>>())
+            .is_identity());
+        Ok(GroupCodec { k, h, generator })
+    }
+
+    /// Number of data packets per group.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Maximum number of parity packets.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Total group size `k + h`.
+    pub fn n(&self) -> usize {
+        self.k + self.h
+    }
+
+    /// Encodes all `h` parity packets for a group of `k` equal-length data
+    /// packets.
+    pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, FecError> {
+        self.check_data(data)?;
+        (self.k..self.n())
+            .map(|row| self.encode_shard_checked(data, row))
+            .collect()
+    }
+
+    /// Encodes the single output packet with index `index` (`0..k` returns
+    /// a copy of the data packet; `k..k+h` computes a parity packet).
+    ///
+    /// SHARQFEC repairers use this to generate *specific* FEC packets above
+    /// the highest identifier already seen, so that concurrent repairers
+    /// never duplicate each other's repair packets.
+    pub fn encode_shard(&self, data: &[&[u8]], index: usize) -> Result<Vec<u8>, FecError> {
+        self.check_data(data)?;
+        if index >= self.n() {
+            return Err(FecError::IndexOutOfRange {
+                index,
+                group: self.n(),
+            });
+        }
+        Ok(self.encode_shard_checked(data, index)?)
+    }
+
+    fn encode_shard_checked(&self, data: &[&[u8]], row: usize) -> Result<Vec<u8>, FecError> {
+        if row < self.k {
+            return Ok(data[row].to_vec());
+        }
+        let len = data[0].len();
+        let mut out = vec![0u8; len];
+        let coeffs = self.generator.row(row);
+        for (j, shard) in data.iter().enumerate() {
+            mul_acc_slice(&mut out, shard, coeffs[j]);
+        }
+        Ok(out)
+    }
+
+    /// Reconstructs the `k` original data packets from any `k` received
+    /// packets given as `(index, payload)` pairs.
+    ///
+    /// Extra packets beyond `k` are ignored (the first `k` valid ones are
+    /// used).  Indices must be distinct and in `0..k+h`; payloads must be
+    /// non-empty and of equal length.
+    pub fn decode(&self, shards: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>, FecError> {
+        if shards.len() < self.k {
+            return Err(FecError::NotEnoughShards {
+                needed: self.k,
+                got: shards.len(),
+            });
+        }
+        let len = shards[0].1.len();
+        if len == 0 {
+            return Err(FecError::EmptyShards);
+        }
+        let mut seen = vec![false; self.n()];
+        let mut use_shards: Vec<(usize, &[u8])> = Vec::with_capacity(self.k);
+        for &(idx, payload) in shards {
+            if idx >= self.n() {
+                return Err(FecError::IndexOutOfRange {
+                    index: idx,
+                    group: self.n(),
+                });
+            }
+            if seen[idx] {
+                return Err(FecError::DuplicateIndex(idx));
+            }
+            seen[idx] = true;
+            if payload.len() != len {
+                return Err(FecError::UnequalShardLengths);
+            }
+            if use_shards.len() < self.k {
+                use_shards.push((idx, payload));
+            }
+        }
+        if use_shards.len() < self.k {
+            return Err(FecError::NotEnoughShards {
+                needed: self.k,
+                got: use_shards.len(),
+            });
+        }
+
+        // Fast path: if the k selected shards are exactly the data shards,
+        // no algebra is needed.
+        if use_shards.iter().all(|&(idx, _)| idx < self.k) {
+            let mut out: Vec<Option<Vec<u8>>> = vec![None; self.k];
+            for &(idx, payload) in &use_shards {
+                out[idx] = Some(payload.to_vec());
+            }
+            // All k data indices are distinct and < k, so all slots filled.
+            return Ok(out.into_iter().map(|s| s.expect("slot filled")).collect());
+        }
+
+        let rows: Vec<usize> = use_shards.iter().map(|&(i, _)| i).collect();
+        let sub = self.generator.select_rows(&rows);
+        let inv = sub.inverse().ok_or(FecError::SingularMatrix)?;
+
+        let mut out = vec![vec![0u8; len]; self.k];
+        for (data_row, out_shard) in out.iter_mut().enumerate() {
+            let coeffs = inv.row(data_row);
+            for (j, &(_, payload)) in use_shards.iter().enumerate() {
+                mul_acc_slice(out_shard, payload, coeffs[j]);
+            }
+        }
+        Ok(out)
+    }
+
+    fn check_data(&self, data: &[&[u8]]) -> Result<(), FecError> {
+        if data.len() != self.k {
+            return Err(FecError::WrongShardCount {
+                expected: self.k,
+                got: data.len(),
+            });
+        }
+        let len = data[0].len();
+        if len == 0 {
+            return Err(FecError::EmptyShards);
+        }
+        if data.iter().any(|s| s.len() != len) {
+            return Err(FecError::UnequalShardLengths);
+        }
+        Ok(())
+    }
+
+    /// Coefficient row for output packet `index` (exposed for tests and for
+    /// protocol implementations that serialize coefficients).
+    pub fn generator_row(&self, index: usize) -> &[Gf256] {
+        self.generator.row(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 7) % 256) as u8).collect())
+            .collect()
+    }
+
+    fn refs(data: &[Vec<u8>]) -> Vec<&[u8]> {
+        data.iter().map(|v| v.as_slice()).collect()
+    }
+
+    #[test]
+    fn systematic_prefix_is_identity() {
+        let codec = GroupCodec::new(16, 8).unwrap();
+        for i in 0..16 {
+            for j in 0..16 {
+                let expect = if i == j { Gf256::ONE } else { Gf256::ZERO };
+                assert_eq!(codec.generator_row(i)[j], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_group_shape_k16_survives_any_loss_pattern_of_h() {
+        // The paper sends groups of 16; test a few parity levels.
+        for h in [1usize, 2, 4] {
+            let codec = GroupCodec::new(16, h).unwrap();
+            let data = sample_data(16, 64);
+            let parity = codec.encode(&refs(&data)).unwrap();
+            assert_eq!(parity.len(), h);
+
+            // Drop the first h data packets, decode from the rest + parity.
+            let mut shards: Vec<(usize, &[u8])> = Vec::new();
+            for (i, d) in data.iter().enumerate().skip(h) {
+                shards.push((i, d.as_slice()));
+            }
+            for (j, p) in parity.iter().enumerate() {
+                shards.push((16 + j, p.as_slice()));
+            }
+            let rec = codec.decode(&shards).unwrap();
+            assert_eq!(rec, data, "h={h}");
+        }
+    }
+
+    #[test]
+    fn all_loss_patterns_recover_small_group() {
+        // k=4, h=3: exhaustively try every subset of size 4 from the 7
+        // transmitted packets.
+        let (k, h) = (4usize, 3usize);
+        let codec = GroupCodec::new(k, h).unwrap();
+        let data = sample_data(k, 32);
+        let parity = codec.encode(&refs(&data)).unwrap();
+        let all: Vec<Vec<u8>> = data.iter().cloned().chain(parity.iter().cloned()).collect();
+
+        let n = k + h;
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != k {
+                continue;
+            }
+            let shards: Vec<(usize, &[u8])> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| (i, all[i].as_slice()))
+                .collect();
+            let rec = codec.decode(&shards).unwrap();
+            assert_eq!(rec, data, "mask={mask:07b}");
+        }
+    }
+
+    #[test]
+    fn decode_uses_only_first_k_and_ignores_extras() {
+        let codec = GroupCodec::new(3, 2).unwrap();
+        let data = sample_data(3, 8);
+        let parity = codec.encode(&refs(&data)).unwrap();
+        let shards = vec![
+            (0usize, data[0].as_slice()),
+            (3, parity[0].as_slice()),
+            (2, data[2].as_slice()),
+            (4, parity[1].as_slice()), // extra
+            (1, data[1].as_slice()),   // extra
+        ];
+        assert_eq!(codec.decode(&shards).unwrap(), data);
+    }
+
+    #[test]
+    fn decode_fast_path_with_all_data_shards() {
+        let codec = GroupCodec::new(4, 2).unwrap();
+        let data = sample_data(4, 10);
+        let shards: Vec<(usize, &[u8])> =
+            data.iter().enumerate().map(|(i, d)| (i, d.as_slice())).collect();
+        assert_eq!(codec.decode(&shards).unwrap(), data);
+        // Out-of-order data shards still land in the right slots.
+        let shuffled = vec![
+            (2usize, data[2].as_slice()),
+            (0, data[0].as_slice()),
+            (3, data[3].as_slice()),
+            (1, data[1].as_slice()),
+        ];
+        assert_eq!(codec.decode(&shuffled).unwrap(), data);
+    }
+
+    #[test]
+    fn encode_shard_matches_batch_encode() {
+        let codec = GroupCodec::new(5, 4).unwrap();
+        let data = sample_data(5, 20);
+        let parity = codec.encode(&refs(&data)).unwrap();
+        for j in 0..4 {
+            assert_eq!(codec.encode_shard(&refs(&data), 5 + j).unwrap(), parity[j]);
+        }
+        for i in 0..5 {
+            assert_eq!(codec.encode_shard(&refs(&data), i).unwrap(), data[i]);
+        }
+    }
+
+    #[test]
+    fn error_cases_are_reported() {
+        assert_eq!(GroupCodec::new(0, 1).unwrap_err(), FecError::ZeroDataShards);
+        assert!(matches!(
+            GroupCodec::new(200, 100).unwrap_err(),
+            FecError::GroupTooLarge { .. }
+        ));
+
+        let codec = GroupCodec::new(3, 2).unwrap();
+        let data = sample_data(3, 8);
+
+        // wrong shard count
+        assert!(matches!(
+            codec.encode(&refs(&data)[..2]).unwrap_err(),
+            FecError::WrongShardCount { expected: 3, got: 2 }
+        ));
+        // unequal lengths
+        let bad = vec![&data[0][..], &data[1][..4], &data[2][..]];
+        assert_eq!(codec.encode(&bad).unwrap_err(), FecError::UnequalShardLengths);
+        // empty shards
+        let empty: Vec<&[u8]> = vec![&[], &[], &[]];
+        assert_eq!(codec.encode(&empty).unwrap_err(), FecError::EmptyShards);
+        // decode: not enough
+        assert!(matches!(
+            codec.decode(&[(0, data[0].as_slice())]).unwrap_err(),
+            FecError::NotEnoughShards { needed: 3, got: 1 }
+        ));
+        // decode: duplicate index
+        let dup = vec![
+            (0usize, data[0].as_slice()),
+            (0, data[0].as_slice()),
+            (1, data[1].as_slice()),
+        ];
+        assert_eq!(codec.decode(&dup).unwrap_err(), FecError::DuplicateIndex(0));
+        // decode: index out of range
+        let oor = vec![
+            (0usize, data[0].as_slice()),
+            (1, data[1].as_slice()),
+            (9, data[2].as_slice()),
+        ];
+        assert!(matches!(
+            codec.decode(&oor).unwrap_err(),
+            FecError::IndexOutOfRange { index: 9, group: 5 }
+        ));
+        // encode_shard: index out of range
+        assert!(matches!(
+            codec.encode_shard(&refs(&data), 5).unwrap_err(),
+            FecError::IndexOutOfRange { index: 5, group: 5 }
+        ));
+    }
+
+    #[test]
+    fn one_byte_payloads_work() {
+        let codec = GroupCodec::new(2, 1).unwrap();
+        let data = vec![vec![0xAAu8], vec![0x55u8]];
+        let parity = codec.encode(&refs(&data)).unwrap();
+        let shards = vec![(1usize, data[1].as_slice()), (2, parity[0].as_slice())];
+        assert_eq!(codec.decode(&shards).unwrap(), data);
+    }
+
+    #[test]
+    fn k_equals_one_repetition_code() {
+        // With k=1 every parity packet is a copy of the single data packet.
+        let codec = GroupCodec::new(1, 3).unwrap();
+        let data = vec![vec![1u8, 2, 3]];
+        let parity = codec.encode(&refs(&data)).unwrap();
+        for p in &parity {
+            assert_eq!(p, &data[0]);
+        }
+        let rec = codec.decode(&[(3usize, parity[2].as_slice())]).unwrap();
+        assert_eq!(rec, data);
+    }
+
+    #[test]
+    fn zero_parity_codec_is_a_noop_pass_through() {
+        let codec = GroupCodec::new(4, 0).unwrap();
+        let data = sample_data(4, 6);
+        assert!(codec.encode(&refs(&data)).unwrap().is_empty());
+        let shards: Vec<(usize, &[u8])> =
+            data.iter().enumerate().map(|(i, d)| (i, d.as_slice())).collect();
+        assert_eq!(codec.decode(&shards).unwrap(), data);
+    }
+
+    #[test]
+    fn debug_format_names_shape() {
+        let codec = GroupCodec::new(16, 4).unwrap();
+        assert_eq!(format!("{codec:?}"), "GroupCodec(k=16, h=4)");
+    }
+}

@@ -1,0 +1,352 @@
+//! Framing of an application byte stream into SHARQFEC packet groups.
+//!
+//! The simulator models packets abstractly, but a real deployment (and the
+//! examples in this repository) must turn a byte object — the paper's
+//! motivating "large newspaper" or a software update — into fixed-size
+//! packets grouped `k` at a time.  [`GroupEncoder`] performs that split
+//! (padding the tail group) and [`GroupDecoder`] reassembles the object
+//! from whichever `k`-subsets of each group arrived.
+//!
+//! Frame layout: the object length is prepended as an 8-byte little-endian
+//! header so the decoder can strip tail padding; everything after it is raw
+//! object bytes.
+
+use crate::codec::GroupCodec;
+use crate::FecError;
+
+/// Header bytes prepended to the object (little-endian u64 length).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// One encoded packet group: `k` data packets followed by `h` parity
+/// packets, all `payload_len` bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedGroup {
+    /// Group sequence number, starting at 0.
+    pub group_id: u64,
+    /// The `k` data packets.
+    pub data: Vec<Vec<u8>>,
+    /// The `h` parity packets.
+    pub parity: Vec<Vec<u8>>,
+}
+
+impl EncodedGroup {
+    /// Iterates `(index, payload)` over all `k + h` packets of the group.
+    pub fn packets(&self) -> impl Iterator<Item = (usize, &[u8])> {
+        self.data
+            .iter()
+            .chain(self.parity.iter())
+            .enumerate()
+            .map(|(i, p)| (i, p.as_slice()))
+    }
+}
+
+/// Splits a byte object into packet groups and encodes parity for each.
+#[derive(Debug, Clone)]
+pub struct GroupEncoder {
+    codec: GroupCodec,
+    payload_len: usize,
+}
+
+impl GroupEncoder {
+    /// Creates an encoder producing groups of `k` data + `h` parity packets
+    /// of `payload_len` bytes each.
+    pub fn new(k: usize, h: usize, payload_len: usize) -> Result<GroupEncoder, FecError> {
+        if payload_len == 0 {
+            return Err(FecError::EmptyShards);
+        }
+        Ok(GroupEncoder {
+            codec: GroupCodec::new(k, h)?,
+            payload_len,
+        })
+    }
+
+    /// The underlying codec.
+    pub fn codec(&self) -> &GroupCodec {
+        &self.codec
+    }
+
+    /// Packet payload size in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload_len
+    }
+
+    /// Number of groups needed for an object of `object_len` bytes.
+    pub fn groups_for(&self, object_len: usize) -> usize {
+        let total = FRAME_HEADER_LEN + object_len;
+        let group_bytes = self.codec.k() * self.payload_len;
+        total.div_ceil(group_bytes)
+    }
+
+    /// Encodes a whole object into groups.
+    pub fn encode_object(&self, object: &[u8]) -> Result<Vec<EncodedGroup>, FecError> {
+        let mut framed = Vec::with_capacity(FRAME_HEADER_LEN + object.len());
+        framed.extend_from_slice(&(object.len() as u64).to_le_bytes());
+        framed.extend_from_slice(object);
+
+        let k = self.codec.k();
+        let group_bytes = k * self.payload_len;
+        let n_groups = framed.len().div_ceil(group_bytes).max(1);
+        framed.resize(n_groups * group_bytes, 0);
+
+        let mut out = Vec::with_capacity(n_groups);
+        for g in 0..n_groups {
+            let chunk = &framed[g * group_bytes..(g + 1) * group_bytes];
+            let data: Vec<Vec<u8>> = (0..k)
+                .map(|i| chunk[i * self.payload_len..(i + 1) * self.payload_len].to_vec())
+                .collect();
+            let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+            let parity = self.codec.encode(&refs)?;
+            out.push(EncodedGroup {
+                group_id: g as u64,
+                data,
+                parity,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Reassembles an object from per-group packet subsets.
+#[derive(Debug)]
+pub struct GroupDecoder {
+    codec: GroupCodec,
+    payload_len: usize,
+    /// Per group: received `(index, payload)` pairs, deduplicated.
+    groups: Vec<Vec<(usize, Vec<u8>)>>,
+}
+
+impl GroupDecoder {
+    /// Creates a decoder for an object spanning `n_groups` groups with the
+    /// same shape parameters as the encoder.
+    pub fn new(k: usize, h: usize, payload_len: usize, n_groups: usize) -> Result<GroupDecoder, FecError> {
+        if payload_len == 0 {
+            return Err(FecError::EmptyShards);
+        }
+        Ok(GroupDecoder {
+            codec: GroupCodec::new(k, h)?,
+            payload_len,
+            groups: vec![Vec::new(); n_groups],
+        })
+    }
+
+    /// Feeds one received packet.  Duplicate `(group, index)` pairs are
+    /// ignored (multicast repair traffic routinely duplicates packets).
+    pub fn push(&mut self, group_id: u64, index: usize, payload: &[u8]) -> Result<(), FecError> {
+        let g = group_id as usize;
+        if g >= self.groups.len() {
+            return Err(FecError::BadFrame("group id beyond object"));
+        }
+        if index >= self.codec.n() {
+            return Err(FecError::IndexOutOfRange {
+                index,
+                group: self.codec.n(),
+            });
+        }
+        if payload.len() != self.payload_len {
+            return Err(FecError::UnequalShardLengths);
+        }
+        let slot = &mut self.groups[g];
+        if slot.iter().any(|(i, _)| *i == index) {
+            return Ok(()); // duplicate: drop silently
+        }
+        slot.push((index, payload.to_vec()));
+        Ok(())
+    }
+
+    /// Whether group `g` has enough packets to reconstruct.
+    pub fn group_complete(&self, group_id: u64) -> bool {
+        self.groups
+            .get(group_id as usize)
+            .is_some_and(|g| g.len() >= self.codec.k())
+    }
+
+    /// How many more packets group `g` needs — the quantity a SHARQFEC NACK
+    /// carries.
+    pub fn deficit(&self, group_id: u64) -> usize {
+        match self.groups.get(group_id as usize) {
+            Some(g) => self.codec.k().saturating_sub(g.len()),
+            None => 0,
+        }
+    }
+
+    /// Whether the whole object can be reconstructed.
+    pub fn complete(&self) -> bool {
+        (0..self.groups.len() as u64).all(|g| self.group_complete(g))
+    }
+
+    /// Reconstructs the object.  Fails if any group is still short.
+    pub fn finish(&self) -> Result<Vec<u8>, FecError> {
+        let mut framed = Vec::with_capacity(self.groups.len() * self.codec.k() * self.payload_len);
+        for (g, shards) in self.groups.iter().enumerate() {
+            if shards.len() < self.codec.k() {
+                return Err(FecError::NotEnoughShards {
+                    needed: self.codec.k(),
+                    got: shards.len(),
+                });
+            }
+            let refs: Vec<(usize, &[u8])> =
+                shards.iter().map(|(i, p)| (*i, p.as_slice())).collect();
+            let data = self.codec.decode(&refs)?;
+            let _ = g;
+            for shard in data {
+                framed.extend_from_slice(&shard);
+            }
+        }
+        if framed.len() < FRAME_HEADER_LEN {
+            return Err(FecError::BadFrame("object shorter than header"));
+        }
+        let mut len_bytes = [0u8; 8];
+        len_bytes.copy_from_slice(&framed[..FRAME_HEADER_LEN]);
+        let object_len = u64::from_le_bytes(len_bytes) as usize;
+        if object_len > framed.len() - FRAME_HEADER_LEN {
+            return Err(FecError::BadFrame("length header exceeds payload"));
+        }
+        Ok(framed[FRAME_HEADER_LEN..FRAME_HEADER_LEN + object_len].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn object(len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i * 37 + 11) % 256) as u8).collect()
+    }
+
+    fn round_trip_with_losses(obj: &[u8], k: usize, h: usize, plen: usize, drop_each: usize) {
+        let enc = GroupEncoder::new(k, h, plen).unwrap();
+        let groups = enc.encode_object(obj).unwrap();
+        let mut dec = GroupDecoder::new(k, h, plen, groups.len()).unwrap();
+        for g in &groups {
+            for (idx, payload) in g.packets().skip(drop_each) {
+                dec.push(g.group_id, idx, payload).unwrap();
+            }
+        }
+        assert!(dec.complete());
+        assert_eq!(dec.finish().unwrap(), obj);
+    }
+
+    #[test]
+    fn lossless_round_trip() {
+        round_trip_with_losses(&object(10_000), 16, 4, 100, 0);
+    }
+
+    #[test]
+    fn round_trip_surviving_h_losses_per_group() {
+        round_trip_with_losses(&object(5_000), 16, 4, 64, 4);
+    }
+
+    #[test]
+    fn empty_object_round_trips() {
+        round_trip_with_losses(&[], 4, 2, 32, 2);
+    }
+
+    #[test]
+    fn object_smaller_than_one_packet() {
+        round_trip_with_losses(&object(3), 8, 2, 1000, 2);
+    }
+
+    #[test]
+    fn object_exactly_group_sized() {
+        // 16 packets of 100 bytes minus the 8-byte header.
+        round_trip_with_losses(&object(16 * 100 - FRAME_HEADER_LEN), 16, 2, 100, 0);
+    }
+
+    #[test]
+    fn groups_for_counts_header() {
+        let enc = GroupEncoder::new(4, 0, 10).unwrap();
+        // 40 bytes per group; 32 payload bytes + 8 header = exactly 1 group.
+        assert_eq!(enc.groups_for(32), 1);
+        assert_eq!(enc.groups_for(33), 2);
+        assert_eq!(enc.groups_for(0), 1);
+    }
+
+    #[test]
+    fn deficit_tracks_missing_count() {
+        let enc = GroupEncoder::new(4, 2, 16).unwrap();
+        let groups = enc.encode_object(&object(100)).unwrap();
+        let mut dec = GroupDecoder::new(4, 2, 16, groups.len()).unwrap();
+        assert_eq!(dec.deficit(0), 4);
+        dec.push(0, 0, &groups[0].data[0]).unwrap();
+        assert_eq!(dec.deficit(0), 3);
+        // duplicates don't shrink the deficit
+        dec.push(0, 0, &groups[0].data[0]).unwrap();
+        assert_eq!(dec.deficit(0), 3);
+        dec.push(0, 4, &groups[0].parity[0]).unwrap();
+        dec.push(0, 5, &groups[0].parity[1]).unwrap();
+        dec.push(0, 1, &groups[0].data[1]).unwrap();
+        assert_eq!(dec.deficit(0), 0);
+        assert!(dec.group_complete(0));
+    }
+
+    #[test]
+    fn finish_fails_when_short() {
+        let dec = GroupDecoder::new(4, 2, 16, 1).unwrap();
+        assert!(!dec.complete());
+        assert!(matches!(
+            dec.finish().unwrap_err(),
+            FecError::NotEnoughShards { needed: 4, got: 0 }
+        ));
+    }
+
+    #[test]
+    fn push_validates_inputs() {
+        let mut dec = GroupDecoder::new(4, 2, 16, 1).unwrap();
+        assert!(matches!(
+            dec.push(5, 0, &[0; 16]).unwrap_err(),
+            FecError::BadFrame(_)
+        ));
+        assert!(matches!(
+            dec.push(0, 6, &[0; 16]).unwrap_err(),
+            FecError::IndexOutOfRange { .. }
+        ));
+        assert!(matches!(
+            dec.push(0, 0, &[0; 15]).unwrap_err(),
+            FecError::UnequalShardLengths
+        ));
+    }
+
+    #[test]
+    fn zero_payload_len_rejected() {
+        assert_eq!(GroupEncoder::new(4, 2, 0).unwrap_err(), FecError::EmptyShards);
+        assert_eq!(
+            GroupDecoder::new(4, 2, 0, 1).unwrap_err(),
+            FecError::EmptyShards
+        );
+    }
+
+    #[test]
+    fn corrupted_length_header_detected() {
+        // Hand-craft a group whose header claims more bytes than exist.
+        let enc = GroupEncoder::new(2, 0, 8).unwrap();
+        let mut groups = enc.encode_object(&object(4)).unwrap();
+        groups[0].data[0][..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut dec = GroupDecoder::new(2, 0, 8, 1).unwrap();
+        for (idx, p) in groups[0].packets() {
+            dec.push(0, idx, p).unwrap();
+        }
+        assert!(matches!(dec.finish().unwrap_err(), FecError::BadFrame(_)));
+    }
+
+    #[test]
+    fn paper_newspaper_scenario_shape() {
+        // ~1 MB object, paper's group shape: k=16, 1000-byte packets.
+        let obj = object(1_000_000);
+        let enc = GroupEncoder::new(16, 4, 1000).unwrap();
+        let groups = enc.encode_object(&obj).unwrap();
+        assert_eq!(groups.len(), enc.groups_for(obj.len()));
+        let mut dec = GroupDecoder::new(16, 4, 1000, groups.len()).unwrap();
+        // Drop a different loss pattern in each group (rotate which packets die).
+        for g in &groups {
+            let skip = (g.group_id % 5) as usize;
+            let mut fed = 0;
+            for (idx, p) in g.packets() {
+                if idx >= skip && fed < 16 {
+                    dec.push(g.group_id, idx, p).unwrap();
+                    fed += 1;
+                }
+            }
+        }
+        assert_eq!(dec.finish().unwrap(), obj);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests on the erasure codec's core guarantee:
+//! *any k of the k+h transmitted packets reconstruct the group*.
+
+use proptest::prelude::*;
+use sharqfec_fec::codec::GroupCodec;
+use sharqfec_fec::group::{GroupDecoder, GroupEncoder};
+
+/// Strategy: a group shape (k, h) within a budget, payload data, and a
+/// random survival subset of exactly k indices.
+fn group_shape() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=24, 0usize..=8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_k_of_n_reconstructs(
+        (k, h) in group_shape(),
+        len in 1usize..128,
+        seed in any::<u64>(),
+    ) {
+        let codec = GroupCodec::new(k, h).unwrap();
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| {
+                (0..len)
+                    .map(|j| (seed as usize + i * 251 + j * 41) as u8)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let parity = codec.encode(&refs).unwrap();
+        let all: Vec<&[u8]> = refs
+            .iter()
+            .copied()
+            .chain(parity.iter().map(|v| v.as_slice()))
+            .collect();
+
+        // Pick k surviving indices pseudo-randomly from the seed.
+        let n = k + h;
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            indices.swap(i, j);
+        }
+        let survivors: Vec<(usize, &[u8])> =
+            indices[..k].iter().map(|&i| (i, all[i])).collect();
+
+        let recovered = codec.decode(&survivors).unwrap();
+        prop_assert_eq!(recovered, data);
+    }
+
+    #[test]
+    fn parity_packets_differ_from_each_other(
+        k in 2usize..=16,
+        h in 2usize..=6,
+        len in 4usize..64,
+    ) {
+        // Non-degenerate data must yield pairwise distinct parity packets;
+        // identical parity would make the "count, not identity" NACK scheme
+        // unsound.
+        let codec = GroupCodec::new(k, h).unwrap();
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..len).map(|j| ((i + 1) * (j + 3) % 256) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let parity = codec.encode(&refs).unwrap();
+        for a in 0..parity.len() {
+            for b in (a + 1)..parity.len() {
+                prop_assert_ne!(&parity[a], &parity[b]);
+            }
+        }
+    }
+
+    #[test]
+    fn object_round_trip_with_per_group_loss(
+        obj_len in 0usize..4096,
+        k in 2usize..=16,
+        h in 1usize..=4,
+        plen in 16usize..256,
+        seed in any::<u64>(),
+    ) {
+        let obj: Vec<u8> = (0..obj_len).map(|i| (i as u64 ^ seed) as u8).collect();
+        let enc = GroupEncoder::new(k, h, plen).unwrap();
+        let groups = enc.encode_object(&obj).unwrap();
+        let mut dec = GroupDecoder::new(k, h, plen, groups.len()).unwrap();
+
+        let mut state = seed | 1;
+        for g in &groups {
+            // Drop up to h packets per group, chosen pseudo-randomly.
+            let n = k + h;
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                order.swap(i, j);
+            }
+            let keep: std::collections::HashSet<usize> = order[..n - h].iter().copied().collect();
+            let all: Vec<Vec<u8>> = g.data.iter().cloned().chain(g.parity.iter().cloned()).collect();
+            for (idx, payload) in all.iter().enumerate() {
+                if keep.contains(&idx) {
+                    dec.push(g.group_id, idx, payload).unwrap();
+                }
+            }
+        }
+        prop_assert!(dec.complete());
+        prop_assert_eq!(dec.finish().unwrap(), obj);
+    }
+}

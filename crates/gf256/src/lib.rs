@@ -1,0 +1,493 @@
+//! Arithmetic over the finite field GF(2^8).
+//!
+//! This crate is the lowest substrate of the SHARQFEC reproduction: the
+//! Reed–Solomon erasure codec in `sharqfec-fec` (the "FEC" half of the
+//! paper's hybrid ARQ/FEC recovery) performs all of its matrix algebra over
+//! this field.
+//!
+//! The field is realised as `GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1)`, i.e.
+//! the irreducible polynomial `0x11D` used by Rizzo's `fec` library
+//! ("Effective Erasure Codes for Reliable Computer Communication
+//! Protocols", CCR 1997) which the paper builds on.  Multiplication and
+//! division are table-driven via discrete logarithms with respect to the
+//! generator `α = 0x02`, which is primitive for this polynomial.
+//!
+//! # Example
+//!
+//! ```
+//! use sharqfec_gf256::Gf256;
+//!
+//! let a = Gf256(0x53);
+//! let b = Gf256(0xCA);
+//! let p = a * b;
+//! assert_eq!(p / b, a);
+//! assert_eq!(a + a, Gf256::ZERO); // characteristic 2: addition is XOR
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tables;
+
+pub use tables::{EXP_TABLE, LOG_TABLE};
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The reduction polynomial `x^8 + x^4 + x^3 + x^2 + 1` (bit pattern
+/// `1_0001_1101`), as used by Rizzo's erasure-code library.
+pub const POLYNOMIAL: u16 = 0x11D;
+
+/// The generator element `α = 0x02`, primitive for [`POLYNOMIAL`].
+pub const GENERATOR: u8 = 0x02;
+
+/// Number of elements in the field.
+pub const FIELD_SIZE: usize = 256;
+
+/// Order of the multiplicative group (`FIELD_SIZE - 1`).
+pub const GROUP_ORDER: usize = 255;
+
+/// An element of GF(2^8).
+///
+/// The wrapped byte is the coefficient vector of a degree-<8 polynomial over
+/// GF(2).  All arithmetic operators are implemented; addition and
+/// subtraction coincide (characteristic 2) and are plain XOR, while
+/// multiplication and division go through log/antilog tables.
+///
+/// Division by zero panics, mirroring integer division.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The generator `α` of the multiplicative group.
+    pub const ALPHA: Gf256 = Gf256(GENERATOR);
+
+    /// Returns `α^power` for any integer power (reduced mod 255).
+    ///
+    /// ```
+    /// use sharqfec_gf256::Gf256;
+    /// assert_eq!(Gf256::alpha_pow(0), Gf256::ONE);
+    /// assert_eq!(Gf256::alpha_pow(255), Gf256::ONE);
+    /// ```
+    #[inline]
+    pub fn alpha_pow(power: usize) -> Gf256 {
+        Gf256(EXP_TABLE[power % GROUP_ORDER])
+    }
+
+    /// Whether this element is the additive identity.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Discrete logarithm with respect to `α`.
+    ///
+    /// Returns `None` for zero, which has no logarithm.
+    #[inline]
+    pub fn log(self) -> Option<u8> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(LOG_TABLE[self.0 as usize])
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// Returns `None` for zero.
+    ///
+    /// ```
+    /// use sharqfec_gf256::Gf256;
+    /// let x = Gf256(0x9A);
+    /// assert_eq!(x * x.inverse().unwrap(), Gf256::ONE);
+    /// ```
+    #[inline]
+    pub fn inverse(self) -> Option<Gf256> {
+        let log = self.log()?;
+        Some(Gf256(EXP_TABLE[(GROUP_ORDER - log as usize) % GROUP_ORDER]))
+    }
+
+    /// Raises this element to an arbitrary non-negative integer power.
+    ///
+    /// `0^0` is defined as `1`, consistent with polynomial evaluation.
+    pub fn pow(self, exp: usize) -> Gf256 {
+        if exp == 0 {
+            return Gf256::ONE;
+        }
+        match self.log() {
+            None => Gf256::ZERO,
+            Some(log) => Gf256(EXP_TABLE[(log as usize * exp) % GROUP_ORDER]),
+        }
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256(0x{:02X})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02X}", self.0)
+    }
+}
+
+impl From<u8> for Gf256 {
+    #[inline]
+    fn from(v: u8) -> Self {
+        Gf256(v)
+    }
+}
+
+impl From<Gf256> for u8 {
+    #[inline]
+    fn from(v: Gf256) -> Self {
+        v.0
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf256 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        // Characteristic 2: subtraction equals addition.
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl SubAssign for Gf256 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn neg(self) -> Gf256 {
+        // Every element is its own additive inverse.
+        self
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.is_zero() || rhs.is_zero() {
+            return Gf256::ZERO;
+        }
+        let la = LOG_TABLE[self.0 as usize] as usize;
+        let lb = LOG_TABLE[rhs.0 as usize] as usize;
+        Gf256(EXP_TABLE[(la + lb) % GROUP_ORDER])
+    }
+}
+
+impl MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        let inv = rhs.inverse().expect("division by zero in GF(256)");
+        self * inv
+    }
+}
+
+impl DivAssign for Gf256 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Gf256) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Gf256 {
+    fn sum<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Gf256 {
+    fn product<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ONE, |a, b| a * b)
+    }
+}
+
+/// Multiplies `dst[i] += coeff * src[i]` for whole slices.
+///
+/// This is the inner loop of Reed–Solomon encoding and decoding; it is kept
+/// here so both the encoder and the decoder share one audited
+/// implementation.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], coeff: Gf256) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "mul_acc_slice requires equal-length slices"
+    );
+    if coeff.is_zero() {
+        return;
+    }
+    if coeff == Gf256::ONE {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= *s;
+        }
+        return;
+    }
+    let lc = LOG_TABLE[coeff.0 as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            let ls = LOG_TABLE[*s as usize] as usize;
+            *d ^= EXP_TABLE[(lc + ls) % GROUP_ORDER];
+        }
+    }
+}
+
+/// Multiplies a slice in place by a scalar: `dst[i] *= coeff`.
+pub fn mul_slice(dst: &mut [u8], coeff: Gf256) {
+    if coeff == Gf256::ONE {
+        return;
+    }
+    if coeff.is_zero() {
+        dst.fill(0);
+        return;
+    }
+    let lc = LOG_TABLE[coeff.0 as usize] as usize;
+    for d in dst.iter_mut() {
+        if *d != 0 {
+            let ld = LOG_TABLE[*d as usize] as usize;
+            *d = EXP_TABLE[(lc + ld) % GROUP_ORDER];
+        }
+    }
+}
+
+/// Evaluates the polynomial with the given coefficients (highest degree
+/// first) at point `x`, via Horner's rule.
+pub fn poly_eval(coeffs: &[Gf256], x: Gf256) -> Gf256 {
+    coeffs
+        .iter()
+        .fold(Gf256::ZERO, |acc, &c| acc * x + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bit-by-bit "schoolbook" multiply used as an oracle for the tables.
+    fn slow_mul(a: u8, b: u8) -> u8 {
+        let mut a = a as u16;
+        let mut b = b as u16;
+        let mut acc: u16 = 0;
+        while b != 0 {
+            if b & 1 != 0 {
+                acc ^= a;
+            }
+            a <<= 1;
+            if a & 0x100 != 0 {
+                a ^= POLYNOMIAL;
+            }
+            b >>= 1;
+        }
+        acc as u8
+    }
+
+    #[test]
+    fn tables_match_schoolbook_multiplication_exhaustively() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(
+                    (Gf256(a) * Gf256(b)).0,
+                    slow_mul(a, b),
+                    "mismatch at {a} * {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exp_log_are_inverse_bijections() {
+        for v in 1..=255u8 {
+            let l = LOG_TABLE[v as usize];
+            assert_eq!(EXP_TABLE[l as usize], v);
+        }
+        // EXP over 0..255 must be a permutation of 1..=255.
+        let mut seen = [false; 256];
+        for i in 0..GROUP_ORDER {
+            let e = EXP_TABLE[i];
+            assert_ne!(e, 0);
+            assert!(!seen[e as usize], "EXP_TABLE repeats {e}");
+            seen[e as usize] = true;
+        }
+    }
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        for a in 0..=255u8 {
+            assert_eq!(Gf256(a) + Gf256(a), Gf256::ZERO);
+            assert_eq!(Gf256(a) - Gf256(a), Gf256::ZERO);
+            assert_eq!(-Gf256(a), Gf256(a));
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_an_inverse() {
+        for a in 1..=255u8 {
+            let inv = Gf256(a).inverse().expect("nonzero must invert");
+            assert_eq!(Gf256(a) * inv, Gf256::ONE, "inverse failed for {a}");
+        }
+        assert_eq!(Gf256::ZERO.inverse(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf256(7) / Gf256::ZERO;
+    }
+
+    #[test]
+    fn multiplication_is_associative_on_a_sample() {
+        // Full 256^3 exhaustion is slow in debug builds; sample a lattice.
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                for c in (0..=255u8).step_by(13) {
+                    let (a, b, c) = (Gf256(a), Gf256(b), Gf256(c));
+                    assert_eq!((a * b) * c, a * (b * c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity_holds_on_a_sample() {
+        for a in (0..=255u8).step_by(5) {
+            for b in (0..=255u8).step_by(9) {
+                for c in (0..=255u8).step_by(17) {
+                    let (a, b, c) = (Gf256(a), Gf256(b), Gf256(c));
+                    assert_eq!(a * (b + c), a * b + a * c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // α must generate all 255 nonzero elements.
+        let mut x = Gf256::ONE;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..GROUP_ORDER {
+            x *= Gf256::ALPHA;
+            assert!(seen.insert(x.0));
+        }
+        assert_eq!(x, Gf256::ONE, "α^255 must be 1");
+        assert_eq!(seen.len(), GROUP_ORDER);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for a in [0u8, 1, 2, 3, 0x53, 0xCA, 0xFF] {
+            let mut acc = Gf256::ONE;
+            for e in 0..520 {
+                assert_eq!(Gf256(a).pow(e), acc, "a={a} e={e}");
+                acc *= Gf256(a);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_pow_wraps_at_group_order() {
+        for p in 0..1024 {
+            assert_eq!(Gf256::alpha_pow(p), Gf256::ALPHA.pow(p % GROUP_ORDER));
+        }
+    }
+
+    #[test]
+    fn mul_acc_slice_matches_scalar_loop() {
+        let src: Vec<u8> = (0..=255).collect();
+        for coeff in [0u8, 1, 2, 0x1D, 0x80, 0xFF] {
+            let mut dst: Vec<u8> = (0..=255).rev().collect();
+            let mut expect = dst.clone();
+            for (e, s) in expect.iter_mut().zip(&src) {
+                *e = (Gf256(*e) + Gf256(coeff) * Gf256(*s)).0;
+            }
+            mul_acc_slice(&mut dst, &src, Gf256(coeff));
+            assert_eq!(dst, expect, "coeff={coeff}");
+        }
+    }
+
+    #[test]
+    fn mul_slice_matches_scalar_loop() {
+        for coeff in [0u8, 1, 3, 0x1D, 0xFF] {
+            let mut dst: Vec<u8> = (0..=255).collect();
+            let expect: Vec<u8> = dst.iter().map(|&d| (Gf256(d) * Gf256(coeff)).0).collect();
+            mul_slice(&mut dst, Gf256(coeff));
+            assert_eq!(dst, expect, "coeff={coeff}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mul_acc_slice_rejects_length_mismatch() {
+        let mut dst = [0u8; 4];
+        mul_acc_slice(&mut dst, &[1, 2, 3], Gf256::ONE);
+    }
+
+    #[test]
+    fn poly_eval_horner_matches_naive() {
+        let coeffs = [Gf256(3), Gf256(0), Gf256(7), Gf256(0x1D)];
+        for x in 0..=255u8 {
+            let x = Gf256(x);
+            let naive = coeffs
+                .iter()
+                .rev()
+                .enumerate()
+                .fold(Gf256::ZERO, |acc, (i, &c)| acc + c * x.pow(i));
+            assert_eq!(poly_eval(&coeffs, x), naive);
+        }
+    }
+
+    #[test]
+    fn sum_and_product_fold_correctly() {
+        let xs = [Gf256(1), Gf256(2), Gf256(3)];
+        assert_eq!(xs.iter().copied().sum::<Gf256>(), Gf256(1 ^ 2 ^ 3));
+        assert_eq!(
+            xs.iter().copied().product::<Gf256>(),
+            Gf256(1) * Gf256(2) * Gf256(3)
+        );
+    }
+
+    #[test]
+    fn display_and_debug_format() {
+        assert_eq!(format!("{}", Gf256(0x1D)), "1D");
+        assert_eq!(format!("{:?}", Gf256(0x1D)), "Gf256(0x1D)");
+    }
+}

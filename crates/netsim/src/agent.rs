@@ -1,0 +1,132 @@
+//! Protocol agents and their interface to the engine.
+//!
+//! An [`Agent`] is a protocol state machine bound to one node.  The engine
+//! drives it with `on_start`, `on_packet`, and `on_timer` callbacks; the
+//! agent responds by queueing actions (multicasts, timers) on the [`Ctx`]
+//! handed into every callback.  Actions take effect when the callback
+//! returns, at the current simulation instant.
+
+use crate::channel::ChannelId;
+use crate::graph::NodeId;
+use crate::packet::Packet;
+use crate::rng::SimRng;
+use crate::routing::DistanceOracle;
+use crate::time::{SimDuration, SimTime};
+use std::any::Any;
+
+/// Handle to a pending timer, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+/// Deferred effects queued by an agent during a callback.
+#[derive(Debug)]
+pub(crate) enum Action<M> {
+    Multicast {
+        channel: ChannelId,
+        payload: M,
+        bytes: u32,
+    },
+    SetTimer {
+        id: TimerId,
+        at: SimTime,
+        token: u64,
+    },
+    CancelTimer(TimerId),
+}
+
+/// The environment an agent sees during one callback.
+pub struct Ctx<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) oracle: &'a DistanceOracle,
+    pub(crate) actions: Vec<Action<M>>,
+    pub(crate) next_timer: &'a mut u64,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this agent is attached to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// This agent's private deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// One-way propagation delay to another node.
+    ///
+    /// This is ground truth from the routing substrate.  SHARQFEC's own
+    /// agents do **not** use it for suppression (they run the paper's
+    /// session protocol); it exists for baselines that assume a converged
+    /// session (SRM) and for measuring estimation error in Figures 11–13.
+    pub fn one_way(&self, to: NodeId) -> SimDuration {
+        self.oracle.one_way(self.node, to)
+    }
+
+    /// Round-trip propagation delay to another node (ground truth; see
+    /// [`Ctx::one_way`]).
+    pub fn rtt(&self, to: NodeId) -> SimDuration {
+        self.oracle.rtt(self.node, to)
+    }
+
+    /// Multicasts `payload` on `channel` as a `bytes`-byte packet.
+    pub fn multicast(&mut self, channel: ChannelId, payload: M, bytes: u32) {
+        self.actions.push(Action::Multicast {
+            channel,
+            payload,
+            bytes,
+        });
+    }
+
+    /// Arms a timer to fire `delay` from now; `token` is handed back to
+    /// `on_timer` so one agent can multiplex many timers.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        self.set_timer_at(self.now + delay, token)
+    }
+
+    /// Arms a timer at an absolute instant (must not be in the past).
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) -> TimerId {
+        assert!(at >= self.now, "timer scheduled in the past");
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.actions.push(Action::SetTimer {
+            id,
+            at,
+            token,
+        });
+        id
+    }
+
+    /// Cancels a pending timer.  Cancelling an already-fired or unknown
+    /// timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer(id));
+    }
+}
+
+/// A protocol state machine attached to one node.
+///
+/// `Any` is a supertrait so callers can downcast agents back to their
+/// concrete type after a run to read out final state (delivery status,
+/// counters) — see [`crate::engine::Engine::agent`].
+pub trait Agent<M>: Any {
+    /// Called once when the agent's start event fires.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called for every packet delivered to this node.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, M>, pkt: &Packet<M>);
+
+    /// Called when a timer armed by this agent fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, token: u64) {
+        let _ = (ctx, token);
+    }
+}

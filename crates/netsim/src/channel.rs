@@ -1,0 +1,145 @@
+//! Multicast channels (groups) with administrative scope.
+//!
+//! A channel is a set of member nodes.  Packets sent on a channel are
+//! forwarded down the sender's shortest-path tree but *pruned at
+//! non-member nodes*: a non-member never receives nor forwards the packet.
+//! This is exactly the behaviour of a border router enforcing an
+//! administratively scoped boundary (RFC 2365-style), which is the
+//! mechanism SHARQFEC's zone hierarchy is built from — provided each
+//! zone's member set is contiguous under the routing trees, which the
+//! topology builders assert.
+
+use crate::graph::NodeId;
+use crate::routing::Spt;
+use core::fmt;
+
+/// Identifier of a channel, dense from 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub u32);
+
+impl ChannelId {
+    /// The index as usize, for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// Membership set of one channel.
+#[derive(Clone, Debug)]
+pub struct Channel {
+    member: Vec<bool>,
+    members: Vec<NodeId>,
+}
+
+impl Channel {
+    /// Builds a channel over `node_count` possible nodes with the given
+    /// members (order and duplicates are normalized away).
+    pub fn new(node_count: usize, members: &[NodeId]) -> Channel {
+        let mut member = vec![false; node_count];
+        for &m in members {
+            assert!(m.idx() < node_count, "member {m:?} out of range");
+            member[m.idx()] = true;
+        }
+        let members = (0..node_count as u32)
+            .map(NodeId)
+            .filter(|n| member[n.idx()])
+            .collect();
+        Channel { member, members }
+    }
+
+    /// Whether `node` belongs to the channel.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.member[node.idx()]
+    }
+
+    /// Sorted member list.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the channel has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Checks that the members form a connected subtree of the given
+    /// source-rooted SPT — the precondition for scope pruning to reach
+    /// every member.  Used by topology builders in debug assertions.
+    pub fn is_spt_connected(&self, spt: &Spt, source: NodeId) -> bool {
+        if !self.contains(source) {
+            return false;
+        }
+        // Every member's SPT path to the source must consist of members.
+        self.members.iter().all(|&m| {
+            let mut cur = m;
+            loop {
+                if cur == source {
+                    return true;
+                }
+                match spt.parent[cur.idx()] {
+                    Some((p, _)) if self.contains(p) => cur = p,
+                    _ => return false,
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{LinkParams, TopologyBuilder};
+    use crate::time::SimDuration;
+
+    #[test]
+    fn membership_is_normalized() {
+        let c = Channel::new(5, &[NodeId(3), NodeId(1), NodeId(3)]);
+        assert_eq!(c.members(), &[NodeId(1), NodeId(3)]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert!(c.contains(NodeId(1)));
+        assert!(!c.contains(NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_member_rejected() {
+        Channel::new(2, &[NodeId(2)]);
+    }
+
+    #[test]
+    fn spt_connectivity_detects_gaps() {
+        // chain 0-1-2-3
+        let mut b = TopologyBuilder::new();
+        let ids = b.add_nodes("n", 4);
+        for w in ids.windows(2) {
+            b.add_link(w[0], w[1], LinkParams::lossless(SimDuration::from_millis(1), 0));
+        }
+        let t = b.build();
+        let spt = Spt::compute(&t, ids[0]);
+
+        let contiguous = Channel::new(4, &[ids[0], ids[1], ids[2]]);
+        assert!(contiguous.is_spt_connected(&spt, ids[0]));
+
+        // {0, 2} skips node 1: scope pruning could never deliver to 2.
+        let gapped = Channel::new(4, &[ids[0], ids[2]]);
+        assert!(!gapped.is_spt_connected(&spt, ids[0]));
+
+        // Source outside the channel is also unreachable.
+        let no_src = Channel::new(4, &[ids[1], ids[2]]);
+        assert!(!no_src.is_spt_connected(&spt, ids[0]));
+    }
+}

@@ -1,0 +1,642 @@
+//! The discrete-event engine.
+//!
+//! Owns the topology, routing trees, link queues, channels, agents, and the
+//! event queue.  A run is fully determined by (topology, agents, seed):
+//! the event queue breaks time ties by insertion sequence number, agents
+//! draw from per-node RNG streams split off the root seed, and link-loss
+//! sampling uses its own stream.
+
+use crate::agent::{Action, Agent, Ctx, TimerId};
+use crate::channel::{Channel, ChannelId};
+use crate::graph::{NodeId, Topology};
+use crate::link::LinkState;
+use crate::metrics::{DropRecord, Record, Recorder};
+use crate::packet::{Classify, Packet};
+use crate::rng::SimRng;
+use crate::routing::{DistanceOracle, Spt};
+use crate::time::SimTime;
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::rc::Rc;
+
+enum EventKind<M> {
+    Start(NodeId),
+    /// Packet arriving at `node`, to be delivered and forwarded onward.
+    Arrive {
+        node: NodeId,
+        pkt: Rc<Packet<M>>,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        token: u64,
+    },
+}
+
+struct QItem<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QItem<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for QItem<M> {}
+impl<M> PartialOrd for QItem<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QItem<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The simulator.  `M` is the protocol payload type.
+pub struct Engine<M> {
+    topo: Topology,
+    oracle: DistanceOracle,
+    spts: Vec<Spt>,
+    link_state: Vec<LinkState>,
+    channels: Vec<Channel>,
+    agents: Vec<Option<Box<dyn Agent<M>>>>,
+    agent_rngs: Vec<SimRng>,
+    loss_rng: SimRng,
+    queue: BinaryHeap<QItem<M>>,
+    seq: u64,
+    now: SimTime,
+    cancelled: HashSet<TimerId>,
+    next_timer: u64,
+    next_uid: u64,
+    recorder: Recorder,
+}
+
+impl<M: Classify + Clone + 'static> Engine<M> {
+    /// Creates an engine over a topology with a root RNG seed.
+    ///
+    /// Routing (one shortest-path tree per node) and the all-pairs distance
+    /// oracle are computed eagerly; both are cheap at paper scale
+    /// (113 nodes).
+    pub fn new(topo: Topology, seed: u64) -> Engine<M> {
+        let n = topo.node_count();
+        let mut root = SimRng::new(seed);
+        let loss_rng = root.split(u64::MAX);
+        let agent_rngs = (0..n as u64).map(|i| root.split(i)).collect();
+        let spts = topo.nodes().map(|s| Spt::compute(&topo, s)).collect();
+        let oracle = DistanceOracle::compute(&topo);
+        Engine {
+            link_state: vec![LinkState::default(); topo.link_count()],
+            spts,
+            oracle,
+            channels: Vec::new(),
+            agents: (0..n).map(|_| None).collect(),
+            agent_rngs,
+            loss_rng,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            cancelled: HashSet::new(),
+            next_timer: 0,
+            next_uid: 0,
+            recorder: Recorder::default(),
+            topo,
+        }
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Ground-truth propagation delays (see [`Ctx::one_way`] for the rules
+    /// on which protocols may consult it).
+    pub fn oracle(&self) -> &DistanceOracle {
+        &self.oracle
+    }
+
+    /// The shortest-path tree rooted at `src`.
+    pub fn spt(&self, src: NodeId) -> &Spt {
+        &self.spts[src.idx()]
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Recorded observations so far.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Mutable access to the recorder (e.g. to clear a warm-up phase).
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
+
+    /// Registers a multicast channel over the given members.
+    pub fn add_channel(&mut self, members: &[NodeId]) -> ChannelId {
+        let id = ChannelId(self.channels.len() as u32);
+        self.channels
+            .push(Channel::new(self.topo.node_count(), members));
+        id
+    }
+
+    /// Channel lookup.
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.idx()]
+    }
+
+    /// Attaches an agent to a node and schedules its `on_start` at t = 0.
+    pub fn set_agent(&mut self, node: NodeId, agent: Box<dyn Agent<M>>) {
+        self.set_agent_with_start(node, agent, SimTime::ZERO);
+    }
+
+    /// Attaches an agent with an explicit start time (the paper's receivers
+    /// join the session at t = 1 s).
+    pub fn set_agent_with_start(&mut self, node: NodeId, agent: Box<dyn Agent<M>>, at: SimTime) {
+        assert!(node.idx() < self.topo.node_count(), "unknown node {node:?}");
+        assert!(
+            self.agents[node.idx()].is_none(),
+            "node {node:?} already has an agent"
+        );
+        self.agents[node.idx()] = Some(agent);
+        self.push(at, EventKind::Start(node));
+    }
+
+    /// Immutable, downcast access to an agent's concrete type — used after
+    /// a run to read out protocol state (requires Rust trait upcasting).
+    pub fn agent<T: 'static>(&self, node: NodeId) -> Option<&T> {
+        let a = self.agents[node.idx()].as_deref()?;
+        (a as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Runs until the event queue drains or the clock passes `t_end`.
+    /// Events at exactly `t_end` are processed.  Returns the number of
+    /// events processed.
+    pub fn run_until(&mut self, t_end: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(item) = self.queue.peek() {
+            if item.time > t_end {
+                break;
+            }
+            let item = self.queue.pop().expect("peeked");
+            debug_assert!(item.time >= self.now, "time went backwards");
+            self.now = item.time;
+            self.dispatch(item.kind);
+            processed += 1;
+        }
+        if self.now < t_end {
+            self.now = t_end;
+        }
+        processed
+    }
+
+    /// Runs until the event queue is completely drained.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QItem { time, seq, kind });
+    }
+
+    fn dispatch(&mut self, kind: EventKind<M>) {
+        match kind {
+            EventKind::Start(node) => {
+                self.with_agent(node, |agent, ctx| agent.on_start(ctx));
+            }
+            EventKind::Timer { node, id, token } => {
+                if self.cancelled.remove(&id) {
+                    return;
+                }
+                self.with_agent(node, |agent, ctx| agent.on_timer(ctx, token));
+            }
+            EventKind::Arrive { node, pkt } => {
+                // Deliver to the local agent (if any), then keep forwarding
+                // down the source-rooted tree.
+                self.recorder.deliveries.push(Record {
+                    time: self.now,
+                    node,
+                    src: pkt.src,
+                    class: pkt.class(),
+                    bytes: pkt.bytes,
+                    channel: pkt.channel,
+                });
+                self.forward(node, &pkt);
+                if self.agents[node.idx()].is_some() {
+                    self.with_agent(node, |agent, ctx| agent.on_packet(ctx, &pkt));
+                }
+            }
+        }
+    }
+
+    /// Runs one agent callback and then applies its queued actions.
+    fn with_agent(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn Agent<M>, &mut Ctx<'_, M>),
+    ) {
+        let Some(mut agent) = self.agents[node.idx()].take() else {
+            return;
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            node,
+            rng: &mut self.agent_rngs[node.idx()],
+            oracle: &self.oracle,
+            actions: Vec::new(),
+            next_timer: &mut self.next_timer,
+        };
+        f(agent.as_mut(), &mut ctx);
+        let actions = ctx.actions;
+        self.agents[node.idx()] = Some(agent);
+        for action in actions {
+            self.apply(node, action);
+        }
+    }
+
+    fn apply(&mut self, node: NodeId, action: Action<M>) {
+        match action {
+            Action::SetTimer { id, at, token } => {
+                self.push(at, EventKind::Timer { node, id, token });
+            }
+            Action::CancelTimer(id) => {
+                self.cancelled.insert(id);
+            }
+            Action::Multicast {
+                channel,
+                payload,
+                bytes,
+            } => {
+                self.multicast_from(node, channel, payload, bytes);
+            }
+        }
+    }
+
+    /// Injects a multicast transmission from `node` (agents do this via
+    /// [`Ctx::multicast`]; tests may call it directly).
+    pub fn multicast_from(&mut self, node: NodeId, channel: ChannelId, payload: M, bytes: u32) {
+        assert!(
+            self.channels[channel.idx()].contains(node),
+            "{node:?} is not a member of {channel:?}"
+        );
+        let pkt = Rc::new(Packet {
+            uid: self.next_uid,
+            src: node,
+            channel,
+            sent_at: self.now,
+            bytes,
+            payload,
+        });
+        self.next_uid += 1;
+        self.recorder.transmissions.push(Record {
+            time: self.now,
+            node,
+            src: node,
+            class: pkt.class(),
+            bytes,
+            channel,
+        });
+        self.forward(node, &pkt);
+    }
+
+    /// Forwards `pkt` from `at` to each child in the packet-source's SPT,
+    /// pruning at channel non-members (administrative scope boundary) and
+    /// sampling per-link loss for lossy traffic classes.
+    fn forward(&mut self, at: NodeId, pkt: &Rc<Packet<M>>) {
+        let lossy = pkt.class().lossy();
+        // Children are cloned out to appease the borrow checker; fan-out is
+        // tiny (max node degree) so this does not show up in profiles.
+        let children = self.spts[pkt.src.idx()].children[at.idx()].clone();
+        for (child, link) in children {
+            if !self.channels[pkt.channel.idx()].contains(child) {
+                continue; // scope boundary: prune the whole subtree
+            }
+            let spec = self.topo.link(link);
+            if lossy && self.loss_rng.chance(spec.params.loss) {
+                self.recorder.drops.push(DropRecord {
+                    time: self.now,
+                    from: at,
+                    to: child,
+                    class: pkt.class(),
+                });
+                continue;
+            }
+            let arrive = self.link_state[link.idx()].transmit(spec, at, self.now, pkt.bytes);
+            self.push(
+                arrive,
+                EventKind::Arrive {
+                    node: child,
+                    pkt: Rc::clone(pkt),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{LinkParams, TopologyBuilder};
+    use crate::metrics::TrafficClass;
+    use crate::time::SimDuration;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Data(u32),
+        Nack,
+    }
+    impl Classify for Msg {
+        fn class(&self) -> TrafficClass {
+            match self {
+                Msg::Data(_) => TrafficClass::Data,
+                Msg::Nack => TrafficClass::Nack,
+            }
+        }
+    }
+
+    /// Agent that records everything it hears.
+    #[derive(Default)]
+    struct Sniffer {
+        heard: Vec<(SimTime, Msg)>,
+    }
+    impl Agent<Msg> for Sniffer {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, Msg>, pkt: &Packet<Msg>) {
+            self.heard.push((ctx.now(), pkt.payload.clone()));
+        }
+    }
+
+    /// Agent that fires a burst at start.
+    struct Burst {
+        chan: ChannelId,
+        count: u32,
+    }
+    impl Agent<Msg> for Burst {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            for i in 0..self.count {
+                ctx.multicast(self.chan, Msg::Data(i), 1000);
+            }
+        }
+        fn on_packet(&mut self, _: &mut Ctx<'_, Msg>, _: &Packet<Msg>) {}
+    }
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    /// chain 0-1-2, 10ms links, 800kbit/s (1000B tx = 10ms).
+    fn chain3(loss_mid: f64) -> (Topology, [NodeId; 3]) {
+        let mut b = TopologyBuilder::new();
+        let n0 = b.add_node("0");
+        let n1 = b.add_node("1");
+        let n2 = b.add_node("2");
+        b.add_link(n0, n1, LinkParams::new(ms(10), 800_000, 0.0));
+        b.add_link(n1, n2, LinkParams::new(ms(10), 800_000, loss_mid));
+        (b.build(), [n0, n1, n2])
+    }
+
+    #[test]
+    fn multicast_reaches_all_members_with_correct_timing() {
+        let (t, [n0, n1, n2]) = chain3(0.0);
+        let mut e: Engine<Msg> = Engine::new(t, 1);
+        let chan = e.add_channel(&[n0, n1, n2]);
+        e.set_agent(n0, Box::new(Burst { chan, count: 1 }));
+        e.set_agent(n1, Box::new(Sniffer::default()));
+        e.set_agent(n2, Box::new(Sniffer::default()));
+        e.run();
+        // hop1: tx 10ms + lat 10ms = 20ms; hop2 arrives at 40ms.
+        let s1 = e.agent::<Sniffer>(n1).unwrap();
+        let s2 = e.agent::<Sniffer>(n2).unwrap();
+        assert_eq!(s1.heard, vec![(SimTime::from_millis(20), Msg::Data(0))]);
+        assert_eq!(s2.heard, vec![(SimTime::from_millis(40), Msg::Data(0))]);
+    }
+
+    #[test]
+    fn scope_pruning_stops_at_non_members() {
+        let (t, [n0, n1, n2]) = chain3(0.0);
+        let mut e: Engine<Msg> = Engine::new(t, 1);
+        // n2 is outside the channel: a scoped zone {0, 1}.
+        let chan = e.add_channel(&[n0, n1]);
+        e.set_agent(n0, Box::new(Burst { chan, count: 1 }));
+        e.set_agent(n1, Box::new(Sniffer::default()));
+        e.set_agent(n2, Box::new(Sniffer::default()));
+        e.run();
+        assert_eq!(e.agent::<Sniffer>(n1).unwrap().heard.len(), 1);
+        assert!(e.agent::<Sniffer>(n2).unwrap().heard.is_empty());
+    }
+
+    #[test]
+    fn middle_member_pruning_blocks_downstream_members() {
+        // If the middle of the chain is not a member, scoping cuts off the
+        // tail even though it is a member (zones must be contiguous).
+        let (t, [n0, _n1, n2]) = chain3(0.0);
+        let mut e: Engine<Msg> = Engine::new(t, 1);
+        let chan = e.add_channel(&[n0, n2]);
+        e.set_agent(n0, Box::new(Burst { chan, count: 1 }));
+        e.set_agent(n2, Box::new(Sniffer::default()));
+        e.run();
+        assert!(e.agent::<Sniffer>(n2).unwrap().heard.is_empty());
+    }
+
+    #[test]
+    fn serialization_queues_back_to_back_packets() {
+        let (t, [n0, n1, _]) = chain3(0.0);
+        let mut e: Engine<Msg> = Engine::new(t, 1);
+        let chan = e.add_channel(&[n0, n1]);
+        e.set_agent(n0, Box::new(Burst { chan, count: 3 }));
+        e.set_agent(n1, Box::new(Sniffer::default()));
+        e.run();
+        let times: Vec<SimTime> = e
+            .agent::<Sniffer>(n1)
+            .unwrap()
+            .heard
+            .iter()
+            .map(|(t, _)| *t)
+            .collect();
+        // 10ms serialization each, pipelined: arrivals at 20, 30, 40 ms.
+        assert_eq!(
+            times,
+            vec![
+                SimTime::from_millis(20),
+                SimTime::from_millis(30),
+                SimTime::from_millis(40)
+            ]
+        );
+    }
+
+    #[test]
+    fn lossy_link_drops_data_but_never_nacks() {
+        let (t, [n0, n1, n2]) = chain3(1.0); // middle link always loses
+        let mut e: Engine<Msg> = Engine::new(t, 7);
+        let chan = e.add_channel(&[n0, n1, n2]);
+
+        struct Both {
+            chan: ChannelId,
+        }
+        impl Agent<Msg> for Both {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.multicast(self.chan, Msg::Data(0), 1000);
+                ctx.multicast(self.chan, Msg::Nack, 40);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, Msg>, _: &Packet<Msg>) {}
+        }
+        e.set_agent(n0, Box::new(Both { chan }));
+        e.set_agent(n2, Box::new(Sniffer::default()));
+        e.run();
+        let heard = &e.agent::<Sniffer>(n2).unwrap().heard;
+        assert_eq!(heard.len(), 1, "only the NACK should survive");
+        assert_eq!(heard[0].1, Msg::Nack);
+        assert_eq!(e.recorder().drops.len(), 1);
+        assert_eq!(e.recorder().drops[0].class, TrafficClass::Data);
+    }
+
+    #[test]
+    fn loss_drops_whole_subtree() {
+        // star: 0 - 1 - {2, 3}; if link 0-1 drops, neither 2 nor 3 hears.
+        let mut b = TopologyBuilder::new();
+        let n0 = b.add_node("0");
+        let n1 = b.add_node("1");
+        let n2 = b.add_node("2");
+        let n3 = b.add_node("3");
+        b.add_link(n0, n1, LinkParams::new(ms(1), 0, 1.0));
+        b.add_link(n1, n2, LinkParams::new(ms(1), 0, 0.0));
+        b.add_link(n1, n3, LinkParams::new(ms(1), 0, 0.0));
+        let mut e: Engine<Msg> = Engine::new(b.build(), 3);
+        let chan = e.add_channel(&[n0, n1, n2, n3]);
+        e.set_agent(n0, Box::new(Burst { chan, count: 1 }));
+        e.set_agent(n2, Box::new(Sniffer::default()));
+        e.set_agent(n3, Box::new(Sniffer::default()));
+        e.run();
+        assert!(e.agent::<Sniffer>(n2).unwrap().heard.is_empty());
+        assert!(e.agent::<Sniffer>(n3).unwrap().heard.is_empty());
+        assert_eq!(e.recorder().deliveries.len(), 0);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        struct Timers {
+            fired: Vec<u64>,
+        }
+        impl Agent<Msg> for Timers {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.set_timer(ms(30), 3);
+                ctx.set_timer(ms(10), 1);
+                let cancel_me = ctx.set_timer(ms(20), 2);
+                ctx.cancel_timer(cancel_me);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, Msg>, _: &Packet<Msg>) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, Msg>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let (t, [n0, ..]) = chain3(0.0);
+        let mut e: Engine<Msg> = Engine::new(t, 1);
+        e.set_agent(n0, Box::new(Timers { fired: vec![] }));
+        e.run();
+        assert_eq!(e.agent::<Timers>(n0).unwrap().fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn run_until_stops_the_clock_and_resumes() {
+        let (t, [n0, n1, _]) = chain3(0.0);
+        let mut e: Engine<Msg> = Engine::new(t, 1);
+        let chan = e.add_channel(&[n0, n1]);
+        e.set_agent(n0, Box::new(Burst { chan, count: 1 }));
+        e.set_agent(n1, Box::new(Sniffer::default()));
+        e.run_until(SimTime::from_millis(5));
+        assert_eq!(e.now(), SimTime::from_millis(5));
+        assert!(e.agent::<Sniffer>(n1).unwrap().heard.is_empty());
+        e.run_until(SimTime::from_secs(1));
+        assert_eq!(e.agent::<Sniffer>(n1).unwrap().heard.len(), 1);
+        assert_eq!(e.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let run = |seed: u64| -> Vec<(u64, u32)> {
+            let (t, [n0, n1, n2]) = chain3(0.3);
+            let mut e: Engine<Msg> = Engine::new(t, seed);
+            let chan = e.add_channel(&[n0, n1, n2]);
+            e.set_agent(n0, Box::new(Burst { chan, count: 50 }));
+            e.set_agent(n2, Box::new(Sniffer::default()));
+            e.run();
+            e.agent::<Sniffer>(n2)
+                .unwrap()
+                .heard
+                .iter()
+                .map(|(t, m)| {
+                    (
+                        t.as_nanos(),
+                        match m {
+                            Msg::Data(i) => *i,
+                            Msg::Nack => u32::MAX,
+                        },
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should differ at 30% loss");
+    }
+
+    #[test]
+    fn recorder_sees_transmissions_and_deliveries() {
+        let (t, [n0, n1, n2]) = chain3(0.0);
+        let mut e: Engine<Msg> = Engine::new(t, 1);
+        let chan = e.add_channel(&[n0, n1, n2]);
+        e.set_agent(n0, Box::new(Burst { chan, count: 2 }));
+        e.run();
+        assert_eq!(e.recorder().sent_count(n0, TrafficClass::Data), 2);
+        // Two deliveries at n1, two at n2 (agents not required to record).
+        assert_eq!(e.recorder().delivered_count(n1, TrafficClass::Data), 2);
+        assert_eq!(e.recorder().delivered_count(n2, TrafficClass::Data), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn sending_from_non_member_panics() {
+        let (t, [n0, n1, n2]) = chain3(0.0);
+        let mut e: Engine<Msg> = Engine::new(t, 1);
+        let chan = e.add_channel(&[n1, n2]);
+        e.multicast_from(n0, chan, Msg::Nack, 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an agent")]
+    fn double_agent_attachment_panics() {
+        let (t, [n0, ..]) = chain3(0.0);
+        let mut e: Engine<Msg> = Engine::new(t, 1);
+        e.set_agent(n0, Box::new(Sniffer::default()));
+        e.set_agent(n0, Box::new(Sniffer::default()));
+    }
+
+    #[test]
+    fn start_times_are_honoured() {
+        struct StartClock {
+            started_at: Option<SimTime>,
+        }
+        impl Agent<Msg> for StartClock {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                self.started_at = Some(ctx.now());
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, Msg>, _: &Packet<Msg>) {}
+        }
+        let (t, [n0, ..]) = chain3(0.0);
+        let mut e: Engine<Msg> = Engine::new(t, 1);
+        e.set_agent_with_start(n0, Box::new(StartClock { started_at: None }), SimTime::from_secs(1));
+        e.run();
+        assert_eq!(
+            e.agent::<StartClock>(n0).unwrap().started_at,
+            Some(SimTime::from_secs(1))
+        );
+    }
+}

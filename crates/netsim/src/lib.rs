@@ -1,0 +1,100 @@
+//! A deterministic discrete-event multicast network simulator.
+//!
+//! The SHARQFEC paper evaluated its protocol inside the UCB/LBNL/VINT
+//! simulator *ns* with the *nam* animator.  Neither is a Rust substrate we
+//! can build on, so this crate reimplements the slice of ns the paper's
+//! experiments exercise:
+//!
+//! * **Topology** — an undirected graph of nodes and links, each link with a
+//!   propagation latency, a bandwidth, and a Bernoulli loss probability
+//!   ([`graph`], [`link`]).
+//! * **Routing** — per-source shortest-path trees (Dijkstra on latency),
+//!   which is how ns builds its multicast distribution trees for the static
+//!   scenarios in the paper ([`routing`]).
+//! * **Multicast channels** — named groups of member nodes.  A packet sent
+//!   on a channel is forwarded hop-by-hop down the sender-rooted tree,
+//!   store-and-forward, with per-directed-link FIFO serialization and
+//!   independent per-link Bernoulli loss ([`channel`], [`engine`]).
+//!   Administrative scoping is modelled by channel membership: forwarding
+//!   prunes at non-member nodes, exactly like a border router configured to
+//!   keep an admin-scoped group inside its region.
+//! * **Agents** — protocol state machines attached to nodes, driven by
+//!   packet-delivery and timer events ([`agent`]).
+//! * **Deterministic RNG** — one seeded generator drives all loss sampling
+//!   and is handed to agents for their timer jitter, so a run is a pure
+//!   function of (topology, agents, seed) ([`rng`]).
+//! * **Metrics** — every transmission, delivery, and drop is recorded with
+//!   a timestamp, node, and traffic class, which is precisely the data the
+//!   paper's Figures 11–21 are plotted from ([`metrics`]).
+//!
+//! Loss is applied per traffic class following the paper's §6.2 setup:
+//! data and repair packets traverse lossy links, session messages and NACKs
+//! do not ("Session traffic and NACKs were not subject to losses").
+//!
+//! # Example
+//!
+//! ```
+//! use sharqfec_netsim::prelude::*;
+//!
+//! // Two nodes joined by a 10 ms, 10 Mbit/s, lossless link.
+//! let mut topo = TopologyBuilder::new();
+//! let a = topo.add_node("a");
+//! let b = topo.add_node("b");
+//! topo.add_link(a, b, LinkParams::new(SimDuration::from_millis(10), 10_000_000, 0.0));
+//!
+//! #[derive(Clone, Debug)]
+//! struct Ping;
+//! impl Classify for Ping {
+//!     fn class(&self) -> TrafficClass { TrafficClass::Data }
+//! }
+//!
+//! struct Sender { chan: ChannelId }
+//! impl Agent<Ping> for Sender {
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+//!         ctx.multicast(self.chan, Ping, 1000);
+//!     }
+//!     fn on_packet(&mut self, _: &mut Ctx<'_, Ping>, _: &Packet<Ping>) {}
+//! }
+//! struct Sink { got: u32 }
+//! impl Agent<Ping> for Sink {
+//!     fn on_packet(&mut self, _: &mut Ctx<'_, Ping>, _: &Packet<Ping>) {
+//!         self.got += 1;
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(topo.build(), 42);
+//! let chan = engine.add_channel(&[a, b]);
+//! engine.set_agent(a, Box::new(Sender { chan }));
+//! engine.set_agent(b, Box::new(Sink { got: 0 }));
+//! engine.run_until(SimTime::from_secs(1));
+//! assert_eq!(engine.recorder().deliveries.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod channel;
+pub mod engine;
+pub mod graph;
+pub mod link;
+pub mod metrics;
+pub mod packet;
+pub mod rng;
+pub mod routing;
+pub mod time;
+pub mod trace;
+
+/// One-stop import for simulator users.
+pub mod prelude {
+    pub use crate::agent::{Agent, Ctx, TimerId};
+    pub use crate::channel::ChannelId;
+    pub use crate::engine::Engine;
+    pub use crate::graph::{LinkParams, NodeId, Topology, TopologyBuilder};
+    pub use crate::metrics::{Recorder, TrafficClass};
+    pub use crate::packet::{Classify, Packet};
+    pub use crate::rng::SimRng;
+    pub use crate::time::{SimDuration, SimTime};
+}
+
+pub use prelude::*;

@@ -1,0 +1,131 @@
+//! Link specification and runtime (queueing) state.
+
+use crate::graph::{LinkParams, NodeId};
+use crate::time::{SimDuration, SimTime};
+
+/// Static description of an undirected link.
+#[derive(Clone, Debug)]
+pub struct LinkSpec {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Physical parameters (latency, bandwidth, loss).
+    pub params: LinkParams,
+}
+
+impl LinkSpec {
+    /// The endpoint opposite `from`, if `from` is an endpoint at all.
+    pub fn other(&self, from: NodeId) -> Option<NodeId> {
+        if from == self.a {
+            Some(self.b)
+        } else if from == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// Mutable per-direction transmit-queue state: the time at which the
+/// outgoing serializer frees up.  Models an infinite FIFO output queue
+/// (store-and-forward), the same abstraction ns-2's DropTail queue provides
+/// when it never overflows — at the paper's 800 kbit/s workload on 10/45
+/// Mbit/s links, queues stay far from any realistic limit.
+#[derive(Clone, Debug, Default)]
+pub struct LinkState {
+    /// Serializer-free time for the a→b direction.
+    pub busy_until_ab: SimTime,
+    /// Serializer-free time for the b→a direction.
+    pub busy_until_ba: SimTime,
+}
+
+impl LinkState {
+    /// Enqueues a transmission of `bytes` from `from` at time `now`.
+    /// Returns the arrival time at the far end and updates the serializer.
+    pub fn transmit(
+        &mut self,
+        spec: &LinkSpec,
+        from: NodeId,
+        now: SimTime,
+        bytes: u32,
+    ) -> SimTime {
+        let tx = SimDuration::transmission(bytes, spec.params.bandwidth_bps);
+        let busy = if from == spec.a {
+            &mut self.busy_until_ab
+        } else {
+            debug_assert_eq!(from, spec.b, "transmit from non-endpoint");
+            &mut self.busy_until_ba
+        };
+        let start = if *busy > now { *busy } else { now };
+        let done = start + tx;
+        *busy = done;
+        done + spec.params.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LinkParams;
+
+    fn spec(lat_ms: u64, bps: u64) -> LinkSpec {
+        LinkSpec {
+            a: NodeId(0),
+            b: NodeId(1),
+            params: LinkParams::lossless(SimDuration::from_millis(lat_ms), bps),
+        }
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let s = spec(1, 0);
+        assert_eq!(s.other(NodeId(0)), Some(NodeId(1)));
+        assert_eq!(s.other(NodeId(1)), Some(NodeId(0)));
+        assert_eq!(s.other(NodeId(9)), None);
+    }
+
+    #[test]
+    fn idle_link_arrival_is_tx_plus_latency() {
+        let s = spec(10, 800_000); // 1000B => 10ms tx
+        let mut st = LinkState::default();
+        let arrive = st.transmit(&s, NodeId(0), SimTime::ZERO, 1000);
+        assert_eq!(arrive, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_fifo() {
+        let s = spec(10, 800_000);
+        let mut st = LinkState::default();
+        let a1 = st.transmit(&s, NodeId(0), SimTime::ZERO, 1000);
+        let a2 = st.transmit(&s, NodeId(0), SimTime::ZERO, 1000);
+        assert_eq!(a1, SimTime::from_millis(20));
+        assert_eq!(a2, SimTime::from_millis(30)); // waits for serializer
+    }
+
+    #[test]
+    fn directions_do_not_interfere() {
+        let s = spec(10, 800_000);
+        let mut st = LinkState::default();
+        let a1 = st.transmit(&s, NodeId(0), SimTime::ZERO, 1000);
+        let a2 = st.transmit(&s, NodeId(1), SimTime::ZERO, 1000);
+        assert_eq!(a1, a2); // full duplex
+    }
+
+    #[test]
+    fn serializer_frees_up_over_time() {
+        let s = spec(0, 800_000);
+        let mut st = LinkState::default();
+        let _ = st.transmit(&s, NodeId(0), SimTime::ZERO, 1000); // busy till 10ms
+        let a = st.transmit(&s, NodeId(0), SimTime::from_millis(50), 1000);
+        assert_eq!(a, SimTime::from_millis(60)); // no residual queueing
+    }
+
+    #[test]
+    fn infinite_bandwidth_is_latency_only() {
+        let s = spec(7, 0);
+        let mut st = LinkState::default();
+        let a = st.transmit(&s, NodeId(0), SimTime::from_millis(3), 123456);
+        assert_eq!(a, SimTime::from_millis(10));
+    }
+}

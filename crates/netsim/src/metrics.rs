@@ -1,0 +1,169 @@
+//! Measurement: every transmission, delivery, and drop, timestamped.
+//!
+//! The paper's Figures 14–21 plot "the sum of data and repair traffic
+//! visible at each session member over 0.1 second intervals" and the
+//! corresponding NACK counts.  The [`Recorder`] captures exactly the raw
+//! events those plots are binned from; the `sharqfec-analysis` crate does
+//! the binning.
+
+use crate::channel::ChannelId;
+use crate::graph::NodeId;
+use crate::time::SimTime;
+
+/// Coarse protocol-independent classification of a packet.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TrafficClass {
+    /// Original data packets (lossy).
+    Data,
+    /// FEC/retransmission repair packets (lossy).
+    Repair,
+    /// Negative acknowledgements / repair requests (lossless per §6.2).
+    Nack,
+    /// Session-management messages (lossless per §6.2).
+    Session,
+    /// Other control traffic, e.g. ZCR challenges (lossless).
+    Control,
+}
+
+impl TrafficClass {
+    /// Whether link loss applies to this class (paper §6.2: data and
+    /// repairs are lossy; session traffic and NACKs are not).
+    pub fn lossy(self) -> bool {
+        matches!(self, TrafficClass::Data | TrafficClass::Repair)
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Data => "data",
+            TrafficClass::Repair => "repair",
+            TrafficClass::Nack => "nack",
+            TrafficClass::Session => "session",
+            TrafficClass::Control => "control",
+        }
+    }
+}
+
+/// One delivery (or transmission) observation.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// When the packet was delivered/transmitted.
+    pub time: SimTime,
+    /// The node observing the packet (receiver for deliveries, sender for
+    /// transmissions).
+    pub node: NodeId,
+    /// The packet's original source.
+    pub src: NodeId,
+    /// Traffic class.
+    pub class: TrafficClass,
+    /// Wire size in bytes.
+    pub bytes: u32,
+    /// Channel the packet travelled on.
+    pub channel: ChannelId,
+}
+
+/// One packet dropped by link loss.
+#[derive(Clone, Debug)]
+pub struct DropRecord {
+    /// When the drop happened (at the head of the link).
+    pub time: SimTime,
+    /// Node that was transmitting onto the lossy link.
+    pub from: NodeId,
+    /// Node that would have received.
+    pub to: NodeId,
+    /// Traffic class of the lost packet.
+    pub class: TrafficClass,
+}
+
+/// Accumulates simulation observations.
+#[derive(Default, Debug)]
+pub struct Recorder {
+    /// Every delivery to an agent.
+    pub deliveries: Vec<Record>,
+    /// Every send by an agent (one record per transmission, not per
+    /// receiver).
+    pub transmissions: Vec<Record>,
+    /// Every loss event.
+    pub drops: Vec<DropRecord>,
+}
+
+impl Recorder {
+    /// Empties all recorded events (e.g. to discard a warm-up phase).
+    pub fn clear(&mut self) {
+        self.deliveries.clear();
+        self.transmissions.clear();
+        self.drops.clear();
+    }
+
+    /// Counts deliveries at `node` with the given class.
+    pub fn delivered_count(&self, node: NodeId, class: TrafficClass) -> usize {
+        self.deliveries
+            .iter()
+            .filter(|r| r.node == node && r.class == class)
+            .count()
+    }
+
+    /// Counts transmissions by `node` with the given class.
+    pub fn sent_count(&self, node: NodeId, class: TrafficClass) -> usize {
+        self.transmissions
+            .iter()
+            .filter(|r| r.node == node && r.class == class)
+            .count()
+    }
+
+    /// Total bytes delivered across all nodes for a class.
+    pub fn delivered_bytes(&self, class: TrafficClass) -> u64 {
+        self.deliveries
+            .iter()
+            .filter(|r| r.class == class)
+            .map(|r| r.bytes as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_applies_to_data_and_repairs_only() {
+        assert!(TrafficClass::Data.lossy());
+        assert!(TrafficClass::Repair.lossy());
+        assert!(!TrafficClass::Nack.lossy());
+        assert!(!TrafficClass::Session.lossy());
+        assert!(!TrafficClass::Control.lossy());
+    }
+
+    #[test]
+    fn recorder_counts_filter_correctly() {
+        let mut r = Recorder::default();
+        let rec = |node: u32, class| Record {
+            time: SimTime::ZERO,
+            node: NodeId(node),
+            src: NodeId(0),
+            class,
+            bytes: 10,
+            channel: ChannelId(0),
+        };
+        r.deliveries.push(rec(1, TrafficClass::Data));
+        r.deliveries.push(rec(1, TrafficClass::Data));
+        r.deliveries.push(rec(1, TrafficClass::Nack));
+        r.deliveries.push(rec(2, TrafficClass::Data));
+        r.transmissions.push(rec(0, TrafficClass::Data));
+
+        assert_eq!(r.delivered_count(NodeId(1), TrafficClass::Data), 2);
+        assert_eq!(r.delivered_count(NodeId(2), TrafficClass::Data), 1);
+        assert_eq!(r.delivered_count(NodeId(2), TrafficClass::Nack), 0);
+        assert_eq!(r.sent_count(NodeId(0), TrafficClass::Data), 1);
+        assert_eq!(r.delivered_bytes(TrafficClass::Data), 30);
+
+        r.clear();
+        assert!(r.deliveries.is_empty() && r.transmissions.is_empty() && r.drops.is_empty());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TrafficClass::Repair.label(), "repair");
+        assert_eq!(TrafficClass::Session.label(), "session");
+    }
+}

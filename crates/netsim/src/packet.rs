@@ -1,0 +1,70 @@
+//! Packets and traffic classification.
+
+use crate::channel::ChannelId;
+use crate::graph::NodeId;
+use crate::metrics::TrafficClass;
+use crate::time::SimTime;
+
+/// Lets the engine classify a protocol payload for loss treatment and
+/// metrics without knowing the protocol.
+///
+/// Following the paper's §6.2 methodology, [`TrafficClass::Data`] and
+/// [`TrafficClass::Repair`] are subject to link loss while
+/// [`TrafficClass::Nack`], [`TrafficClass::Session`] and
+/// [`TrafficClass::Control`] are not.
+pub trait Classify {
+    /// The traffic class of this payload.
+    fn class(&self) -> TrafficClass;
+}
+
+/// A packet in flight.  The payload type `M` is supplied by the protocol
+/// crate; the engine only needs its [`Classify`] impl.
+#[derive(Clone, Debug)]
+pub struct Packet<M> {
+    /// Monotonic per-engine packet identifier (unique per transmission).
+    pub uid: u64,
+    /// Originating node.
+    pub src: NodeId,
+    /// Channel (multicast group) the packet was sent on.
+    pub channel: ChannelId,
+    /// Time the source transmitted it.
+    pub sent_at: SimTime,
+    /// Wire size in bytes (headers included), used for serialization delay
+    /// and bandwidth accounting.
+    pub bytes: u32,
+    /// Protocol payload.
+    pub payload: M,
+}
+
+impl<M: Classify> Packet<M> {
+    /// Traffic class, delegated to the payload.
+    pub fn class(&self) -> TrafficClass {
+        self.payload.class()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct P(TrafficClass);
+    impl Classify for P {
+        fn class(&self) -> TrafficClass {
+            self.0
+        }
+    }
+
+    #[test]
+    fn packet_delegates_class_to_payload() {
+        let pkt = Packet {
+            uid: 1,
+            src: NodeId(0),
+            channel: ChannelId(0),
+            sent_at: SimTime::ZERO,
+            bytes: 100,
+            payload: P(TrafficClass::Nack),
+        };
+        assert_eq!(pkt.class(), TrafficClass::Nack);
+    }
+}

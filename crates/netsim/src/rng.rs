@@ -1,0 +1,215 @@
+//! Deterministic pseudo-random numbers for the simulator.
+//!
+//! The simulator must be a pure function of its seed: link-loss sampling,
+//! SRM/SHARQFEC timer jitter, and session staggering all draw from
+//! [`SimRng`].  We implement the generator ourselves (SplitMix64 seeding a
+//! xoshiro256++ core) instead of depending on an external crate whose
+//! stream might change between versions — reproduction runs recorded in
+//! EXPERIMENTS.md should replay bit-for-bit forever.
+
+/// A small, fast, deterministic PRNG (xoshiro256++).
+///
+/// Not cryptographically secure — it drives Monte-Carlo loss sampling and
+/// protocol jitter only.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a seed.  Any seed (including 0) is valid;
+    /// the state is expanded through SplitMix64 so similar seeds produce
+    /// unrelated streams.
+    pub fn new(seed: u64) -> SimRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Derives an independent stream for a sub-component (e.g. one per
+    /// agent) so that adding draws in one component does not perturb
+    /// another's sequence.
+    pub fn split(&mut self, stream: u64) -> SimRng {
+        let a = self.next_u64();
+        SimRng::new(a ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2n = s2 ^ s0;
+        let mut s3n = s3 ^ s1;
+        let s1n = s1 ^ s2n;
+        let s0n = s0 ^ s3n;
+        s2n ^= t;
+        s3n = s3n.rotate_left(45);
+        self.s = [s0n, s1n, s2n, s3n];
+        result
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// Uniform float in `[lo, hi)`.  Used for the paper's timer windows,
+    /// e.g. `U[C1·d, (C1+C2)·d]`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "range_f64 requires lo <= hi");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Uniform integer in `[0, n)`.  `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire-style rejection to avoid modulo bias.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = (r as u128) * (n as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+
+    /// Uniform choice of an index into a slice of length `len`.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = SimRng::new(0);
+        let v: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert!(v.iter().any(|&x| x != 0));
+        assert_ne!(v[0], v[1]);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_frequency_roughly_matches_p() {
+        let mut r = SimRng::new(11);
+        let n = 100_000;
+        for &p in &[0.05f64, 0.25, 0.5, 0.9] {
+            let hits = (0..n).filter(|_| r.chance(p)).count() as f64 / n as f64;
+            assert!(
+                (hits - p).abs() < 0.01,
+                "p={p} observed={hits}"
+            );
+        }
+    }
+
+    #[test]
+    fn chance_extremes_are_exact() {
+        let mut r = SimRng::new(5);
+        assert!(!r.chance(0.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn range_f64_bounds_respected() {
+        let mut r = SimRng::new(13);
+        for _ in 0..10_000 {
+            let x = r.range_f64(0.9, 1.1);
+            assert!((0.9..1.1).contains(&x));
+        }
+        // Degenerate range returns the single point.
+        assert_eq!(r.range_f64(2.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn below_is_unbiased_enough_and_in_range() {
+        let mut r = SimRng::new(17);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[r.below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        SimRng::new(1).below(0);
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_later_draws() {
+        let mut parent1 = SimRng::new(99);
+        let mut parent2 = SimRng::new(99);
+        let mut child1 = parent1.split(1);
+        let mut child2 = parent2.split(1);
+        // Drawing extra numbers from one parent must not affect the child
+        // stream already split off.
+        let _ = parent1.next_u64();
+        for _ in 0..32 {
+            assert_eq!(child1.next_u64(), child2.next_u64());
+        }
+        // Different stream ids differ.
+        let mut other = SimRng::new(99).split(2);
+        assert_ne!(child1.next_u64(), other.next_u64());
+    }
+}

@@ -1,0 +1,223 @@
+//! Per-source shortest-path trees.
+//!
+//! Multicast routing in the paper's ns scenarios is a static per-source
+//! shortest-path tree (dense-mode style, pruned to group members).  We run
+//! Dijkstra from each source on propagation latency, with deterministic
+//! tie-breaking on node id so identical topologies always yield identical
+//! trees.
+
+use crate::graph::{LinkId, NodeId, Topology};
+use crate::time::SimDuration;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A shortest-path tree rooted at one source node.
+#[derive(Clone, Debug)]
+pub struct Spt {
+    /// The root.
+    pub source: NodeId,
+    /// Parent edge of each node (`None` for the root).
+    pub parent: Vec<Option<(NodeId, LinkId)>>,
+    /// Child edges of each node, sorted by child id.
+    pub children: Vec<Vec<(NodeId, LinkId)>>,
+    /// Propagation-latency distance from the root to each node.
+    pub dist: Vec<SimDuration>,
+}
+
+impl Spt {
+    /// Computes the tree rooted at `source`.
+    pub fn compute(topo: &Topology, source: NodeId) -> Spt {
+        let n = topo.node_count();
+        assert!(source.idx() < n, "unknown source {source:?}");
+        let mut dist = vec![u64::MAX; n];
+        let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+        let mut done = vec![false; n];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        dist[source.idx()] = 0;
+        heap.push(Reverse((0, source.0)));
+
+        while let Some(Reverse((d, u))) = heap.pop() {
+            let u = NodeId(u);
+            if done[u.idx()] {
+                continue;
+            }
+            done[u.idx()] = true;
+            for &(v, link) in topo.neighbors(u) {
+                let w = topo.link(link).params.latency.as_nanos();
+                let nd = d + w;
+                // Strict < keeps the first (lowest-id thanks to sorted
+                // neighbour lists and heap ordering) parent on ties.
+                if nd < dist[v.idx()] {
+                    dist[v.idx()] = nd;
+                    parent[v.idx()] = Some((u, link));
+                    heap.push(Reverse((nd, v.0)));
+                }
+            }
+        }
+
+        let mut children = vec![Vec::new(); n];
+        for v in topo.nodes() {
+            if let Some((p, link)) = parent[v.idx()] {
+                children[p.idx()].push((v, link));
+            }
+        }
+        for c in &mut children {
+            c.sort_by_key(|(n, _)| *n);
+        }
+
+        Spt {
+            source,
+            parent,
+            children,
+            dist: dist
+                .into_iter()
+                .map(|d| {
+                    debug_assert_ne!(d, u64::MAX, "graph is connected by construction");
+                    SimDuration(d)
+                })
+                .collect(),
+        }
+    }
+
+    /// The path from the root to `node`, as a list of nodes starting at the
+    /// root and ending at `node`.
+    pub fn path_to(&self, node: NodeId) -> Vec<NodeId> {
+        let mut rev = vec![node];
+        let mut cur = node;
+        while let Some((p, _)) = self.parent[cur.idx()] {
+            rev.push(p);
+            cur = p;
+        }
+        rev.reverse();
+        debug_assert_eq!(rev[0], self.source);
+        rev
+    }
+
+    /// One-way propagation delay from the root to `node`.
+    pub fn delay_to(&self, node: NodeId) -> SimDuration {
+        self.dist[node.idx()]
+    }
+}
+
+/// All-pairs propagation delays (one Dijkstra per node).
+///
+/// Protocol baselines use this as a *converged-session oracle*: SRM assumes
+/// every member has RTT estimates to every other member via its session
+/// protocol; handing the baseline exact delays is strictly generous to it,
+/// which is the conservative direction for comparisons against SHARQFEC.
+#[derive(Clone, Debug)]
+pub struct DistanceOracle {
+    delays: Vec<Vec<SimDuration>>,
+}
+
+impl DistanceOracle {
+    /// Precomputes delays for every ordered pair.
+    pub fn compute(topo: &Topology) -> DistanceOracle {
+        let delays = topo
+            .nodes()
+            .map(|src| Spt::compute(topo, src).dist)
+            .collect();
+        DistanceOracle { delays }
+    }
+
+    /// One-way propagation delay between two nodes.
+    pub fn one_way(&self, a: NodeId, b: NodeId) -> SimDuration {
+        self.delays[a.idx()][b.idx()]
+    }
+
+    /// Round-trip propagation delay between two nodes.
+    pub fn rtt(&self, a: NodeId, b: NodeId) -> SimDuration {
+        self.one_way(a, b) * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{LinkParams, TopologyBuilder};
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    /// A small diamond: 0-1 (1ms), 0-2 (5ms), 1-3 (1ms), 2-3 (1ms).
+    fn diamond() -> (Topology, [NodeId; 4]) {
+        let mut b = TopologyBuilder::new();
+        let n0 = b.add_node("0");
+        let n1 = b.add_node("1");
+        let n2 = b.add_node("2");
+        let n3 = b.add_node("3");
+        b.add_link(n0, n1, LinkParams::lossless(ms(1), 0));
+        b.add_link(n0, n2, LinkParams::lossless(ms(5), 0));
+        b.add_link(n1, n3, LinkParams::lossless(ms(1), 0));
+        b.add_link(n2, n3, LinkParams::lossless(ms(1), 0));
+        (b.build(), [n0, n1, n2, n3])
+    }
+
+    #[test]
+    fn spt_prefers_shorter_path() {
+        let (t, [n0, n1, _n2, n3]) = diamond();
+        let spt = Spt::compute(&t, n0);
+        assert_eq!(spt.delay_to(n3), ms(2)); // via n1
+        assert_eq!(spt.path_to(n3), vec![n0, n1, n3]);
+    }
+
+    #[test]
+    fn spt_distance_is_true_shortest() {
+        // In the diamond, n2 is actually closer via n1,n3: 1+1+1 = 3ms.
+        let (t, [n0, _, n2, _]) = diamond();
+        let spt = Spt::compute(&t, n0);
+        assert_eq!(spt.delay_to(n2), ms(3));
+    }
+
+    #[test]
+    fn root_has_no_parent_and_zero_distance() {
+        let (t, [n0, ..]) = diamond();
+        let spt = Spt::compute(&t, n0);
+        assert!(spt.parent[n0.idx()].is_none());
+        assert_eq!(spt.delay_to(n0), SimDuration::ZERO);
+        assert_eq!(spt.path_to(n0), vec![n0]);
+    }
+
+    #[test]
+    fn children_partition_non_roots() {
+        let (t, [n0, ..]) = diamond();
+        let spt = Spt::compute(&t, n0);
+        let total: usize = spt.children.iter().map(|c| c.len()).sum();
+        assert_eq!(total, t.node_count() - 1);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        // Two equal-cost paths to n3: via n1 or n2 (both 2ms). The lower
+        // node id (n1) must win, every time.
+        let mut b = TopologyBuilder::new();
+        let n0 = b.add_node("0");
+        let n1 = b.add_node("1");
+        let n2 = b.add_node("2");
+        let n3 = b.add_node("3");
+        b.add_link(n0, n1, LinkParams::lossless(ms(1), 0));
+        b.add_link(n0, n2, LinkParams::lossless(ms(1), 0));
+        b.add_link(n1, n3, LinkParams::lossless(ms(1), 0));
+        b.add_link(n2, n3, LinkParams::lossless(ms(1), 0));
+        let t = b.build();
+        for _ in 0..5 {
+            let spt = Spt::compute(&t, n0);
+            assert_eq!(spt.parent[n3.idx()].unwrap().0, n1);
+        }
+    }
+
+    #[test]
+    fn oracle_is_symmetric_and_matches_spt() {
+        let (t, [n0, n1, n2, n3]) = diamond();
+        let oracle = DistanceOracle::compute(&t);
+        for &a in &[n0, n1, n2, n3] {
+            let spt = Spt::compute(&t, a);
+            for &b in &[n0, n1, n2, n3] {
+                assert_eq!(oracle.one_way(a, b), spt.delay_to(b));
+                assert_eq!(oracle.one_way(a, b), oracle.one_way(b, a));
+            }
+        }
+        assert_eq!(oracle.rtt(n0, n3), ms(4));
+    }
+}

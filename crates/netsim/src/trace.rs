@@ -1,0 +1,264 @@
+//! Human-readable event timelines from a [`Recorder`] — this crate's
+//! stand-in for the paper's *nam* network animator.
+//!
+//! Rendering is post-hoc (from the recorded events), so tracing costs
+//! nothing unless asked for, filters compose, and the same run can be
+//! inspected from several angles:
+//!
+//! ```
+//! use sharqfec_netsim::trace::{Timeline, TraceFilter};
+//! # use sharqfec_netsim::metrics::{Record, Recorder, TrafficClass};
+//! # use sharqfec_netsim::{ChannelId, NodeId, SimTime};
+//! # let mut recorder = Recorder::default();
+//! # recorder.deliveries.push(Record {
+//! #     time: SimTime::from_millis(20), node: NodeId(1), src: NodeId(0),
+//! #     class: TrafficClass::Data, bytes: 1000, channel: ChannelId(0),
+//! # });
+//! let text = Timeline::new(&recorder)
+//!     .filter(TraceFilter::default().node(NodeId(1)))
+//!     .render();
+//! assert!(text.contains("recv"));
+//! ```
+
+use crate::channel::ChannelId;
+use crate::graph::NodeId;
+use crate::metrics::{Recorder, TrafficClass};
+use crate::time::SimTime;
+
+/// What to include in a rendered timeline.
+#[derive(Clone, Debug, Default)]
+pub struct TraceFilter {
+    nodes: Option<Vec<NodeId>>,
+    classes: Option<Vec<TrafficClass>>,
+    channels: Option<Vec<ChannelId>>,
+    window: Option<(SimTime, SimTime)>,
+}
+
+impl TraceFilter {
+    /// Restrict to events at (or by) the given node; composable.
+    pub fn node(mut self, n: NodeId) -> TraceFilter {
+        self.nodes.get_or_insert_with(Vec::new).push(n);
+        self
+    }
+
+    /// Restrict to a traffic class; composable.
+    pub fn class(mut self, c: TrafficClass) -> TraceFilter {
+        self.classes.get_or_insert_with(Vec::new).push(c);
+        self
+    }
+
+    /// Restrict to a channel; composable.
+    pub fn channel(mut self, c: ChannelId) -> TraceFilter {
+        self.channels.get_or_insert_with(Vec::new).push(c);
+        self
+    }
+
+    /// Restrict to a `[from, to)` time window.
+    pub fn between(mut self, from: SimTime, to: SimTime) -> TraceFilter {
+        self.window = Some((from, to));
+        self
+    }
+
+    fn admits(
+        &self,
+        time: SimTime,
+        node: NodeId,
+        class: TrafficClass,
+        channel: Option<ChannelId>,
+    ) -> bool {
+        if let Some((from, to)) = self.window {
+            if time < from || time >= to {
+                return false;
+            }
+        }
+        if let Some(ns) = &self.nodes {
+            if !ns.contains(&node) {
+                return false;
+            }
+        }
+        if let Some(cs) = &self.classes {
+            if !cs.contains(&class) {
+                return false;
+            }
+        }
+        if let (Some(chs), Some(ch)) = (&self.channels, channel) {
+            if !chs.contains(&ch) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A renderable view over recorded events.
+pub struct Timeline<'a> {
+    recorder: &'a Recorder,
+    filter: TraceFilter,
+}
+
+impl<'a> Timeline<'a> {
+    /// A timeline over all recorded events.
+    pub fn new(recorder: &'a Recorder) -> Timeline<'a> {
+        Timeline {
+            recorder,
+            filter: TraceFilter::default(),
+        }
+    }
+
+    /// Applies a filter (replaces any previous one).
+    pub fn filter(mut self, filter: TraceFilter) -> Timeline<'a> {
+        self.filter = filter;
+        self
+    }
+
+    /// Collects the admitted events as `(time, line)` pairs, time-ordered.
+    pub fn lines(&self) -> Vec<(SimTime, String)> {
+        let mut out: Vec<(SimTime, String)> = Vec::new();
+        for r in &self.recorder.transmissions {
+            if self.filter.admits(r.time, r.node, r.class, Some(r.channel)) {
+                out.push((
+                    r.time,
+                    format!(
+                        "{:>10.6}  send  {:<7} n{:<4} {:>5}B  {:?}",
+                        r.time.as_secs_f64(),
+                        r.class.label(),
+                        r.node.0,
+                        r.bytes,
+                        r.channel
+                    ),
+                ));
+            }
+        }
+        for r in &self.recorder.deliveries {
+            if self.filter.admits(r.time, r.node, r.class, Some(r.channel)) {
+                out.push((
+                    r.time,
+                    format!(
+                        "{:>10.6}  recv  {:<7} n{:<4} {:>5}B  {:?} from n{}",
+                        r.time.as_secs_f64(),
+                        r.class.label(),
+                        r.node.0,
+                        r.bytes,
+                        r.channel,
+                        r.src.0
+                    ),
+                ));
+            }
+        }
+        for d in &self.recorder.drops {
+            if self.filter.admits(d.time, d.to, d.class, None) {
+                out.push((
+                    d.time,
+                    format!(
+                        "{:>10.6}  DROP  {:<7} n{:<4} (link n{} -> n{})",
+                        d.time.as_secs_f64(),
+                        d.class.label(),
+                        d.to.0,
+                        d.from.0,
+                        d.to.0
+                    ),
+                ));
+            }
+        }
+        out.sort_by_key(|(t, _)| *t);
+        out
+    }
+
+    /// Renders the admitted events as a newline-joined log.
+    pub fn render(&self) -> String {
+        let lines = self.lines();
+        let mut s = String::with_capacity(lines.len() * 64);
+        for (_, line) in lines {
+            s.push_str(&line);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Number of admitted events (cheap sanity checks in tests).
+    pub fn count(&self) -> usize {
+        self.lines().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{DropRecord, Record};
+
+    fn recorder() -> Recorder {
+        let rec = |t_ms: u64, node: u32, class| Record {
+            time: SimTime::from_millis(t_ms),
+            node: NodeId(node),
+            src: NodeId(0),
+            class,
+            bytes: 1000,
+            channel: ChannelId(0),
+        };
+        let mut r = Recorder::default();
+        r.transmissions.push(rec(10, 0, TrafficClass::Data));
+        r.deliveries.push(rec(30, 1, TrafficClass::Data));
+        r.deliveries.push(rec(50, 2, TrafficClass::Nack));
+        r.drops.push(DropRecord {
+            time: SimTime::from_millis(40),
+            from: NodeId(0),
+            to: NodeId(2),
+            class: TrafficClass::Data,
+        });
+        r
+    }
+
+    #[test]
+    fn unfiltered_timeline_is_time_ordered_and_complete() {
+        let r = recorder();
+        let t = Timeline::new(&r);
+        assert_eq!(t.count(), 4);
+        let lines = t.lines();
+        for w in lines.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        let text = t.render();
+        assert!(text.contains("send"));
+        assert!(text.contains("recv"));
+        assert!(text.contains("DROP"));
+    }
+
+    #[test]
+    fn node_filter_selects_one_node() {
+        let r = recorder();
+        let t = Timeline::new(&r).filter(TraceFilter::default().node(NodeId(1)));
+        assert_eq!(t.count(), 1);
+        assert!(t.render().contains("n1"));
+    }
+
+    #[test]
+    fn class_filter_and_window_compose() {
+        let r = recorder();
+        let t = Timeline::new(&r).filter(
+            TraceFilter::default()
+                .class(TrafficClass::Data)
+                .between(SimTime::from_millis(20), SimTime::from_millis(45)),
+        );
+        // delivery at 30ms and drop at 40ms; the send at 10ms is outside.
+        assert_eq!(t.count(), 2);
+    }
+
+    #[test]
+    fn channel_filter_ignores_drops() {
+        // Drops carry no channel; a channel filter shouldn't exclude them.
+        let r = recorder();
+        let t = Timeline::new(&r).filter(TraceFilter::default().channel(ChannelId(0)));
+        assert_eq!(t.count(), 4);
+        let none = Timeline::new(&r).filter(TraceFilter::default().channel(ChannelId(9)));
+        // Only the drop (channel-less) survives.
+        assert_eq!(none.count(), 1);
+    }
+
+    #[test]
+    fn multi_value_filters_are_unions() {
+        let r = recorder();
+        let t = Timeline::new(&r)
+            .filter(TraceFilter::default().node(NodeId(1)).node(NodeId(2)));
+        assert_eq!(t.count(), 3); // delivery@1, nack@2, drop→2
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests for the simulator substrate: routing correctness
+//! against an independent oracle, delivery invariants under random
+//! topologies, and determinism.
+
+use proptest::prelude::*;
+use sharqfec_netsim::prelude::*;
+use sharqfec_netsim::routing::{DistanceOracle, Spt};
+
+/// A random connected topology: a random tree plus a few extra edges.
+#[derive(Debug, Clone)]
+struct RandomTopo {
+    n: usize,
+    /// (a, b, latency_ms) — tree edges first, then extras.
+    edges: Vec<(usize, usize, u64)>,
+}
+
+fn random_topo() -> impl Strategy<Value = RandomTopo> {
+    (3usize..14).prop_flat_map(|n| {
+        let tree = proptest::collection::vec(1u64..50, n - 1);
+        let parents: Vec<_> = (1..n).map(|i| 0..i).collect();
+        let extra = proptest::collection::vec((0usize..n, 0usize..n, 1u64..50), 0..4);
+        (tree, parents, extra).prop_map(move |(lats, parents, extra)| {
+            let mut edges: Vec<(usize, usize, u64)> = parents
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| (p, i + 1, lats[i]))
+                .collect();
+            for (a, b, w) in extra {
+                if a != b && !edges.iter().any(|&(x, y, _)| (x, y) == (a, b) || (x, y) == (b, a)) {
+                    edges.push((a, b, w));
+                }
+            }
+            RandomTopo { n, edges }
+        })
+    })
+}
+
+fn build(t: &RandomTopo) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let ids = b.add_nodes("n", t.n);
+    for &(a, bb, w) in &t.edges {
+        b.add_link(
+            ids[a],
+            ids[bb],
+            LinkParams::lossless(SimDuration::from_millis(w), 0),
+        );
+    }
+    b.build()
+}
+
+/// Independent all-pairs shortest paths (Floyd–Warshall) as the oracle.
+fn floyd_warshall(t: &RandomTopo) -> Vec<Vec<u64>> {
+    let inf = u64::MAX / 4;
+    let mut d = vec![vec![inf; t.n]; t.n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for &(a, b, w) in &t.edges {
+        let w = w * 1_000_000; // ms → ns
+        d[a][b] = d[a][b].min(w);
+        d[b][a] = d[b][a].min(w);
+    }
+    for k in 0..t.n {
+        for i in 0..t.n {
+            for j in 0..t.n {
+                if d[i][k] + d[k][j] < d[i][j] {
+                    d[i][j] = d[i][k] + d[k][j];
+                }
+            }
+        }
+    }
+    d
+}
+
+#[derive(Clone, Debug)]
+struct Ping;
+impl Classify for Ping {
+    fn class(&self) -> TrafficClass {
+        TrafficClass::Data
+    }
+}
+
+struct Once {
+    chan: ChannelId,
+}
+impl Agent<Ping> for Once {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+        ctx.multicast(self.chan, Ping, 100);
+    }
+    fn on_packet(&mut self, _: &mut Ctx<'_, Ping>, _: &Packet<Ping>) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dijkstra's distances must equal Floyd–Warshall's for every pair.
+    #[test]
+    fn spt_matches_floyd_warshall(t in random_topo()) {
+        let topo = build(&t);
+        let fw = floyd_warshall(&t);
+        let oracle = DistanceOracle::compute(&topo);
+        for a in 0..t.n {
+            let spt = Spt::compute(&topo, NodeId(a as u32));
+            for b in 0..t.n {
+                let ours = spt.delay_to(NodeId(b as u32)).as_nanos();
+                prop_assert_eq!(ours, fw[a][b], "dist {}->{}", a, b);
+                prop_assert_eq!(
+                    oracle.one_way(NodeId(a as u32), NodeId(b as u32)).as_nanos(),
+                    fw[a][b]
+                );
+            }
+        }
+    }
+
+    /// SPT structure: every non-root's path is acyclic, ends at the root,
+    /// and each hop's distance decreases toward the root by exactly the
+    /// link latency.
+    #[test]
+    fn spt_paths_are_consistent(t in random_topo(), src in 0usize..14) {
+        let src = src % t.n;
+        let topo = build(&t);
+        let spt = Spt::compute(&topo, NodeId(src as u32));
+        for b in 0..t.n {
+            let path = spt.path_to(NodeId(b as u32));
+            prop_assert_eq!(path[0], NodeId(src as u32));
+            prop_assert_eq!(*path.last().unwrap(), NodeId(b as u32));
+            prop_assert!(path.len() <= t.n, "path has a cycle");
+            for w in path.windows(2) {
+                let link = topo.link_between(w[0], w[1]).expect("path edges exist");
+                let lat = topo.link(link).params.latency;
+                prop_assert_eq!(spt.delay_to(w[0]) + lat, spt.delay_to(w[1]));
+            }
+        }
+    }
+
+    /// On a lossless network every member except the sender receives a
+    /// multicast exactly once, at exactly its oracle distance (plus
+    /// serialization, which is zero on infinite-rate links).
+    #[test]
+    fn lossless_multicast_reaches_everyone_once(t in random_topo(), seed in any::<u64>()) {
+        let topo = build(&t);
+        let oracle = DistanceOracle::compute(&topo);
+        let mut engine: Engine<Ping> = Engine::new(topo, seed);
+        let members: Vec<NodeId> = (0..t.n as u32).map(NodeId).collect();
+        let chan = engine.add_channel(&members);
+        engine.set_agent(members[0], Box::new(Once { chan }));
+        engine.run();
+        let rec = engine.recorder();
+        for &m in &members[1..] {
+            let hits: Vec<_> = rec
+                .deliveries
+                .iter()
+                .filter(|d| d.node == m)
+                .collect();
+            prop_assert_eq!(hits.len(), 1, "node {} heard {} copies", m, hits.len());
+            prop_assert_eq!(
+                hits[0].time.as_nanos(),
+                oracle.one_way(members[0], m).as_nanos(),
+                "arrival time at {}",
+                m
+            );
+        }
+        prop_assert!(rec.deliveries.iter().all(|d| d.node != members[0]));
+    }
+
+    /// Scope pruning: only channel members receive, and members cut off
+    /// by non-member intermediates receive nothing.
+    #[test]
+    fn scope_pruning_never_leaks(t in random_topo(), mask in any::<u16>(), seed in any::<u64>()) {
+        let topo = build(&t);
+        let mut engine: Engine<Ping> = Engine::new(topo, seed);
+        // Random member subset always containing the sender (node 0).
+        let members: Vec<NodeId> = (0..t.n as u32)
+            .map(NodeId)
+            .filter(|n| n.0 == 0 || mask & (1 << (n.0 % 16)) != 0)
+            .collect();
+        let chan = engine.add_channel(&members);
+        engine.set_agent(members[0], Box::new(Once { chan }));
+        engine.run();
+        for d in &engine.recorder().deliveries {
+            prop_assert!(
+                members.contains(&d.node),
+                "non-member {} received a scoped packet",
+                d.node
+            );
+        }
+    }
+
+    /// Bit-for-bit determinism: identical seeds give identical delivery
+    /// logs even with loss.
+    #[test]
+    fn identical_seeds_identical_logs(t in random_topo(), seed in any::<u64>()) {
+        let run = || {
+            let mut b = TopologyBuilder::new();
+            let ids = b.add_nodes("n", t.n);
+            for &(a, bb, w) in &t.edges {
+                b.add_link(
+                    ids[a],
+                    ids[bb],
+                    LinkParams::new(SimDuration::from_millis(w), 1_000_000, 0.3),
+                );
+            }
+            let mut engine: Engine<Ping> = Engine::new(b.build(), seed);
+            let chan = engine.add_channel(&ids);
+            engine.set_agent(ids[0], Box::new(Once { chan }));
+            engine.run();
+            engine
+                .recorder()
+                .deliveries
+                .iter()
+                .map(|d| (d.time.as_nanos(), d.node.0))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

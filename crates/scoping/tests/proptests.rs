@@ -1,0 +1,141 @@
+//! Property-based tests for zone-hierarchy invariants under randomly
+//! generated (valid) nestings.
+
+use proptest::prelude::*;
+use sharqfec_netsim::NodeId;
+use sharqfec_scoping::{ZoneHierarchy, ZoneHierarchyBuilder, ZoneId};
+
+/// Strategy: a random valid hierarchy over `n` nodes.
+///
+/// Construction guarantees validity: recursively partition a contiguous
+/// id range; each partition cell optionally becomes a child zone.
+#[derive(Debug, Clone)]
+struct Spec {
+    n: u32,
+    /// Split points as fractions for two levels of partitioning.
+    level1_cells: usize,
+    level2_split: bool,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (6u32..40, 2usize..5, any::<bool>()).prop_map(|(n, level1_cells, level2_split)| Spec {
+        n,
+        level1_cells,
+        level2_split,
+    })
+}
+
+fn build(s: &Spec) -> ZoneHierarchy {
+    let ids = |lo: u32, hi: u32| -> Vec<NodeId> { (lo..hi).map(NodeId).collect() };
+    let mut b = ZoneHierarchyBuilder::new(s.n as usize);
+    let root = b.root(&ids(0, s.n));
+    // Node 0 is "the source" and stays root-only; partition 1..n.
+    let span = s.n - 1;
+    let cells = s.level1_cells.min(span as usize).max(1) as u32;
+    let per = span / cells;
+    for c in 0..cells {
+        let lo = 1 + c * per;
+        let hi = if c == cells - 1 { s.n } else { 1 + (c + 1) * per };
+        if hi <= lo {
+            continue;
+        }
+        let z1 = b.child(root, &ids(lo, hi)).expect("contiguous cell nests");
+        if s.level2_split && hi - lo >= 2 {
+            let mid = lo + (hi - lo) / 2;
+            b.child(z1, &ids(lo, mid)).expect("half nests");
+            b.child(z1, &ids(mid, hi)).expect("half nests");
+        }
+    }
+    b.build().expect("construction is valid by design")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every node's zone chain starts at its smallest zone, ends at the
+    /// root, strictly decreases in level toward the root, and each zone
+    /// in it contains the node.
+    #[test]
+    fn zone_chains_are_well_formed(s in spec()) {
+        let h = build(&s);
+        for node in (0..s.n).map(NodeId) {
+            let chain = h.zone_chain(node);
+            prop_assert_eq!(chain[0], h.smallest_zone(node));
+            prop_assert_eq!(*chain.last().unwrap(), ZoneId::ROOT);
+            for w in chain.windows(2) {
+                prop_assert_eq!(h.parent(w[0]), Some(w[1]));
+                prop_assert!(h.zone(w[0]).level == h.zone(w[1]).level + 1);
+            }
+            for &z in &chain {
+                prop_assert!(h.is_member(z, node));
+            }
+        }
+    }
+
+    /// Nesting: every zone's members are a subset of its parent's, and
+    /// sibling zones are disjoint.
+    #[test]
+    fn nesting_and_disjointness(s in spec()) {
+        let h = build(&s);
+        for z in h.zones() {
+            if let Some(p) = z.parent {
+                for &m in &z.members {
+                    prop_assert!(h.is_member(p, m));
+                }
+            }
+            for (i, &a) in z.children.iter().enumerate() {
+                for &b in &z.children[i + 1..] {
+                    for &m in &h.zone(a).members {
+                        prop_assert!(!h.is_member(b, m), "{m} in siblings {a} and {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Escalation walks exactly `levels` steps up and clamps at the root.
+    #[test]
+    fn escalation_is_bounded_by_depth(s in spec()) {
+        let h = build(&s);
+        for node in (0..s.n).map(NodeId) {
+            let z = h.smallest_zone(node);
+            let depth = h.zone(z).level;
+            prop_assert_eq!(h.escalate(z, depth), ZoneId::ROOT);
+            prop_assert_eq!(h.escalate(z, depth + 7), ZoneId::ROOT);
+        }
+    }
+
+    /// The membership partition: nodes whose smallest zone is `z` are
+    /// exactly z's members minus all descendants' members.
+    #[test]
+    fn smallest_zone_partitions_members(s in spec()) {
+        let h = build(&s);
+        for z in h.zones() {
+            let in_children: std::collections::HashSet<NodeId> = z
+                .children
+                .iter()
+                .flat_map(|&c| h.zone(c).members.iter().copied())
+                .collect();
+            for &m in &z.members {
+                let expect_here = !in_children.contains(&m);
+                prop_assert_eq!(
+                    h.smallest_zone(m) == z.id,
+                    expect_here,
+                    "node {} zone {}",
+                    m,
+                    z.id
+                );
+            }
+        }
+    }
+
+    /// Deepest-first ordering really is deepest-first.
+    #[test]
+    fn depth_ordering(s in spec()) {
+        let h = build(&s);
+        let order = h.zones_by_depth_desc();
+        for w in order.windows(2) {
+            prop_assert!(h.zone(w[0]).level >= h.zone(w[1]).level);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Session-protocol constants.
+
+use sharqfec_netsim::SimDuration;
+
+/// Tunable constants of the session protocol.  Defaults are the paper's
+/// where the paper gives one, and documented engineering choices where it
+/// does not (see DESIGN.md §4).
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Steady-state announcement stagger, uniform seconds
+    /// (paper §5: `U[0.9, 1.1]` s).
+    pub announce_interval: (f64, f64),
+    /// Warm-up announcement stagger for the first few messages
+    /// (paper §5: `U[0.05, 0.25]` s).
+    pub warmup_interval: (f64, f64),
+    /// How many announcements use the warm-up stagger (paper: 3).
+    pub warmup_count: u32,
+    /// EWMA weight of a *new* RTT sample when merging into an estimate
+    /// (paper §6.1 says new measurements are merged with an EWMA but does
+    /// not print the coefficient; 0.5 converges within the handful of
+    /// probes Figures 11–13 send while still smoothing jitter).
+    pub rtt_gain: f64,
+    /// Base period between ZCR challenges issued by a sitting ZCR
+    /// (paper: "performed periodically … randomized"; the concrete period
+    /// is ours).  Jittered by ±10 %.
+    pub challenge_period: SimDuration,
+    /// Multiple of `challenge_period` after which a candidate that has not
+    /// heard from its ZCR issues a challenge itself (paper §5.2: "their
+    /// firing window is always slightly larger than that of their ZCR").
+    pub liveness_factor: f64,
+    /// Takeover suppression window as a multiple of the candidate's
+    /// computed one-way distance to the parent ZCR: the delay is drawn
+    /// uniform on `[c1·d, (c1+c2)·d]` so nearer candidates fire first.
+    pub takeover_c1: f64,
+    /// See [`SessionConfig::takeover_c1`].
+    pub takeover_c2: f64,
+    /// Drop peers not heard from for this long.
+    pub peer_timeout: SimDuration,
+    /// Wire size of an announcement header, bytes (entries add
+    /// [`SessionConfig::entry_bytes`] each).
+    pub announce_base_bytes: u32,
+    /// Wire size per announcement entry, bytes.
+    pub entry_bytes: u32,
+    /// Wire size of challenge/response/takeover messages, bytes.
+    pub control_bytes: u32,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            announce_interval: (0.9, 1.1),
+            warmup_interval: (0.05, 0.25),
+            warmup_count: 3,
+            rtt_gain: 0.5,
+            challenge_period: SimDuration::from_millis(2000),
+            liveness_factor: 1.6,
+            takeover_c1: 1.0,
+            takeover_c2: 1.0,
+            peer_timeout: SimDuration::from_secs(10),
+            announce_base_bytes: 24,
+            entry_bytes: 16,
+            control_bytes: 32,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Validates invariants (intervals ordered, gains in range).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn validate(&self) {
+        assert!(
+            self.announce_interval.0 <= self.announce_interval.1
+                && self.announce_interval.0 > 0.0,
+            "announce_interval must be an ordered positive range"
+        );
+        assert!(
+            self.warmup_interval.0 <= self.warmup_interval.1 && self.warmup_interval.0 > 0.0,
+            "warmup_interval must be an ordered positive range"
+        );
+        assert!(
+            self.rtt_gain > 0.0 && self.rtt_gain <= 1.0,
+            "rtt_gain must be in (0, 1]"
+        );
+        assert!(
+            self.liveness_factor > 1.0,
+            "liveness window must exceed the ZCR's own period"
+        );
+        assert!(
+            self.takeover_c1 >= 0.0 && self.takeover_c2 >= 0.0,
+            "takeover window factors must be non-negative"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_match_the_paper() {
+        let c = SessionConfig::default();
+        c.validate();
+        assert_eq!(c.announce_interval, (0.9, 1.1));
+        assert_eq!(c.warmup_interval, (0.05, 0.25));
+        assert_eq!(c.warmup_count, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "rtt_gain")]
+    fn zero_gain_rejected() {
+        SessionConfig {
+            rtt_gain: 0.0,
+            ..SessionConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "liveness")]
+    fn liveness_window_must_exceed_period() {
+        SessionConfig {
+            liveness_factor: 0.9,
+            ..SessionConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,255 @@
+//! RTT estimates and per-zone peer tables.
+
+use crate::msg::PeerEntry;
+use sharqfec_netsim::{NodeId, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One EWMA-merged RTT estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RttEstimate {
+    rtt: SimDuration,
+    samples: u32,
+}
+
+impl RttEstimate {
+    /// Starts an estimate from a first sample.
+    pub fn new(first: SimDuration) -> RttEstimate {
+        RttEstimate {
+            rtt: first,
+            samples: 1,
+        }
+    }
+
+    /// Merges a new sample: `est ← (1-gain)·est + gain·sample` (paper §6.1:
+    /// "new measurements are merged with the old using an exponential
+    /// weighted moving average filter").
+    pub fn merge(&mut self, sample: SimDuration, gain: f64) {
+        debug_assert!((0.0..=1.0).contains(&gain));
+        let old = self.rtt.as_secs_f64();
+        let new = old + gain * (sample.as_secs_f64() - old);
+        self.rtt = SimDuration::from_secs_f64(new.max(0.0));
+        self.samples = self.samples.saturating_add(1);
+    }
+
+    /// The current estimate.
+    pub fn rtt(&self) -> SimDuration {
+        self.rtt
+    }
+
+    /// One-way distance (RTT / 2), the unit the ZCR-challenge arithmetic
+    /// works in.
+    pub fn one_way(&self) -> SimDuration {
+        self.rtt / 2
+    }
+
+    /// Number of samples merged so far.
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+}
+
+/// Echo bookkeeping plus RTT estimate for one peer.
+#[derive(Clone, Debug)]
+pub struct PeerState {
+    /// Timestamp carried in the peer's last message.
+    pub last_sent_at: SimTime,
+    /// Our local time when that message arrived.
+    pub last_recv_at: SimTime,
+    /// Merged RTT estimate, if at least one echo has closed the loop.
+    pub rtt: Option<RttEstimate>,
+}
+
+/// The session table a node keeps for one zone it participates in: echo
+/// state and RTT estimates for every peer heard there.
+#[derive(Clone, Debug, Default)]
+pub struct PeerTable {
+    peers: HashMap<NodeId, PeerState>,
+}
+
+impl PeerTable {
+    /// Empty table.
+    pub fn new() -> PeerTable {
+        PeerTable::default()
+    }
+
+    /// Records that `peer` was heard `now`, with its carried timestamp.
+    pub fn heard(&mut self, peer: NodeId, sent_at: SimTime, now: SimTime) {
+        let entry = self.peers.entry(peer).or_insert(PeerState {
+            last_sent_at: sent_at,
+            last_recv_at: now,
+            rtt: None,
+        });
+        entry.last_sent_at = sent_at;
+        entry.last_recv_at = now;
+    }
+
+    /// Merges an RTT sample for `peer` (creates the peer if unknown —
+    /// ZCR-challenge measurements can precede any announcement exchange).
+    pub fn sample(&mut self, peer: NodeId, rtt: SimDuration, gain: f64, now: SimTime) {
+        let entry = self.peers.entry(peer).or_insert(PeerState {
+            last_sent_at: SimTime::ZERO,
+            last_recv_at: now,
+            rtt: None,
+        });
+        match &mut entry.rtt {
+            Some(est) => est.merge(rtt, gain),
+            none => *none = Some(RttEstimate::new(rtt)),
+        }
+    }
+
+    /// Current RTT estimate to `peer`.
+    pub fn rtt(&self, peer: NodeId) -> Option<SimDuration> {
+        self.peers.get(&peer)?.rtt.map(|e| e.rtt())
+    }
+
+    /// Echo state for `peer`.
+    pub fn state(&self, peer: NodeId) -> Option<&PeerState> {
+        self.peers.get(&peer)
+    }
+
+    /// Number of tracked peers — the paper's "state per receiver" metric
+    /// (Figure 8 counts exactly these entries).
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Largest RTT estimate in the table (used for the paper's
+    /// "2.5 × RTT to the most distant known receiver" ZLC window).
+    pub fn max_rtt(&self) -> Option<SimDuration> {
+        self.peers.values().filter_map(|p| p.rtt.map(|e| e.rtt())).max()
+    }
+
+    /// Drops peers not heard from since `cutoff`.
+    pub fn expire(&mut self, cutoff: SimTime) {
+        self.peers.retain(|_, p| p.last_recv_at >= cutoff);
+    }
+
+    /// Builds announcement entries for every tracked peer (paper §5's
+    /// receiver list), deterministically ordered by peer id.
+    pub fn entries(&self, now: SimTime) -> Vec<PeerEntry> {
+        let mut ids: Vec<NodeId> = self.peers.keys().copied().collect();
+        ids.sort();
+        ids.into_iter()
+            .map(|peer| {
+                let p = &self.peers[&peer];
+                PeerEntry {
+                    peer,
+                    echo_sent_at: p.last_sent_at,
+                    elapsed: now.saturating_since(p.last_recv_at),
+                    rtt_est: p.rtt.map(|e| e.rtt()),
+                }
+            })
+            .collect()
+    }
+
+    /// Iterates over tracked peers.
+    pub fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.peers.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+    fn at(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn estimate_converges_to_constant_input() {
+        let mut e = RttEstimate::new(ms(100));
+        for _ in 0..20 {
+            e.merge(ms(40), 0.5);
+        }
+        let err = (e.rtt().as_secs_f64() - 0.040).abs();
+        assert!(err < 1e-4, "estimate {:?} should approach 40ms", e.rtt());
+        assert_eq!(e.samples(), 21);
+    }
+
+    #[test]
+    fn gain_one_overwrites_gain_zero_freezes() {
+        let mut e = RttEstimate::new(ms(100));
+        e.merge(ms(10), 1.0);
+        assert_eq!(e.rtt(), ms(10));
+        e.merge(ms(500), 0.0);
+        assert_eq!(e.rtt(), ms(10));
+    }
+
+    #[test]
+    fn one_way_is_half_rtt() {
+        let e = RttEstimate::new(ms(80));
+        assert_eq!(e.one_way(), ms(40));
+    }
+
+    #[test]
+    fn table_heard_then_sample_round_trip() {
+        let mut t = PeerTable::new();
+        let p = NodeId(7);
+        t.heard(p, at(100), at(130));
+        assert_eq!(t.rtt(p), None);
+        t.sample(p, ms(60), 0.5, at(130));
+        assert_eq!(t.rtt(p), Some(ms(60)));
+        t.sample(p, ms(20), 0.5, at(140));
+        assert_eq!(t.rtt(p), Some(ms(40)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn entries_echo_the_right_fields() {
+        let mut t = PeerTable::new();
+        t.heard(NodeId(3), at(100), at(120));
+        t.sample(NodeId(3), ms(50), 0.5, at(120));
+        t.heard(NodeId(1), at(90), at(95));
+        let entries = t.entries(at(200));
+        assert_eq!(entries.len(), 2);
+        // sorted by peer id
+        assert_eq!(entries[0].peer, NodeId(1));
+        assert_eq!(entries[0].echo_sent_at, at(90));
+        assert_eq!(entries[0].elapsed, ms(105));
+        assert_eq!(entries[0].rtt_est, None);
+        assert_eq!(entries[1].peer, NodeId(3));
+        assert_eq!(entries[1].elapsed, ms(80));
+        assert_eq!(entries[1].rtt_est, Some(ms(50)));
+    }
+
+    #[test]
+    fn expiry_drops_stale_peers() {
+        let mut t = PeerTable::new();
+        t.heard(NodeId(1), at(0), at(10));
+        t.heard(NodeId(2), at(0), at(500));
+        t.expire(at(100));
+        assert_eq!(t.len(), 1);
+        assert!(t.state(NodeId(2)).is_some());
+        assert!(t.state(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn max_rtt_tracks_most_distant_peer() {
+        let mut t = PeerTable::new();
+        assert_eq!(t.max_rtt(), None);
+        t.sample(NodeId(1), ms(30), 0.5, at(0));
+        t.sample(NodeId(2), ms(90), 0.5, at(0));
+        t.sample(NodeId(3), ms(60), 0.5, at(0));
+        assert_eq!(t.max_rtt(), Some(ms(90)));
+    }
+
+    #[test]
+    fn heard_updates_do_not_clear_estimates() {
+        let mut t = PeerTable::new();
+        t.sample(NodeId(1), ms(40), 0.5, at(0));
+        t.heard(NodeId(1), at(100), at(110));
+        assert_eq!(t.rtt(NodeId(1)), Some(ms(40)));
+        let st = t.state(NodeId(1)).unwrap();
+        assert_eq!(st.last_sent_at, at(100));
+        assert_eq!(st.last_recv_at, at(110));
+    }
+}

@@ -1,0 +1,47 @@
+//! SRM wire messages.
+
+use sharqfec_netsim::{Classify, TrafficClass};
+
+/// SRM's three packet kinds.  Sequence numbers identify individual
+/// packets — SRM repairs *named packets*, unlike SHARQFEC's count-based
+/// FEC NACKs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SrmMsg {
+    /// Original data packet.
+    Data {
+        /// Sequence number (0-based).
+        seq: u32,
+    },
+    /// Repair request (NACK) naming a missing packet.
+    Request {
+        /// The missing packet.
+        seq: u32,
+    },
+    /// Retransmission of a named packet by any member that holds it.
+    Repair {
+        /// The retransmitted packet.
+        seq: u32,
+    },
+}
+
+impl Classify for SrmMsg {
+    fn class(&self) -> TrafficClass {
+        match self {
+            SrmMsg::Data { .. } => TrafficClass::Data,
+            SrmMsg::Request { .. } => TrafficClass::Nack,
+            SrmMsg::Repair { .. } => TrafficClass::Repair,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_match_kinds() {
+        assert_eq!(SrmMsg::Data { seq: 0 }.class(), TrafficClass::Data);
+        assert_eq!(SrmMsg::Request { seq: 0 }.class(), TrafficClass::Nack);
+        assert_eq!(SrmMsg::Repair { seq: 0 }.class(), TrafficClass::Repair);
+    }
+}

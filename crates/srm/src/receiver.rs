@@ -1,0 +1,299 @@
+//! The SRM receiver: gap detection, suppressed requests, peer repairs.
+
+use crate::config::SrmConfig;
+use crate::msg::SrmMsg;
+use crate::timers::AdaptiveParams;
+use sharqfec_netsim::prelude::*;
+use std::collections::HashMap;
+
+const TOK_REQ_BASE: u64 = 1 << 32;
+const TOK_REP_BASE: u64 = 2 << 32;
+const TOK_AUDIT: u64 = 3 << 32;
+
+/// Backoff exponent cap: 2^7 × window tops out around tens of seconds on
+/// the paper topology, keeping the repair tail finite within a simulation
+/// horizon while still backing off aggressively.
+const MAX_BACKOFF: u32 = 7;
+
+#[derive(Debug)]
+struct ReqState {
+    timer: TimerId,
+    /// Backoff exponent `i` in `2^i · [C1·d, (C1+C2)·d]`.
+    i: u32,
+    /// When the loss was first detected (for delay adaptation).
+    detected_at: SimTime,
+    /// Whether an overheard duplicate request already backed this timer
+    /// off in the current round.  SRM backs off *once* per round — a
+    /// shared upstream loss makes all ~n receivers request, and bumping
+    /// `i` per overheard duplicate would instantly push the timer out by
+    /// 2^n and deadlock recovery.
+    backed_off: bool,
+}
+
+#[derive(Debug)]
+struct RepState {
+    timer: TimerId,
+    d_ab: SimDuration,
+}
+
+/// SRM receiver agent.
+pub struct SrmReceiver {
+    cfg: SrmConfig,
+    chan: ChannelId,
+    source: NodeId,
+    received: Vec<bool>,
+    received_count: u32,
+    /// Highest sequence number known to exist (from data, repairs, or
+    /// others' requests); `None` before anything is heard.
+    max_seen: Option<u32>,
+    requests: HashMap<u32, ReqState>,
+    repairs: HashMap<u32, RepState>,
+    holdoff: HashMap<u32, SimTime>,
+    req_params: AdaptiveParams,
+    rep_params: AdaptiveParams,
+    /// Requests this receiver transmitted (for diagnostics).
+    pub requests_sent: u32,
+    /// Repairs this receiver transmitted.
+    pub repairs_sent: u32,
+}
+
+impl SrmReceiver {
+    /// Creates a receiver expecting `cfg.total_packets` packets from
+    /// `source`.
+    pub fn new(cfg: SrmConfig, chan: ChannelId, source: NodeId) -> SrmReceiver {
+        let req_params = AdaptiveParams::new(cfg.c1, cfg.c2, cfg.adaptive);
+        let rep_params = AdaptiveParams::new(cfg.d1, cfg.d2, cfg.adaptive);
+        SrmReceiver {
+            received: vec![false; cfg.total_packets as usize],
+            cfg,
+            chan,
+            source,
+            received_count: 0,
+            max_seen: None,
+            requests: HashMap::new(),
+            repairs: HashMap::new(),
+            holdoff: HashMap::new(),
+            req_params,
+            rep_params,
+            requests_sent: 0,
+            repairs_sent: 0,
+        }
+    }
+
+    /// Whether every packet has been received or repaired.
+    pub fn complete(&self) -> bool {
+        self.received_count == self.cfg.total_packets
+    }
+
+    /// Number of packets still missing.
+    pub fn missing(&self) -> u32 {
+        self.cfg.total_packets - self.received_count
+    }
+
+    fn d_sa(&self, ctx: &Ctx<'_, SrmMsg>) -> SimDuration {
+        ctx.one_way(self.source)
+    }
+
+    fn request_delay(&mut self, ctx: &mut Ctx<'_, SrmMsg>, i: u32) -> SimDuration {
+        let d = self.d_sa(ctx);
+        let factor = ctx
+            .rng()
+            .range_f64(self.req_params.lo, self.req_params.lo + self.req_params.width);
+        d.mul_f64(factor) * (1u64 << i.min(MAX_BACKOFF))
+    }
+
+    /// Starts the request timer for a newly detected loss.
+    fn detect_loss(&mut self, ctx: &mut Ctx<'_, SrmMsg>, seq: u32) {
+        if self.received[seq as usize] || self.requests.contains_key(&seq) {
+            return;
+        }
+        let delay = self.request_delay(ctx, 0);
+        let timer = ctx.set_timer(delay, TOK_REQ_BASE | seq as u64);
+        self.requests.insert(
+            seq,
+            ReqState {
+                timer,
+                i: 0,
+                detected_at: ctx.now(),
+                backed_off: false,
+            },
+        );
+    }
+
+    /// Notes that `upto` exists, detecting any gaps below it.
+    fn note_exists(&mut self, ctx: &mut Ctx<'_, SrmMsg>, upto: u32) {
+        let start = match self.max_seen {
+            Some(m) if m >= upto => return,
+            Some(m) => m + 1,
+            None => 0,
+        };
+        self.max_seen = Some(upto);
+        for seq in start..=upto {
+            if !self.received[seq as usize] {
+                self.detect_loss(ctx, seq);
+            }
+        }
+    }
+
+    /// Marks a packet as held (data or cached repair).
+    fn accept(&mut self, ctx: &mut Ctx<'_, SrmMsg>, seq: u32) {
+        if seq >= self.cfg.total_packets {
+            return; // defensive: stray sequence number
+        }
+        self.note_exists(ctx, seq);
+        if !self.received[seq as usize] {
+            self.received[seq as usize] = true;
+            self.received_count += 1;
+        }
+        // Recovery round ends for this packet.
+        if let Some(req) = self.requests.remove(&seq) {
+            ctx.cancel_timer(req.timer);
+            let waited = ctx.now().saturating_since(req.detected_at).as_secs_f64();
+            let d = self.d_sa(ctx).as_secs_f64().max(1e-9);
+            self.req_params.end_round(waited / d);
+        }
+    }
+
+    fn schedule_repair(&mut self, ctx: &mut Ctx<'_, SrmMsg>, seq: u32, requester: NodeId) {
+        if self.repairs.contains_key(&seq) {
+            self.rep_params.saw_duplicate();
+            return;
+        }
+        if let Some(&until) = self.holdoff.get(&seq) {
+            if ctx.now() < until {
+                return;
+            }
+        }
+        let d_ab = ctx.one_way(requester);
+        let factor = ctx
+            .rng()
+            .range_f64(self.rep_params.lo, self.rep_params.lo + self.rep_params.width);
+        let timer = ctx.set_timer(d_ab.mul_f64(factor), TOK_REP_BASE | seq as u64);
+        self.repairs.insert(seq, RepState { timer, d_ab });
+    }
+}
+
+impl Agent<SrmMsg> for SrmReceiver {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SrmMsg>) {
+        // Audit for tail losses after the stream should have ended: the
+        // receiver knows the advertised stream length and rate, mirroring
+        // SHARQFEC's use of the advertised channel bandwidth for its LDP
+        // estimate.
+        let stream_end = self.cfg.data_start
+            + self.cfg.send_interval * self.cfg.total_packets as u64
+            + self.cfg.send_interval.mul_f64(self.cfg.audit_factor);
+        let delay = stream_end.saturating_since(ctx.now());
+        ctx.set_timer(delay, TOK_AUDIT);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SrmMsg>, token: u64) {
+        if token == TOK_AUDIT {
+            if !self.complete() {
+                // Anything never even heard of is a tail loss.
+                let last = self.cfg.total_packets - 1;
+                self.note_exists(ctx, last);
+                ctx.set_timer(
+                    self.cfg.send_interval.mul_f64(self.cfg.audit_factor),
+                    TOK_AUDIT,
+                );
+            }
+            return;
+        }
+        let seq = (token & 0xFFFF_FFFF) as u32;
+        if token & TOK_REP_BASE != 0 && token < TOK_AUDIT {
+            // Repair timer fired: transmit if still unsuppressed.
+            if let Some(rep) = self.repairs.remove(&seq) {
+                ctx.multicast(self.chan, SrmMsg::Repair { seq }, self.cfg.packet_bytes);
+                self.repairs_sent += 1;
+                self.holdoff.insert(
+                    seq,
+                    ctx.now() + rep.d_ab.mul_f64(self.cfg.repair_holdoff_factor),
+                );
+                self.rep_params.end_round(1.0);
+            }
+            return;
+        }
+        // Request timer fired.
+        if self.received[seq as usize] {
+            self.requests.remove(&seq);
+            return;
+        }
+        let Some(i) = self.requests.get(&seq).map(|r| r.i) else {
+            return;
+        };
+        ctx.multicast(self.chan, SrmMsg::Request { seq }, self.cfg.request_bytes);
+        self.requests_sent += 1;
+        // Back off and wait for the repair; re-request if it never comes.
+        // A fresh round starts: overheard duplicates may back it off once.
+        let new_i = (i + 1).min(MAX_BACKOFF);
+        let delay = self.request_delay(ctx, new_i);
+        let timer = ctx.set_timer(delay, TOK_REQ_BASE | seq as u64);
+        let req = self.requests.get_mut(&seq).expect("still present");
+        req.i = new_i;
+        req.timer = timer;
+        req.backed_off = false;
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, SrmMsg>, pkt: &Packet<SrmMsg>) {
+        match pkt.payload {
+            SrmMsg::Data { seq } => self.accept(ctx, seq),
+            SrmMsg::Repair { seq } => {
+                // Cache the repair and suppress our own pending one.
+                if let Some(rep) = self.repairs.remove(&seq) {
+                    ctx.cancel_timer(rep.timer);
+                    self.holdoff.insert(
+                        seq,
+                        ctx.now() + rep.d_ab.mul_f64(self.cfg.repair_holdoff_factor),
+                    );
+                    self.rep_params.saw_duplicate();
+                    self.rep_params.end_round(1.0);
+                }
+                self.accept(ctx, seq);
+            }
+            SrmMsg::Request { seq } => {
+                if seq >= self.cfg.total_packets {
+                    return;
+                }
+                // A request reveals the packet exists.
+                self.note_exists(ctx, seq);
+                if self.received[seq as usize] {
+                    self.schedule_repair(ctx, seq, pkt.src);
+                } else if let Some((old_timer, i, backed_off)) =
+                    self.requests.get(&seq).map(|r| (r.timer, r.i, r.backed_off))
+                {
+                    // Duplicate-request suppression: exponential backoff
+                    // and timer reset (SRM §IV) — at most once per round,
+                    // or a shared upstream loss heard from ~n peers would
+                    // multiply the delay by 2^n and deadlock recovery.
+                    self.req_params.saw_duplicate();
+                    if !backed_off {
+                        ctx.cancel_timer(old_timer);
+                        let new_i = (i + 1).min(MAX_BACKOFF);
+                        let delay = self.request_delay(ctx, new_i);
+                        let timer = ctx.set_timer(delay, TOK_REQ_BASE | seq as u64);
+                        let req = self.requests.get_mut(&seq).expect("still present");
+                        req.i = new_i;
+                        req.timer = timer;
+                        req.backed_off = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receiver_tracks_completion() {
+        let cfg = SrmConfig {
+            total_packets: 3,
+            ..SrmConfig::default()
+        };
+        let r = SrmReceiver::new(cfg, ChannelId(0), NodeId(0));
+        assert!(!r.complete());
+        assert_eq!(r.missing(), 3);
+    }
+}

@@ -1,0 +1,154 @@
+//! SRM's adaptive timer-parameter adjustment (Floyd et al. §V).
+//!
+//! Each member adjusts its request window `[C1·d, (C1+C2)·d]` from two
+//! EWMAs: the number of duplicate requests it observes per loss-recovery
+//! round, and the delay (in units of `d_SA`) its own requests incur.  Too
+//! many duplicates ⇒ widen the window (better suppression); few duplicates
+//! but long delays ⇒ narrow it (faster recovery).  Repair timers adapt the
+//! same way from duplicate repairs.
+//!
+//! This is a reconstruction from the published description: the update
+//! *structure* (EWMA of duplicates/delay, additive widen on duplicate
+//! pressure, cautious narrowing under low duplicates, floors on the
+//! constants) follows the paper; the exact step sizes are the paper's
+//! published 0.1/0.5 increase and 0.05/0.1 decrease steps applied at the
+//! same trigger points.
+
+/// One adaptive window `[lo·d, (lo+width)·d]`.
+#[derive(Clone, Debug)]
+pub struct AdaptiveParams {
+    /// Window start factor (C1 or D1).
+    pub lo: f64,
+    /// Window width factor (C2 or D2).
+    pub width: f64,
+    /// EWMA of duplicates observed per round.
+    ave_dup: f64,
+    /// EWMA of own-timer delay in units of the distance `d`.
+    ave_delay: f64,
+    /// Duplicates observed in the current round.
+    round_dups: u32,
+    enabled: bool,
+    /// Floors preventing collapse of the window.
+    min_lo: f64,
+    min_width: f64,
+}
+
+/// EWMA gain for the duplicate/delay averages (paper: 1/4).
+const GAIN: f64 = 0.25;
+/// Duplicate pressure above which the window widens (paper: ~1).
+const DUP_HIGH: f64 = 1.0;
+/// Duplicate pressure below which narrowing is considered.
+const DUP_LOW: f64 = 0.25;
+/// Delay (in units of d) above which narrowing kicks in.
+const DELAY_HIGH: f64 = 1.5;
+
+impl AdaptiveParams {
+    /// Creates the adapter with initial window factors.
+    pub fn new(lo: f64, width: f64, enabled: bool) -> AdaptiveParams {
+        AdaptiveParams {
+            lo,
+            width,
+            ave_dup: 0.0,
+            ave_delay: 1.0,
+            round_dups: 0,
+            enabled,
+            min_lo: 0.5,
+            min_width: 0.5,
+        }
+    }
+
+    /// Records an overheard duplicate (request or repair) for the current
+    /// recovery round.
+    pub fn saw_duplicate(&mut self) {
+        self.round_dups = self.round_dups.saturating_add(1);
+    }
+
+    /// Closes a recovery round: folds the round's duplicate count and this
+    /// member's own timer delay (in units of `d`) into the EWMAs, then
+    /// adjusts the window.
+    pub fn end_round(&mut self, own_delay_in_d: f64) {
+        let dups = self.round_dups as f64;
+        self.round_dups = 0;
+        self.ave_dup += GAIN * (dups - self.ave_dup);
+        self.ave_delay += GAIN * (own_delay_in_d - self.ave_delay);
+        if !self.enabled {
+            return;
+        }
+        if self.ave_dup >= DUP_HIGH {
+            // Duplicate pressure: widen for better suppression.
+            self.lo += 0.1;
+            self.width += 0.5;
+        } else if self.ave_dup < DUP_LOW && self.ave_delay > DELAY_HIGH {
+            // Quiet but slow: narrow cautiously.
+            self.lo = (self.lo - 0.05).max(self.min_lo);
+            self.width = (self.width - 0.1).max(self.min_width);
+        }
+    }
+
+    /// Current EWMA of duplicates (exposed for tests/diagnostics).
+    pub fn ave_dup(&self) -> f64 {
+        self.ave_dup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_pressure_widens_window() {
+        let mut p = AdaptiveParams::new(2.0, 2.0, true);
+        for _ in 0..8 {
+            for _ in 0..4 {
+                p.saw_duplicate();
+            }
+            p.end_round(1.0);
+        }
+        assert!(p.lo > 2.0, "C1 should grow under duplicates: {}", p.lo);
+        assert!(p.width > 2.0, "C2 should grow under duplicates: {}", p.width);
+        assert!(p.ave_dup() > 1.0);
+    }
+
+    #[test]
+    fn quiet_slow_rounds_narrow_window() {
+        let mut p = AdaptiveParams::new(2.0, 2.0, true);
+        for _ in 0..12 {
+            p.end_round(3.0); // no duplicates, long delays
+        }
+        assert!(p.lo < 2.0, "C1 should shrink when quiet: {}", p.lo);
+        assert!(p.width < 2.0, "C2 should shrink when quiet: {}", p.width);
+    }
+
+    #[test]
+    fn floors_prevent_collapse() {
+        let mut p = AdaptiveParams::new(0.6, 0.6, true);
+        for _ in 0..100 {
+            p.end_round(5.0);
+        }
+        assert!(p.lo >= 0.5);
+        assert!(p.width >= 0.5);
+    }
+
+    #[test]
+    fn disabled_adapter_keeps_fixed_window() {
+        let mut p = AdaptiveParams::new(2.0, 2.0, false);
+        for _ in 0..10 {
+            p.saw_duplicate();
+            p.end_round(5.0);
+        }
+        assert_eq!(p.lo, 2.0);
+        assert_eq!(p.width, 2.0);
+        // EWMAs still track (harmless bookkeeping).
+        assert!(p.ave_dup() > 0.0);
+    }
+
+    #[test]
+    fn quiet_fast_rounds_hold_steady() {
+        let mut p = AdaptiveParams::new(2.0, 2.0, true);
+        for _ in 0..10 {
+            p.end_round(0.5); // no duplicates, short delays: no change
+        }
+        assert_eq!(p.lo, 2.0);
+        assert_eq!(p.width, 2.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! The §5.1 "national distribution" hierarchy.
+//!
+//! The paper sizes a hypothetical sporting-event broadcast: one national
+//! sender, 10 regions, 20 cities per region, 100 suburbs per city, 500
+//! subscribers per suburb — 10,000,210 receivers under a 4-level zone
+//! hierarchy, with dedicated caching receivers (by-design ZCRs) at every
+//! bifurcation except the suburb level.
+//!
+//! The full-scale version is analysed arithmetically in
+//! `sharqfec-analysis::national` (Figure 8's table needs no packet-level
+//! simulation).  This builder produces the same *shape* at configurable,
+//! simulation-friendly counts, so examples and integration tests can run a
+//! real protocol over a miniature national network.
+//!
+//! Structure per zone level (each is a star off its parent hub):
+//! `source — region hub — city hub — suburb hub — subscribers`.
+//! Hubs are dedicated caching receivers; they are session members and the
+//! by-design ZCRs of their zones.
+
+use crate::BuiltTopology;
+use sharqfec_netsim::{LinkParams, NodeId, SimDuration, TopologyBuilder};
+use sharqfec_scoping::ZoneHierarchyBuilder;
+
+/// Shape of the national hierarchy.
+#[derive(Clone, Debug)]
+pub struct NationalParams {
+    /// Number of regions (paper: 10).
+    pub regions: usize,
+    /// Cities per region (paper: 20).
+    pub cities_per_region: usize,
+    /// Suburbs per city (paper: 100).
+    pub suburbs_per_city: usize,
+    /// Subscribers per suburb (paper: 500).
+    pub subscribers_per_suburb: usize,
+    /// Loss on subscriber access links (the congested edge).
+    pub access_loss: f64,
+    /// Loss on hub-to-hub distribution links.
+    pub backbone_loss: f64,
+}
+
+impl NationalParams {
+    /// The paper's full scale (10,000,210 receivers) — for arithmetic only;
+    /// do not build a graph from this.
+    pub fn paper() -> NationalParams {
+        NationalParams {
+            regions: 10,
+            cities_per_region: 20,
+            suburbs_per_city: 100,
+            subscribers_per_suburb: 500,
+            access_loss: 0.02,
+            backbone_loss: 0.01,
+        }
+    }
+
+    /// A simulation-friendly miniature: 2 regions × 2 cities × 2 suburbs ×
+    /// 4 subscribers = 46 receivers.
+    pub fn small() -> NationalParams {
+        NationalParams {
+            regions: 2,
+            cities_per_region: 2,
+            suburbs_per_city: 2,
+            subscribers_per_suburb: 4,
+            access_loss: 0.05,
+            backbone_loss: 0.01,
+        }
+    }
+
+    /// Total receiver count, mirroring the paper's 10,000,210 at full
+    /// scale: dedicated caches at region and city bifurcations, plus the
+    /// subscribers.  Suburbs get *no* dedicated node — "at the suburb level
+    /// one of the 500 subscribers will be elected to perform this task"
+    /// (§5.1), so the suburb star is centred on its first subscriber.
+    pub fn receiver_count(&self) -> usize {
+        let hubs = self.regions + self.regions * self.cities_per_region;
+        let subs = self.regions
+            * self.cities_per_region
+            * self.suburbs_per_city
+            * self.subscribers_per_suburb;
+        hubs + subs
+    }
+}
+
+/// Builds a miniature national hierarchy.
+///
+/// # Panics
+///
+/// Panics if the parameters would create more than 100,000 nodes — use
+/// [`sharqfec_analysis`-style arithmetic](NationalParams::paper) for the
+/// full-scale numbers instead of a graph.
+pub fn national(params: &NationalParams) -> BuiltTopology {
+    let total = params.receiver_count() + 1;
+    assert!(
+        total <= 100_000,
+        "national({total} nodes) too large to simulate; use the analytic model"
+    );
+
+    let mut b = TopologyBuilder::new();
+    let source = b.add_node("national-src");
+    let backbone = |lat_ms: u64, loss: f64| LinkParams::new(
+        SimDuration::from_millis(lat_ms),
+        45_000_000,
+        loss,
+    );
+    let access = LinkParams::new(SimDuration::from_millis(5), 10_000_000, params.access_loss);
+
+    let mut receivers = Vec::new();
+    let mut zb = ZoneHierarchyBuilder::new(total);
+    // Collect member lists as we build, then declare zones afterwards.
+    struct SuburbRec {
+        hub: NodeId,
+        members: Vec<NodeId>,
+    }
+    struct CityRec {
+        hub: NodeId,
+        members: Vec<NodeId>,
+        suburbs: Vec<SuburbRec>,
+    }
+    struct RegionRec {
+        hub: NodeId,
+        members: Vec<NodeId>,
+        cities: Vec<CityRec>,
+    }
+
+    let mut region_recs = Vec::new();
+    for r in 0..params.regions {
+        let region_hub = b.add_node(format!("region{r}"));
+        b.add_link(source, region_hub, backbone(25, params.backbone_loss));
+        receivers.push(region_hub);
+        let mut region_members = vec![region_hub];
+        let mut cities = Vec::new();
+        for c in 0..params.cities_per_region {
+            let city_hub = b.add_node(format!("r{r}c{c}"));
+            b.add_link(region_hub, city_hub, backbone(10, params.backbone_loss));
+            receivers.push(city_hub);
+            let mut city_members = vec![city_hub];
+            let mut suburbs = Vec::new();
+            for s in 0..params.suburbs_per_city {
+                // No dedicated suburb node: the first subscriber is the
+                // star centre and by-design ZCR (paper §5.1 elects one of
+                // the subscribers at this level).
+                assert!(
+                    params.subscribers_per_suburb >= 1,
+                    "suburbs need at least one subscriber"
+                );
+                let suburb_hub = b.add_node(format!("r{r}c{c}s{s}u0"));
+                b.add_link(city_hub, suburb_hub, backbone(5, params.backbone_loss));
+                receivers.push(suburb_hub);
+                let mut suburb_members = vec![suburb_hub];
+                for u in 1..params.subscribers_per_suburb {
+                    let sub = b.add_node(format!("r{r}c{c}s{s}u{u}"));
+                    b.add_link(suburb_hub, sub, access);
+                    receivers.push(sub);
+                    suburb_members.push(sub);
+                }
+                city_members.extend_from_slice(&suburb_members);
+                suburbs.push(SuburbRec {
+                    hub: suburb_hub,
+                    members: suburb_members,
+                });
+            }
+            region_members.extend_from_slice(&city_members);
+            cities.push(CityRec {
+                hub: city_hub,
+                members: city_members,
+                suburbs,
+            });
+        }
+        region_recs.push(RegionRec {
+            hub: region_hub,
+            members: region_members,
+            cities,
+        });
+    }
+
+    let topology = b.build();
+    let all: Vec<NodeId> = (0..total as u32).map(NodeId).collect();
+    let z_root = zb.root(&all);
+    let mut designed_zcrs = vec![source];
+    debug_assert_eq!(z_root.idx(), 0);
+    for region in &region_recs {
+        let zr = zb.child(z_root, &region.members).expect("region nests");
+        debug_assert_eq!(designed_zcrs.len(), zr.idx());
+        designed_zcrs.push(region.hub);
+        for city in &region.cities {
+            let zc = zb.child(zr, &city.members).expect("city nests");
+            debug_assert_eq!(designed_zcrs.len(), zc.idx());
+            designed_zcrs.push(city.hub);
+            for suburb in &city.suburbs {
+                let zs = zb.child(zc, &suburb.members).expect("suburb nests");
+                debug_assert_eq!(designed_zcrs.len(), zs.idx());
+                designed_zcrs.push(suburb.hub);
+            }
+        }
+    }
+    let hierarchy = zb.build().expect("national hierarchy is valid");
+
+    BuiltTopology {
+        topology,
+        source,
+        receivers,
+        hierarchy,
+        designed_zcrs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_10m() {
+        let p = NationalParams::paper();
+        assert_eq!(p.receiver_count(), 10_000_210);
+    }
+
+    #[test]
+    fn small_scale_counts() {
+        let p = NationalParams::small();
+        // hubs: 2 regions + 4 cities = 6; subs: 8 suburbs * 4 = 32; total 38.
+        assert_eq!(p.receiver_count(), 38);
+        let built = national(&p);
+        assert_eq!(built.topology.node_count(), 39);
+        assert_eq!(built.receivers.len(), 38);
+        // zones: 1 root + 2 regions + 4 cities + 8 suburbs
+        assert_eq!(built.hierarchy.zone_count(), 15);
+    }
+
+    #[test]
+    fn subscriber_zone_chain_is_four_deep() {
+        let built = national(&NationalParams::small());
+        // The last-added receiver is a subscriber.
+        let sub = *built.receivers.last().unwrap();
+        assert_eq!(built.hierarchy.zone_chain(sub).len(), 4);
+    }
+
+    #[test]
+    fn hub_is_designed_zcr_of_its_zone() {
+        let built = national(&NationalParams::small());
+        for zone in built.hierarchy.zones().iter().skip(1) {
+            let zcr = built.zcr(zone.id);
+            assert!(built.hierarchy.is_member(zone.id, zcr));
+            // the designed ZCR of a non-root zone is its hub: the member
+            // closest (in the graph) to the source.
+            let spt = sharqfec_netsim::routing::Spt::compute(&built.topology, built.source);
+            let best = zone
+                .members
+                .iter()
+                .copied()
+                .min_by_key(|m| (spt.delay_to(*m), m.idx()))
+                .unwrap();
+            assert_eq!(zcr, best, "zone {}", zone.id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn full_scale_graph_is_refused() {
+        national(&NationalParams::paper());
+    }
+}

@@ -1,0 +1,220 @@
+//! Chains, forks ("stars"), and balanced trees.
+//!
+//! The paper's §6.1 reports that "other networks that were purely chain- or
+//! tree-based were also simulated, and, as expected, the appropriate
+//! receivers were elected as the ZCR for each zone with each election at
+//! each zone taking either one or two challenges."  These builders supply
+//! those networks, shaped like the paper's Figure 9 challenge cases.
+//!
+//! A zone must be *physically contiguous* for administrative scoping to
+//! work — every routing path between two zone members must stay inside the
+//! zone.  That is why the chain puts the source at one end, the star is
+//! really the paper's **fork** (a gateway receiver between the source and
+//! the spokes), and the balanced tree gets one child zone per level-1
+//! subtree rather than a single all-receivers zone.
+
+use crate::BuiltTopology;
+use sharqfec_netsim::{LinkParams, NodeId, SimDuration, TopologyBuilder};
+use sharqfec_scoping::ZoneHierarchyBuilder;
+
+/// Default link: 10 Mbit/s, 20 ms, lossless (loss is configured per
+/// experiment, not per builder, for these protocol-logic topologies).
+fn default_link() -> LinkParams {
+    LinkParams::lossless(SimDuration::from_millis(20), 10_000_000)
+}
+
+/// A chain `source - r1 - r2 - … - r(n-1)` (the paper's Figure 9, left).
+/// One child zone holds all receivers; `r1` — adjacent to the source — is
+/// its true closest receiver and designed ZCR.
+///
+/// `n` counts all nodes including the source; must be ≥ 2.
+pub fn chain(n: usize) -> BuiltTopology {
+    assert!(n >= 2, "chain needs at least a source and one receiver");
+    let mut b = TopologyBuilder::new();
+    let ids = b.add_nodes("c", n);
+    for w in ids.windows(2) {
+        b.add_link(w[0], w[1], default_link());
+    }
+    let topology = b.build();
+    let source = ids[0];
+    let receivers = ids[1..].to_vec();
+
+    let mut zb = ZoneHierarchyBuilder::new(n);
+    let root = zb.root(&ids);
+    let child = zb.child(root, &receivers).expect("receivers nest in root");
+    let hierarchy = zb.build().expect("chain hierarchy is valid");
+    let mut designed_zcrs = vec![source; 2];
+    designed_zcrs[child.idx()] = receivers[0];
+
+    BuiltTopology {
+        topology,
+        source,
+        receivers,
+        hierarchy,
+        designed_zcrs,
+    }
+}
+
+/// The paper's Figure 9 **fork** case (exported as `star` for its shape
+/// seen from the gateway): `source — gw — {spoke₁, spoke₂, …}` with spokes
+/// of increasing latency (20, 25, 30, … ms) so distances are distinct and
+/// the election outcome is unambiguous — the gateway receiver is closest.
+///
+/// `n` counts all nodes including the source; must be ≥ 3 (source, gateway,
+/// one spoke).  `receivers[0]` is the gateway.
+pub fn star(n: usize) -> BuiltTopology {
+    assert!(n >= 3, "star needs a source, a gateway, and at least one spoke");
+    let mut b = TopologyBuilder::new();
+    let source = b.add_node("src");
+    let gw = b.add_node("gw");
+    b.add_link(source, gw, default_link());
+    let mut receivers = vec![gw];
+    for i in 0..(n - 2) {
+        let spoke = b.add_node(format!("spoke{i}"));
+        let lat = SimDuration::from_millis(20 + 5 * i as u64);
+        b.add_link(gw, spoke, LinkParams::lossless(lat, 10_000_000));
+        receivers.push(spoke);
+    }
+    let topology = b.build();
+
+    let mut zb = ZoneHierarchyBuilder::new(n);
+    let all: Vec<NodeId> = std::iter::once(source).chain(receivers.iter().copied()).collect();
+    let root = zb.root(&all);
+    let child = zb.child(root, &receivers).expect("receivers nest in root");
+    let hierarchy = zb.build().expect("star hierarchy is valid");
+    let mut designed_zcrs = vec![source; 2];
+    designed_zcrs[child.idx()] = gw;
+
+    BuiltTopology {
+        topology,
+        source,
+        receivers,
+        hierarchy,
+        designed_zcrs,
+    }
+}
+
+/// A balanced tree of the given fanout and depth rooted at the source.
+/// Depth 1 means the source plus `fanout` leaves.  Each level-1 subtree is
+/// one child zone (physically contiguous), with the subtree head as its
+/// designed ZCR.
+pub fn balanced_tree(fanout: usize, depth: usize) -> BuiltTopology {
+    assert!(fanout >= 1 && depth >= 1, "tree needs fanout, depth >= 1");
+    let mut b = TopologyBuilder::new();
+    let source = b.add_node("root");
+    let mut receivers = Vec::new();
+    // Build each level-1 subtree breadth-first, tracking its members.
+    let mut subtrees: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+    for s in 0..fanout {
+        let head = b.add_node(format!("s{s}"));
+        b.add_link(source, head, default_link());
+        receivers.push(head);
+        let mut members = vec![head];
+        let mut frontier = vec![head];
+        for d in 2..=depth {
+            let mut next = Vec::new();
+            for &parent in &frontier {
+                for c in 0..fanout {
+                    let node = b.add_node(format!("s{s}d{d}f{c}"));
+                    b.add_link(parent, node, default_link());
+                    receivers.push(node);
+                    members.push(node);
+                    next.push(node);
+                }
+            }
+            frontier = next;
+        }
+        subtrees.push((head, members));
+    }
+    let topology = b.build();
+    let n = topology.node_count();
+
+    let mut zb = ZoneHierarchyBuilder::new(n);
+    let all: Vec<NodeId> = std::iter::once(source).chain(receivers.iter().copied()).collect();
+    let root = zb.root(&all);
+    let mut designed_zcrs = vec![source];
+    debug_assert_eq!(root.idx(), 0);
+    for (head, members) in &subtrees {
+        let z = zb.child(root, members).expect("subtree nests");
+        debug_assert_eq!(designed_zcrs.len(), z.idx());
+        designed_zcrs.push(*head);
+    }
+    let hierarchy = zb.build().expect("tree hierarchy is valid");
+
+    BuiltTopology {
+        topology,
+        source,
+        receivers,
+        hierarchy,
+        designed_zcrs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharqfec_netsim::routing::Spt;
+    use sharqfec_scoping::ZoneId;
+
+    #[test]
+    fn chain_counts_and_shape() {
+        let c = chain(5);
+        assert_eq!(c.topology.node_count(), 5);
+        assert_eq!(c.topology.link_count(), 4);
+        assert_eq!(c.receivers.len(), 4);
+        // Source sits at one end: farthest node is 4 hops * 20ms away.
+        let spt = Spt::compute(&c.topology, c.source);
+        assert_eq!(spt.delay_to(c.receivers[3]), SimDuration::from_millis(80));
+    }
+
+    #[test]
+    fn star_is_a_fork_with_gateway_closest() {
+        let s = star(5);
+        assert_eq!(s.topology.node_count(), 5);
+        let spt = Spt::compute(&s.topology, s.source);
+        // gateway at 20ms; spokes at 40, 45, 50ms from the source.
+        assert_eq!(spt.delay_to(s.receivers[0]), SimDuration::from_millis(20));
+        assert_eq!(spt.delay_to(s.receivers[1]), SimDuration::from_millis(40));
+        assert_eq!(spt.delay_to(s.receivers[2]), SimDuration::from_millis(45));
+        assert_eq!(spt.delay_to(s.receivers[3]), SimDuration::from_millis(50));
+        assert_eq!(s.zcr(ZoneId(1)), s.receivers[0]);
+    }
+
+    #[test]
+    fn balanced_tree_counts_and_zones() {
+        let t = balanced_tree(3, 2);
+        // 1 + 3 + 9
+        assert_eq!(t.topology.node_count(), 13);
+        assert_eq!(t.receivers.len(), 12);
+        // one zone per subtree + root
+        assert_eq!(t.hierarchy.zone_count(), 4);
+        // each subtree zone holds head + 3 leaves
+        for z in t.hierarchy.zones().iter().skip(1) {
+            assert_eq!(z.members.len(), 4);
+            assert!(t.hierarchy.is_member(z.id, t.zcr(z.id)));
+        }
+    }
+
+    #[test]
+    fn chain_child_zone_excludes_source() {
+        let c = chain(4);
+        let child = ZoneId(1);
+        assert!(!c.hierarchy.is_member(child, c.source));
+        for r in &c.receivers {
+            assert!(c.hierarchy.is_member(child, *r));
+        }
+        assert_eq!(c.zcr(child), c.receivers[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn degenerate_chain_rejected() {
+        chain(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn degenerate_star_rejected() {
+        star(2);
+    }
+}

@@ -1,0 +1,107 @@
+//! An interactive-ish exploration tool: run any protocol variant on any
+//! built-in topology and inspect the result — summary, per-class traffic,
+//! and a filtered event timeline around the first loss (the trace module
+//! standing in for the paper's *nam* animator).
+//!
+//! Run: `cargo run --release --example explore -- [variant] [topology] [packets] [seed]`
+//!
+//!   variant  : full | ni | ns | ns_ni | ecsrm          (default full)
+//!   topology : figure10 | national | chain | random    (default figure10)
+//!   packets  : data packets                            (default 64)
+//!   seed     : RNG seed                                (default 42)
+
+use sharqfec_repro::netsim::trace::{Timeline, TraceFilter};
+use sharqfec_repro::netsim::{SimDuration, SimTime, TrafficClass};
+use sharqfec_repro::protocol::{setup_sharqfec_sim, SfAgent, SharqfecConfig};
+use sharqfec_repro::topology::{
+    chain, figure10, national, random_tree, BuiltTopology, Figure10Params, NationalParams,
+    RandomTreeParams,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let variant = args.get(1).map(String::as_str).unwrap_or("full");
+    let topology = args.get(2).map(String::as_str).unwrap_or("figure10");
+    let packets: u32 = args.get(3).map(|s| s.parse().expect("packets")).unwrap_or(64);
+    let seed: u64 = args.get(4).map(|s| s.parse().expect("seed")).unwrap_or(42);
+
+    let cfg = SharqfecConfig {
+        total_packets: packets,
+        ..match variant {
+            "full" => SharqfecConfig::full(),
+            "ni" => SharqfecConfig::ni(),
+            "ns" => SharqfecConfig::ns(),
+            "ns_ni" => SharqfecConfig::ns_ni(),
+            "ecsrm" => SharqfecConfig::ecsrm(),
+            other => panic!("unknown variant {other} (full|ni|ns|ns_ni|ecsrm)"),
+        }
+    };
+    let built: BuiltTopology = match topology {
+        "figure10" => figure10(&Figure10Params::default()),
+        "national" => national(&NationalParams::small()),
+        "chain" => chain(8),
+        "random" => random_tree(&RandomTreeParams::default(), seed),
+        other => panic!("unknown topology {other} (figure10|national|chain|random)"),
+    };
+
+    println!(
+        "exploring {variant} on {topology}: {} receivers, {} zones, {packets} packets, seed {seed}",
+        built.receivers.len(),
+        built.hierarchy.zone_count()
+    );
+
+    let mut engine = setup_sharqfec_sim(&built, seed, cfg, SimTime::from_secs(1));
+    engine.run_until(SimTime::from_secs(6 + packets as u64 / 100 + 60));
+
+    // Summary.
+    let missing: u32 = built
+        .receivers
+        .iter()
+        .map(|&r| engine.agent::<SfAgent>(r).expect("receiver").missing())
+        .sum();
+    let rec = engine.recorder();
+    println!("\nper-class transmissions / deliveries / drops:");
+    for class in [
+        TrafficClass::Data,
+        TrafficClass::Repair,
+        TrafficClass::Nack,
+        TrafficClass::Session,
+        TrafficClass::Control,
+    ] {
+        let tx = rec.transmissions.iter().filter(|t| t.class == class).count();
+        let rx = rec.deliveries.iter().filter(|d| d.class == class).count();
+        let dr = rec.drops.iter().filter(|d| d.class == class).count();
+        println!("  {:<8} {:>7} / {:>8} / {:>6}", class.label(), tx, rx, dr);
+    }
+    println!("packets missing at horizon: {missing}");
+
+    // Timeline around the first data loss: who noticed, who asked, who
+    // repaired.
+    if let Some(first_drop) = rec.drops.iter().find(|d| d.class == TrafficClass::Data) {
+        let from = first_drop.time;
+        let to = from + SimDuration::from_millis(1500);
+        println!(
+            "\nevent timeline for the 1.5 s after the first data loss (t={:.3}s, link n{}→n{}):",
+            from.as_secs_f64(),
+            first_drop.from.0,
+            first_drop.to.0
+        );
+        let text = Timeline::new(rec)
+            .filter(
+                TraceFilter::default()
+                    .class(TrafficClass::Nack)
+                    .class(TrafficClass::Repair)
+                    .between(from, to),
+            )
+            .render();
+        let lines: Vec<&str> = text.lines().collect();
+        for line in lines.iter().take(25) {
+            println!("  {line}");
+        }
+        if lines.len() > 25 {
+            println!("  … {} more events", lines.len() - 25);
+        }
+    } else {
+        println!("\nno data losses occurred (lossless run).");
+    }
+}

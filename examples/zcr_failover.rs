@@ -1,0 +1,147 @@
+//! ZCR failure and recovery (paper §5.2's robustness claim): "the ZCR
+//! challenge phase … provides a means for the receivers within a zone to
+//! elect a new ZCR, should the old ZCR leave the session."
+//!
+//! A custom agent wraps [`SessionCore`] and simply goes silent at a
+//! configured time — modelling a crashed dedicated cache.  The remaining
+//! zone members notice the silence through their liveness windows, issue
+//! their own challenges, and elect the next-closest receiver.
+//!
+//! Run: `cargo run --release --example zcr_failover`
+
+use sharqfec_repro::netsim::prelude::*;
+use sharqfec_repro::scoping::ZoneId;
+use sharqfec_repro::session::core::{is_session_token, SessionCore, SessionCtx, ZcrSeeding};
+use sharqfec_repro::session::{SessionConfig, SessionMsg, SessionWire};
+use sharqfec_repro::topology::chain;
+use std::rc::Rc;
+
+/// A session agent that dies (goes permanently silent) at `die_at`.
+struct MortalAgent {
+    core: SessionCore,
+    channels: Rc<Vec<ChannelId>>,
+    die_at: Option<SimTime>,
+    dead: bool,
+}
+
+struct Bridge<'a, 'b> {
+    ctx: &'a mut Ctx<'b, SessionWire>,
+    channels: &'a [ChannelId],
+}
+impl SessionCtx for Bridge<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+    fn rng(&mut self) -> &mut SimRng {
+        self.ctx.rng()
+    }
+    fn send(&mut self, zone: ZoneId, msg: SessionMsg, bytes: u32) {
+        self.ctx
+            .multicast(self.channels[zone.idx()], SessionWire(msg), bytes);
+    }
+    fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        self.ctx.set_timer(delay, token)
+    }
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.ctx.cancel_timer(id);
+    }
+}
+
+impl MortalAgent {
+    fn alive(&mut self, now: SimTime) -> bool {
+        if let Some(t) = self.die_at {
+            if now >= t {
+                self.dead = true;
+            }
+        }
+        !self.dead
+    }
+}
+
+impl Agent<SessionWire> for MortalAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SessionWire>) {
+        let mut b = Bridge {
+            ctx,
+            channels: &self.channels,
+        };
+        self.core.start(&mut b);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SessionWire>, token: u64) {
+        if !self.alive(ctx.now()) || !is_session_token(token) {
+            return;
+        }
+        let mut b = Bridge {
+            ctx,
+            channels: &self.channels,
+        };
+        self.core.on_timer(&mut b, token);
+    }
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, SessionWire>, pkt: &Packet<SessionWire>) {
+        if !self.alive(ctx.now()) {
+            return;
+        }
+        let mut b = Bridge {
+            ctx,
+            channels: &self.channels,
+        };
+        self.core.on_msg(&mut b, pkt.src, &pkt.payload.0);
+    }
+}
+
+fn main() {
+    // Chain: src - r1 - r2 - r3 - r4.  r1 is the designed ZCR; it dies at
+    // t = 8 s and r2 (the next-closest) must take over.
+    let built = chain(5);
+    let hier = Rc::new(built.hierarchy.clone());
+    let mut engine: Engine<SessionWire> = Engine::new(built.topology.clone(), 5);
+    let channels: Rc<Vec<ChannelId>> = Rc::new(
+        hier.zones()
+            .iter()
+            .map(|z| engine.add_channel(&z.members))
+            .collect(),
+    );
+    let seeding = ZcrSeeding::Designed(built.designed_zcrs.clone());
+    let doomed = built.receivers[0];
+    let heir = built.receivers[1];
+    for member in built.members() {
+        let core = SessionCore::new(member, Rc::clone(&hier), SessionConfig::default(), &seeding);
+        let die_at = (member == doomed).then(|| SimTime::from_secs(8));
+        engine.set_agent_with_start(
+            member,
+            Box::new(MortalAgent {
+                core,
+                channels: Rc::clone(&channels),
+                die_at,
+                dead: false,
+            }),
+            SimTime::from_secs(1),
+        );
+    }
+
+    let zone = built.hierarchy.smallest_zone(heir);
+    let view = |engine: &Engine<SessionWire>, node: NodeId| {
+        engine
+            .agent::<MortalAgent>(node)
+            .expect("agent")
+            .core
+            .zcr_of(zone)
+    };
+
+    engine.run_until(SimTime::from_secs(7));
+    println!("t=7s   (before failure): survivors see ZCR = {:?}", view(&engine, heir));
+    for &r in &built.receivers[1..] {
+        assert_eq!(view(&engine, r), Some(doomed), "designed ZCR in office");
+    }
+
+    println!("t=8s   ZCR {doomed} crashes (goes silent)");
+    engine.run_until(SimTime::from_secs(25));
+    println!("t=25s  (after liveness window + challenge): survivors see ZCR = {:?}", view(&engine, heir));
+    for &r in &built.receivers[1..] {
+        assert_eq!(
+            view(&engine, r),
+            Some(heir),
+            "receiver {r} should have adopted the next-closest receiver"
+        );
+    }
+    println!("failover complete: {heir} (next-closest to the source) took over");
+}

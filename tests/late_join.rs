@@ -1,0 +1,110 @@
+//! Late joins (paper §7: "This same hierarchy also provides the means for
+//! localizing late-join traffic").
+//!
+//! A receiver that joins mid-stream missed entire groups; its audit path
+//! detects them and its NACKs walk the scope ladder from its smallest
+//! zone outward, so recovery of the missed history is served locally
+//! where possible.
+
+use sharqfec_repro::netsim::{NodeId, SimTime, TrafficClass};
+use sharqfec_repro::protocol::{SfAgent, SharqfecConfig, Role};
+use sharqfec_repro::session::core::{SessionCore, ZcrSeeding};
+use sharqfec_repro::topology::{figure10, Figure10Params};
+use std::rc::Rc;
+
+/// Build the standard simulation but with one receiver joining late.
+fn sim_with_late_joiner(
+    late: NodeId,
+    join_at: SimTime,
+) -> (
+    sharqfec_repro::netsim::Engine<sharqfec_repro::protocol::SfMsg>,
+    sharqfec_repro::topology::BuiltTopology,
+) {
+    let built = figure10(&Figure10Params::default());
+    let cfg = SharqfecConfig {
+        total_packets: 96,
+        ..SharqfecConfig::full()
+    };
+    // Mirror setup_sharqfec_sim, but stagger one member's start.
+    let hier = Rc::new(built.hierarchy.clone());
+    let mut engine: sharqfec_repro::netsim::Engine<sharqfec_repro::protocol::SfMsg> =
+        sharqfec_repro::netsim::Engine::new(built.topology.clone(), 31);
+    let channels: Rc<Vec<sharqfec_repro::netsim::ChannelId>> = Rc::new(
+        hier.zones()
+            .iter()
+            .map(|z| engine.add_channel(&z.members))
+            .collect(),
+    );
+    let seeding = ZcrSeeding::Designed(built.designed_zcrs.clone());
+    for member in built.members() {
+        let role = if member == built.source {
+            Role::Source
+        } else {
+            Role::Receiver
+        };
+        let session = SessionCore::new(member, Rc::clone(&hier), cfg.session.clone(), &seeding);
+        let agent = SfAgent::new(
+            cfg.clone(),
+            role,
+            session,
+            Rc::clone(&hier),
+            Rc::clone(&channels),
+            built.source,
+        );
+        let start = if member == late {
+            join_at
+        } else {
+            SimTime::from_secs(1)
+        };
+        engine.set_agent_with_start(member, Box::new(agent), start);
+    }
+    (engine, built)
+}
+
+#[test]
+fn late_joiner_recovers_the_full_history() {
+    // Receiver 58 (a leaf in the worst-loss tree) joins at t = 10 s —
+    // four seconds into the 9.6-second stream, having missed ~40 packets.
+    let late = NodeId(58);
+    let (mut engine, built) = sim_with_late_joiner(late, SimTime::from_secs(10));
+    engine.run_until(SimTime::from_secs(150));
+
+    for &r in &built.receivers {
+        let agent = engine.agent::<SfAgent>(r).expect("receiver");
+        assert_eq!(
+            agent.missing(),
+            0,
+            "receiver {r} (late={}) still missing packets",
+            r == late
+        );
+    }
+}
+
+#[test]
+fn late_join_recovery_is_scoped() {
+    // The joiner's repair requests must start at its smallest zone; the
+    // history it missed is held by its zone-mates, so most recovery
+    // traffic never reaches the source.
+    let late = NodeId(58);
+    let (mut engine, _built) = sim_with_late_joiner(late, SimTime::from_secs(10));
+    engine.run_until(SimTime::from_secs(150));
+
+    let rec = engine.recorder();
+    // NACKs transmitted by the late joiner, by channel.
+    let mut by_channel: std::collections::HashMap<u32, usize> = Default::default();
+    for t in &rec.transmissions {
+        if t.node == late && t.class == TrafficClass::Nack {
+            *by_channel.entry(t.channel.0).or_default() += 1;
+        }
+    }
+    let total: usize = by_channel.values().sum();
+    assert!(total > 0, "the joiner must have requested its history");
+    // Channel 0 is the root/data channel; everything else is scoped.
+    let at_root = by_channel.get(&0).copied().unwrap_or(0);
+    assert!(
+        at_root * 2 <= total,
+        "most late-join NACKs should stay scoped: {at_root}/{total} at root ({by_channel:?})"
+    );
+    // And the joiner did end up complete.
+    assert_eq!(engine.agent::<SfAgent>(late).unwrap().missing(), 0);
+}
