@@ -25,7 +25,10 @@ pub mod table;
 
 pub use fig1::{ExampleTree, NonScopedFecModel};
 pub use national::{NationalAnalysis, NationalLevel};
-pub use series::{bin_deliveries, bin_transmissions, BinSpec};
+pub use series::{
+    bin_deliveries, bin_deliveries_streaming, bin_transmissions, bin_transmissions_streaming,
+    BinSpec,
+};
 pub use spark::{downsample, spark_row, sparkline};
 pub use stats::{cdf, mean, percentile, Summary};
 pub use table::Table;

@@ -55,12 +55,7 @@ impl NationalAnalysis {
         // Participants of one zone's session at each level = its fan-out
         // (the child ZCRs / subscribers announcing there).
         let participants = [regions, cities, suburbs, subs];
-        let zones = [
-            1,
-            regions,
-            regions * cities,
-            regions * cities * suburbs,
-        ];
+        let zones = [1, regions, regions * cities, regions * cities * suburbs];
         // Receivers whose smallest zone is this level: the dedicated
         // caches (region, city) or the subscribers; the national zone has
         // only the sender.

@@ -1,6 +1,14 @@
 //! Time-series binning of recorder events.
+//!
+//! Two paths produce the same series:
+//!
+//! * [`bin_deliveries`] / [`bin_transmissions`] scan raw event vectors
+//!   (recorder in `Raw` mode);
+//! * [`bin_deliveries_streaming`] / [`bin_transmissions_streaming`] read
+//!   the per-(node, class) bins a `Streaming`-mode recorder aggregated at
+//!   record time, for runs too large (or too numerous) to keep raw traces.
 
-use sharqfec_netsim::metrics::{Record, TrafficClass};
+use sharqfec_netsim::metrics::{Record, Recorder, TrafficClass};
 use sharqfec_netsim::{NodeId, SimTime};
 
 /// A binning specification: window `[start, end)` cut into fixed-width
@@ -88,9 +96,78 @@ pub fn bin_transmissions(records: &[Record], spec: &BinSpec, classes: &[TrafficC
     counts
 }
 
+/// Offset of the recorder bin that corresponds to `spec`'s first bin.
+///
+/// # Panics
+///
+/// Panics if the spec's bin width differs from the recorder's, or the
+/// window start is not on a recorder bin boundary — the streaming bins are
+/// fixed at record time, so a misaligned spec cannot be served.
+fn streaming_base(rec: &Recorder, spec: &BinSpec) -> usize {
+    let width_ns = rec.bin_width().as_nanos();
+    let spec_width_ns = (spec.width_secs * 1e9).round() as u64;
+    assert_eq!(
+        spec_width_ns, width_ns,
+        "spec bin width must match the recorder's streaming bin width"
+    );
+    assert_eq!(
+        spec.start.as_nanos() % width_ns,
+        0,
+        "spec window must start on a streaming bin boundary"
+    );
+    (spec.start.as_nanos() / width_ns) as usize
+}
+
+/// Streaming-mode counterpart of [`bin_deliveries`]: average packet count
+/// per selected node per bin, read from the recorder's aggregated bins.
+pub fn bin_deliveries_streaming(
+    rec: &Recorder,
+    spec: &BinSpec,
+    classes: &[TrafficClass],
+    nodes: &[NodeId],
+) -> Vec<f64> {
+    let base = streaming_base(rec, spec);
+    let mut counts = vec![0u64; spec.bins()];
+    for &node in nodes {
+        for &class in classes {
+            let bins = rec.delivered_bins(node, class);
+            for (i, c) in counts.iter_mut().enumerate() {
+                if let Some(t) = bins.get(base + i) {
+                    *c += t.packets;
+                }
+            }
+        }
+    }
+    let n = nodes.len().max(1) as f64;
+    counts.into_iter().map(|c| c as f64 / n).collect()
+}
+
+/// Streaming-mode counterpart of [`bin_transmissions`]: total
+/// transmissions per bin across all nodes.
+pub fn bin_transmissions_streaming(
+    rec: &Recorder,
+    spec: &BinSpec,
+    classes: &[TrafficClass],
+) -> Vec<f64> {
+    let base = streaming_base(rec, spec);
+    let mut counts = vec![0f64; spec.bins()];
+    for node in (0..rec.node_count() as u32).map(NodeId) {
+        for &class in classes {
+            let bins = rec.sent_bins(node, class);
+            for (i, c) in counts.iter_mut().enumerate() {
+                if let Some(t) = bins.get(base + i) {
+                    *c += t.packets as f64;
+                }
+            }
+        }
+    }
+    counts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sharqfec_netsim::metrics::RecorderMode;
     use sharqfec_netsim::ChannelId;
 
     fn rec(t_ms: u64, node: u32, class: TrafficClass) -> Record {
@@ -154,6 +231,57 @@ mod tests {
         assert_eq!(bins[0], 2.0);
         assert_eq!(bins[1], 1.0);
         assert_eq!(bins[2], 0.0);
+    }
+
+    #[test]
+    fn streaming_bins_match_raw_binning() {
+        let spec = BinSpec::paper(SimTime::ZERO, SimTime::from_secs(1));
+        let records = vec![
+            rec(10, 1, TrafficClass::Data),
+            rec(20, 2, TrafficClass::Data),
+            rec(30, 1, TrafficClass::Repair),
+            rec(40, 3, TrafficClass::Data),
+            rec(950, 2, TrafficClass::Data),
+            rec(1500, 2, TrafficClass::Data), // outside the window
+        ];
+        let mut streaming = Recorder::new(RecorderMode::Streaming);
+        for r in &records {
+            streaming.record_delivery(r.clone());
+            streaming.record_transmission(r.clone());
+        }
+        let classes = [TrafficClass::Data, TrafficClass::Repair];
+        let nodes = [NodeId(1), NodeId(2)];
+        assert_eq!(
+            bin_deliveries_streaming(&streaming, &spec, &classes, &nodes),
+            bin_deliveries(&records, &spec, &classes, &nodes)
+        );
+        assert_eq!(
+            bin_transmissions_streaming(&streaming, &spec, &[TrafficClass::Data]),
+            bin_transmissions(&records, &spec, &[TrafficClass::Data])
+        );
+    }
+
+    #[test]
+    fn streaming_window_offset_is_applied() {
+        // Window starting at 0.2 s: a delivery at 0.25 s lands in bin 0.
+        let spec = BinSpec::paper(SimTime::from_millis(200), SimTime::from_millis(500));
+        let mut r = Recorder::new(RecorderMode::Streaming);
+        r.record_delivery(rec(250, 1, TrafficClass::Data));
+        r.record_delivery(rec(50, 1, TrafficClass::Data)); // before window
+        let bins = bin_deliveries_streaming(&r, &spec, &[TrafficClass::Data], &[NodeId(1)]);
+        assert_eq!(bins, vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must match")]
+    fn streaming_rejects_mismatched_width() {
+        let spec = BinSpec {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(1),
+            width_secs: 0.25,
+        };
+        let r = Recorder::new(RecorderMode::Streaming);
+        bin_deliveries_streaming(&r, &spec, &[TrafficClass::Data], &[NodeId(1)]);
     }
 
     #[test]

@@ -18,9 +18,13 @@ fn bench_encode(c: &mut Criterion) {
         let data = sample_data(k, 1000);
         let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
         g.throughput(Throughput::Bytes((k * 1000) as u64));
-        g.bench_with_input(BenchmarkId::new("k_h", format!("{k}_{h}")), &refs, |b, refs| {
-            b.iter(|| codec.encode(black_box(refs)).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::new("k_h", format!("{k}_{h}")),
+            &refs,
+            |b, refs| {
+                b.iter(|| codec.encode(black_box(refs)).unwrap());
+            },
+        );
     }
     g.finish();
 }
@@ -55,5 +59,10 @@ fn bench_codec_construction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_encode, bench_decode, bench_codec_construction);
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_codec_construction
+);
 criterion_main!(benches);

@@ -25,7 +25,7 @@ fn bench_scalar_ops(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = Gf256(1);
             for i in 1..=255u8 {
-                acc = acc * black_box(Gf256(i));
+                acc *= black_box(Gf256(i));
             }
             acc
         });

@@ -2,13 +2,13 @@
 //! and indirect RTT estimation, which every NACK reception performs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use sharqfec_netsim::agent::TimerId;
 use sharqfec_netsim::{NodeId, SimDuration, SimRng, SimTime};
 use sharqfec_scoping::ZoneHierarchyBuilder;
+use sharqfec_scoping::ZoneId;
 use sharqfec_session::core::{SessionCore, SessionCtx, ZcrSeeding};
 use sharqfec_session::msg::{AncestorEntry, Announce, PeerEntry, SessionMsg};
 use sharqfec_session::SessionConfig;
-use sharqfec_netsim::agent::TimerId;
-use sharqfec_scoping::ZoneId;
 use std::hint::black_box;
 use std::rc::Rc;
 
@@ -92,8 +92,16 @@ fn bench_estimate_rtt(c: &mut Criterion) {
     let (mut core, mut ctx) = make_core();
     // Feed state: ZCR announce in own zone + ZCR's parent-zone announce.
     ctx.now = SimTime::from_secs(2);
-    core.on_msg(&mut ctx, NodeId(100), &big_announce(ZoneId(2), 100..150, 120));
-    core.on_msg(&mut ctx, NodeId(100), &big_announce(ZoneId(1), 50..100, 120));
+    core.on_msg(
+        &mut ctx,
+        NodeId(100),
+        &big_announce(ZoneId(2), 100..150, 120),
+    );
+    core.on_msg(
+        &mut ctx,
+        NodeId(100),
+        &big_announce(ZoneId(1), 50..100, 120),
+    );
     let chain = vec![
         AncestorEntry {
             zone: ZoneId(2),

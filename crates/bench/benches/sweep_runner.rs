@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the parallel sweep runner: wall-clock for an
+//! 8-seed protocol sweep at 1 worker vs the machine's parallelism.  The
+//! per-thread timings behind EXPERIMENTS.md's speedup table come from
+//! here (`CRITERION_QUICK=1` for a smoke run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sharqfec::Variant;
+use sharqfec_bench::{run_sharqfec, Workload};
+use sharqfec_netsim::runner::{default_threads, grid, run_sweep};
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+
+const SEEDS: [u64; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+fn sweep(threads: NonZeroUsize) -> usize {
+    let results = run_sweep(grid(&["full"], &SEEDS), threads, |cell| {
+        let w = Workload {
+            packets: 32,
+            seed: cell.seed,
+            tail_secs: 10,
+        };
+        run_sharqfec(Variant::Full, w).total_repairs
+    });
+    results.into_values().len()
+}
+
+/// Worker counts to benchmark: `SWEEP_BENCH_THREADS=1,4` overrides the
+/// default of 1 and the machine's available parallelism.
+fn thread_counts() -> Vec<usize> {
+    if let Ok(spec) = std::env::var("SWEEP_BENCH_THREADS") {
+        let counts: Vec<usize> = spec
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect();
+        if !counts.is_empty() {
+            return counts;
+        }
+    }
+    let max = default_threads().get();
+    let mut counts = vec![1usize];
+    if max > 1 {
+        counts.push(max);
+    }
+    counts
+}
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_8_seeds");
+    g.sample_size(10);
+    for threads in thread_counts() {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(sweep(NonZeroUsize::new(threads).unwrap())));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_scaling);
+criterion_main!(benches);

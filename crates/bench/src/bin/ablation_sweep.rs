@@ -11,46 +11,53 @@
 //! Each run reports per-receiver recovery traffic, NACK exposure, repair
 //! count, and the recovery tail.
 //!
-//! Run: `cargo run -p sharqfec-bench --release --bin ablation_sweep`
+//! The cells fan out over the parallel sweep runner
+//! (`sharqfec_netsim::runner`), each engine in **streaming** recorder mode:
+//! every number below comes from the recorder's O(1) aggregate tables, so
+//! no raw event traces are kept.  A machine-readable summary lands in
+//! `results/ablation_sweep.json`.
+//!
+//! Run: `cargo run -p sharqfec-bench --release --bin ablation_sweep -- [--seed S] [--threads N]`
 
 use sharqfec::{setup_sharqfec_sim, SfAgent, SharqfecConfig};
 use sharqfec_analysis::table::Table;
-use sharqfec_netsim::{SimTime, TrafficClass};
+use sharqfec_netsim::runner::{default_threads, run_sweep, Cell};
+use sharqfec_netsim::{RecorderMode, SimTime, TrafficClass};
 use sharqfec_topology::{figure10, Figure10Params};
+use std::num::NonZeroUsize;
 
 struct Outcome {
+    sweep: &'static str,
+    setting: String,
     data_repair_per_rx: f64,
     nacks: usize,
     repairs: usize,
     unrecovered: u32,
 }
 
-fn run(cfg: SharqfecConfig, loss_scale: f64, seed: u64) -> Outcome {
+fn run(
+    sweep: &'static str,
+    setting: String,
+    cfg: SharqfecConfig,
+    loss_scale: f64,
+    seed: u64,
+) -> Outcome {
     let built = figure10(&Figure10Params::default().scaled_loss(loss_scale));
     let mut engine = setup_sharqfec_sim(&built, seed, cfg, SimTime::from_secs(1));
+    engine.set_recorder_mode(RecorderMode::Streaming);
     engine.run_until(SimTime::from_secs(60));
     let rec = engine.recorder();
-    let dr = rec
-        .deliveries
-        .iter()
-        .filter(|d| {
-            matches!(d.class, TrafficClass::Data | TrafficClass::Repair)
-                && d.node != built.source
-        })
-        .count() as f64
-        / built.receivers.len() as f64;
+    // All O(1) table lookups — the streaming recorder kept no raw events.
+    let dr_all =
+        rec.total_delivered(TrafficClass::Data) + rec.total_delivered(TrafficClass::Repair);
+    let dr_src = rec.delivered_count(built.source, TrafficClass::Data)
+        + rec.delivered_count(built.source, TrafficClass::Repair);
     Outcome {
-        data_repair_per_rx: dr,
-        nacks: rec
-            .transmissions
-            .iter()
-            .filter(|t| t.class == TrafficClass::Nack)
-            .count(),
-        repairs: rec
-            .transmissions
-            .iter()
-            .filter(|t| t.class == TrafficClass::Repair)
-            .count(),
+        sweep,
+        setting,
+        data_repair_per_rx: (dr_all - dr_src) as f64 / built.receivers.len() as f64,
+        nacks: rec.total_sent(TrafficClass::Nack),
+        repairs: rec.total_sent(TrafficClass::Repair),
         unrecovered: built
             .receivers
             .iter()
@@ -66,8 +73,89 @@ fn base() -> SharqfecConfig {
     }
 }
 
+/// The full grid: one entry per table row, labelled `sweep/setting`.
+fn plan() -> Vec<(&'static str, String, SharqfecConfig, f64)> {
+    let mut cells = Vec::new();
+    for k in [8u32, 16, 32] {
+        let cfg = SharqfecConfig {
+            group_size: k,
+            ..base()
+        };
+        cells.push(("group size", format!("k={k}"), cfg, 1.0));
+    }
+    for gain in [0.1f64, 0.25, 0.5] {
+        let cfg = SharqfecConfig {
+            zlc_gain: gain,
+            ..base()
+        };
+        cells.push(("zlc EWMA gain", format!("w={gain}"), cfg, 1.0));
+    }
+    for adaptive in [false, true] {
+        let cfg = SharqfecConfig {
+            adaptive_timers: adaptive,
+            ..base()
+        };
+        let setting = if adaptive {
+            "adaptive (§7)"
+        } else {
+            "fixed (paper)"
+        };
+        cells.push(("request timers", setting.into(), cfg, 1.0));
+    }
+    for scale in [0.5f64, 1.0, 1.5] {
+        cells.push(("loss scale", format!("x{scale}"), base(), scale));
+    }
+    cells
+}
+
 fn main() {
-    let seed = 42;
+    let mut seed = 42u64;
+    let mut threads = default_threads();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = argv[i].parse().expect("--seed takes a number");
+            }
+            "--threads" => {
+                i += 1;
+                let n: usize = argv[i].parse().expect("--threads takes a count");
+                threads = NonZeroUsize::new(n).expect("--threads must be >= 1");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    let specs = plan();
+    let cells: Vec<Cell> = specs
+        .iter()
+        .map(|(sweep, setting, _, _)| Cell::new(format!("{sweep}/{setting}"), seed))
+        .collect();
+    let results = run_sweep(cells, threads, |cell| {
+        let (sweep, setting, cfg, scale) = specs
+            .iter()
+            .find(|(sweep, setting, _, _)| format!("{sweep}/{setting}") == cell.scenario)
+            .expect("cell matches a planned spec");
+        run(sweep, setting.clone(), cfg.clone(), *scale, cell.seed)
+    });
+
+    let threads_used = results.threads;
+    let wall = results.wall;
+    match results.write_json("results", "ablation_sweep", |o| {
+        vec![
+            ("data_repair_per_rx".into(), o.data_repair_per_rx),
+            ("nacks".into(), o.nacks as f64),
+            ("repairs".into(), o.repairs as f64),
+            ("unrecovered".into(), o.unrecovered as f64),
+        ]
+    }) {
+        Ok(path) => eprintln!("summary: {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+
     let mut t = Table::new(vec![
         "sweep",
         "setting",
@@ -76,46 +164,23 @@ fn main() {
         "repairs",
         "unrecovered",
     ]);
-    let mut add = |sweep: &str, setting: String, o: Outcome| {
+    for o in results.into_values() {
         t.row(vec![
-            sweep.to_string(),
-            setting,
+            o.sweep.to_string(),
+            o.setting,
             format!("{:.0}", o.data_repair_per_rx),
             o.nacks.to_string(),
             o.repairs.to_string(),
             o.unrecovered.to_string(),
         ]);
-    };
-
-    for k in [8u32, 16, 32] {
-        let cfg = SharqfecConfig {
-            group_size: k,
-            ..base()
-        };
-        add("group size", format!("k={k}"), run(cfg, 1.0, seed));
-    }
-    for gain in [0.1f64, 0.25, 0.5] {
-        let cfg = SharqfecConfig {
-            zlc_gain: gain,
-            ..base()
-        };
-        add("zlc EWMA gain", format!("w={gain}"), run(cfg, 1.0, seed));
-    }
-    for adaptive in [false, true] {
-        let cfg = SharqfecConfig {
-            adaptive_timers: adaptive,
-            ..base()
-        };
-        add(
-            "request timers",
-            if adaptive { "adaptive (§7)" } else { "fixed (paper)" }.into(),
-            run(cfg, 1.0, seed),
-        );
-    }
-    for scale in [0.5f64, 1.0, 1.5] {
-        add("loss scale", format!("x{scale}"), run(base(), scale, seed));
     }
     println!("SHARQFEC ablation sweeps (256 packets, Figure 10, seed {seed})");
+    println!(
+        "({} cells on {} threads, {:.1}s wall, streaming recorder)",
+        specs.len(),
+        threads_used,
+        wall.as_secs_f64()
+    );
     println!();
     println!("{}", t.to_aligned());
 }

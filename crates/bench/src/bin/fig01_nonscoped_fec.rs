@@ -34,7 +34,12 @@ fn main() {
     );
     println!();
 
-    let mut t = Table::new(vec!["node", "link loss", "total loss", "normalized traffic"]);
+    let mut t = Table::new(vec![
+        "node",
+        "link loss",
+        "total loss",
+        "normalized traffic",
+    ]);
     for i in 1..tree.len() {
         let n = tree.node(i);
         t.row(vec![

@@ -11,19 +11,14 @@ fn main() {
     let a = NationalAnalysis::paper();
 
     println!("Figure 8 — national distribution hierarchy (10 regions x 20 cities");
-    println!("x 100 suburbs x 500 subscribers; 1 sender, {} receivers)", a.total_receivers);
+    println!(
+        "x 100 suburbs x 500 subscribers; 1 sender, {} receivers)",
+        a.total_receivers
+    );
     println!();
 
-    let mut t = Table::new(vec![
-        "",
-        "National",
-        "Regional",
-        "City",
-        "Suburb",
-    ]);
-    let cols = |f: &dyn Fn(usize) -> String| -> Vec<String> {
-        (0..4).map(f).collect()
-    };
+    let mut t = Table::new(vec!["", "National", "Regional", "City", "Suburb"]);
+    let cols = |f: &dyn Fn(usize) -> String| -> Vec<String> { (0..4).map(f).collect() };
     let mut push = |label: &str, f: &dyn Fn(usize) -> String| {
         let mut row = vec![label.to_string()];
         row.extend(cols(f));
@@ -39,7 +34,9 @@ fn main() {
         }
     });
     push("Number of zones", &|i| a.levels[i].zones.to_string());
-    push("Number of receivers", &|i| a.levels[i].receivers.to_string());
+    push("Number of receivers", &|i| {
+        a.levels[i].receivers.to_string()
+    });
     push("RTTs maintained/receiver", &|i| {
         a.levels[i].rtts_per_receiver.to_string()
     });

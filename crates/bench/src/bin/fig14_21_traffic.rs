@@ -3,20 +3,27 @@
 //! network under the paper's workload (1024 × 1000 B packets at
 //! 800 kbit/s, groups of 16, joins at t = 1 s, data from t = 6 s).
 //!
-//! Run: `cargo run -p sharqfec-bench --release --bin fig14_21_traffic -- [--fig N] [--packets P] [--seed S] [--tsv]`
+//! Run: `cargo run -p sharqfec-bench --release --bin fig14_21_traffic -- [--fig N] [--packets P] [--seed S] [--threads N] [--tsv]`
 //!
 //! Without `--fig` all eight figures are printed.  `--tsv` emits the raw
-//! binned series for plotting.
+//! binned series for plotting.  The protocol runs are independent, so
+//! they fan out over the parallel sweep runner
+//! (`sharqfec_netsim::runner`); per-run totals land in
+//! `results/fig14_21_traffic.json`.  Results are identical at any
+//! `--threads` value: each cell is a pure function of (scenario, seed).
 
 use sharqfec::Variant;
 use sharqfec_analysis::spark::spark_row;
 use sharqfec_analysis::table::Table;
 use sharqfec_bench::{run_sharqfec, run_srm, TrafficRun, Workload};
+use sharqfec_netsim::runner::{default_threads, run_sweep, Cell};
+use std::num::NonZeroUsize;
 
 struct Args {
     fig: Option<u32>,
     packets: u32,
     seed: u64,
+    threads: NonZeroUsize,
     tsv: bool,
 }
 
@@ -25,6 +32,7 @@ fn parse_args() -> Args {
         fig: None,
         packets: 1024,
         seed: 42,
+        threads: default_threads(),
         tsv: false,
     };
     let argv: Vec<String> = std::env::args().collect();
@@ -42,6 +50,11 @@ fn parse_args() -> Args {
             "--seed" => {
                 i += 1;
                 args.seed = argv[i].parse().expect("--seed takes a number");
+            }
+            "--threads" => {
+                i += 1;
+                let n: usize = argv[i].parse().expect("--threads takes a count");
+                args.threads = NonZeroUsize::new(n).expect("--threads must be >= 1");
             }
             "--tsv" => args.tsv = true,
             other => panic!("unknown argument {other}"),
@@ -143,14 +156,63 @@ fn main() {
     };
     let want = |f: u32| args.fig.is_none() || args.fig == Some(f);
 
-    // Run each protocol at most once and reuse across figures.
-    let need_srm = want(14) || want(15);
-    let srm = need_srm.then(|| run_srm(w));
-    let ecsrm = run_sharqfec(Variant::Ecsrm, w);
-    let ns_ni = (want(16)).then(|| run_sharqfec(Variant::NoScopingNoInjection, w));
-    let ns = (want(16)).then(|| run_sharqfec(Variant::NoScoping, w));
-    let ni = (want(18)).then(|| run_sharqfec(Variant::NoInjection, w));
-    let full = run_sharqfec(Variant::Full, w);
+    // Run each protocol at most once and reuse across figures; the
+    // independent runs fan out across the sweep runner's workers.
+    let mut cells = Vec::new();
+    if want(14) || want(15) {
+        cells.push(Cell::new("srm", args.seed));
+    }
+    cells.push(Cell::new("ecsrm", args.seed));
+    if want(16) {
+        cells.push(Cell::new("ns_ni", args.seed));
+        cells.push(Cell::new("ns", args.seed));
+    }
+    if want(18) {
+        cells.push(Cell::new("ni", args.seed));
+    }
+    cells.push(Cell::new("full", args.seed));
+
+    let results = run_sweep(cells, args.threads, |cell| {
+        let w = Workload {
+            seed: cell.seed,
+            ..w
+        };
+        match cell.scenario.as_str() {
+            "srm" => run_srm(w),
+            "ecsrm" => run_sharqfec(Variant::Ecsrm, w),
+            "ns_ni" => run_sharqfec(Variant::NoScopingNoInjection, w),
+            "ns" => run_sharqfec(Variant::NoScoping, w),
+            "ni" => run_sharqfec(Variant::NoInjection, w),
+            "full" => run_sharqfec(Variant::Full, w),
+            other => panic!("unknown scenario {other}"),
+        }
+    });
+    match results.write_json("results", "fig14_21_traffic", |r| {
+        vec![
+            ("total_repairs".into(), r.total_repairs as f64),
+            ("total_nacks".into(), r.total_nacks as f64),
+            ("unrecovered".into(), r.unrecovered as f64),
+        ]
+    }) {
+        Ok(path) => eprintln!("summary: {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+
+    let mut by_label = std::collections::HashMap::new();
+    for o in results.outcomes {
+        match o.result {
+            Ok(run) => {
+                by_label.insert(o.cell.scenario, run);
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+    let srm = by_label.remove("srm");
+    let ecsrm = by_label.remove("ecsrm").expect("ecsrm always runs");
+    let ns_ni = by_label.remove("ns_ni");
+    let ns = by_label.remove("ns");
+    let ni = by_label.remove("ni");
+    let full = by_label.remove("full").expect("full always runs");
 
     if want(14) {
         print_figure(

@@ -19,9 +19,7 @@ fn run_case(name: &str, built: &BuiltTopology, t: &mut Table) {
     let (mut engine, _) = setup_session_sim(
         built,
         7,
-        ZcrSeeding::Elect {
-            root: built.source,
-        },
+        ZcrSeeding::Elect { root: built.source },
         SessionConfig::default(),
         SimTime::from_secs(1),
         &[],

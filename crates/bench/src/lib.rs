@@ -195,9 +195,7 @@ pub fn run_rtt_probes(
 ) -> Vec<RttRatioResult> {
     let built = figure10(&Figure10Params::lossless());
     let seeding = if elect {
-        ZcrSeeding::Elect {
-            root: built.source,
-        }
+        ZcrSeeding::Elect { root: built.source }
     } else {
         ZcrSeeding::Designed(built.designed_zcrs.clone())
     };
@@ -220,7 +218,11 @@ pub fn run_rtt_probes(
         SimTime::from_secs(1),
         &plans,
     );
-    let end = probe_times.iter().max().copied().unwrap_or(SimTime::from_secs(10))
+    let end = probe_times
+        .iter()
+        .max()
+        .copied()
+        .unwrap_or(SimTime::from_secs(10))
         + sharqfec_netsim::SimDuration::from_secs(2);
     engine.run_until(end);
 
@@ -263,10 +265,10 @@ mod tests {
         assert_eq!(full.unrecovered, 0);
 
         // Fig 20/21 shape: the source is insulated by scoping.
-        let src_ecsrm: f64 = ecsrm.source_data_repair.iter().sum::<f64>()
-            + ecsrm.source_nacks.iter().sum::<f64>();
-        let src_full: f64 = full.source_data_repair.iter().sum::<f64>()
-            + full.source_nacks.iter().sum::<f64>();
+        let src_ecsrm: f64 =
+            ecsrm.source_data_repair.iter().sum::<f64>() + ecsrm.source_nacks.iter().sum::<f64>();
+        let src_full: f64 =
+            full.source_data_repair.iter().sum::<f64>() + full.source_nacks.iter().sum::<f64>();
         assert!(
             src_full < src_ecsrm,
             "source traffic: full={src_full} ecsrm={src_ecsrm}"

@@ -309,8 +309,7 @@ impl SfAgent {
         match self.role {
             Role::Source => true,
             Role::Receiver => {
-                self.cfg.receiver_repairs
-                    && self.groups.get(&g).is_some_and(|s| s.complete())
+                self.cfg.receiver_repairs && self.groups.get(&g).is_some_and(|s| s.complete())
             }
         }
     }
@@ -434,8 +433,7 @@ impl SfAgent {
                 self.session.set_local_loss(self.observed_loss);
             }
         }
-        let repairs_allowed =
-            self.role == Role::Source || self.cfg.receiver_repairs;
+        let repairs_allowed = self.role == Role::Source || self.cfg.receiver_repairs;
         for level in 0..self.chain.len() {
             let zone = self.chain[level];
             let is_zcr = match self.role {
@@ -781,10 +779,7 @@ impl Agent<SfMsg> for SfAgent {
             KIND_REQ => self.request_fire(ctx, g),
             KIND_REPLY => self.reply_fire(ctx, g, level),
             KIND_SPACING => {
-                self.groups
-                    .get_mut(&g)
-                    .expect("group exists")
-                    .pacing[level] = false;
+                self.groups.get_mut(&g).expect("group exists").pacing[level] = false;
                 if self.can_repair(g) {
                     self.send_repair(ctx, g, level);
                 }
@@ -820,9 +815,7 @@ impl Agent<SfMsg> for SfAgent {
                 max_idx,
                 chain,
             } => {
-                self.handle_nack(
-                    ctx, pkt.src, *group, *zone, *llc, *needed, *max_idx, chain,
-                );
+                self.handle_nack(ctx, pkt.src, *group, *zone, *llc, *needed, *max_idx, chain);
             }
         }
     }

@@ -210,7 +210,10 @@ impl SharqfecConfig {
             (0.0..=1.0).contains(&self.zlc_gain),
             "zlc_gain must be a weight in [0,1]"
         );
-        assert!(self.attempts_per_zone >= 1, "need at least one attempt per zone");
+        assert!(
+            self.attempts_per_zone >= 1,
+            "need at least one attempt per zone"
+        );
         assert!(
             self.send_interval > SimDuration::ZERO,
             "CBR interval must be positive"

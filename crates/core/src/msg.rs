@@ -79,8 +79,21 @@ mod tests {
     #[test]
     fn classes_follow_the_papers_loss_rules() {
         // Data and FEC repairs are lossy; NACKs and session are not.
-        assert!(SfMsg::Data { group: 0, idx: 0, k: 16 }.class().lossy());
-        assert!(SfMsg::Fec { group: 0, idx: 16, k: 16, burst_end: 16 }.class().lossy());
+        assert!(SfMsg::Data {
+            group: 0,
+            idx: 0,
+            k: 16
+        }
+        .class()
+        .lossy());
+        assert!(SfMsg::Fec {
+            group: 0,
+            idx: 16,
+            k: 16,
+            burst_end: 16
+        }
+        .class()
+        .lossy());
         assert!(!SfMsg::Nack {
             group: 0,
             zone: ZoneId(0),

@@ -86,7 +86,11 @@ mod tests {
         engine.run_until(SimTime::from_secs(60));
         for &r in &built.receivers {
             let a = engine.agent::<SfAgent>(r).unwrap();
-            assert!(a.complete(), "receiver {r} incomplete: {} missing", a.missing());
+            assert!(
+                a.complete(),
+                "receiver {r} incomplete: {} missing",
+                a.missing()
+            );
         }
         let nacks = engine
             .recorder()
@@ -135,7 +139,12 @@ mod tests {
                 .iter()
                 .map(|&r| engine.agent::<SfAgent>(r).unwrap().missing())
                 .sum();
-            assert_eq!(missing, 0, "{} left {missing} packets unrecovered", v.label());
+            assert_eq!(
+                missing,
+                0,
+                "{} left {missing} packets unrecovered",
+                v.label()
+            );
         }
     }
 

@@ -96,7 +96,7 @@ impl GroupCodec {
                 group: self.n(),
             });
         }
-        Ok(self.encode_shard_checked(data, index)?)
+        self.encode_shard_checked(data, index)
     }
 
     fn encode_shard_checked(&self, data: &[&[u8]], row: usize) -> Result<Vec<u8>, FecError> {
@@ -211,7 +211,11 @@ mod tests {
 
     fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 7) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 131 + j * 17 + 7) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -295,8 +299,11 @@ mod tests {
     fn decode_fast_path_with_all_data_shards() {
         let codec = GroupCodec::new(4, 2).unwrap();
         let data = sample_data(4, 10);
-        let shards: Vec<(usize, &[u8])> =
-            data.iter().enumerate().map(|(i, d)| (i, d.as_slice())).collect();
+        let shards: Vec<(usize, &[u8])> = data
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (i, d.as_slice()))
+            .collect();
         assert_eq!(codec.decode(&shards).unwrap(), data);
         // Out-of-order data shards still land in the right slots.
         let shuffled = vec![
@@ -313,11 +320,11 @@ mod tests {
         let codec = GroupCodec::new(5, 4).unwrap();
         let data = sample_data(5, 20);
         let parity = codec.encode(&refs(&data)).unwrap();
-        for j in 0..4 {
-            assert_eq!(codec.encode_shard(&refs(&data), 5 + j).unwrap(), parity[j]);
+        for (j, expected) in parity.iter().enumerate() {
+            assert_eq!(&codec.encode_shard(&refs(&data), 5 + j).unwrap(), expected);
         }
-        for i in 0..5 {
-            assert_eq!(codec.encode_shard(&refs(&data), i).unwrap(), data[i]);
+        for (i, expected) in data.iter().enumerate() {
+            assert_eq!(&codec.encode_shard(&refs(&data), i).unwrap(), expected);
         }
     }
 
@@ -335,11 +342,17 @@ mod tests {
         // wrong shard count
         assert!(matches!(
             codec.encode(&refs(&data)[..2]).unwrap_err(),
-            FecError::WrongShardCount { expected: 3, got: 2 }
+            FecError::WrongShardCount {
+                expected: 3,
+                got: 2
+            }
         ));
         // unequal lengths
         let bad = vec![&data[0][..], &data[1][..4], &data[2][..]];
-        assert_eq!(codec.encode(&bad).unwrap_err(), FecError::UnequalShardLengths);
+        assert_eq!(
+            codec.encode(&bad).unwrap_err(),
+            FecError::UnequalShardLengths
+        );
         // empty shards
         let empty: Vec<&[u8]> = vec![&[], &[], &[]];
         assert_eq!(codec.encode(&empty).unwrap_err(), FecError::EmptyShards);
@@ -399,8 +412,11 @@ mod tests {
         let codec = GroupCodec::new(4, 0).unwrap();
         let data = sample_data(4, 6);
         assert!(codec.encode(&refs(&data)).unwrap().is_empty());
-        let shards: Vec<(usize, &[u8])> =
-            data.iter().enumerate().map(|(i, d)| (i, d.as_slice())).collect();
+        let shards: Vec<(usize, &[u8])> = data
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (i, d.as_slice()))
+            .collect();
         assert_eq!(codec.decode(&shards).unwrap(), data);
     }
 

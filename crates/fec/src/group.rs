@@ -118,7 +118,12 @@ pub struct GroupDecoder {
 impl GroupDecoder {
     /// Creates a decoder for an object spanning `n_groups` groups with the
     /// same shape parameters as the encoder.
-    pub fn new(k: usize, h: usize, payload_len: usize, n_groups: usize) -> Result<GroupDecoder, FecError> {
+    pub fn new(
+        k: usize,
+        h: usize,
+        payload_len: usize,
+        n_groups: usize,
+    ) -> Result<GroupDecoder, FecError> {
         if payload_len == 0 {
             return Err(FecError::EmptyShards);
         }
@@ -308,7 +313,10 @@ mod tests {
 
     #[test]
     fn zero_payload_len_rejected() {
-        assert_eq!(GroupEncoder::new(4, 2, 0).unwrap_err(), FecError::EmptyShards);
+        assert_eq!(
+            GroupEncoder::new(4, 2, 0).unwrap_err(),
+            FecError::EmptyShards
+        );
         assert_eq!(
             GroupDecoder::new(4, 2, 0, 1).unwrap_err(),
             FecError::EmptyShards

@@ -206,14 +206,7 @@ impl Matrix {
             return false;
         }
         (0..self.rows).all(|r| {
-            (0..self.cols).all(|c| {
-                self[(r, c)]
-                    == if r == c {
-                        Gf256::ONE
-                    } else {
-                        Gf256::ZERO
-                    }
-            })
+            (0..self.cols).all(|c| self[(r, c)] == if r == c { Gf256::ONE } else { Gf256::ZERO })
         })
     }
 }

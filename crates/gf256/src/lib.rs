@@ -154,6 +154,8 @@ impl From<Gf256> for u8 {
 
 impl Add for Gf256 {
     type Output = Gf256;
+    // GF(2^8) has characteristic 2: field addition is carry-less, i.e. XOR.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn add(self, rhs: Gf256) -> Gf256 {
         Gf256(self.0 ^ rhs.0)
@@ -161,6 +163,7 @@ impl Add for Gf256 {
 }
 
 impl AddAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
     #[inline]
     fn add_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
@@ -169,6 +172,7 @@ impl AddAssign for Gf256 {
 
 impl Sub for Gf256 {
     type Output = Gf256;
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn sub(self, rhs: Gf256) -> Gf256 {
         // Characteristic 2: subtraction equals addition.
@@ -177,6 +181,7 @@ impl Sub for Gf256 {
 }
 
 impl SubAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
     #[inline]
     fn sub_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
@@ -214,6 +219,8 @@ impl MulAssign for Gf256 {
 
 impl Div for Gf256 {
     type Output = Gf256;
+    // Field division is multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Gf256) -> Gf256 {
         let inv = rhs.inverse().expect("division by zero in GF(256)");
@@ -294,9 +301,7 @@ pub fn mul_slice(dst: &mut [u8], coeff: Gf256) {
 /// Evaluates the polynomial with the given coefficients (highest degree
 /// first) at point `x`, via Horner's rule.
 pub fn poly_eval(coeffs: &[Gf256], x: Gf256) -> Gf256 {
-    coeffs
-        .iter()
-        .fold(Gf256::ZERO, |acc, &c| acc * x + c)
+    coeffs.iter().fold(Gf256::ZERO, |acc, &c| acc * x + c)
 }
 
 #[cfg(test)]
@@ -342,8 +347,7 @@ mod tests {
         }
         // EXP over 0..255 must be a permutation of 1..=255.
         let mut seen = [false; 256];
-        for i in 0..GROUP_ORDER {
-            let e = EXP_TABLE[i];
+        for &e in EXP_TABLE.iter().take(GROUP_ORDER) {
             assert_ne!(e, 0);
             assert!(!seen[e as usize], "EXP_TABLE repeats {e}");
             seen[e as usize] = true;

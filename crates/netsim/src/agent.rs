@@ -96,11 +96,7 @@ impl<'a, M> Ctx<'a, M> {
         assert!(at >= self.now, "timer scheduled in the past");
         let id = TimerId(*self.next_timer);
         *self.next_timer += 1;
-        self.actions.push(Action::SetTimer {
-            id,
-            at,
-            token,
-        });
+        self.actions.push(Action::SetTimer { id, at, token });
         id
     }
 

@@ -126,7 +126,11 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let ids = b.add_nodes("n", 4);
         for w in ids.windows(2) {
-            b.add_link(w[0], w[1], LinkParams::lossless(SimDuration::from_millis(1), 0));
+            b.add_link(
+                w[0],
+                w[1],
+                LinkParams::lossless_infinite(SimDuration::from_millis(1)),
+            );
         }
         let t = b.build();
         let spt = Spt::compute(&t, ids[0]);

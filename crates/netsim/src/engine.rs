@@ -10,7 +10,7 @@ use crate::agent::{Action, Agent, Ctx, TimerId};
 use crate::channel::{Channel, ChannelId};
 use crate::graph::{NodeId, Topology};
 use crate::link::LinkState;
-use crate::metrics::{DropRecord, Record, Recorder};
+use crate::metrics::{DropRecord, Record, Recorder, RecorderMode};
 use crate::packet::{Classify, Packet};
 use crate::rng::SimRng;
 use crate::routing::{DistanceOracle, Spt};
@@ -71,6 +71,13 @@ pub struct Engine<M> {
     queue: BinaryHeap<QItem<M>>,
     seq: u64,
     now: SimTime,
+    /// Timer events scheduled but not yet fired.  Keyed by id (ids are
+    /// never reused), removed when the event is popped, so both this set
+    /// and `cancelled` stay bounded by the number of in-flight timers.
+    pending_timers: HashSet<TimerId>,
+    /// Cancellations whose timer event is still in the queue.  Invariant:
+    /// `cancelled ⊆ pending_timers` — cancelling an already-fired (or
+    /// never-armed) timer must not leak an entry forever.
     cancelled: HashSet<TimerId>,
     next_timer: u64,
     next_uid: u64,
@@ -101,6 +108,7 @@ impl<M: Classify + Clone + 'static> Engine<M> {
             queue: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            pending_timers: HashSet::new(),
             cancelled: HashSet::new(),
             next_timer: 0,
             next_uid: 0,
@@ -130,6 +138,17 @@ impl<M: Classify + Clone + 'static> Engine<M> {
         self.now
     }
 
+    /// Timer events scheduled but not yet fired (diagnostics).
+    pub fn pending_timer_count(&self) -> usize {
+        self.pending_timers.len()
+    }
+
+    /// Cancellations waiting for their timer event to pop (diagnostics).
+    /// Always bounded by [`Engine::pending_timer_count`].
+    pub fn cancelled_timer_count(&self) -> usize {
+        self.cancelled.len()
+    }
+
     /// Recorded observations so far.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
@@ -138,6 +157,13 @@ impl<M: Classify + Clone + 'static> Engine<M> {
     /// Mutable access to the recorder (e.g. to clear a warm-up phase).
     pub fn recorder_mut(&mut self) -> &mut Recorder {
         &mut self.recorder
+    }
+
+    /// Chooses how observations are stored (see [`RecorderMode`]): raw
+    /// event traces (the default) or streaming per-(node, class) bins.
+    /// Must be called before the first event is recorded.
+    pub fn set_recorder_mode(&mut self, mode: RecorderMode) {
+        self.recorder.set_mode(mode);
     }
 
     /// Registers a multicast channel over the given members.
@@ -179,7 +205,9 @@ impl<M: Classify + Clone + 'static> Engine<M> {
 
     /// Runs until the event queue drains or the clock passes `t_end`.
     /// Events at exactly `t_end` are processed.  Returns the number of
-    /// events processed.
+    /// events processed.  The clock is left at `t_end` even if the queue
+    /// drained earlier, so relative scheduling after the call starts from
+    /// the horizon.
     pub fn run_until(&mut self, t_end: SimTime) -> u64 {
         let mut processed = 0;
         while let Some(item) = self.queue.peek() {
@@ -198,9 +226,19 @@ impl<M: Classify + Clone + 'static> Engine<M> {
         processed
     }
 
-    /// Runs until the event queue is completely drained.
+    /// Runs until the event queue is completely drained.  The clock is
+    /// left at the *last processed event* (not some far-future horizon),
+    /// so `set_agent`/`multicast_from` stay usable after a drained run —
+    /// scheduling "now" after `run()` must never be "in the past".
     pub fn run(&mut self) -> u64 {
-        self.run_until(SimTime::MAX)
+        let mut processed = 0;
+        while let Some(item) = self.queue.pop() {
+            debug_assert!(item.time >= self.now, "time went backwards");
+            self.now = item.time;
+            self.dispatch(item.kind);
+            processed += 1;
+        }
+        processed
     }
 
     fn push(&mut self, time: SimTime, kind: EventKind<M>) {
@@ -215,6 +253,7 @@ impl<M: Classify + Clone + 'static> Engine<M> {
                 self.with_agent(node, |agent, ctx| agent.on_start(ctx));
             }
             EventKind::Timer { node, id, token } => {
+                self.pending_timers.remove(&id);
                 if self.cancelled.remove(&id) {
                     return;
                 }
@@ -223,7 +262,7 @@ impl<M: Classify + Clone + 'static> Engine<M> {
             EventKind::Arrive { node, pkt } => {
                 // Deliver to the local agent (if any), then keep forwarding
                 // down the source-rooted tree.
-                self.recorder.deliveries.push(Record {
+                self.recorder.record_delivery(Record {
                     time: self.now,
                     node,
                     src: pkt.src,
@@ -240,11 +279,7 @@ impl<M: Classify + Clone + 'static> Engine<M> {
     }
 
     /// Runs one agent callback and then applies its queued actions.
-    fn with_agent(
-        &mut self,
-        node: NodeId,
-        f: impl FnOnce(&mut dyn Agent<M>, &mut Ctx<'_, M>),
-    ) {
+    fn with_agent(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Agent<M>, &mut Ctx<'_, M>)) {
         let Some(mut agent) = self.agents[node.idx()].take() else {
             return;
         };
@@ -267,10 +302,16 @@ impl<M: Classify + Clone + 'static> Engine<M> {
     fn apply(&mut self, node: NodeId, action: Action<M>) {
         match action {
             Action::SetTimer { id, at, token } => {
+                self.pending_timers.insert(id);
                 self.push(at, EventKind::Timer { node, id, token });
             }
             Action::CancelTimer(id) => {
-                self.cancelled.insert(id);
+                // Only remember cancellations for timers still in the
+                // queue; cancelling an already-fired timer (or cancelling
+                // twice) must be a bounded no-op, not a permanent leak.
+                if self.pending_timers.contains(&id) {
+                    self.cancelled.insert(id);
+                }
             }
             Action::Multicast {
                 channel,
@@ -298,7 +339,7 @@ impl<M: Classify + Clone + 'static> Engine<M> {
             payload,
         });
         self.next_uid += 1;
-        self.recorder.transmissions.push(Record {
+        self.recorder.record_transmission(Record {
             time: self.now,
             node,
             src: node,
@@ -314,16 +355,19 @@ impl<M: Classify + Clone + 'static> Engine<M> {
     /// sampling per-link loss for lossy traffic classes.
     fn forward(&mut self, at: NodeId, pkt: &Rc<Packet<M>>) {
         let lossy = pkt.class().lossy();
-        // Children are cloned out to appease the borrow checker; fan-out is
-        // tiny (max node degree) so this does not show up in profiles.
-        let children = self.spts[pkt.src.idx()].children[at.idx()].clone();
-        for (child, link) in children {
+        // The SPT stores child edges in a flat CSR arena, so each edge is
+        // copied out by index — no per-packet allocation while the rest of
+        // the engine state stays mutable.
+        let src = pkt.src.idx();
+        let (start, end) = self.spts[src].child_range(at);
+        for i in start..end {
+            let (child, link) = self.spts[src].child_edge(i);
             if !self.channels[pkt.channel.idx()].contains(child) {
                 continue; // scope boundary: prune the whole subtree
             }
             let spec = self.topo.link(link);
             if lossy && self.loss_rng.chance(spec.params.loss) {
-                self.recorder.drops.push(DropRecord {
+                self.recorder.record_drop(DropRecord {
                     time: self.now,
                     from: at,
                     to: child,
@@ -507,9 +551,9 @@ mod tests {
         let n1 = b.add_node("1");
         let n2 = b.add_node("2");
         let n3 = b.add_node("3");
-        b.add_link(n0, n1, LinkParams::new(ms(1), 0, 1.0));
-        b.add_link(n1, n2, LinkParams::new(ms(1), 0, 0.0));
-        b.add_link(n1, n3, LinkParams::new(ms(1), 0, 0.0));
+        b.add_link(n0, n1, LinkParams::infinite(ms(1), 1.0));
+        b.add_link(n1, n2, LinkParams::lossless_infinite(ms(1)));
+        b.add_link(n1, n3, LinkParams::lossless_infinite(ms(1)));
         let mut e: Engine<Msg> = Engine::new(b.build(), 3);
         let chan = e.add_channel(&[n0, n1, n2, n3]);
         e.set_agent(n0, Box::new(Burst { chan, count: 1 }));
@@ -585,7 +629,11 @@ mod tests {
                 .collect()
         };
         assert_eq!(run(42), run(42));
-        assert_ne!(run(42), run(43), "different seeds should differ at 30% loss");
+        assert_ne!(
+            run(42),
+            run(43),
+            "different seeds should differ at 30% loss"
+        );
     }
 
     #[test]
@@ -632,11 +680,99 @@ mod tests {
         }
         let (t, [n0, ..]) = chain3(0.0);
         let mut e: Engine<Msg> = Engine::new(t, 1);
-        e.set_agent_with_start(n0, Box::new(StartClock { started_at: None }), SimTime::from_secs(1));
+        e.set_agent_with_start(
+            n0,
+            Box::new(StartClock { started_at: None }),
+            SimTime::from_secs(1),
+        );
         e.run();
         assert_eq!(
             e.agent::<StartClock>(n0).unwrap().started_at,
             Some(SimTime::from_secs(1))
         );
+    }
+
+    #[test]
+    fn drained_run_leaves_clock_at_last_event() {
+        // Regression: run() used to leave `now` at SimTime::MAX after the
+        // queue drained, so any further scheduling overflowed the clock.
+        let (t, [n0, n1, n2]) = chain3(0.0);
+        let mut e: Engine<Msg> = Engine::new(t, 1);
+        let chan = e.add_channel(&[n0, n1, n2]);
+        e.set_agent(n0, Box::new(Burst { chan, count: 1 }));
+        e.set_agent(n2, Box::new(Sniffer::default()));
+        e.run();
+        // Last event is the delivery at n2: 10ms tx + 10ms latency per hop.
+        assert_eq!(e.now(), SimTime::from_millis(40));
+        // The engine must remain usable: schedule more work and run again.
+        e.multicast_from(n0, chan, Msg::Data(99), 1000);
+        let processed = e.run();
+        assert!(processed > 0);
+        assert_eq!(e.now(), SimTime::from_millis(80));
+        let heard = &e.agent::<Sniffer>(n2).unwrap().heard;
+        assert_eq!(
+            heard.last(),
+            Some(&(SimTime::from_millis(80), Msg::Data(99)))
+        );
+    }
+
+    #[test]
+    fn stale_and_double_cancels_do_not_leak() {
+        // Regression: CancelTimer used to insert into the cancelled set
+        // unconditionally, so cancelling an already-fired timer (the common
+        // "ack arrived, cancel retransmit" pattern) grew the set forever.
+        struct Churn {
+            last: Option<TimerId>,
+            rounds: u32,
+        }
+        impl Agent<Msg> for Churn {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                self.last = Some(ctx.set_timer(ms(1), 0));
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, Msg>, _: &Packet<Msg>) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+                // Cancel the timer that just fired (stale), twice (double).
+                let stale = self.last.take().unwrap();
+                ctx.cancel_timer(stale);
+                ctx.cancel_timer(stale);
+                if token < self.rounds as u64 {
+                    self.last = Some(ctx.set_timer(ms(1), token + 1));
+                }
+            }
+        }
+        let (t, [n0, ..]) = chain3(0.0);
+        let mut e: Engine<Msg> = Engine::new(t, 1);
+        e.set_agent(
+            n0,
+            Box::new(Churn {
+                last: None,
+                rounds: 1000,
+            }),
+        );
+        e.run();
+        assert_eq!(e.pending_timer_count(), 0);
+        assert_eq!(e.cancelled_timer_count(), 0, "cancelled set must not leak");
+    }
+
+    #[test]
+    fn legitimate_cancel_is_reclaimed_when_deadline_passes() {
+        struct SetAndCancel;
+        impl Agent<Msg> for SetAndCancel {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                let id = ctx.set_timer(ms(5), 7);
+                ctx.cancel_timer(id);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, Msg>, _: &Packet<Msg>) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, Msg>, _: u64) {
+                panic!("cancelled timer must not fire");
+            }
+        }
+        let (t, [n0, ..]) = chain3(0.0);
+        let mut e: Engine<Msg> = Engine::new(t, 1);
+        e.set_agent(n0, Box::new(SetAndCancel));
+        e.run();
+        // Once the cancelled deadline is processed, both sets are empty.
+        assert_eq!(e.pending_timer_count(), 0);
+        assert_eq!(e.cancelled_timer_count(), 0);
     }
 }

@@ -47,25 +47,68 @@ impl LinkId {
     }
 }
 
+/// Link capacity: a finite bit rate, or infinitely fast (zero
+/// serialization delay — the abstraction unit tests use for pure-latency
+/// control links).
+///
+/// This used to be a bare `u64` where `0` silently meant "infinite", a
+/// footgun for topology configs (a forgotten field looked like an
+/// infinitely fast backbone).  Infinite capacity is now an explicit
+/// variant and a zero rate is rejected at construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Bandwidth {
+    /// No serialization delay at all.
+    Infinite,
+    /// A finite, non-zero bit rate.
+    Bps(core::num::NonZeroU64),
+}
+
+impl Bandwidth {
+    /// A finite rate in bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `0` — write [`Bandwidth::Infinite`] if you mean an
+    /// infinitely fast link.
+    pub fn bps(bits_per_sec: u64) -> Bandwidth {
+        match core::num::NonZeroU64::new(bits_per_sec) {
+            Some(b) => Bandwidth::Bps(b),
+            None => panic!(
+                "bandwidth of 0 bit/s is rejected; use Bandwidth::Infinite \
+                 for an infinitely fast link"
+            ),
+        }
+    }
+
+    /// The finite rate in bits per second, or `None` for an infinitely
+    /// fast link.
+    pub fn as_bps(self) -> Option<u64> {
+        match self {
+            Bandwidth::Infinite => None,
+            Bandwidth::Bps(b) => Some(b.get()),
+        }
+    }
+}
+
 /// Physical parameters of a link.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkParams {
     /// One-way propagation latency.
     pub latency: SimDuration,
-    /// Bandwidth in bits per second (0 = infinitely fast, for abstract
-    /// control links in unit tests).
-    pub bandwidth_bps: u64,
+    /// Link capacity.
+    pub bandwidth: Bandwidth,
     /// Bernoulli loss probability applied independently per traversal, per
     /// direction, to lossy traffic classes.
     pub loss: f64,
 }
 
 impl LinkParams {
-    /// Convenience constructor.
+    /// Convenience constructor for a finite-rate link.
     ///
     /// # Panics
     ///
-    /// Panics if `loss` is outside `[0, 1]`.
+    /// Panics if `loss` is outside `[0, 1]` or `bandwidth_bps` is zero
+    /// (use [`LinkParams::infinite`] for an infinitely fast link).
     pub fn new(latency: SimDuration, bandwidth_bps: u64, loss: f64) -> LinkParams {
         assert!(
             (0.0..=1.0).contains(&loss),
@@ -73,14 +116,36 @@ impl LinkParams {
         );
         LinkParams {
             latency,
-            bandwidth_bps,
+            bandwidth: Bandwidth::bps(bandwidth_bps),
             loss,
         }
     }
 
-    /// A lossless link.
+    /// A lossless finite-rate link.
     pub fn lossless(latency: SimDuration, bandwidth_bps: u64) -> LinkParams {
         LinkParams::new(latency, bandwidth_bps, 0.0)
+    }
+
+    /// An infinitely fast (latency-only) link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `[0, 1]`.
+    pub fn infinite(latency: SimDuration, loss: f64) -> LinkParams {
+        assert!(
+            (0.0..=1.0).contains(&loss),
+            "loss probability must be in [0, 1], got {loss}"
+        );
+        LinkParams {
+            latency,
+            bandwidth: Bandwidth::Infinite,
+            loss,
+        }
+    }
+
+    /// A lossless infinitely fast (latency-only) link.
+    pub fn lossless_infinite(latency: SimDuration) -> LinkParams {
+        LinkParams::infinite(latency, 0.0)
     }
 }
 
@@ -106,7 +171,9 @@ impl TopologyBuilder {
 
     /// Adds `n` nodes labelled `prefix0..prefixN-1`, returning their ids.
     pub fn add_nodes(&mut self, prefix: &str, n: usize) -> Vec<NodeId> {
-        (0..n).map(|i| self.add_node(format!("{prefix}{i}"))).collect()
+        (0..n)
+            .map(|i| self.add_node(format!("{prefix}{i}")))
+            .collect()
     }
 
     /// Adds an undirected link between two existing nodes.
@@ -270,8 +337,8 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let ids = b.add_nodes("r", 3);
         assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
-        b.add_link(ids[0], ids[1], LinkParams::lossless(ms(1), 0));
-        b.add_link(ids[1], ids[2], LinkParams::lossless(ms(1), 0));
+        b.add_link(ids[0], ids[1], LinkParams::lossless_infinite(ms(1)));
+        b.add_link(ids[1], ids[2], LinkParams::lossless_infinite(ms(1)));
         let t = b.build();
         assert_eq!(t.label(NodeId(2)), "r2");
     }
@@ -281,7 +348,7 @@ mod tests {
     fn self_loop_rejected() {
         let mut b = TopologyBuilder::new();
         let n = b.add_node("x");
-        b.add_link(n, n, LinkParams::lossless(ms(1), 0));
+        b.add_link(n, n, LinkParams::lossless_infinite(ms(1)));
     }
 
     #[test]
@@ -290,8 +357,8 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let a = b.add_node("a");
         let c = b.add_node("b");
-        b.add_link(a, c, LinkParams::lossless(ms(1), 0));
-        b.add_link(c, a, LinkParams::lossless(ms(1), 0));
+        b.add_link(a, c, LinkParams::lossless_infinite(ms(1)));
+        b.add_link(c, a, LinkParams::lossless_infinite(ms(1)));
     }
 
     #[test]
@@ -306,7 +373,25 @@ mod tests {
     #[test]
     #[should_panic(expected = "loss probability")]
     fn invalid_loss_rejected() {
-        LinkParams::new(ms(1), 0, 1.5);
+        LinkParams::new(ms(1), 1_000_000, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth of 0")]
+    fn zero_bandwidth_rejected() {
+        LinkParams::new(ms(1), 0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth of 0")]
+    fn zero_bandwidth_rejected_in_bps_constructor() {
+        Bandwidth::bps(0);
+    }
+
+    #[test]
+    fn bandwidth_as_bps_round_trips() {
+        assert_eq!(Bandwidth::bps(800_000).as_bps(), Some(800_000));
+        assert_eq!(Bandwidth::Infinite.as_bps(), None);
     }
 
     #[test]
@@ -317,9 +402,9 @@ mod tests {
         let n2 = b.add_node("n2");
         let n1 = b.add_node("n3");
         // Insert in scrambled order.
-        b.add_link(hub, n1, LinkParams::lossless(ms(1), 0));
-        b.add_link(hub, n3, LinkParams::lossless(ms(1), 0));
-        b.add_link(hub, n2, LinkParams::lossless(ms(1), 0));
+        b.add_link(hub, n1, LinkParams::lossless_infinite(ms(1)));
+        b.add_link(hub, n3, LinkParams::lossless_infinite(ms(1)));
+        b.add_link(hub, n2, LinkParams::lossless_infinite(ms(1)));
         let t = b.build();
         let ns: Vec<NodeId> = t.neighbors(hub).iter().map(|&(n, _)| n).collect();
         assert_eq!(ns, vec![n3, n2, n1]);

@@ -82,6 +82,7 @@ pub mod metrics;
 pub mod packet;
 pub mod rng;
 pub mod routing;
+pub mod runner;
 pub mod time;
 pub mod trace;
 
@@ -91,7 +92,7 @@ pub mod prelude {
     pub use crate::channel::ChannelId;
     pub use crate::engine::Engine;
     pub use crate::graph::{LinkParams, NodeId, Topology, TopologyBuilder};
-    pub use crate::metrics::{Recorder, TrafficClass};
+    pub use crate::metrics::{Recorder, RecorderMode, Tally, TrafficClass};
     pub use crate::packet::{Classify, Packet};
     pub use crate::rng::SimRng;
     pub use crate::time::{SimDuration, SimTime};

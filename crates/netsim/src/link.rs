@@ -43,14 +43,11 @@ pub struct LinkState {
 impl LinkState {
     /// Enqueues a transmission of `bytes` from `from` at time `now`.
     /// Returns the arrival time at the far end and updates the serializer.
-    pub fn transmit(
-        &mut self,
-        spec: &LinkSpec,
-        from: NodeId,
-        now: SimTime,
-        bytes: u32,
-    ) -> SimTime {
-        let tx = SimDuration::transmission(bytes, spec.params.bandwidth_bps);
+    pub fn transmit(&mut self, spec: &LinkSpec, from: NodeId, now: SimTime, bytes: u32) -> SimTime {
+        let tx = match spec.params.bandwidth.as_bps() {
+            Some(bps) => SimDuration::transmission(bytes, bps),
+            None => SimDuration::ZERO,
+        };
         let busy = if from == spec.a {
             &mut self.busy_until_ab
         } else {
@@ -77,9 +74,17 @@ mod tests {
         }
     }
 
+    fn spec_infinite(lat_ms: u64) -> LinkSpec {
+        LinkSpec {
+            a: NodeId(0),
+            b: NodeId(1),
+            params: LinkParams::lossless_infinite(SimDuration::from_millis(lat_ms)),
+        }
+    }
+
     #[test]
     fn other_endpoint() {
-        let s = spec(1, 0);
+        let s = spec(1, 800_000);
         assert_eq!(s.other(NodeId(0)), Some(NodeId(1)));
         assert_eq!(s.other(NodeId(1)), Some(NodeId(0)));
         assert_eq!(s.other(NodeId(9)), None);
@@ -123,7 +128,7 @@ mod tests {
 
     #[test]
     fn infinite_bandwidth_is_latency_only() {
-        let s = spec(7, 0);
+        let s = spec_infinite(7);
         let mut st = LinkState::default();
         let a = st.transmit(&s, NodeId(0), SimTime::from_millis(3), 123456);
         assert_eq!(a, SimTime::from_millis(10));

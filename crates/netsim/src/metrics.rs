@@ -2,13 +2,26 @@
 //!
 //! The paper's Figures 14–21 plot "the sum of data and repair traffic
 //! visible at each session member over 0.1 second intervals" and the
-//! corresponding NACK counts.  The [`Recorder`] captures exactly the raw
-//! events those plots are binned from; the `sharqfec-analysis` crate does
-//! the binning.
+//! corresponding NACK counts.  The [`Recorder`] captures the raw events
+//! those plots are binned from; the `sharqfec-analysis` crate does the
+//! binning.
+//!
+//! Two storage modes ([`RecorderMode`]) trade fidelity for footprint:
+//!
+//! * **Raw** (the default) keeps every event in the public vectors, so
+//!   post-hoc tooling (timelines, custom filters) can see everything.
+//! * **Streaming** aggregates at record time into per-(node, class)
+//!   totals and fixed-width time bins, keeping memory `O(nodes × bins)`
+//!   regardless of traffic volume — the mode the parallel sweep runner
+//!   uses, where dozens of engines are alive at once.
+//!
+//! In both modes the per-(node, class) totals are maintained as the
+//! events arrive, so [`Recorder::delivered_count`] and
+//! [`Recorder::sent_count`] are O(1) lookups, never scans.
 
 use crate::channel::ChannelId;
 use crate::graph::NodeId;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// Coarse protocol-independent classification of a packet.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -25,7 +38,30 @@ pub enum TrafficClass {
     Control,
 }
 
+/// Number of traffic classes (the aggregate tables are dense over these).
+pub const CLASS_COUNT: usize = 5;
+
 impl TrafficClass {
+    /// All classes, in [`TrafficClass::index`] order.
+    pub const ALL: [TrafficClass; CLASS_COUNT] = [
+        TrafficClass::Data,
+        TrafficClass::Repair,
+        TrafficClass::Nack,
+        TrafficClass::Session,
+        TrafficClass::Control,
+    ];
+
+    /// Dense index for aggregate tables.
+    pub fn index(self) -> usize {
+        match self {
+            TrafficClass::Data => 0,
+            TrafficClass::Repair => 1,
+            TrafficClass::Nack => 2,
+            TrafficClass::Session => 3,
+            TrafficClass::Control => 4,
+        }
+    }
+
     /// Whether link loss applies to this class (paper §6.2: data and
     /// repairs are lossy; session traffic and NACKs are not).
     pub fn lossy(self) -> bool {
@@ -75,55 +111,278 @@ pub struct DropRecord {
     pub class: TrafficClass,
 }
 
+/// How the recorder stores what it observes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RecorderMode {
+    /// Keep every event in the raw vectors (plus the O(1) totals).
+    #[default]
+    Raw,
+    /// Aggregate into per-(node, class) totals and time bins at record
+    /// time; the raw vectors stay empty.  Memory is `O(nodes × bins)`.
+    Streaming,
+}
+
+/// A packet count plus the bytes those packets carried.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Tally {
+    /// Packets observed.
+    pub packets: u64,
+    /// Total wire bytes across those packets.
+    pub bytes: u64,
+}
+
+impl Tally {
+    fn add(&mut self, bytes: u32) {
+        self.packets += 1;
+        self.bytes += bytes as u64;
+    }
+}
+
+/// Per-node aggregate state: totals per class, and (streaming mode only)
+/// per-bin tallies per class.
+#[derive(Clone, Debug, Default)]
+struct NodeStats {
+    delivered: [Tally; CLASS_COUNT],
+    sent: [Tally; CLASS_COUNT],
+    delivered_bins: [Vec<Tally>; CLASS_COUNT],
+    sent_bins: [Vec<Tally>; CLASS_COUNT],
+}
+
 /// Accumulates simulation observations.
-#[derive(Default, Debug)]
+#[derive(Debug)]
 pub struct Recorder {
-    /// Every delivery to an agent.
+    /// Every delivery to an agent (raw mode only).
     pub deliveries: Vec<Record>,
     /// Every send by an agent (one record per transmission, not per
-    /// receiver).
+    /// receiver; raw mode only).
     pub transmissions: Vec<Record>,
-    /// Every loss event.
+    /// Every loss event (raw mode only).
     pub drops: Vec<DropRecord>,
+    mode: RecorderMode,
+    bin_width: SimDuration,
+    nodes: Vec<NodeStats>,
+    delivered_total: [Tally; CLASS_COUNT],
+    sent_total: [Tally; CLASS_COUNT],
+    drop_total: [u64; CLASS_COUNT],
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder {
+            deliveries: Vec::new(),
+            transmissions: Vec::new(),
+            drops: Vec::new(),
+            mode: RecorderMode::default(),
+            // The paper's measurement granularity (§6.2): 0.1 s bins.
+            bin_width: SimDuration::from_millis(100),
+            nodes: Vec::new(),
+            delivered_total: [Tally::default(); CLASS_COUNT],
+            sent_total: [Tally::default(); CLASS_COUNT],
+            drop_total: [0; CLASS_COUNT],
+        }
+    }
 }
 
 impl Recorder {
-    /// Empties all recorded events (e.g. to discard a warm-up phase).
+    /// A recorder in the given mode.
+    pub fn new(mode: RecorderMode) -> Recorder {
+        Recorder {
+            mode,
+            ..Recorder::default()
+        }
+    }
+
+    /// The active storage mode.
+    pub fn mode(&self) -> RecorderMode {
+        self.mode
+    }
+
+    /// Switches storage mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been recorded — the two modes store
+    /// different things, so a mid-run switch would silently mix them.
+    pub fn set_mode(&mut self, mode: RecorderMode) {
+        assert!(
+            self.is_empty(),
+            "recorder mode must be chosen before any event is recorded \
+             (call clear() first to restart)"
+        );
+        self.mode = mode;
+    }
+
+    /// Streaming-mode bin width (defaults to the paper's 0.1 s).
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin_width
+    }
+
+    /// Sets the streaming-mode bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero width, or if events have already been recorded.
+    pub fn set_bin_width(&mut self, width: SimDuration) {
+        assert!(width > SimDuration::ZERO, "bin width must be positive");
+        assert!(
+            self.is_empty(),
+            "bin width must be chosen before any event is recorded"
+        );
+        self.bin_width = width;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+            && self.deliveries.is_empty()
+            && self.transmissions.is_empty()
+            && self.drops.is_empty()
+            && self.drop_total.iter().all(|&c| c == 0)
+    }
+
+    fn node_mut(&mut self, node: NodeId) -> &mut NodeStats {
+        if self.nodes.len() <= node.idx() {
+            self.nodes.resize_with(node.idx() + 1, NodeStats::default);
+        }
+        &mut self.nodes[node.idx()]
+    }
+
+    fn bin_index(&self, t: SimTime) -> usize {
+        (t.as_nanos() / self.bin_width.as_nanos()) as usize
+    }
+
+    /// Records one delivery observation.
+    pub fn record_delivery(&mut self, r: Record) {
+        self.delivered_total[r.class.index()].add(r.bytes);
+        let bin = self.bin_index(r.time);
+        let streaming = self.mode == RecorderMode::Streaming;
+        let stats = self.node_mut(r.node);
+        stats.delivered[r.class.index()].add(r.bytes);
+        if streaming {
+            let bins = &mut stats.delivered_bins[r.class.index()];
+            if bins.len() <= bin {
+                bins.resize(bin + 1, Tally::default());
+            }
+            bins[bin].add(r.bytes);
+        } else {
+            self.deliveries.push(r);
+        }
+    }
+
+    /// Records one transmission observation.
+    pub fn record_transmission(&mut self, r: Record) {
+        self.sent_total[r.class.index()].add(r.bytes);
+        let bin = self.bin_index(r.time);
+        let streaming = self.mode == RecorderMode::Streaming;
+        let stats = self.node_mut(r.node);
+        stats.sent[r.class.index()].add(r.bytes);
+        if streaming {
+            let bins = &mut stats.sent_bins[r.class.index()];
+            if bins.len() <= bin {
+                bins.resize(bin + 1, Tally::default());
+            }
+            bins[bin].add(r.bytes);
+        } else {
+            self.transmissions.push(r);
+        }
+    }
+
+    /// Records one loss event.
+    pub fn record_drop(&mut self, d: DropRecord) {
+        self.drop_total[d.class.index()] += 1;
+        if self.mode == RecorderMode::Raw {
+            self.drops.push(d);
+        }
+    }
+
+    /// Empties all recorded events and aggregates (e.g. to discard a
+    /// warm-up phase); mode and bin width are kept.
     pub fn clear(&mut self) {
         self.deliveries.clear();
         self.transmissions.clear();
         self.drops.clear();
+        self.nodes.clear();
+        self.delivered_total = [Tally::default(); CLASS_COUNT];
+        self.sent_total = [Tally::default(); CLASS_COUNT];
+        self.drop_total = [0; CLASS_COUNT];
     }
 
-    /// Counts deliveries at `node` with the given class.
+    /// Counts deliveries at `node` with the given class.  O(1).
     pub fn delivered_count(&self, node: NodeId, class: TrafficClass) -> usize {
-        self.deliveries
-            .iter()
-            .filter(|r| r.node == node && r.class == class)
-            .count()
+        self.nodes
+            .get(node.idx())
+            .map_or(0, |s| s.delivered[class.index()].packets as usize)
     }
 
-    /// Counts transmissions by `node` with the given class.
+    /// Counts transmissions by `node` with the given class.  O(1).
     pub fn sent_count(&self, node: NodeId, class: TrafficClass) -> usize {
-        self.transmissions
-            .iter()
-            .filter(|r| r.node == node && r.class == class)
-            .count()
+        self.nodes
+            .get(node.idx())
+            .map_or(0, |s| s.sent[class.index()].packets as usize)
     }
 
-    /// Total bytes delivered across all nodes for a class.
+    /// Total deliveries across all nodes for a class.  O(1).
+    pub fn total_delivered(&self, class: TrafficClass) -> usize {
+        self.delivered_total[class.index()].packets as usize
+    }
+
+    /// Total transmissions across all nodes for a class.  O(1).
+    pub fn total_sent(&self, class: TrafficClass) -> usize {
+        self.sent_total[class.index()].packets as usize
+    }
+
+    /// Total loss events for a class.  O(1).
+    pub fn total_dropped(&self, class: TrafficClass) -> usize {
+        self.drop_total[class.index()] as usize
+    }
+
+    /// Total bytes delivered across all nodes for a class.  O(1).
     pub fn delivered_bytes(&self, class: TrafficClass) -> u64 {
-        self.deliveries
-            .iter()
-            .filter(|r| r.class == class)
-            .map(|r| r.bytes as u64)
-            .sum()
+        self.delivered_total[class.index()].bytes
+    }
+
+    /// Number of nodes with at least one recorded observation (dense
+    /// upper bound for iterating aggregate tables).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Streaming-mode delivery bins for `(node, class)`: entry `i` covers
+    /// `[i × bin_width, (i + 1) × bin_width)`.  Empty when nothing was
+    /// recorded there (and always in raw mode, which keeps raw events
+    /// instead).
+    pub fn delivered_bins(&self, node: NodeId, class: TrafficClass) -> &[Tally] {
+        self.nodes
+            .get(node.idx())
+            .map_or(&[][..], |s| &s.delivered_bins[class.index()])
+    }
+
+    /// Streaming-mode transmission bins for `(node, class)`; see
+    /// [`Recorder::delivered_bins`].
+    pub fn sent_bins(&self, node: NodeId, class: TrafficClass) -> &[Tally] {
+        self.nodes
+            .get(node.idx())
+            .map_or(&[][..], |s| &s.sent_bins[class.index()])
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn rec(node: u32, class: TrafficClass) -> Record {
+        rec_at(0, node, class)
+    }
+
+    fn rec_at(t_ms: u64, node: u32, class: TrafficClass) -> Record {
+        Record {
+            time: SimTime::from_millis(t_ms),
+            node: NodeId(node),
+            src: NodeId(0),
+            class,
+            bytes: 10,
+            channel: ChannelId(0),
+        }
+    }
 
     #[test]
     fn loss_applies_to_data_and_repairs_only() {
@@ -135,30 +394,121 @@ mod tests {
     }
 
     #[test]
+    fn class_indices_are_dense_and_stable() {
+        for (i, c) in TrafficClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
     fn recorder_counts_filter_correctly() {
         let mut r = Recorder::default();
-        let rec = |node: u32, class| Record {
-            time: SimTime::ZERO,
-            node: NodeId(node),
-            src: NodeId(0),
-            class,
-            bytes: 10,
-            channel: ChannelId(0),
-        };
-        r.deliveries.push(rec(1, TrafficClass::Data));
-        r.deliveries.push(rec(1, TrafficClass::Data));
-        r.deliveries.push(rec(1, TrafficClass::Nack));
-        r.deliveries.push(rec(2, TrafficClass::Data));
-        r.transmissions.push(rec(0, TrafficClass::Data));
+        r.record_delivery(rec(1, TrafficClass::Data));
+        r.record_delivery(rec(1, TrafficClass::Data));
+        r.record_delivery(rec(1, TrafficClass::Nack));
+        r.record_delivery(rec(2, TrafficClass::Data));
+        r.record_transmission(rec(0, TrafficClass::Data));
 
         assert_eq!(r.delivered_count(NodeId(1), TrafficClass::Data), 2);
         assert_eq!(r.delivered_count(NodeId(2), TrafficClass::Data), 1);
         assert_eq!(r.delivered_count(NodeId(2), TrafficClass::Nack), 0);
+        assert_eq!(r.delivered_count(NodeId(99), TrafficClass::Data), 0);
         assert_eq!(r.sent_count(NodeId(0), TrafficClass::Data), 1);
         assert_eq!(r.delivered_bytes(TrafficClass::Data), 30);
+        assert_eq!(r.total_delivered(TrafficClass::Data), 3);
+        assert_eq!(r.total_sent(TrafficClass::Data), 1);
+
+        // Raw mode keeps the events themselves.
+        assert_eq!(r.deliveries.len(), 4);
+        assert_eq!(r.transmissions.len(), 1);
 
         r.clear();
         assert!(r.deliveries.is_empty() && r.transmissions.is_empty() && r.drops.is_empty());
+        assert_eq!(r.delivered_count(NodeId(1), TrafficClass::Data), 0);
+        assert_eq!(r.total_delivered(TrafficClass::Data), 0);
+    }
+
+    #[test]
+    fn streaming_mode_bins_and_keeps_no_raw_events() {
+        let mut r = Recorder::new(RecorderMode::Streaming);
+        // Two deliveries in bin 0, one in bin 3 (0.1 s bins).
+        r.record_delivery(rec_at(10, 1, TrafficClass::Data));
+        r.record_delivery(rec_at(99, 1, TrafficClass::Data));
+        r.record_delivery(rec_at(350, 1, TrafficClass::Data));
+        r.record_transmission(rec_at(120, 0, TrafficClass::Nack));
+
+        assert!(r.deliveries.is_empty(), "streaming keeps no raw events");
+        assert!(r.transmissions.is_empty());
+        assert_eq!(r.delivered_count(NodeId(1), TrafficClass::Data), 3);
+        assert_eq!(r.total_sent(TrafficClass::Nack), 1);
+
+        let bins = r.delivered_bins(NodeId(1), TrafficClass::Data);
+        assert_eq!(bins.len(), 4);
+        assert_eq!(
+            bins[0],
+            Tally {
+                packets: 2,
+                bytes: 20
+            }
+        );
+        assert_eq!(bins[1], Tally::default());
+        assert_eq!(
+            bins[3],
+            Tally {
+                packets: 1,
+                bytes: 10
+            }
+        );
+        let sent = r.sent_bins(NodeId(0), TrafficClass::Nack);
+        assert_eq!(sent[1].packets, 1);
+        // Unseen (node, class) pairs read as empty.
+        assert!(r.delivered_bins(NodeId(9), TrafficClass::Data).is_empty());
+    }
+
+    #[test]
+    fn drops_are_counted_in_both_modes() {
+        let drop = DropRecord {
+            time: SimTime::from_millis(5),
+            from: NodeId(0),
+            to: NodeId(1),
+            class: TrafficClass::Data,
+        };
+        let mut raw = Recorder::default();
+        raw.record_drop(drop.clone());
+        assert_eq!(raw.total_dropped(TrafficClass::Data), 1);
+        assert_eq!(raw.drops.len(), 1);
+
+        let mut streaming = Recorder::new(RecorderMode::Streaming);
+        streaming.record_drop(drop);
+        assert_eq!(streaming.total_dropped(TrafficClass::Data), 1);
+        assert!(streaming.drops.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "before any event")]
+    fn mode_switch_after_recording_is_rejected() {
+        let mut r = Recorder::default();
+        r.record_delivery(rec(1, TrafficClass::Data));
+        r.set_mode(RecorderMode::Streaming);
+    }
+
+    #[test]
+    fn mode_switch_allowed_after_clear() {
+        let mut r = Recorder::default();
+        r.record_delivery(rec(1, TrafficClass::Data));
+        r.clear();
+        r.set_mode(RecorderMode::Streaming);
+        assert_eq!(r.mode(), RecorderMode::Streaming);
+    }
+
+    #[test]
+    fn custom_bin_width_is_respected() {
+        let mut r = Recorder::new(RecorderMode::Streaming);
+        r.set_bin_width(SimDuration::from_secs(1));
+        r.record_delivery(rec_at(2500, 1, TrafficClass::Data));
+        let bins = r.delivered_bins(NodeId(1), TrafficClass::Data);
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[2].packets, 1);
     }
 
     #[test]

@@ -45,10 +45,7 @@ impl SimRng {
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let [s0, s1, s2, s3] = self.s;
-        let result = s0
-            .wrapping_add(s3)
-            .rotate_left(23)
-            .wrapping_add(s0);
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
         let t = s1 << 17;
         let mut s2n = s2 ^ s0;
         let mut s3n = s3 ^ s1;
@@ -151,10 +148,7 @@ mod tests {
         let n = 100_000;
         for &p in &[0.05f64, 0.25, 0.5, 0.9] {
             let hits = (0..n).filter(|_| r.chance(p)).count() as f64 / n as f64;
-            assert!(
-                (hits - p).abs() < 0.01,
-                "p={p} observed={hits}"
-            );
+            assert!((hits - p).abs() < 0.01, "p={p} observed={hits}");
         }
     }
 

@@ -12,14 +12,23 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// A shortest-path tree rooted at one source node.
+///
+/// Child edges live in one flat arena in CSR (compressed sparse row)
+/// layout rather than a `Vec<Vec<_>>`: the engine's forwarding hot path
+/// walks a node's children for every packet hop, and the flat layout lets
+/// it do so by copying `(NodeId, LinkId)` pairs out by index — no
+/// per-packet allocation, no aliasing with the rest of the engine state.
 #[derive(Clone, Debug)]
 pub struct Spt {
     /// The root.
     pub source: NodeId,
     /// Parent edge of each node (`None` for the root).
     pub parent: Vec<Option<(NodeId, LinkId)>>,
-    /// Child edges of each node, sorted by child id.
-    pub children: Vec<Vec<(NodeId, LinkId)>>,
+    /// All child edges, grouped by parent, each group sorted by child id.
+    child_edges: Vec<(NodeId, LinkId)>,
+    /// `child_edges[child_start[v] .. child_start[v + 1]]` are the
+    /// children of node `v`; length `node_count + 1`.
+    child_start: Vec<u32>,
     /// Propagation-latency distance from the root to each node.
     pub dist: Vec<SimDuration>,
 }
@@ -55,20 +64,30 @@ impl Spt {
             }
         }
 
-        let mut children = vec![Vec::new(); n];
+        // Counting sort into CSR: every non-root contributes one edge under
+        // its parent; filling in ascending node order keeps each group
+        // sorted by child id without a per-group sort.
+        let mut child_start = vec![0u32; n + 1];
+        for p in parent.iter().flatten() {
+            child_start[p.0.idx() + 1] += 1;
+        }
+        for i in 0..n {
+            child_start[i + 1] += child_start[i];
+        }
+        let mut next = child_start.clone();
+        let mut child_edges = vec![(NodeId(0), LinkId(0)); n.saturating_sub(1)];
         for v in topo.nodes() {
             if let Some((p, link)) = parent[v.idx()] {
-                children[p.idx()].push((v, link));
+                child_edges[next[p.idx()] as usize] = (v, link);
+                next[p.idx()] += 1;
             }
-        }
-        for c in &mut children {
-            c.sort_by_key(|(n, _)| *n);
         }
 
         Spt {
             source,
             parent,
-            children,
+            child_edges,
+            child_start,
             dist: dist
                 .into_iter()
                 .map(|d| {
@@ -77,6 +96,26 @@ impl Spt {
                 })
                 .collect(),
         }
+    }
+
+    /// The children of `node` in this tree, sorted by child id.
+    pub fn children(&self, node: NodeId) -> &[(NodeId, LinkId)] {
+        let (start, end) = self.child_range(node);
+        &self.child_edges[start..end]
+    }
+
+    /// Index range of `node`'s children in the flat edge arena; pair with
+    /// [`Spt::child_edge`] to iterate by copy while mutating other state.
+    pub fn child_range(&self, node: NodeId) -> (usize, usize) {
+        (
+            self.child_start[node.idx()] as usize,
+            self.child_start[node.idx() + 1] as usize,
+        )
+    }
+
+    /// The `i`-th edge in the flat child arena (copied out).
+    pub fn child_edge(&self, i: usize) -> (NodeId, LinkId) {
+        self.child_edges[i]
     }
 
     /// The path from the root to `node`, as a list of nodes starting at the
@@ -147,10 +186,10 @@ mod tests {
         let n1 = b.add_node("1");
         let n2 = b.add_node("2");
         let n3 = b.add_node("3");
-        b.add_link(n0, n1, LinkParams::lossless(ms(1), 0));
-        b.add_link(n0, n2, LinkParams::lossless(ms(5), 0));
-        b.add_link(n1, n3, LinkParams::lossless(ms(1), 0));
-        b.add_link(n2, n3, LinkParams::lossless(ms(1), 0));
+        b.add_link(n0, n1, LinkParams::lossless_infinite(ms(1)));
+        b.add_link(n0, n2, LinkParams::lossless_infinite(ms(5)));
+        b.add_link(n1, n3, LinkParams::lossless_infinite(ms(1)));
+        b.add_link(n2, n3, LinkParams::lossless_infinite(ms(1)));
         (b.build(), [n0, n1, n2, n3])
     }
 
@@ -183,8 +222,24 @@ mod tests {
     fn children_partition_non_roots() {
         let (t, [n0, ..]) = diamond();
         let spt = Spt::compute(&t, n0);
-        let total: usize = spt.children.iter().map(|c| c.len()).sum();
+        let total: usize = t.nodes().map(|v| spt.children(v).len()).sum();
         assert_eq!(total, t.node_count() - 1);
+    }
+
+    #[test]
+    fn csr_children_match_parent_edges_and_are_sorted() {
+        let (t, [n0, ..]) = diamond();
+        let spt = Spt::compute(&t, n0);
+        for v in t.nodes() {
+            let kids = spt.children(v);
+            assert!(kids.windows(2).all(|w| w[0].0 < w[1].0), "sorted by id");
+            let (start, end) = spt.child_range(v);
+            for (off, &(child, link)) in kids.iter().enumerate() {
+                assert_eq!(spt.child_edge(start + off), (child, link));
+                assert_eq!(spt.parent[child.idx()], Some((v, link)));
+            }
+            assert_eq!(end - start, kids.len());
+        }
     }
 
     #[test]
@@ -196,10 +251,10 @@ mod tests {
         let n1 = b.add_node("1");
         let n2 = b.add_node("2");
         let n3 = b.add_node("3");
-        b.add_link(n0, n1, LinkParams::lossless(ms(1), 0));
-        b.add_link(n0, n2, LinkParams::lossless(ms(1), 0));
-        b.add_link(n1, n3, LinkParams::lossless(ms(1), 0));
-        b.add_link(n2, n3, LinkParams::lossless(ms(1), 0));
+        b.add_link(n0, n1, LinkParams::lossless_infinite(ms(1)));
+        b.add_link(n0, n2, LinkParams::lossless_infinite(ms(1)));
+        b.add_link(n1, n3, LinkParams::lossless_infinite(ms(1)));
+        b.add_link(n2, n3, LinkParams::lossless_infinite(ms(1)));
         let t = b.build();
         for _ in 0..5 {
             let spt = Spt::compute(&t, n0);

@@ -75,7 +75,10 @@ impl SimDuration {
 
     /// Builds a span from fractional seconds (rounds to nanoseconds).
     pub fn from_secs_f64(s: f64) -> SimDuration {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and >= 0"
+        );
         SimDuration((s * 1e9).round() as u64)
     }
 
@@ -90,12 +93,19 @@ impl SimDuration {
     }
 
     /// Serialization time for `bytes` at `bits_per_sec`, rounded up to a
-    /// whole nanosecond (a zero-rate link is treated as infinitely fast,
-    /// which builders use for abstract lossless control links).
+    /// whole nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero rate — infinitely fast links are represented
+    /// explicitly (see `graph::Bandwidth::Infinite`), never by a zero
+    /// sentinel.
     pub fn transmission(bytes: u32, bits_per_sec: u64) -> SimDuration {
-        if bits_per_sec == 0 {
-            return SimDuration::ZERO;
-        }
+        assert!(
+            bits_per_sec > 0,
+            "zero-rate transmission; use Bandwidth::Infinite for an \
+             infinitely fast link"
+        );
         let bits = bytes as u128 * 8;
         let nanos = (bits * 1_000_000_000).div_ceil(bits_per_sec as u128);
         SimDuration(nanos as u64)
@@ -225,7 +235,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2000));
         assert_eq!(SimTime::from_secs_f64(2.0), SimTime::from_secs(2));
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
-        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.25),
+            SimDuration::from_millis(250)
+        );
     }
 
     #[test]
@@ -248,8 +261,13 @@ mod tests {
             SimDuration::transmission(1000, 10_000_000),
             SimDuration::from_micros(800)
         );
-        // zero-rate link = infinitely fast abstraction
-        assert_eq!(SimDuration::transmission(1000, 0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-rate transmission")]
+    fn transmission_rejects_zero_rate() {
+        // Infinitely fast links are Bandwidth::Infinite, never a 0 sentinel.
+        let _ = SimDuration::transmission(1000, 0);
     }
 
     #[test]

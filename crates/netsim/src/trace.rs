@@ -10,7 +10,7 @@
 //! # use sharqfec_netsim::metrics::{Record, Recorder, TrafficClass};
 //! # use sharqfec_netsim::{ChannelId, NodeId, SimTime};
 //! # let mut recorder = Recorder::default();
-//! # recorder.deliveries.push(Record {
+//! # recorder.record_delivery(Record {
 //! #     time: SimTime::from_millis(20), node: NodeId(1), src: NodeId(0),
 //! #     class: TrafficClass::Data, bytes: 1000, channel: ChannelId(0),
 //! # });
@@ -196,10 +196,10 @@ mod tests {
             channel: ChannelId(0),
         };
         let mut r = Recorder::default();
-        r.transmissions.push(rec(10, 0, TrafficClass::Data));
-        r.deliveries.push(rec(30, 1, TrafficClass::Data));
-        r.deliveries.push(rec(50, 2, TrafficClass::Nack));
-        r.drops.push(DropRecord {
+        r.record_transmission(rec(10, 0, TrafficClass::Data));
+        r.record_delivery(rec(30, 1, TrafficClass::Data));
+        r.record_delivery(rec(50, 2, TrafficClass::Nack));
+        r.record_drop(DropRecord {
             time: SimTime::from_millis(40),
             from: NodeId(0),
             to: NodeId(2),
@@ -257,8 +257,7 @@ mod tests {
     #[test]
     fn multi_value_filters_are_unions() {
         let r = recorder();
-        let t = Timeline::new(&r)
-            .filter(TraceFilter::default().node(NodeId(1)).node(NodeId(2)));
+        let t = Timeline::new(&r).filter(TraceFilter::default().node(NodeId(1)).node(NodeId(2)));
         assert_eq!(t.count(), 3); // delivery@1, nack@2, drop→2
     }
 }

@@ -26,7 +26,11 @@ fn random_topo() -> impl Strategy<Value = RandomTopo> {
                 .map(|(i, p)| (p, i + 1, lats[i]))
                 .collect();
             for (a, b, w) in extra {
-                if a != b && !edges.iter().any(|&(x, y, _)| (x, y) == (a, b) || (x, y) == (b, a)) {
+                if a != b
+                    && !edges
+                        .iter()
+                        .any(|&(x, y, _)| (x, y) == (a, b) || (x, y) == (b, a))
+                {
                     edges.push((a, b, w));
                 }
             }
@@ -42,7 +46,7 @@ fn build(t: &RandomTopo) -> Topology {
         b.add_link(
             ids[a],
             ids[bb],
-            LinkParams::lossless(SimDuration::from_millis(w), 0),
+            LinkParams::lossless_infinite(SimDuration::from_millis(w)),
         );
     }
     b.build()
@@ -99,14 +103,14 @@ proptest! {
         let topo = build(&t);
         let fw = floyd_warshall(&t);
         let oracle = DistanceOracle::compute(&topo);
-        for a in 0..t.n {
+        for (a, fw_row) in fw.iter().enumerate() {
             let spt = Spt::compute(&topo, NodeId(a as u32));
-            for b in 0..t.n {
+            for (b, &fw_dist) in fw_row.iter().enumerate() {
                 let ours = spt.delay_to(NodeId(b as u32)).as_nanos();
-                prop_assert_eq!(ours, fw[a][b], "dist {}->{}", a, b);
+                prop_assert_eq!(ours, fw_dist, "dist {}->{}", a, b);
                 prop_assert_eq!(
                     oracle.one_way(NodeId(a as u32), NodeId(b as u32)).as_nanos(),
-                    fw[a][b]
+                    fw_dist
                 );
             }
         }
@@ -212,5 +216,83 @@ proptest! {
                 .collect::<Vec<_>>()
         };
         prop_assert_eq!(run(), run());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Seed sweeps through the parallel runner are bit-identical to the
+    /// serial run of the same cells: thread count is not an input to the
+    /// simulation.  Each cell runs a lossy random-topology scenario and
+    /// reports its full delivery log.
+    #[test]
+    fn runner_seed_sweep_matches_serial(t in random_topo(), base_seed in any::<u32>()) {
+        use sharqfec_netsim::runner::{grid, run_sweep, Cell};
+        use std::num::NonZeroUsize;
+
+        let run_cell = |c: &Cell| {
+            let mut b = TopologyBuilder::new();
+            let ids = b.add_nodes("n", t.n);
+            for &(a, bb, w) in &t.edges {
+                b.add_link(
+                    ids[a],
+                    ids[bb],
+                    LinkParams::new(SimDuration::from_millis(w), 1_000_000, 0.3),
+                );
+            }
+            let mut engine: Engine<Ping> = Engine::new(b.build(), c.seed);
+            let chan = engine.add_channel(&ids);
+            engine.set_agent(ids[0], Box::new(Once { chan }));
+            engine.run();
+            engine
+                .recorder()
+                .deliveries
+                .iter()
+                .map(|d| (d.time.as_nanos(), d.node.0))
+                .collect::<Vec<_>>()
+        };
+
+        let seeds: Vec<u64> = (0..8).map(|i| base_seed as u64 + i).collect();
+        let serial = run_sweep(grid(&["lossy"], &seeds), NonZeroUsize::MIN, run_cell);
+        let parallel = run_sweep(
+            grid(&["lossy"], &seeds),
+            NonZeroUsize::new(4).unwrap(),
+            run_cell,
+        );
+        prop_assert_eq!(serial.into_values(), parallel.into_values());
+    }
+
+    /// The streaming recorder's O(1) aggregates agree with raw-mode counts
+    /// for the same seeded run.
+    #[test]
+    fn streaming_counts_match_raw(t in random_topo(), seed in any::<u64>()) {
+        use sharqfec_netsim::metrics::RecorderMode;
+
+        let run_mode = |mode: RecorderMode| {
+            let mut b = TopologyBuilder::new();
+            let ids = b.add_nodes("n", t.n);
+            for &(a, bb, w) in &t.edges {
+                b.add_link(
+                    ids[a],
+                    ids[bb],
+                    LinkParams::new(SimDuration::from_millis(w), 1_000_000, 0.3),
+                );
+            }
+            let mut engine: Engine<Ping> = Engine::new(b.build(), seed);
+            engine.set_recorder_mode(mode);
+            let chan = engine.add_channel(&ids);
+            engine.set_agent(ids[0], Box::new(Once { chan }));
+            engine.run();
+            let rec = engine.recorder();
+            let counts: Vec<usize> = (0..t.n as u32)
+                .map(|n| rec.delivered_count(NodeId(n), TrafficClass::Data))
+                .collect();
+            (counts, rec.total_sent(TrafficClass::Data), rec.total_dropped(TrafficClass::Data))
+        };
+
+        let raw = run_mode(RecorderMode::Raw);
+        let streaming = run_mode(RecorderMode::Streaming);
+        prop_assert_eq!(raw, streaming);
     }
 }

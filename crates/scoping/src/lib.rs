@@ -209,7 +209,10 @@ impl ZoneHierarchyBuilder {
                     self.zones[p.idx()].members.iter().copied().collect();
                 for &m in &z.members {
                     if !parent_set.contains(&m) {
-                        return Err(ScopeError::NotNested { zone: z.id, node: m });
+                        return Err(ScopeError::NotNested {
+                            zone: z.id,
+                            node: m,
+                        });
                     }
                 }
             }
@@ -217,8 +220,7 @@ impl ZoneHierarchyBuilder {
         // Sibling disjointness.
         for z in &self.zones {
             for (i, &a) in z.children.iter().enumerate() {
-                let set_a: HashSet<NodeId> =
-                    self.zones[a.idx()].members.iter().copied().collect();
+                let set_a: HashSet<NodeId> = self.zones[a.idx()].members.iter().copied().collect();
                 for &b in &z.children[i + 1..] {
                     if let Some(&shared) = self.zones[b.idx()]
                         .members
@@ -287,15 +289,12 @@ impl ZoneHierarchy {
     /// Panics if the node belongs to no zone — every session member must be
     /// in at least the root zone.
     pub fn smallest_zone(&self, node: NodeId) -> ZoneId {
-        self.smallest[node.idx()]
-            .unwrap_or_else(|| panic!("node {node} belongs to no zone"))
+        self.smallest[node.idx()].unwrap_or_else(|| panic!("node {node} belongs to no zone"))
     }
 
     /// Whether `node` is in any zone (i.e. in the session).
     pub fn in_session(&self, node: NodeId) -> bool {
-        self.smallest
-            .get(node.idx())
-            .is_some_and(|s| s.is_some())
+        self.smallest.get(node.idx()).is_some_and(|s| s.is_some())
     }
 
     /// The chain of zones containing `node`, smallest first, ending at the
@@ -364,7 +363,12 @@ mod tests {
         let all: Vec<NodeId> = (0..14).map(n).collect();
         let mut b = ZoneHierarchyBuilder::new(14);
         let z0 = b.root(&all);
-        let z1 = b.child(z0, &[n(2), n(4), n(5), n(8), n(9), n(10), n(11), n(12), n(13)]).unwrap();
+        let z1 = b
+            .child(
+                z0,
+                &[n(2), n(4), n(5), n(8), n(9), n(10), n(11), n(12), n(13)],
+            )
+            .unwrap();
         let z2 = b.child(z0, &[n(3), n(6), n(7)]).unwrap();
         let z3 = b.child(z1, &[n(8), n(9), n(10)]).unwrap();
         let z4 = b.child(z1, &[n(5), n(11), n(12), n(13)]).unwrap();
@@ -420,7 +424,10 @@ mod tests {
         b.child(z0, &[n(1), n(2)]).unwrap(); // n(2) not in root
         assert!(matches!(
             b.build().unwrap_err(),
-            ScopeError::NotNested { node: NodeId(2), .. }
+            ScopeError::NotNested {
+                node: NodeId(2),
+                ..
+            }
         ));
     }
 
@@ -432,7 +439,10 @@ mod tests {
         b.child(z0, &[n(1), n(2)]).unwrap();
         assert!(matches!(
             b.build().unwrap_err(),
-            ScopeError::SiblingOverlap { node: NodeId(1), .. }
+            ScopeError::SiblingOverlap {
+                node: NodeId(1),
+                ..
+            }
         ));
     }
 

@@ -35,7 +35,11 @@ fn build(s: &Spec) -> ZoneHierarchy {
     let per = span / cells;
     for c in 0..cells {
         let lo = 1 + c * per;
-        let hi = if c == cells - 1 { s.n } else { 1 + (c + 1) * per };
+        let hi = if c == cells - 1 {
+            s.n
+        } else {
+            1 + (c + 1) * per
+        };
         if hi <= lo {
             continue;
         }

@@ -231,16 +231,11 @@ mod tests {
     use super::*;
     use sharqfec_topology::{balanced_tree, chain, figure10, star, Figure10Params};
 
-    fn run_election(
-        built: &sharqfec_topology::BuiltTopology,
-        seconds: u64,
-    ) -> Engine<SessionWire> {
+    fn run_election(built: &sharqfec_topology::BuiltTopology, seconds: u64) -> Engine<SessionWire> {
         let (mut engine, _) = setup_session_sim(
             built,
             7,
-            ZcrSeeding::Elect {
-                root: built.source,
-            },
+            ZcrSeeding::Elect { root: built.source },
             SessionConfig::default(),
             SimTime::from_secs(1),
             &[],
@@ -309,9 +304,7 @@ mod tests {
         let probes = vec![(
             prober,
             ProbePlan {
-                times: (0..4)
-                    .map(|i| SimTime::from_secs(10 + 3 * i))
-                    .collect(),
+                times: (0..4).map(|i| SimTime::from_secs(10 + 3 * i)).collect(),
             },
         )];
         let (mut engine, _) = setup_session_sim(
@@ -334,7 +327,7 @@ mod tests {
             let agent = engine.agent::<SessionAgent>(r).unwrap();
             // Use each receiver's LAST observation (estimates improve with
             // successive measurements, per the paper).
-            if let Some(obs) = agent.observations.iter().filter(|o| o.src == prober).last() {
+            if let Some(obs) = agent.observations.iter().rfind(|o| o.src == prober) {
                 total += 1;
                 if let Some(ratio) = obs.ratio() {
                     with_estimate += 1;
@@ -344,7 +337,10 @@ mod tests {
                 }
             }
         }
-        assert!(total >= 100, "probes should reach ~all receivers, got {total}");
+        assert!(
+            total >= 100,
+            "probes should reach ~all receivers, got {total}"
+        );
         // Paper: "more than 50% of receivers were able to estimate the RTT
         // to a NACK's sender to within a few percent".
         assert!(

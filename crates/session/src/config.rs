@@ -72,8 +72,7 @@ impl SessionConfig {
     /// Panics with a description of the violated invariant.
     pub fn validate(&self) {
         assert!(
-            self.announce_interval.0 <= self.announce_interval.1
-                && self.announce_interval.0 > 0.0,
+            self.announce_interval.0 <= self.announce_interval.1 && self.announce_interval.0 > 0.0,
             "announce_interval must be an ordered positive range"
         );
         assert!(

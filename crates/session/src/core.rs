@@ -253,8 +253,7 @@ impl SessionCore {
 
     /// The believed ZCR of a zone in this node's chain.
     pub fn zcr_of(&self, zone: ZoneId) -> Option<NodeId> {
-        self.chain_index(zone)
-            .and_then(|l| self.levels[l].zcr)
+        self.chain_index(zone).and_then(|l| self.levels[l].zcr)
     }
 
     /// Whether this node currently believes itself ZCR of `zone`.
@@ -481,8 +480,7 @@ impl SessionCore {
             } else {
                 self.levels[l].link_dist
             };
-            let bytes = self.cfg.announce_base_bytes
-                + self.cfg.entry_bytes * entries.len() as u32;
+            let bytes = self.cfg.announce_base_bytes + self.cfg.entry_bytes * entries.len() as u32;
             let report = self.outgoing_report(zone);
             ctx.send(
                 zone,
@@ -716,7 +714,11 @@ impl SessionCore {
         }
         let now = ctx.now();
         let elapsed = now.saturating_since(pending.heard_at);
-        let elapsed = if elapsed >= hold { elapsed - hold } else { SimDuration::ZERO };
+        let elapsed = if elapsed >= hold {
+            elapsed - hold
+        } else {
+            SimDuration::ZERO
+        };
 
         let my_dist = if pending.mine {
             // I issued the challenge: elapsed is my full round trip.
@@ -769,10 +771,10 @@ impl SessionCore {
             // Suppression: delay proportional to distance so the closest
             // candidate declares first (paper §5.2: "other potential ZCRs
             // should perform suppression as appropriate").
-            let delay = my_dist.mul_f64(
-                ctx.rng()
-                    .range_f64(self.cfg.takeover_c1, self.cfg.takeover_c1 + self.cfg.takeover_c2),
-            );
+            let delay = my_dist.mul_f64(ctx.rng().range_f64(
+                self.cfg.takeover_c1,
+                self.cfg.takeover_c1 + self.cfg.takeover_c2,
+            ));
             let id = ctx.set_timer(delay, token(KIND_TAKEOVER, l));
             self.levels[l].takeover = Some((id, my_dist));
         }
@@ -925,7 +927,7 @@ mod tests {
         assert_eq!(core.chain_zones().len(), 3);
         // node 5 is not a ZCR: participates only in its smallest zone.
         assert_eq!(core.participation(), vec![core.chain_zones()[0]]);
-        assert!(core.is_zcr_of(core.chain_zones()[0]) == false);
+        assert!(!core.is_zcr_of(core.chain_zones()[0]));
         assert_eq!(core.zcr_of(core.chain_zones()[0]), Some(n(3)));
     }
 
@@ -966,7 +968,11 @@ mod tests {
             .filter(|(_, m)| matches!(m, SessionMsg::Announce(_)))
             .map(|(z, _)| z)
             .collect();
-        assert_eq!(announces.len(), 2, "ZCR announces into child and parent zones");
+        assert_eq!(
+            announces.len(),
+            2,
+            "ZCR announces into child and parent zones"
+        );
     }
 
     #[test]
@@ -1240,7 +1246,9 @@ mod tests {
         let reasserts = ctx
             .sent
             .iter()
-            .filter(|(_, m)| matches!(m, SessionMsg::ZcrTakeover { new_zcr, .. } if *new_zcr == n(3)))
+            .filter(
+                |(_, m)| matches!(m, SessionMsg::ZcrTakeover { new_zcr, .. } if *new_zcr == n(3)),
+            )
             .count();
         assert_eq!(reasserts, 2, "reassert goes to child and parent zones");
 
@@ -1280,7 +1288,11 @@ mod tests {
             .filter(|(_, m)| matches!(m, SessionMsg::ZcrResponse { .. }))
             .collect();
         assert_eq!(responses.len(), 1);
-        assert_eq!(responses[0].0, ZoneId(1), "response goes to the parent zone");
+        assert_eq!(
+            responses[0].0,
+            ZoneId(1),
+            "response goes to the parent zone"
+        );
     }
 
     #[test]

@@ -121,7 +121,10 @@ impl PeerTable {
     /// Largest RTT estimate in the table (used for the paper's
     /// "2.5 × RTT to the most distant known receiver" ZLC window).
     pub fn max_rtt(&self) -> Option<SimDuration> {
-        self.peers.values().filter_map(|p| p.rtt.map(|e| e.rtt())).max()
+        self.peers
+            .values()
+            .filter_map(|p| p.rtt.map(|e| e.rtt()))
+            .max()
     }
 
     /// Drops peers not heard from since `cutoff`.

@@ -39,27 +39,45 @@ fn build(s: &Shape) -> BuiltTopology {
     let src = b.add_node("src");
     let gl = b.add_node("gl");
     let gr = b.add_node("gr");
-    b.add_link(src, gl, LinkParams::lossless(SimDuration::from_millis(s.gw_lat.0), 0));
-    b.add_link(src, gr, LinkParams::lossless(SimDuration::from_millis(s.gw_lat.1), 0));
+    b.add_link(
+        src,
+        gl,
+        LinkParams::lossless_infinite(SimDuration::from_millis(s.gw_lat.0)),
+    );
+    b.add_link(
+        src,
+        gr,
+        LinkParams::lossless_infinite(SimDuration::from_millis(s.gw_lat.1)),
+    );
     let mut receivers = vec![gl, gr];
     let mut left_members = vec![gl];
     let mut right_members = vec![gr];
     for &lat in &s.left {
         let n = b.add_node("l");
-        b.add_link(gl, n, LinkParams::lossless(SimDuration::from_millis(lat), 0));
+        b.add_link(
+            gl,
+            n,
+            LinkParams::lossless_infinite(SimDuration::from_millis(lat)),
+        );
         receivers.push(n);
         left_members.push(n);
     }
     for &lat in &s.right {
         let n = b.add_node("r");
-        b.add_link(gr, n, LinkParams::lossless(SimDuration::from_millis(lat), 0));
+        b.add_link(
+            gr,
+            n,
+            LinkParams::lossless_infinite(SimDuration::from_millis(lat)),
+        );
         receivers.push(n);
         right_members.push(n);
     }
     let topology = b.build();
     let n = topology.node_count();
     let mut zb = ZoneHierarchyBuilder::new(n);
-    let all: Vec<NodeId> = std::iter::once(src).chain(receivers.iter().copied()).collect();
+    let all: Vec<NodeId> = std::iter::once(src)
+        .chain(receivers.iter().copied())
+        .collect();
     let root = zb.root(&all);
     zb.child(root, &left_members).expect("left nests");
     zb.child(root, &right_members).expect("right nests");
@@ -131,8 +149,7 @@ proptest! {
             let last = agent
                 .observations
                 .iter()
-                .filter(|o| o.src == prober)
-                .last();
+                .rfind(|o| o.src == prober);
             prop_assert!(last.is_some(), "{r} never observed the probe");
             let obs = last.unwrap();
             let ratio = obs.ratio();

@@ -95,8 +95,20 @@ mod tests {
             assert!(agent.complete(), "receiver {r} incomplete");
         }
         let rec = engine.recorder();
-        assert_eq!(rec.transmissions.iter().filter(|t| t.class == TrafficClass::Nack).count(), 0);
-        assert_eq!(rec.transmissions.iter().filter(|t| t.class == TrafficClass::Repair).count(), 0);
+        assert_eq!(
+            rec.transmissions
+                .iter()
+                .filter(|t| t.class == TrafficClass::Nack)
+                .count(),
+            0
+        );
+        assert_eq!(
+            rec.transmissions
+                .iter()
+                .filter(|t| t.class == TrafficClass::Repair)
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -115,11 +127,20 @@ mod tests {
                 incomplete += 1;
             }
         }
-        assert_eq!(incomplete, 0, "{incomplete} receivers still missing packets");
+        assert_eq!(
+            incomplete, 0,
+            "{incomplete} receivers still missing packets"
+        );
         // Under ~13-28% loss there must have been real repair activity.
         let rec = engine.recorder();
-        assert!(rec.transmissions.iter().any(|t| t.class == TrafficClass::Repair));
-        assert!(rec.transmissions.iter().any(|t| t.class == TrafficClass::Nack));
+        assert!(rec
+            .transmissions
+            .iter()
+            .any(|t| t.class == TrafficClass::Repair));
+        assert!(rec
+            .transmissions
+            .iter()
+            .any(|t| t.class == TrafficClass::Nack));
     }
 
     #[test]
@@ -185,7 +206,11 @@ mod tests {
         }
         let mut engine: Engine<SrmMsg> = Engine::new(b.build(), 9);
         let chan = engine.add_channel(&ids);
-        engine.set_agent_with_start(ids[0], Box::new(SrmSource::new(cfg.clone(), chan)), SimTime::from_secs(1));
+        engine.set_agent_with_start(
+            ids[0],
+            Box::new(SrmSource::new(cfg.clone(), chan)),
+            SimTime::from_secs(1),
+        );
         for &r in &ids[1..] {
             engine.set_agent_with_start(
                 r,
@@ -198,7 +223,11 @@ mod tests {
             assert!(engine.agent::<SrmReceiver>(r).unwrap().complete());
         }
         let rec = engine.recorder();
-        let losses = rec.drops.iter().filter(|d| d.class == TrafficClass::Data).count();
+        let losses = rec
+            .drops
+            .iter()
+            .filter(|d| d.class == TrafficClass::Data)
+            .count();
         let requests = rec
             .transmissions
             .iter()

@@ -96,9 +96,10 @@ impl SrmReceiver {
 
     fn request_delay(&mut self, ctx: &mut Ctx<'_, SrmMsg>, i: u32) -> SimDuration {
         let d = self.d_sa(ctx);
-        let factor = ctx
-            .rng()
-            .range_f64(self.req_params.lo, self.req_params.lo + self.req_params.width);
+        let factor = ctx.rng().range_f64(
+            self.req_params.lo,
+            self.req_params.lo + self.req_params.width,
+        );
         d.mul_f64(factor) * (1u64 << i.min(MAX_BACKOFF))
     }
 
@@ -165,9 +166,10 @@ impl SrmReceiver {
             }
         }
         let d_ab = ctx.one_way(requester);
-        let factor = ctx
-            .rng()
-            .range_f64(self.rep_params.lo, self.rep_params.lo + self.rep_params.width);
+        let factor = ctx.rng().range_f64(
+            self.rep_params.lo,
+            self.rep_params.lo + self.rep_params.width,
+        );
         let timer = ctx.set_timer(d_ab.mul_f64(factor), TOK_REP_BASE | seq as u64);
         self.repairs.insert(seq, RepState { timer, d_ab });
     }
@@ -258,8 +260,10 @@ impl Agent<SrmMsg> for SrmReceiver {
                 self.note_exists(ctx, seq);
                 if self.received[seq as usize] {
                     self.schedule_repair(ctx, seq, pkt.src);
-                } else if let Some((old_timer, i, backed_off)) =
-                    self.requests.get(&seq).map(|r| (r.timer, r.i, r.backed_off))
+                } else if let Some((old_timer, i, backed_off)) = self
+                    .requests
+                    .get(&seq)
+                    .map(|r| (r.timer, r.i, r.backed_off))
                 {
                     // Duplicate-request suppression: exponential backoff
                     // and timer reset (SRM §IV) — at most once per round,

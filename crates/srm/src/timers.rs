@@ -105,7 +105,11 @@ mod tests {
             p.end_round(1.0);
         }
         assert!(p.lo > 2.0, "C1 should grow under duplicates: {}", p.lo);
-        assert!(p.width > 2.0, "C2 should grow under duplicates: {}", p.width);
+        assert!(
+            p.width > 2.0,
+            "C2 should grow under duplicates: {}",
+            p.width
+        );
         assert!(p.ave_dup() > 1.0);
     }
 

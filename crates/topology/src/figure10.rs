@@ -282,10 +282,7 @@ mod tests {
         let built = figure10(&Figure10Params::default());
         let spt = Spt::compute(&built.topology, built.source);
         // Leaf of tree 0: backbone 30ms + 20 + 20 = 70ms.
-        assert_eq!(
-            spt.delay_to(leaf_node(0, 0)),
-            SimDuration::from_millis(70)
-        );
+        assert_eq!(spt.delay_to(leaf_node(0, 0)), SimDuration::from_millis(70));
         assert_eq!(spt.path_to(leaf_node(0, 0)).len(), 4);
     }
 

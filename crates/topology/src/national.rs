@@ -96,11 +96,9 @@ pub fn national(params: &NationalParams) -> BuiltTopology {
 
     let mut b = TopologyBuilder::new();
     let source = b.add_node("national-src");
-    let backbone = |lat_ms: u64, loss: f64| LinkParams::new(
-        SimDuration::from_millis(lat_ms),
-        45_000_000,
-        loss,
-    );
+    let backbone = |lat_ms: u64, loss: f64| {
+        LinkParams::new(SimDuration::from_millis(lat_ms), 45_000_000, loss)
+    };
     let access = LinkParams::new(SimDuration::from_millis(5), 10_000_000, params.access_loss);
 
     let mut receivers = Vec::new();

@@ -103,7 +103,9 @@ pub fn random_tree(params: &RandomTreeParams, seed: u64) -> BuiltTopology {
     let topology = b.build();
     let n = topology.node_count();
     let mut zb = ZoneHierarchyBuilder::new(n);
-    let all: Vec<NodeId> = std::iter::once(source).chain(receivers.iter().copied()).collect();
+    let all: Vec<NodeId> = std::iter::once(source)
+        .chain(receivers.iter().copied())
+        .collect();
     let root = zb.root(&all);
     let mut designed_zcrs = vec![source];
     for (head, members) in &subtrees {
@@ -209,7 +211,9 @@ mod tests {
         };
         let built = random_tree(&p, 5);
         for id in 0..built.topology.link_count() {
-            let l = built.topology.link(sharqfec_netsim::graph::LinkId(id as u32));
+            let l = built
+                .topology
+                .link(sharqfec_netsim::graph::LinkId(id as u32));
             assert!((0.05..0.10).contains(&l.params.loss));
         }
     }

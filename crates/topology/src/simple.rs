@@ -63,7 +63,10 @@ pub fn chain(n: usize) -> BuiltTopology {
 /// `n` counts all nodes including the source; must be ≥ 3 (source, gateway,
 /// one spoke).  `receivers[0]` is the gateway.
 pub fn star(n: usize) -> BuiltTopology {
-    assert!(n >= 3, "star needs a source, a gateway, and at least one spoke");
+    assert!(
+        n >= 3,
+        "star needs a source, a gateway, and at least one spoke"
+    );
     let mut b = TopologyBuilder::new();
     let source = b.add_node("src");
     let gw = b.add_node("gw");
@@ -78,7 +81,9 @@ pub fn star(n: usize) -> BuiltTopology {
     let topology = b.build();
 
     let mut zb = ZoneHierarchyBuilder::new(n);
-    let all: Vec<NodeId> = std::iter::once(source).chain(receivers.iter().copied()).collect();
+    let all: Vec<NodeId> = std::iter::once(source)
+        .chain(receivers.iter().copied())
+        .collect();
     let root = zb.root(&all);
     let child = zb.child(root, &receivers).expect("receivers nest in root");
     let hierarchy = zb.build().expect("star hierarchy is valid");
@@ -130,7 +135,9 @@ pub fn balanced_tree(fanout: usize, depth: usize) -> BuiltTopology {
     let n = topology.node_count();
 
     let mut zb = ZoneHierarchyBuilder::new(n);
-    let all: Vec<NodeId> = std::iter::once(source).chain(receivers.iter().copied()).collect();
+    let all: Vec<NodeId> = std::iter::once(source)
+        .chain(receivers.iter().copied())
+        .collect();
     let root = zb.root(&all);
     let mut designed_zcrs = vec![source];
     debug_assert_eq!(root.idx(), 0);

@@ -22,7 +22,10 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let variant = args.get(1).map(String::as_str).unwrap_or("full");
     let topology = args.get(2).map(String::as_str).unwrap_or("figure10");
-    let packets: u32 = args.get(3).map(|s| s.parse().expect("packets")).unwrap_or(64);
+    let packets: u32 = args
+        .get(3)
+        .map(|s| s.parse().expect("packets"))
+        .unwrap_or(64);
     let seed: u64 = args.get(4).map(|s| s.parse().expect("seed")).unwrap_or(42);
 
     let cfg = SharqfecConfig {
@@ -68,7 +71,11 @@ fn main() {
         TrafficClass::Session,
         TrafficClass::Control,
     ] {
-        let tx = rec.transmissions.iter().filter(|t| t.class == class).count();
+        let tx = rec
+            .transmissions
+            .iter()
+            .filter(|t| t.class == class)
+            .count();
         let rx = rec.deliveries.iter().filter(|d| d.class == class).count();
         let dr = rec.drops.iter().filter(|d| d.class == class).count();
         println!("  {:<8} {:>7} / {:>8} / {:>6}", class.label(), tx, rx, dr);

@@ -47,7 +47,10 @@ fn main() {
         .map(|&r| engine.agent::<SfAgent>(r).expect("receiver").missing())
         .sum();
     assert_eq!(missing, 0, "{missing} packets undelivered");
-    println!("all packets delivered to all {} receivers", built.receivers.len());
+    println!(
+        "all packets delivered to all {} receivers",
+        built.receivers.len()
+    );
 
     // Session state per receiver class (the live Figure 8 measurement).
     let mut subscriber_state = Vec::new();
@@ -83,7 +86,9 @@ fn main() {
     for level in &full.levels {
         println!(
             "  {:<8} RTTs/receiver {:>4}  (vs {} non-scoped)",
-            level.name, level.rtts_per_receiver, full.nonscoped_state()
+            level.name,
+            level.rtts_per_receiver,
+            full.nonscoped_state()
         );
     }
 }

@@ -62,8 +62,7 @@ fn main() {
             "receiver {r} still missing {} packets",
             agent.missing()
         );
-        let mut dec =
-            GroupDecoder::new(K as usize, HEADROOM, PAYLOAD, n_groups).expect("decoder");
+        let mut dec = GroupDecoder::new(K as usize, HEADROOM, PAYLOAD, n_groups).expect("decoder");
         for g in 0..n_groups as u32 {
             let mut fed = 0;
             for idx in agent.held_indices(g) {
@@ -92,9 +91,7 @@ fn main() {
         assert_eq!(out, newspaper, "receiver {r} reassembled different bytes");
         reconstructed += 1;
     }
-    println!(
-        "all {reconstructed} receivers reassembled the newspaper byte-for-byte"
-    );
+    println!("all {reconstructed} receivers reassembled the newspaper byte-for-byte");
     println!("deepest FEC index used anywhere: {worst_fec_used} (headroom {HEADROOM})");
     let repairs = engine
         .recorder()

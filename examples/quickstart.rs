@@ -67,10 +67,7 @@ fn protocol_demo() {
             .count()
     };
     println!("   112 receivers, 128 packets each under 13-28% loss");
-    println!(
-        "   drops on links : {}",
-        rec.drops.len()
-    );
+    println!("   drops on links : {}", rec.drops.len());
     println!("   repairs sent   : {}", count(TrafficClass::Repair));
     println!("   NACKs sent     : {}", count(TrafficClass::Nack));
     println!("   packets missing: {missing}");

@@ -128,14 +128,20 @@ fn main() {
     };
 
     engine.run_until(SimTime::from_secs(7));
-    println!("t=7s   (before failure): survivors see ZCR = {:?}", view(&engine, heir));
+    println!(
+        "t=7s   (before failure): survivors see ZCR = {:?}",
+        view(&engine, heir)
+    );
     for &r in &built.receivers[1..] {
         assert_eq!(view(&engine, r), Some(doomed), "designed ZCR in office");
     }
 
     println!("t=8s   ZCR {doomed} crashes (goes silent)");
     engine.run_until(SimTime::from_secs(25));
-    println!("t=25s  (after liveness window + challenge): survivors see ZCR = {:?}", view(&engine, heir));
+    println!(
+        "t=25s  (after liveness window + challenge): survivors see ZCR = {:?}",
+        view(&engine, heir)
+    );
     for &r in &built.receivers[1..] {
         assert_eq!(
             view(&engine, r),

@@ -7,7 +7,7 @@
 //! where possible.
 
 use sharqfec_repro::netsim::{NodeId, SimTime, TrafficClass};
-use sharqfec_repro::protocol::{SfAgent, SharqfecConfig, Role};
+use sharqfec_repro::protocol::{Role, SfAgent, SharqfecConfig};
 use sharqfec_repro::session::core::{SessionCore, ZcrSeeding};
 use sharqfec_repro::topology::{figure10, Figure10Params};
 use std::rc::Rc;

@@ -126,7 +126,12 @@ fn indirect_rtt_estimates_are_accurate() {
             .filter(|(_, s, _)| *s == last_seq)
             .filter_map(|(_, _, r)| *r)
             .collect();
-        assert!(last.len() > 100, "probe from {} reached {} receivers", res.prober, last.len());
+        assert!(
+            last.len() > 100,
+            "probe from {} reached {} receivers",
+            res.prober,
+            last.len()
+        );
         let close = last.iter().filter(|r| (**r - 1.0).abs() < 0.05).count();
         assert!(
             close as f64 > 0.5 * last.len() as f64,

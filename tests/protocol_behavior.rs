@@ -2,7 +2,9 @@
 //! describes: shared-loss suppression, ZCR upstream requests, injection
 //! decay, and scope escalation under unrepairable zones.
 
-use sharqfec_repro::netsim::{Engine, LinkParams, NodeId, SimDuration, SimTime, TopologyBuilder, TrafficClass};
+use sharqfec_repro::netsim::{
+    Engine, LinkParams, NodeId, SimDuration, SimTime, TopologyBuilder, TrafficClass,
+};
 use sharqfec_repro::protocol::{setup_sharqfec_sim, SfAgent, SfMsg, SharqfecConfig};
 use sharqfec_repro::scoping::ZoneHierarchyBuilder;
 use sharqfec_repro::topology::BuiltTopology;
@@ -15,9 +17,21 @@ fn shared_loss_topology(loss: f64) -> BuiltTopology {
     let gw = b.add_node("gw");
     let r1 = b.add_node("r1");
     let r2 = b.add_node("r2");
-    b.add_link(src, gw, LinkParams::new(SimDuration::from_millis(30), 10_000_000, loss));
-    b.add_link(gw, r1, LinkParams::lossless(SimDuration::from_millis(10), 10_000_000));
-    b.add_link(gw, r2, LinkParams::lossless(SimDuration::from_millis(10), 10_000_000));
+    b.add_link(
+        src,
+        gw,
+        LinkParams::new(SimDuration::from_millis(30), 10_000_000, loss),
+    );
+    b.add_link(
+        gw,
+        r1,
+        LinkParams::lossless(SimDuration::from_millis(10), 10_000_000),
+    );
+    b.add_link(
+        gw,
+        r2,
+        LinkParams::lossless(SimDuration::from_millis(10), 10_000_000),
+    );
     let topology = b.build();
     let mut zb = ZoneHierarchyBuilder::new(4);
     let root = zb.root(&[src, gw, r1, r2]);
@@ -63,7 +77,10 @@ fn shared_losses_produce_one_nack_stream() {
     };
     let gw_nacks = nacks_by(gw);
     let leaf_nacks = nacks_by(built.receivers[1]) + nacks_by(built.receivers[2]);
-    assert!(gw_nacks > 0, "the representative must have requested repairs");
+    assert!(
+        gw_nacks > 0,
+        "the representative must have requested repairs"
+    );
     // Suppression is probabilistic (overlapping timer windows), so the
     // leaves occasionally win the race — but the representative must carry
     // the majority, and in aggregate a shared loss must cost ~one NACK,
@@ -139,10 +156,7 @@ fn injection_decays_on_a_clean_network() {
     // Stream spans t = 6.0 .. 9.2 s; all injections must stop in the
     // first half once the EWMA has decayed (0.75^4 of 4 rounds to < 0.5
     // within ~5 groups).
-    let late = repairs
-        .iter()
-        .filter(|t| t.as_secs_f64() > 7.6)
-        .count();
+    let late = repairs.iter().filter(|t| t.as_secs_f64() > 7.6).count();
     assert_eq!(
         late, 0,
         "prediction failed to decay: {late} injections in the second half"

@@ -1,0 +1,347 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the real `proptest` cannot be fetched.  This crate reimplements the
+//! slice of its API the workspace's property tests use — the `proptest!`
+//! macro, `Strategy` with `prop_map`/`prop_flat_map`, `Just`, `any`,
+//! ranges, tuples, `collection::vec`, `prop_oneof!`, and the
+//! `prop_assert*` family — over a deterministic in-house RNG.
+//!
+//! Differences from the real crate (accepted for offline builds):
+//!
+//! * **No shrinking.**  A failing case reports the case number and the
+//!   assertion message; tests here already format the relevant inputs
+//!   into their messages.
+//! * **Fixed derivation of case seeds.**  Each case's RNG is seeded from
+//!   (test name, case index), so failures replay bit-for-bit forever and
+//!   runs never flake.  Set `PROPTEST_CASES` to scale case counts.
+
+pub mod strategy;
+
+pub mod collection;
+
+/// Test-runner configuration (`proptest::test_runner::Config` analogue).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (the only knob our tests use).
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test as a whole fails.
+    Fail(String),
+    /// A `prop_assume!` precondition was not met; the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Constructs a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Deterministic RNG handed to strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty sampling range");
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn case_count(cfg: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(cfg.cases),
+        Err(_) => cfg.cases,
+    }
+}
+
+/// Drives one property test: runs `cases` successful cases (skipping
+/// rejected ones, with a cap), panicking on the first failure.
+pub fn run_cases(
+    cfg: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let cases = case_count(cfg);
+    // Stable per-test base seed: FNV-1a over the test name.
+    let mut base: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        base ^= b as u64;
+        base = base.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut passed = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = (cases as u64) * 16 + 64;
+    while passed < cases {
+        assert!(
+            attempts < max_attempts,
+            "[{name}] too many rejected cases ({attempts} attempts for {cases} cases)"
+        );
+        let mut rng = TestRng::new(base ^ attempts.wrapping_mul(0xA24B_AED4_963E_E407));
+        attempts += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("[{name}] case {passed} (attempt {attempts}) failed: {msg}")
+            }
+        }
+    }
+}
+
+/// One-stop import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+/// Declares property tests.  Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(..)]` header, then `#[test]` functions whose
+/// arguments are drawn from strategies with `pat in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg = $cfg;
+                $crate::run_cases(&cfg, stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Strategy that picks uniformly among the given strategies (all arms must
+/// yield the same value type).  The real macro supports weighted arms; our
+/// tests only use the unweighted form.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{} at {}:{}",
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{:?}` == `{:?}` at {}:{}",
+                        l,
+                        r,
+                        file!(),
+                        line!()
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&($left), &($right)) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::TestCaseError::fail(format!(
+                        "{}: `{:?}` != `{:?}` at {}:{}",
+                        format!($($fmt)+),
+                        l,
+                        r,
+                        file!(),
+                        line!()
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// `assert_ne!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (l, r) => {
+                if *l == *r {
+                    return Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{:?}` != `{:?}` at {}:{}",
+                        l,
+                        r,
+                        file!(),
+                        line!()
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&($left), &($right)) {
+            (l, r) => {
+                if *l == *r {
+                    return Err($crate::TestCaseError::fail(format!(
+                        "{}: both `{:?}` at {}:{}",
+                        format!($($fmt)+),
+                        l,
+                        file!(),
+                        line!()
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Skips the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u64..17, b in 2usize..=6, f in 0.5f64..1.5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((2..=6).contains(&b));
+            prop_assert!((0.5..1.5).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec(0u8..10, 1..5),
+            (x, y) in (0u32..4, 0u32..4),
+            pick in prop_oneof![Just(1u32), Just(2), Just(3)],
+            n in (1usize..4).prop_flat_map(|n| crate::collection::vec(Just(0u8), n)),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            prop_assert!(x < 4 && y < 4);
+            prop_assert!((1..=3).contains(&pick));
+            prop_assert!(!n.is_empty() && n.len() < 4);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u64..10) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+            prop_assert_ne!(a % 2, 1);
+        }
+    }
+
+    #[test]
+    fn identical_names_replay_identically() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::run_cases(&ProptestConfig::with_cases(10), "replay", |rng| {
+                out.push(rng.next_u64());
+                Ok(())
+            });
+        }
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected")]
+    fn unsatisfiable_assumption_reports() {
+        crate::run_cases(&ProptestConfig::with_cases(4), "never", |_| {
+            Err(crate::TestCaseError::Reject)
+        });
+    }
+}
