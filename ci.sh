@@ -10,6 +10,15 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --workspace --all-targets (examples, benches, bins link)"
+cargo build --workspace --all-targets
+
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+# The vendored proptest/criterion stand-ins are exempt: their doc comments
+# mirror the upstream crates' wording, ambiguous intra-doc links included.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet \
+  --exclude proptest --exclude criterion
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 

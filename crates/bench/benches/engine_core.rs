@@ -50,15 +50,16 @@ fn bench_multicast_storm(c: &mut Criterion) {
     g.bench_function("figure10_500pkts", |b| {
         b.iter(|| {
             let built = figure10(&Figure10Params::default());
-            let mut e: Engine<Blob> = Engine::new(built.topology.clone(), 1);
-            let chan = e.add_channel(&built.members());
-            e.set_agent(
+            let mut builder: EngineBuilder<Blob> = EngineBuilder::new(built.topology.clone(), 1);
+            let chan = builder.add_channel(&built.members());
+            builder.add_agent(
                 built.source,
                 Box::new(Cbr {
                     chan,
                     left: packets,
                 }),
             );
+            let mut e = builder.build();
             e.run();
             black_box(e.recorder().deliveries.len())
         });

@@ -19,76 +19,45 @@
 //!
 //! Run: `cargo run -p sharqfec-bench --release --bin ablation_sweep -- [--seed S] [--threads N]`
 
-use sharqfec::{setup_sharqfec_sim, SfAgent, SharqfecConfig};
+use sharqfec::SharqfecConfig;
 use sharqfec_analysis::table::Table;
+use sharqfec_bench::{Scenario, Workload};
 use sharqfec_netsim::runner::{default_threads, run_sweep, Cell};
-use sharqfec_netsim::{RecorderMode, SimTime, TrafficClass};
-use sharqfec_topology::{figure10, Figure10Params};
+use sharqfec_topology::Figure10Params;
 use std::num::NonZeroUsize;
 
-struct Outcome {
-    sweep: &'static str,
-    setting: String,
-    data_repair_per_rx: f64,
-    nacks: usize,
-    repairs: usize,
-    unrecovered: u32,
-}
-
-fn run(
-    sweep: &'static str,
-    setting: String,
-    cfg: SharqfecConfig,
-    loss_scale: f64,
-    seed: u64,
-) -> Outcome {
-    let built = figure10(&Figure10Params::default().scaled_loss(loss_scale));
-    let mut engine = setup_sharqfec_sim(&built, seed, cfg, SimTime::from_secs(1));
-    engine.set_recorder_mode(RecorderMode::Streaming);
-    engine.run_until(SimTime::from_secs(60));
-    let rec = engine.recorder();
-    // All O(1) table lookups — the streaming recorder kept no raw events.
-    let dr_all =
-        rec.total_delivered(TrafficClass::Data) + rec.total_delivered(TrafficClass::Repair);
-    let dr_src = rec.delivered_count(built.source, TrafficClass::Data)
-        + rec.delivered_count(built.source, TrafficClass::Repair);
-    Outcome {
-        sweep,
-        setting,
-        data_repair_per_rx: (dr_all - dr_src) as f64 / built.receivers.len() as f64,
-        nacks: rec.total_sent(TrafficClass::Nack),
-        repairs: rec.total_sent(TrafficClass::Repair),
-        unrecovered: built
-            .receivers
-            .iter()
-            .map(|&r| engine.agent::<SfAgent>(r).expect("receiver").missing())
-            .sum(),
+/// Workload matching the old harness: 256 packets, run to t = 60 s.
+fn workload() -> Workload {
+    Workload {
+        packets: 256,
+        seed: 0,       // per-cell seeds come from runner::Cell
+        tail_secs: 51, // stream ends at 6 s + 2.56 s; 60 s total
     }
 }
 
-fn base() -> SharqfecConfig {
-    SharqfecConfig {
-        total_packets: 256,
-        ..SharqfecConfig::full()
-    }
+fn scenario(sweep: &str, setting: &str, cfg: SharqfecConfig, loss_scale: f64) -> Scenario {
+    Scenario::sharqfec(format!("{sweep}/{setting}"), cfg, workload())
+        .with_params(Figure10Params::default().scaled_loss(loss_scale))
+        .streaming()
 }
 
-/// The full grid: one entry per table row, labelled `sweep/setting`.
-fn plan() -> Vec<(&'static str, String, SharqfecConfig, f64)> {
+/// The full grid: one [`Scenario`] per table row, labelled `sweep/setting`.
+fn plan() -> Vec<Scenario> {
+    let base = SharqfecConfig::full;
     let mut cells = Vec::new();
     for k in [8u32, 16, 32] {
         let cfg = SharqfecConfig {
             group_size: k,
             ..base()
         };
-        cells.push(("group size", format!("k={k}"), cfg, 1.0));
+        cells.push(scenario("group size", &format!("k={k}"), cfg, 1.0));
     }
     for gain in [0.1f64, 0.25, 0.5] {
         let cfg = SharqfecConfig {
             zlc_gain: gain,
             ..base()
         };
-        cells.push(("zlc EWMA gain", format!("w={gain}"), cfg, 1.0));
+        cells.push(scenario("zlc EWMA gain", &format!("w={gain}"), cfg, 1.0));
     }
     for adaptive in [false, true] {
         let cfg = SharqfecConfig {
@@ -100,10 +69,10 @@ fn plan() -> Vec<(&'static str, String, SharqfecConfig, f64)> {
         } else {
             "fixed (paper)"
         };
-        cells.push(("request timers", setting.into(), cfg, 1.0));
+        cells.push(scenario("request timers", setting, cfg, 1.0));
     }
     for scale in [0.5f64, 1.0, 1.5] {
-        cells.push(("loss scale", format!("x{scale}"), base(), scale));
+        cells.push(scenario("loss scale", &format!("x{scale}"), base(), scale));
     }
     cells
 }
@@ -132,14 +101,14 @@ fn main() {
     let specs = plan();
     let cells: Vec<Cell> = specs
         .iter()
-        .map(|(sweep, setting, _, _)| Cell::new(format!("{sweep}/{setting}"), seed))
+        .map(|s| Cell::new(s.label.clone(), seed))
         .collect();
     let results = run_sweep(cells, threads, |cell| {
-        let (sweep, setting, cfg, scale) = specs
+        specs
             .iter()
-            .find(|(sweep, setting, _, _)| format!("{sweep}/{setting}") == cell.scenario)
-            .expect("cell matches a planned spec");
-        run(sweep, setting.clone(), cfg.clone(), *scale, cell.seed)
+            .find(|s| s.label == cell.scenario)
+            .expect("cell matches a planned scenario")
+            .run(cell.seed)
     });
 
     let threads_used = results.threads;
@@ -165,9 +134,10 @@ fn main() {
         "unrecovered",
     ]);
     for o in results.into_values() {
+        let (sweep, setting) = o.label.split_once('/').expect("label is sweep/setting");
         t.row(vec![
-            o.sweep.to_string(),
-            o.setting,
+            sweep.to_string(),
+            setting.to_string(),
             format!("{:.0}", o.data_repair_per_rx),
             o.nacks.to_string(),
             o.repairs.to_string(),

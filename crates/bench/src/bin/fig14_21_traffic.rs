@@ -12,11 +12,12 @@
 //! `results/fig14_21_traffic.json`.  Results are identical at any
 //! `--threads` value: each cell is a pure function of (scenario, seed).
 
-use sharqfec::Variant;
+use sharqfec::{SharqfecConfig, Variant};
 use sharqfec_analysis::spark::spark_row;
 use sharqfec_analysis::table::Table;
-use sharqfec_bench::{run_sharqfec, run_srm, TrafficRun, Workload};
+use sharqfec_bench::{Scenario, TrafficRun, Workload};
 use sharqfec_netsim::runner::{default_threads, run_sweep, Cell};
+use sharqfec_srm::SrmConfig;
 use std::num::NonZeroUsize;
 
 struct Args {
@@ -157,35 +158,33 @@ fn main() {
     let want = |f: u32| args.fig.is_none() || args.fig == Some(f);
 
     // Run each protocol at most once and reuse across figures; the
-    // independent runs fan out across the sweep runner's workers.
-    let mut cells = Vec::new();
+    // independent runs fan out across the sweep runner's workers, each
+    // cell keyed by its scenario's label.
+    let sf = |v: Variant| Scenario::sharqfec(v.label(), SharqfecConfig::variant(v), w);
+    let mut scenarios = Vec::new();
     if want(14) || want(15) {
-        cells.push(Cell::new("srm", args.seed));
+        scenarios.push(Scenario::srm("SRM", SrmConfig::default(), w));
     }
-    cells.push(Cell::new("ecsrm", args.seed));
+    scenarios.push(sf(Variant::Ecsrm));
     if want(16) {
-        cells.push(Cell::new("ns_ni", args.seed));
-        cells.push(Cell::new("ns", args.seed));
+        scenarios.push(sf(Variant::NoScopingNoInjection));
+        scenarios.push(sf(Variant::NoScoping));
     }
     if want(18) {
-        cells.push(Cell::new("ni", args.seed));
+        scenarios.push(sf(Variant::NoInjection));
     }
-    cells.push(Cell::new("full", args.seed));
+    scenarios.push(sf(Variant::Full));
 
+    let cells: Vec<Cell> = scenarios
+        .iter()
+        .map(|s| Cell::new(s.label.clone(), args.seed))
+        .collect();
     let results = run_sweep(cells, args.threads, |cell| {
-        let w = Workload {
-            seed: cell.seed,
-            ..w
-        };
-        match cell.scenario.as_str() {
-            "srm" => run_srm(w),
-            "ecsrm" => run_sharqfec(Variant::Ecsrm, w),
-            "ns_ni" => run_sharqfec(Variant::NoScopingNoInjection, w),
-            "ns" => run_sharqfec(Variant::NoScoping, w),
-            "ni" => run_sharqfec(Variant::NoInjection, w),
-            "full" => run_sharqfec(Variant::Full, w),
-            other => panic!("unknown scenario {other}"),
-        }
+        scenarios
+            .iter()
+            .find(|s| s.label == cell.scenario)
+            .expect("cell matches a planned scenario")
+            .run_traffic(cell.seed)
     });
     match results.write_json("results", "fig14_21_traffic", |r| {
         vec![
@@ -207,12 +206,16 @@ fn main() {
             Err(e) => panic!("{e}"),
         }
     }
-    let srm = by_label.remove("srm");
-    let ecsrm = by_label.remove("ecsrm").expect("ecsrm always runs");
-    let ns_ni = by_label.remove("ns_ni");
-    let ns = by_label.remove("ns");
-    let ni = by_label.remove("ni");
-    let full = by_label.remove("full").expect("full always runs");
+    let srm = by_label.remove("SRM");
+    let ecsrm = by_label
+        .remove(Variant::Ecsrm.label())
+        .expect("ecsrm always runs");
+    let ns_ni = by_label.remove(Variant::NoScopingNoInjection.label());
+    let ns = by_label.remove(Variant::NoScoping.label());
+    let ni = by_label.remove(Variant::NoInjection.label());
+    let full = by_label
+        .remove(Variant::Full.label())
+        .expect("full always runs");
 
     if want(14) {
         print_figure(

@@ -5,6 +5,11 @@
 //! experiment runners they share, so integration tests can assert on the
 //! same numbers the binaries print.
 //!
+//! * Every experiment cell is a [`Scenario`]: protocol variant + topology
+//!   knobs + workload + fault plan + recorder mode.  The figure binaries,
+//!   the ablation sweep, and the fault sweep all build scenarios and run
+//!   them through the same code path (fanned out via
+//!   `sharqfec_netsim::runner` when there are many).
 //! * Figures 14–21: [`run_srm`] / [`run_sharqfec`] execute the §6.2
 //!   workload (1024 × 1000 B packets at 800 kbit/s on the Figure 10
 //!   network) and return 0.1-second-binned traffic series.
@@ -16,12 +21,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sharqfec::{setup_sharqfec_sim, SfAgent, SharqfecConfig, Variant};
+use sharqfec::{setup_sharqfec_builder, SfAgent, SharqfecConfig, Variant};
 use sharqfec_analysis::series::{bin_deliveries, BinSpec};
-use sharqfec_netsim::{NodeId, SimTime, TrafficClass};
+use sharqfec_netsim::faults::{FaultPlan, LossModel};
+use sharqfec_netsim::graph::LinkId;
+use sharqfec_netsim::{NodeId, RecorderMode, SimTime, TrafficClass};
 use sharqfec_session::core::ZcrSeeding;
 use sharqfec_session::{setup_session_sim, ProbePlan, SessionAgent, SessionConfig};
-use sharqfec_srm::{setup_srm_sim, SrmConfig, SrmReceiver};
+use sharqfec_srm::{setup_srm_builder, SrmConfig, SrmReceiver};
 use sharqfec_topology::{figure10, BuiltTopology, Figure10Params};
 
 /// Binned traffic observed in one protocol run.
@@ -96,6 +103,247 @@ impl Workload {
     }
 }
 
+/// Which reliable-multicast protocol a [`Scenario`] runs.
+#[derive(Clone, Debug)]
+pub enum Protocol {
+    /// The SRM baseline (§6.2 comparison).
+    Srm(SrmConfig),
+    /// A SHARQFEC variant (full or any ablation).
+    Sharqfec(SharqfecConfig),
+}
+
+/// One fully-described experiment cell on the Figure 10 network: a
+/// protocol, the topology knobs, the workload, an optional burst-loss
+/// re-model, a fault plan, and the recorder mode.
+///
+/// Identical `(Scenario, seed)` pairs produce identical results at any
+/// sweep thread count, so a scenario's label can serve as the
+/// `runner::Cell` key across harnesses.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Cell label (the paper's figure/sweep annotation).
+    pub label: String,
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Figure 10 knobs (loss plan, latencies, bandwidths).
+    pub params: Figure10Params,
+    /// When set, every lossy link's Bernoulli model is replaced by a
+    /// Gilbert–Elliott burst model of equal mean loss and this mean
+    /// burst length (packets).
+    pub mean_burst: Option<f64>,
+    /// Stream length and tail time (`workload.seed` is ignored here; the
+    /// seed is passed to [`Scenario::run`] so sweep cells control it).
+    pub workload: Workload,
+    /// Deterministic fault schedule (link flaps, loss changes, churn).
+    pub faults: FaultPlan,
+    /// Recorder storage mode; sweeps use streaming, figures use raw.
+    pub recorder: RecorderMode,
+}
+
+/// Aggregate metrics of one [`Scenario`] run, available in both recorder
+/// modes (they come from the recorder's O(1) totals, never raw events).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioOutcome {
+    /// The scenario's label.
+    pub label: String,
+    /// Packets still unrecovered at the end (0 = full reliability).
+    pub unrecovered: u32,
+    /// Total NACK transmissions.
+    pub nacks: usize,
+    /// Total repair transmissions.
+    pub repairs: usize,
+    /// Data+repair deliveries per receiver.
+    pub data_repair_per_rx: f64,
+    /// Data+repair packets dropped by link loss.
+    pub dropped: usize,
+}
+
+impl Scenario {
+    /// A SHARQFEC scenario with default topology, no bursts, no faults,
+    /// raw recording.
+    pub fn sharqfec(label: impl Into<String>, cfg: SharqfecConfig, workload: Workload) -> Scenario {
+        Scenario {
+            label: label.into(),
+            protocol: Protocol::Sharqfec(cfg),
+            params: Figure10Params::default(),
+            mean_burst: None,
+            workload,
+            faults: FaultPlan::new(),
+            recorder: RecorderMode::Raw,
+        }
+    }
+
+    /// An SRM scenario with default topology, no bursts, no faults, raw
+    /// recording.
+    pub fn srm(label: impl Into<String>, cfg: SrmConfig, workload: Workload) -> Scenario {
+        Scenario {
+            label: label.into(),
+            protocol: Protocol::Srm(cfg),
+            params: Figure10Params::default(),
+            mean_burst: None,
+            workload,
+            faults: FaultPlan::new(),
+            recorder: RecorderMode::Raw,
+        }
+    }
+
+    /// Replaces the topology knobs.
+    pub fn with_params(mut self, params: Figure10Params) -> Scenario {
+        self.params = params;
+        self
+    }
+
+    /// Converts every lossy link to Gilbert–Elliott bursts of the given
+    /// mean burst length (equal mean loss).
+    pub fn with_burst(mut self, mean_burst: f64) -> Scenario {
+        self.mean_burst = Some(mean_burst);
+        self
+    }
+
+    /// Installs a fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Scenario {
+        self.faults = faults;
+        self
+    }
+
+    /// Switches to the streaming recorder (sweep-friendly footprint).
+    pub fn streaming(mut self) -> Scenario {
+        self.recorder = RecorderMode::Streaming;
+        self
+    }
+
+    /// Builds the scenario's network, applying the burst re-model.
+    pub fn build_topology(&self) -> BuiltTopology {
+        let mut built = figure10(&self.params);
+        if let Some(mean_burst) = self.mean_burst {
+            for id in 0..built.topology.link_count() {
+                let link = LinkId(id as u32);
+                let rate = built.topology.link(link).params.loss.mean_loss();
+                if rate > 0.0 {
+                    built
+                        .topology
+                        .set_loss_model(link, LossModel::burst(rate, mean_burst));
+                }
+            }
+        }
+        built
+    }
+
+    /// Runs the scenario and returns aggregate metrics.
+    pub fn run(&self, seed: u64) -> ScenarioOutcome {
+        let built = self.build_topology();
+        match &self.protocol {
+            Protocol::Sharqfec(cfg) => {
+                let cfg = SharqfecConfig {
+                    total_packets: self.workload.packets,
+                    ..cfg.clone()
+                };
+                let mut builder = setup_sharqfec_builder(&built, seed, cfg, SimTime::from_secs(1));
+                builder
+                    .recorder_mode(self.recorder)
+                    .fault_plan(self.faults.clone());
+                let mut engine = builder.build();
+                engine.run_until(self.workload.run_end());
+                let unrecovered = built
+                    .receivers
+                    .iter()
+                    .map(|&r| engine.agent::<SfAgent>(r).expect("receiver").missing())
+                    .sum();
+                self.outcome(engine.recorder(), &built, unrecovered)
+            }
+            Protocol::Srm(cfg) => {
+                let cfg = SrmConfig {
+                    total_packets: self.workload.packets,
+                    ..cfg.clone()
+                };
+                let mut builder = setup_srm_builder(&built, seed, cfg, SimTime::from_secs(1));
+                builder
+                    .recorder_mode(self.recorder)
+                    .fault_plan(self.faults.clone());
+                let mut engine = builder.build();
+                engine.run_until(self.workload.run_end());
+                let unrecovered = built
+                    .receivers
+                    .iter()
+                    .map(|&r| engine.agent::<SrmReceiver>(r).expect("receiver").missing())
+                    .sum();
+                self.outcome(engine.recorder(), &built, unrecovered)
+            }
+        }
+    }
+
+    fn outcome(
+        &self,
+        rec: &sharqfec_netsim::Recorder,
+        built: &BuiltTopology,
+        unrecovered: u32,
+    ) -> ScenarioOutcome {
+        let dr_all =
+            rec.total_delivered(TrafficClass::Data) + rec.total_delivered(TrafficClass::Repair);
+        let dr_src = rec.delivered_count(built.source, TrafficClass::Data)
+            + rec.delivered_count(built.source, TrafficClass::Repair);
+        ScenarioOutcome {
+            label: self.label.clone(),
+            unrecovered,
+            nacks: rec.total_sent(TrafficClass::Nack),
+            repairs: rec.total_sent(TrafficClass::Repair),
+            data_repair_per_rx: (dr_all - dr_src) as f64 / built.receivers.len() as f64,
+            dropped: rec.total_dropped(TrafficClass::Data)
+                + rec.total_dropped(TrafficClass::Repair),
+        }
+    }
+
+    /// Runs the scenario and returns the binned traffic series the figure
+    /// binaries plot.
+    ///
+    /// # Panics
+    ///
+    /// Panics in streaming mode — the series need the raw event traces.
+    pub fn run_traffic(&self, seed: u64) -> TrafficRun {
+        assert_eq!(
+            self.recorder,
+            RecorderMode::Raw,
+            "binned traffic series need the raw recorder"
+        );
+        let built = self.build_topology();
+        let spec = self.workload.spec();
+        match &self.protocol {
+            Protocol::Sharqfec(cfg) => {
+                let cfg = SharqfecConfig {
+                    total_packets: self.workload.packets,
+                    ..cfg.clone()
+                };
+                let mut builder = setup_sharqfec_builder(&built, seed, cfg, SimTime::from_secs(1));
+                builder.fault_plan(self.faults.clone());
+                let mut engine = builder.build();
+                engine.run_until(self.workload.run_end());
+                let unrecovered: u32 = built
+                    .receivers
+                    .iter()
+                    .map(|&r| engine.agent::<SfAgent>(r).expect("receiver").missing())
+                    .sum();
+                extract_run(self.label.clone(), &engine, &built, &spec, unrecovered)
+            }
+            Protocol::Srm(cfg) => {
+                let cfg = SrmConfig {
+                    total_packets: self.workload.packets,
+                    ..cfg.clone()
+                };
+                let mut builder = setup_srm_builder(&built, seed, cfg, SimTime::from_secs(1));
+                builder.fault_plan(self.faults.clone());
+                let mut engine = builder.build();
+                engine.run_until(self.workload.run_end());
+                let unrecovered: u32 = built
+                    .receivers
+                    .iter()
+                    .map(|&r| engine.agent::<SrmReceiver>(r).expect("receiver").missing())
+                    .sum();
+                extract_run(self.label.clone(), &engine, &built, &spec, unrecovered)
+            }
+        }
+    }
+}
+
 fn extract_run<M: sharqfec_netsim::Classify + Clone + 'static>(
     label: String,
     engine: &sharqfec_netsim::Engine<M>,
@@ -136,42 +384,12 @@ fn extract_run<M: sharqfec_netsim::Classify + Clone + 'static>(
 /// Runs SRM (adaptive timers, as the paper's comparison does) on the
 /// Figure 10 network.
 pub fn run_srm(w: Workload) -> TrafficRun {
-    let built = figure10(&Figure10Params::default());
-    let cfg = SrmConfig {
-        total_packets: w.packets,
-        ..SrmConfig::default()
-    };
-    let mut engine = setup_srm_sim(&built, w.seed, cfg, SimTime::from_secs(1));
-    engine.run_until(w.run_end());
-    let unrecovered: u32 = built
-        .receivers
-        .iter()
-        .map(|&r| engine.agent::<SrmReceiver>(r).expect("receiver").missing())
-        .sum();
-    extract_run("SRM".into(), &engine, &built, &w.spec(), unrecovered)
+    Scenario::srm("SRM", SrmConfig::default(), w).run_traffic(w.seed)
 }
 
 /// Runs a SHARQFEC variant on the Figure 10 network.
 pub fn run_sharqfec(variant: Variant, w: Workload) -> TrafficRun {
-    let built = figure10(&Figure10Params::default());
-    let cfg = SharqfecConfig {
-        total_packets: w.packets,
-        ..SharqfecConfig::variant(variant)
-    };
-    let mut engine = setup_sharqfec_sim(&built, w.seed, cfg, SimTime::from_secs(1));
-    engine.run_until(w.run_end());
-    let unrecovered: u32 = built
-        .receivers
-        .iter()
-        .map(|&r| engine.agent::<SfAgent>(r).expect("receiver").missing())
-        .sum();
-    extract_run(
-        variant.label().into(),
-        &engine,
-        &built,
-        &w.spec(),
-        unrecovered,
-    )
+    Scenario::sharqfec(variant.label(), SharqfecConfig::variant(variant), w).run_traffic(w.seed)
 }
 
 /// One receiver's estimated/actual RTT ratios for successive probes from

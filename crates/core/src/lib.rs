@@ -42,4 +42,4 @@ pub mod setup;
 pub use agent::{Role, SfAgent};
 pub use config::{SharqfecConfig, Variant};
 pub use msg::SfMsg;
-pub use setup::setup_sharqfec_sim;
+pub use setup::{setup_sharqfec_builder, setup_sharqfec_sim};

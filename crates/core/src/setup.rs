@@ -3,28 +3,25 @@
 use crate::agent::{Role, SfAgent};
 use crate::config::SharqfecConfig;
 use crate::msg::SfMsg;
-use sharqfec_netsim::{ChannelId, Engine, NodeId, SimTime};
+use sharqfec_netsim::{ChannelId, Engine, EngineBuilder, NodeId, SimTime};
 use sharqfec_scoping::{ZoneHierarchy, ZoneHierarchyBuilder};
 use sharqfec_session::core::{SessionCore, ZcrSeeding};
 use sharqfec_topology::BuiltTopology;
 use std::rc::Rc;
 
-/// Builds a ready-to-run SHARQFEC simulation.
+/// Assembles a fully-populated [`EngineBuilder`] for a SHARQFEC scenario:
+/// one channel per zone (zone order, so the root zone's channel is also
+/// the data channel), one [`SfAgent`] per member joining at `join_at`.
 ///
-/// With `cfg.scoping` the zone hierarchy and by-design ZCRs of the built
-/// topology are used; without it (`ns` variants) the hierarchy collapses
-/// to a single maximum-scope zone whose representative is the source —
-/// which is exactly what "no administrative scoping" means operationally.
-///
-/// One engine channel is registered per zone; the root zone's channel is
-/// also the data channel.  Members join at `join_at` (the paper uses
-/// t = 1 s, five seconds before data starts, so session state stabilises).
-pub fn setup_sharqfec_sim(
+/// Harnesses that need more than the defaults — a streaming recorder, a
+/// fault plan — set those on the returned builder before calling
+/// [`EngineBuilder::build`].
+pub fn setup_sharqfec_builder(
     built: &BuiltTopology,
     seed: u64,
     cfg: SharqfecConfig,
     join_at: SimTime,
-) -> Engine<SfMsg> {
+) -> EngineBuilder<SfMsg> {
     cfg.validate();
     let (hierarchy, zcrs): (ZoneHierarchy, Vec<NodeId>) = if cfg.scoping {
         (built.hierarchy.clone(), built.designed_zcrs.clone())
@@ -38,11 +35,11 @@ pub fn setup_sharqfec_sim(
     };
     let hier = Rc::new(hierarchy);
 
-    let mut engine: Engine<SfMsg> = Engine::new(built.topology.clone(), seed);
+    let mut builder: EngineBuilder<SfMsg> = EngineBuilder::new(built.topology.clone(), seed);
     let channels: Vec<ChannelId> = hier
         .zones()
         .iter()
-        .map(|z| engine.add_channel(&z.members))
+        .map(|z| builder.add_channel(&z.members))
         .collect();
     let channels = Rc::new(channels);
     let seeding = ZcrSeeding::Designed(zcrs);
@@ -62,9 +59,28 @@ pub fn setup_sharqfec_sim(
             Rc::clone(&channels),
             built.source,
         );
-        engine.set_agent_with_start(member, Box::new(agent), join_at);
+        builder.add_agent_at(member, Box::new(agent), join_at);
     }
-    engine
+    builder
+}
+
+/// Builds a ready-to-run SHARQFEC simulation.
+///
+/// With `cfg.scoping` the zone hierarchy and by-design ZCRs of the built
+/// topology are used; without it (`ns` variants) the hierarchy collapses
+/// to a single maximum-scope zone whose representative is the source —
+/// which is exactly what "no administrative scoping" means operationally.
+///
+/// One engine channel is registered per zone; the root zone's channel is
+/// also the data channel.  Members join at `join_at` (the paper uses
+/// t = 1 s, five seconds before data starts, so session state stabilises).
+pub fn setup_sharqfec_sim(
+    built: &BuiltTopology,
+    seed: u64,
+    cfg: SharqfecConfig,
+    join_at: SimTime,
+) -> Engine<SfMsg> {
+    setup_sharqfec_builder(built, seed, cfg, join_at).build()
 }
 
 #[cfg(test)]

@@ -1,20 +1,36 @@
 //! The discrete-event engine.
 //!
-//! Owns the topology, routing trees, link queues, channels, agents, and the
-//! event queue.  A run is fully determined by (topology, agents, seed):
-//! the event queue breaks time ties by insertion sequence number, agents
-//! draw from per-node RNG streams split off the root seed, and link-loss
-//! sampling uses its own stream.
+//! Owns the topology, routing trees, link queues, channels, agents, fault
+//! schedule, and the event queue.  A run is fully determined by (topology,
+//! agents, fault plan, seed): the event queue breaks time ties by insertion
+//! sequence number, agents draw from per-node RNG streams split off the
+//! root seed, and link-loss sampling uses its own stream.
+//!
+//! Configuration goes through [`EngineBuilder`], which assembles the whole
+//! scenario — channels, agents with start times, recorder mode, fault
+//! plan — before [`EngineBuilder::build`] produces a runnable [`Engine`].
+//!
+//! ## Dynamic topology
+//!
+//! Shortest-path trees are computed lazily against the current link-up
+//! mask.  A [`FaultEvent::LinkDown`] invalidates every cached tree that
+//! routes over the dead link; a [`FaultEvent::LinkUp`] invalidates all of
+//! them (a restored link can shorten any path).  The next packet forwarded
+//! from a source recomputes that source's tree on demand, so routing
+//! reacts to flaps without paying for trees nobody uses.  The
+//! [`DistanceOracle`] intentionally stays frozen at build time: it models
+//! a *converged* session's RTT knowledge, not instantaneous reachability.
 
 use crate::agent::{Action, Agent, Ctx, TimerId};
 use crate::channel::{Channel, ChannelId};
-use crate::graph::{NodeId, Topology};
+use crate::faults::{FaultEvent, FaultPlan};
+use crate::graph::{LinkId, NodeId, Topology};
 use crate::link::LinkState;
 use crate::metrics::{DropRecord, Record, Recorder, RecorderMode};
 use crate::packet::{Classify, Packet};
 use crate::rng::SimRng;
 use crate::routing::{DistanceOracle, Spt};
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -31,7 +47,12 @@ enum EventKind<M> {
         node: NodeId,
         id: TimerId,
         token: u64,
+        /// The node's crash epoch when the timer was armed; a stale epoch
+        /// means the node crashed in between and the timer dies silently.
+        epoch: u32,
     },
+    /// A scheduled fault takes effect.
+    Fault(FaultEvent),
 }
 
 struct QItem<M> {
@@ -62,8 +83,18 @@ impl<M> Ord for QItem<M> {
 pub struct Engine<M> {
     topo: Topology,
     oracle: DistanceOracle,
-    spts: Vec<Spt>,
+    /// Lazily-computed shortest-path trees against the current `link_up`
+    /// mask; `None` means "invalidated or never needed yet".
+    spts: Vec<Option<Spt>>,
     link_state: Vec<LinkState>,
+    /// Whether each link currently carries traffic (fault injection).
+    link_up: Vec<bool>,
+    /// Whether each node's *agent* is running; a crashed node still
+    /// forwards (the router outlives the application process).
+    node_up: Vec<bool>,
+    /// Per-node crash epoch; bumped on `NodeCrash` so timers armed before
+    /// the crash never fire after a restart.
+    epoch: Vec<u32>,
     channels: Vec<Channel>,
     agents: Vec<Option<Box<dyn Agent<M>>>>,
     agent_rngs: Vec<SimRng>,
@@ -87,19 +118,24 @@ pub struct Engine<M> {
 impl<M: Classify + Clone + 'static> Engine<M> {
     /// Creates an engine over a topology with a root RNG seed.
     ///
-    /// Routing (one shortest-path tree per node) and the all-pairs distance
-    /// oracle are computed eagerly; both are cheap at paper scale
-    /// (113 nodes).
+    /// The all-pairs distance oracle is computed eagerly (cheap at paper
+    /// scale, 113 nodes); per-source routing trees are computed lazily on
+    /// first use so fault-driven invalidation stays cheap.
+    ///
+    /// Prefer [`EngineBuilder`], which configures channels, agents,
+    /// recorder mode, and the fault plan in one place.
     pub fn new(topo: Topology, seed: u64) -> Engine<M> {
         let n = topo.node_count();
         let mut root = SimRng::new(seed);
         let loss_rng = root.split(u64::MAX);
         let agent_rngs = (0..n as u64).map(|i| root.split(i)).collect();
-        let spts = topo.nodes().map(|s| Spt::compute(&topo, s)).collect();
         let oracle = DistanceOracle::compute(&topo);
         Engine {
             link_state: vec![LinkState::default(); topo.link_count()],
-            spts,
+            link_up: vec![true; topo.link_count()],
+            node_up: vec![true; n],
+            epoch: vec![0; n],
+            spts: (0..n).map(|_| None).collect(),
             oracle,
             channels: Vec::new(),
             agents: (0..n).map(|_| None).collect(),
@@ -128,9 +164,33 @@ impl<M: Classify + Clone + 'static> Engine<M> {
         &self.oracle
     }
 
-    /// The shortest-path tree rooted at `src`.
-    pub fn spt(&self, src: NodeId) -> &Spt {
-        &self.spts[src.idx()]
+    /// The shortest-path tree rooted at `src`, computed against the
+    /// current link-up mask (takes `&mut self` because trees are cached
+    /// lazily and invalidated by link faults).
+    pub fn spt(&mut self, src: NodeId) -> &Spt {
+        self.ensure_spt(src.idx());
+        self.spts[src.idx()].as_ref().expect("just ensured")
+    }
+
+    fn ensure_spt(&mut self, src: usize) {
+        if self.spts[src].is_none() {
+            self.spts[src] = Some(Spt::compute_masked(
+                &self.topo,
+                NodeId(src as u32),
+                Some(&self.link_up),
+            ));
+        }
+    }
+
+    /// Whether a link currently carries traffic.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.link_up[link.idx()]
+    }
+
+    /// Whether a node's agent is currently running (crashed nodes still
+    /// forward traffic).
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.node_up[node.idx()]
     }
 
     /// Current simulation time.
@@ -162,6 +222,7 @@ impl<M: Classify + Clone + 'static> Engine<M> {
     /// Chooses how observations are stored (see [`RecorderMode`]): raw
     /// event traces (the default) or streaming per-(node, class) bins.
     /// Must be called before the first event is recorded.
+    #[deprecated(note = "configure the mode up front via EngineBuilder::recorder_mode")]
     pub fn set_recorder_mode(&mut self, mode: RecorderMode) {
         self.recorder.set_mode(mode);
     }
@@ -181,12 +242,17 @@ impl<M: Classify + Clone + 'static> Engine<M> {
 
     /// Attaches an agent to a node and schedules its `on_start` at t = 0.
     pub fn set_agent(&mut self, node: NodeId, agent: Box<dyn Agent<M>>) {
-        self.set_agent_with_start(node, agent, SimTime::ZERO);
+        self.attach_agent(node, agent, SimTime::ZERO);
     }
 
     /// Attaches an agent with an explicit start time (the paper's receivers
     /// join the session at t = 1 s).
+    #[deprecated(note = "configure agents up front via EngineBuilder::add_agent_at")]
     pub fn set_agent_with_start(&mut self, node: NodeId, agent: Box<dyn Agent<M>>, at: SimTime) {
+        self.attach_agent(node, agent, at);
+    }
+
+    fn attach_agent(&mut self, node: NodeId, agent: Box<dyn Agent<M>>, at: SimTime) {
         assert!(node.idx() < self.topo.node_count(), "unknown node {node:?}");
         assert!(
             self.agents[node.idx()].is_none(),
@@ -194,6 +260,27 @@ impl<M: Classify + Clone + 'static> Engine<M> {
         );
         self.agents[node.idx()] = Some(agent);
         self.push(at, EventKind::Start(node));
+    }
+
+    /// Schedules every event of a fault plan.  Events must not lie in the
+    /// engine's past.
+    pub fn schedule_faults(&mut self, plan: &FaultPlan) {
+        for &(when, ev) in plan.events() {
+            assert!(
+                when >= self.now,
+                "fault at {when:?} is in the past (now = {:?})",
+                self.now
+            );
+            match ev {
+                FaultEvent::LinkDown(l) | FaultEvent::LinkUp(l) | FaultEvent::SetLoss(l, _) => {
+                    assert!(l.idx() < self.topo.link_count(), "unknown link {l:?}");
+                }
+                FaultEvent::NodeCrash(n) | FaultEvent::NodeRestart(n) => {
+                    assert!(n.idx() < self.topo.node_count(), "unknown node {n:?}");
+                }
+            }
+            self.push(when, EventKind::Fault(ev));
+        }
     }
 
     /// Immutable, downcast access to an agent's concrete type — used after
@@ -252,16 +339,29 @@ impl<M: Classify + Clone + 'static> Engine<M> {
             EventKind::Start(node) => {
                 self.with_agent(node, |agent, ctx| agent.on_start(ctx));
             }
-            EventKind::Timer { node, id, token } => {
+            EventKind::Timer {
+                node,
+                id,
+                token,
+                epoch,
+            } => {
                 self.pending_timers.remove(&id);
                 if self.cancelled.remove(&id) {
+                    return;
+                }
+                // Timers armed before a crash die with the old epoch, so a
+                // restarted agent only sees timers it armed after coming
+                // back (its on_start re-arms whatever it needs).
+                if epoch != self.epoch[node.idx()] {
                     return;
                 }
                 self.with_agent(node, |agent, ctx| agent.on_timer(ctx, token));
             }
             EventKind::Arrive { node, pkt } => {
                 // Deliver to the local agent (if any), then keep forwarding
-                // down the source-rooted tree.
+                // down the source-rooted tree.  A crashed node still
+                // forwards — the router outlives the application — but its
+                // agent hears nothing (with_agent checks node_up).
                 self.recorder.record_delivery(Record {
                     time: self.now,
                     node,
@@ -275,11 +375,66 @@ impl<M: Classify + Clone + 'static> Engine<M> {
                     self.with_agent(node, |agent, ctx| agent.on_packet(ctx, &pkt));
                 }
             }
+            EventKind::Fault(ev) => self.apply_fault(ev),
+        }
+    }
+
+    fn apply_fault(&mut self, ev: FaultEvent) {
+        match ev {
+            FaultEvent::LinkDown(link) => {
+                if !self.link_up[link.idx()] {
+                    return; // already down
+                }
+                self.link_up[link.idx()] = false;
+                // Only trees actually routing over the dead link reroute.
+                for spt in &mut self.spts {
+                    if spt.as_ref().is_some_and(|s| s.uses_link(link)) {
+                        *spt = None;
+                    }
+                }
+            }
+            FaultEvent::LinkUp(link) => {
+                if self.link_up[link.idx()] {
+                    return; // already up
+                }
+                self.link_up[link.idx()] = true;
+                // A restored link can shorten any path: drop every cached
+                // tree and let forwarding recompute on demand.
+                for spt in &mut self.spts {
+                    *spt = None;
+                }
+            }
+            FaultEvent::SetLoss(link, model) => {
+                self.topo.set_loss_model(link, model);
+                self.link_state[link.idx()].reset_chain();
+            }
+            FaultEvent::NodeCrash(node) => {
+                if !self.node_up[node.idx()] {
+                    return;
+                }
+                self.node_up[node.idx()] = false;
+                self.epoch[node.idx()] += 1;
+            }
+            FaultEvent::NodeRestart(node) => {
+                if self.node_up[node.idx()] {
+                    return;
+                }
+                self.node_up[node.idx()] = true;
+                if self.agents[node.idx()].is_some() {
+                    // Warm restart: agent state persisted, its start hook
+                    // runs again to re-arm timers and re-announce.
+                    self.push(self.now, EventKind::Start(node));
+                }
+            }
         }
     }
 
     /// Runs one agent callback and then applies its queued actions.
+    /// Crashed nodes get no callbacks at all.
     fn with_agent(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Agent<M>, &mut Ctx<'_, M>)) {
+        if !self.node_up[node.idx()] {
+            return;
+        }
         let Some(mut agent) = self.agents[node.idx()].take() else {
             return;
         };
@@ -303,7 +458,16 @@ impl<M: Classify + Clone + 'static> Engine<M> {
         match action {
             Action::SetTimer { id, at, token } => {
                 self.pending_timers.insert(id);
-                self.push(at, EventKind::Timer { node, id, token });
+                let epoch = self.epoch[node.idx()];
+                self.push(
+                    at,
+                    EventKind::Timer {
+                        node,
+                        id,
+                        token,
+                        epoch,
+                    },
+                );
             }
             Action::CancelTimer(id) => {
                 // Only remember cancellations for timers still in the
@@ -352,28 +516,43 @@ impl<M: Classify + Clone + 'static> Engine<M> {
 
     /// Forwards `pkt` from `at` to each child in the packet-source's SPT,
     /// pruning at channel non-members (administrative scope boundary) and
-    /// sampling per-link loss for lossy traffic classes.
+    /// sampling the per-link loss process for lossy traffic classes.
     fn forward(&mut self, at: NodeId, pkt: &Rc<Packet<M>>) {
         let lossy = pkt.class().lossy();
         // The SPT stores child edges in a flat CSR arena, so each edge is
         // copied out by index — no per-packet allocation while the rest of
         // the engine state stays mutable.
         let src = pkt.src.idx();
-        let (start, end) = self.spts[src].child_range(at);
+        self.ensure_spt(src);
+        let spt = self.spts[src].as_ref().expect("just ensured");
+        let (start, end) = spt.child_range(at);
         for i in start..end {
-            let (child, link) = self.spts[src].child_edge(i);
+            let (child, link) = self.spts[src].as_ref().expect("ensured").child_edge(i);
+            if !self.link_up[link.idx()] {
+                // A link that died after this packet entered the subtree:
+                // the hop simply never happens (down is not loss — no drop
+                // record, and lossless classes are blocked too).
+                continue;
+            }
             if !self.channels[pkt.channel.idx()].contains(child) {
                 continue; // scope boundary: prune the whole subtree
             }
             let spec = self.topo.link(link);
-            if lossy && self.loss_rng.chance(spec.params.loss) {
-                self.recorder.record_drop(DropRecord {
-                    time: self.now,
-                    from: at,
-                    to: child,
-                    class: pkt.class(),
-                });
-                continue;
+            if lossy {
+                let state = &mut self.link_state[link.idx()];
+                let dropped = {
+                    let bad = state.chain_state_mut(spec, at);
+                    spec.params.loss.sample(bad, &mut self.loss_rng)
+                };
+                if dropped {
+                    self.recorder.record_drop(DropRecord {
+                        time: self.now,
+                        from: at,
+                        to: child,
+                        class: pkt.class(),
+                    });
+                    continue;
+                }
             }
             let arrive = self.link_state[link.idx()].transmit(spec, at, self.now, pkt.bytes);
             self.push(
@@ -384,6 +563,125 @@ impl<M: Classify + Clone + 'static> Engine<M> {
                 },
             );
         }
+    }
+}
+
+/// Configures a complete simulation scenario — topology, seed, recorder,
+/// channels, agents with start times, and fault plan — then produces a
+/// runnable [`Engine`].
+///
+/// Channel ids are assigned in registration order starting at 0, exactly
+/// as [`Engine::add_channel`] does, so a builder-constructed scenario is
+/// bit-identical to the equivalent imperative setup.
+///
+/// ```
+/// use sharqfec_netsim::prelude::*;
+/// # let mut t = TopologyBuilder::new();
+/// # let a = t.add_node("a");
+/// # let b = t.add_node("b");
+/// # t.add_link(a, b, LinkParams::lossless_infinite(SimDuration::from_millis(1)));
+/// # #[derive(Clone, Debug)]
+/// # struct Ping;
+/// # impl Classify for Ping { fn class(&self) -> TrafficClass { TrafficClass::Data } }
+/// let mut builder: EngineBuilder<Ping> = EngineBuilder::new(t.build(), 42);
+/// builder
+///     .recorder_mode(RecorderMode::Streaming)
+///     .fault_plan(FaultPlan::new().link_flap(
+///         LinkId(0),
+///         SimTime::from_secs(2),
+///         SimTime::from_secs(3),
+///     ));
+/// let chan = builder.add_channel(&[a, b]);
+/// let mut engine = builder.build();
+/// engine.run_until(SimTime::from_secs(5));
+/// # let _ = chan;
+/// ```
+pub struct EngineBuilder<M> {
+    topo: Topology,
+    seed: u64,
+    mode: RecorderMode,
+    bin_width: Option<SimDuration>,
+    channels: Vec<Vec<NodeId>>,
+    agents: Vec<(NodeId, Box<dyn Agent<M>>, SimTime)>,
+    plan: FaultPlan,
+}
+
+impl<M: Classify + Clone + 'static> EngineBuilder<M> {
+    /// Starts a scenario over a topology with a root RNG seed.
+    pub fn new(topo: Topology, seed: u64) -> EngineBuilder<M> {
+        EngineBuilder {
+            topo,
+            seed,
+            mode: RecorderMode::Raw,
+            bin_width: None,
+            channels: Vec::new(),
+            agents: Vec::new(),
+            plan: FaultPlan::new(),
+        }
+    }
+
+    /// How observations are stored (default [`RecorderMode::Raw`]).
+    pub fn recorder_mode(&mut self, mode: RecorderMode) -> &mut Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Histogram bin width for [`RecorderMode::Streaming`] (default 100 ms).
+    pub fn bin_width(&mut self, width: SimDuration) -> &mut Self {
+        self.bin_width = Some(width);
+        self
+    }
+
+    /// Registers a multicast channel; ids are dense from 0 in call order.
+    pub fn add_channel(&mut self, members: &[NodeId]) -> ChannelId {
+        let id = ChannelId(self.channels.len() as u32);
+        self.channels.push(members.to_vec());
+        id
+    }
+
+    /// Attaches an agent starting at t = 0.
+    pub fn add_agent(&mut self, node: NodeId, agent: Box<dyn Agent<M>>) -> &mut Self {
+        self.add_agent_at(node, agent, SimTime::ZERO)
+    }
+
+    /// Attaches an agent with an explicit start time.
+    pub fn add_agent_at(
+        &mut self,
+        node: NodeId,
+        agent: Box<dyn Agent<M>>,
+        at: SimTime,
+    ) -> &mut Self {
+        self.agents.push((node, agent, at));
+        self
+    }
+
+    /// Schedules a fault plan (replaces any previously set plan).
+    pub fn fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Builds the engine: recorder configured, channels registered, agent
+    /// start events and fault events queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown node, a node with two agents, or a fault
+    /// referencing an unknown link or node.
+    pub fn build(self) -> Engine<M> {
+        let mut engine: Engine<M> = Engine::new(self.topo, self.seed);
+        engine.recorder.set_mode(self.mode);
+        if let Some(w) = self.bin_width {
+            engine.recorder.set_bin_width(w);
+        }
+        for members in &self.channels {
+            engine.add_channel(members);
+        }
+        for (node, agent, at) in self.agents {
+            engine.attach_agent(node, agent, at);
+        }
+        engine.schedule_faults(&self.plan);
+        engine
     }
 }
 
@@ -667,29 +965,255 @@ mod tests {
         e.set_agent(n0, Box::new(Sniffer::default()));
     }
 
+    struct StartClock {
+        started_at: Vec<SimTime>,
+    }
+    impl Agent<Msg> for StartClock {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            self.started_at.push(ctx.now());
+        }
+        fn on_packet(&mut self, _: &mut Ctx<'_, Msg>, _: &Packet<Msg>) {}
+    }
+
+    // The deprecated shims' own test: they must keep behaving exactly like
+    // the builder until removal.
     #[test]
-    fn start_times_are_honoured() {
-        struct StartClock {
-            started_at: Option<SimTime>,
-        }
-        impl Agent<Msg> for StartClock {
-            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-                self.started_at = Some(ctx.now());
-            }
-            fn on_packet(&mut self, _: &mut Ctx<'_, Msg>, _: &Packet<Msg>) {}
-        }
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
         let (t, [n0, ..]) = chain3(0.0);
         let mut e: Engine<Msg> = Engine::new(t, 1);
+        e.set_recorder_mode(RecorderMode::Streaming);
         e.set_agent_with_start(
             n0,
-            Box::new(StartClock { started_at: None }),
+            Box::new(StartClock {
+                started_at: Vec::new(),
+            }),
             SimTime::from_secs(1),
         );
         e.run();
         assert_eq!(
             e.agent::<StartClock>(n0).unwrap().started_at,
-            Some(SimTime::from_secs(1))
+            vec![SimTime::from_secs(1)]
         );
+    }
+
+    #[test]
+    fn builder_honours_start_times() {
+        let (t, [n0, ..]) = chain3(0.0);
+        let mut b: EngineBuilder<Msg> = EngineBuilder::new(t, 1);
+        b.add_agent_at(
+            n0,
+            Box::new(StartClock {
+                started_at: Vec::new(),
+            }),
+            SimTime::from_secs(1),
+        );
+        let mut e = b.build();
+        e.run();
+        assert_eq!(
+            e.agent::<StartClock>(n0).unwrap().started_at,
+            vec![SimTime::from_secs(1)]
+        );
+    }
+
+    #[test]
+    fn builder_run_is_bit_identical_to_imperative_setup() {
+        let imperative = || -> Vec<(SimTime, Msg)> {
+            let (t, [n0, _n1, n2]) = chain3(0.3);
+            let mut e: Engine<Msg> = Engine::new(t, 9);
+            let chan = e.add_channel(&[n0, _n1, n2]);
+            e.set_agent(n0, Box::new(Burst { chan, count: 50 }));
+            e.set_agent(n2, Box::new(Sniffer::default()));
+            e.run();
+            e.agent::<Sniffer>(n2).unwrap().heard.clone()
+        };
+        let built = || -> Vec<(SimTime, Msg)> {
+            let (t, [n0, _n1, n2]) = chain3(0.3);
+            let mut b: EngineBuilder<Msg> = EngineBuilder::new(t, 9);
+            let chan = b.add_channel(&[n0, _n1, n2]);
+            b.add_agent(n0, Box::new(Burst { chan, count: 50 }));
+            b.add_agent(n2, Box::new(Sniffer::default()));
+            let mut e = b.build();
+            e.run();
+            e.agent::<Sniffer>(n2).unwrap().heard.clone()
+        };
+        assert_eq!(imperative(), built());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an agent")]
+    fn builder_rejects_double_agents_at_build() {
+        let (t, [n0, ..]) = chain3(0.0);
+        let mut b: EngineBuilder<Msg> = EngineBuilder::new(t, 1);
+        b.add_agent(n0, Box::new(Sniffer::default()));
+        b.add_agent(n0, Box::new(Sniffer::default()));
+        let _ = b.build();
+    }
+
+    #[test]
+    fn link_down_blocks_all_classes_and_up_restores() {
+        let (t, [n0, n1, n2]) = chain3(0.0);
+        let mid = t.link_between(n1, n2).unwrap();
+        let mut b: EngineBuilder<Msg> = EngineBuilder::new(t, 1);
+        let chan = b.add_channel(&[n0, n1, n2]);
+        b.add_agent(n2, Box::new(Sniffer::default()));
+        b.fault_plan(FaultPlan::new().link_flap(
+            mid,
+            SimTime::from_millis(100),
+            SimTime::from_millis(200),
+        ));
+        let mut e = b.build();
+        // While down, even a NACK (lossless class) cannot cross.
+        e.run_until(SimTime::from_millis(150));
+        e.multicast_from(n0, chan, Msg::Nack, 40);
+        e.run_until(SimTime::from_millis(199));
+        assert!(e.agent::<Sniffer>(n2).unwrap().heard.is_empty());
+        assert!(!e.link_is_up(mid));
+        // After the flap heals, traffic flows again.
+        e.run_until(SimTime::from_millis(250));
+        assert!(e.link_is_up(mid));
+        e.multicast_from(n0, chan, Msg::Data(1), 1000);
+        e.run();
+        assert_eq!(e.agent::<Sniffer>(n2).unwrap().heard.len(), 1);
+    }
+
+    #[test]
+    fn link_down_reroutes_around_the_dead_link() {
+        // Diamond 0-1 (1ms), 0-2 (5ms), 1-3 (1ms), 2-3 (1ms): the 0-1 leg
+        // dies mid-run and node 3 must be reached via 2 instead.
+        let mut b = TopologyBuilder::new();
+        let n0 = b.add_node("0");
+        let n1 = b.add_node("1");
+        let n2 = b.add_node("2");
+        let n3 = b.add_node("3");
+        let l01 = b.add_link(n0, n1, LinkParams::lossless_infinite(ms(1)));
+        b.add_link(n0, n2, LinkParams::lossless_infinite(ms(5)));
+        b.add_link(n1, n3, LinkParams::lossless_infinite(ms(1)));
+        b.add_link(n2, n3, LinkParams::lossless_infinite(ms(1)));
+        let mut eb: EngineBuilder<Msg> = EngineBuilder::new(b.build(), 1);
+        let chan = eb.add_channel(&[n0, n1, n2, n3]);
+        eb.add_agent(n1, Box::new(Sniffer::default()));
+        eb.add_agent(n3, Box::new(Sniffer::default()));
+        eb.fault_plan(FaultPlan::new().at(SimTime::from_millis(100), FaultEvent::LinkDown(l01)));
+        let mut e = eb.build();
+        e.run_until(SimTime::from_millis(10));
+        e.multicast_from(n0, chan, Msg::Data(0), 100);
+        e.run_until(SimTime::from_millis(150));
+        // Before the fault: n3 via n1 at 2ms.
+        assert_eq!(
+            e.agent::<Sniffer>(n3).unwrap().heard,
+            vec![(SimTime::from_millis(12), Msg::Data(0))]
+        );
+        e.multicast_from(n0, chan, Msg::Data(1), 100);
+        e.run();
+        // After: n3 via n2 (6ms), and the cut-off n1 now via n2-n3 (7ms).
+        let n3_heard = &e.agent::<Sniffer>(n3).unwrap().heard;
+        assert_eq!(n3_heard[1], (SimTime::from_millis(156), Msg::Data(1)));
+        let n1_heard = &e.agent::<Sniffer>(n1).unwrap().heard;
+        assert_eq!(n1_heard[1], (SimTime::from_millis(157), Msg::Data(1)));
+        assert_eq!(e.spt(n0).path_to(n3), vec![n0, n2, n3]);
+    }
+
+    #[test]
+    fn crashed_node_forwards_but_hears_nothing_until_restart() {
+        let (t, [n0, n1, n2]) = chain3(0.0);
+        let mut b: EngineBuilder<Msg> = EngineBuilder::new(t, 1);
+        let chan = b.add_channel(&[n0, n1, n2]);
+        b.add_agent(n1, Box::new(Sniffer::default()));
+        b.add_agent(n2, Box::new(Sniffer::default()));
+        b.fault_plan(
+            FaultPlan::new()
+                .at(SimTime::from_millis(50), FaultEvent::NodeCrash(n1))
+                .at(SimTime::from_millis(300), FaultEvent::NodeRestart(n1)),
+        );
+        let mut e = b.build();
+        e.run_until(SimTime::from_millis(100));
+        assert!(!e.node_is_up(n1));
+        e.multicast_from(n0, chan, Msg::Data(0), 1000);
+        e.run_until(SimTime::from_millis(250));
+        // The crashed middle hop still forwarded to n2 …
+        assert_eq!(e.agent::<Sniffer>(n2).unwrap().heard.len(), 1);
+        // … but its own agent heard nothing.
+        assert!(e.agent::<Sniffer>(n1).unwrap().heard.is_empty());
+        e.run_until(SimTime::from_millis(350));
+        assert!(e.node_is_up(n1));
+        e.multicast_from(n0, chan, Msg::Data(1), 1000);
+        e.run();
+        assert_eq!(e.agent::<Sniffer>(n1).unwrap().heard.len(), 1);
+    }
+
+    #[test]
+    fn crash_kills_pending_timers_and_restart_reruns_start() {
+        struct Ticker {
+            starts: u32,
+            ticks: Vec<SimTime>,
+        }
+        impl Agent<Msg> for Ticker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                self.starts += 1;
+                ctx.set_timer(ms(100), 0);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, Msg>, _: &Packet<Msg>) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _: u64) {
+                self.ticks.push(ctx.now());
+                ctx.set_timer(ms(100), 0);
+            }
+        }
+        let (t, [n0, ..]) = chain3(0.0);
+        let mut b: EngineBuilder<Msg> = EngineBuilder::new(t, 1);
+        b.add_agent(
+            n0,
+            Box::new(Ticker {
+                starts: 0,
+                ticks: Vec::new(),
+            }),
+        );
+        b.fault_plan(
+            FaultPlan::new()
+                .at(SimTime::from_millis(250), FaultEvent::NodeCrash(n0))
+                .at(SimTime::from_millis(600), FaultEvent::NodeRestart(n0)),
+        );
+        let mut e = b.build();
+        e.run_until(SimTime::from_millis(1000));
+        let agent = e.agent::<Ticker>(n0).unwrap();
+        assert_eq!(agent.starts, 2, "restart re-runs on_start");
+        // Ticks at 100, 200 (pre-crash), then 700, 800, 900, 1000 — the
+        // timer armed at 200 (due 300) died with the crash epoch.
+        assert_eq!(
+            agent.ticks,
+            vec![
+                SimTime::from_millis(100),
+                SimTime::from_millis(200),
+                SimTime::from_millis(700),
+                SimTime::from_millis(800),
+                SimTime::from_millis(900),
+                SimTime::from_millis(1000),
+            ]
+        );
+        assert_eq!(e.pending_timer_count(), 1);
+    }
+
+    #[test]
+    fn set_loss_swaps_the_model_mid_run() {
+        let (t, [n0, n1, n2]) = chain3(0.0);
+        let mid = t.link_between(n1, n2).unwrap();
+        let mut b: EngineBuilder<Msg> = EngineBuilder::new(t, 5);
+        let chan = b.add_channel(&[n0, n1, n2]);
+        b.add_agent(n2, Box::new(Sniffer::default()));
+        b.fault_plan(FaultPlan::new().at(
+            SimTime::from_secs(10),
+            FaultEvent::SetLoss(mid, crate::faults::LossModel::bernoulli(1.0)),
+        ));
+        let mut e = b.build();
+        e.run_until(SimTime::from_secs(1));
+        e.multicast_from(n0, chan, Msg::Data(0), 1000);
+        e.run_until(SimTime::from_secs(20));
+        assert_eq!(e.agent::<Sniffer>(n2).unwrap().heard.len(), 1);
+        e.multicast_from(n0, chan, Msg::Data(1), 1000);
+        e.run();
+        // The swapped-in always-lose model drops everything on that link.
+        assert_eq!(e.agent::<Sniffer>(n2).unwrap().heard.len(), 1);
+        assert_eq!(e.recorder().drops.len(), 1);
     }
 
     #[test]
@@ -774,5 +1298,46 @@ mod tests {
         // Once the cancelled deadline is processed, both sets are empty.
         assert_eq!(e.pending_timer_count(), 0);
         assert_eq!(e.cancelled_timer_count(), 0);
+    }
+
+    #[test]
+    fn recorder_clear_midrun_keeps_tail_bit_identical() {
+        // Regression: clearing the recorder between measurement windows
+        // must not perturb the simulation itself — the events recorded
+        // after the clear are exactly the post-clear tail of an identical
+        // uninterrupted run.
+        fn tail<T: Clone>(v: &[T], mid: SimTime, time: impl Fn(&T) -> SimTime) -> Vec<T> {
+            v.iter().filter(|r| time(r) > mid).cloned().collect()
+        }
+        let build = || {
+            let (t, [n0, n1, n2]) = chain3(0.2);
+            let mut b: EngineBuilder<Msg> = EngineBuilder::new(t, 9);
+            let chan = b.add_channel(&[n0, n1, n2]);
+            b.add_agent(n0, Box::new(Burst { chan, count: 20 }));
+            b.add_agent(n1, Box::new(Sniffer::default()));
+            b.add_agent(n2, Box::new(Sniffer::default()));
+            b.build()
+        };
+        let mut full = build();
+        full.run();
+        // 105ms falls between events (everything lands on 10ms ticks).
+        let mid = SimTime::from_millis(105);
+
+        let mut halved = build();
+        halved.run_until(mid);
+        halved.recorder_mut().clear();
+        halved.run();
+
+        let f = full.recorder();
+        let h = halved.recorder();
+        assert!(!h.deliveries.is_empty() && !h.drops.is_empty());
+        assert_eq!(h.deliveries, tail(&f.deliveries, mid, |r| r.time));
+        assert_eq!(h.transmissions, tail(&f.transmissions, mid, |r| r.time));
+        assert_eq!(h.drops, tail(&f.drops, mid, |r| r.time));
+        // O(1) totals match the event tail, not the whole run.
+        assert_eq!(
+            h.total_delivered(TrafficClass::Data),
+            tail(&f.deliveries, mid, |r| r.time).len()
+        );
     }
 }

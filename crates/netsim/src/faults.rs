@@ -1,0 +1,378 @@
+//! Declarative, deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a schedule of timed [`FaultEvent`]s — link flaps,
+//! loss-model changes, node churn — that the engine executes as ordinary
+//! DES events.  Because the events ride the same queue as packets and
+//! timers, a plan is reproducible per `(scenario, seed)` and safe under
+//! the sweep runner at any thread count.
+//!
+//! Loss itself is pluggable through [`LossModel`]: the original i.i.d.
+//! Bernoulli draw per traversal, or a 2-state Gilbert–Elliott chain that
+//! produces the bursty, correlated losses real multicast paths exhibit —
+//! precisely the regime where block FEC degrades.
+
+use crate::graph::{LinkId, NodeId};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Per-link loss process, sampled once per traversal per direction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LossModel {
+    /// Independent drop with the given probability (the classic ns-2
+    /// uniform loss module).
+    Bernoulli(f64),
+    /// 2-state Gilbert–Elliott chain: the direction is either *good* or
+    /// *bad*; each traversal first advances the chain one step, then drops
+    /// with the loss rate of the current state.  Burstiness comes from the
+    /// chain's persistence: the mean bad-state sojourn is `1 / p_bg`
+    /// traversals.
+    GilbertElliott {
+        /// P(good → bad) per traversal.
+        p_gb: f64,
+        /// P(bad → good) per traversal.
+        p_bg: f64,
+        /// Drop probability while in the good state.
+        loss_good: f64,
+        /// Drop probability while in the bad state.
+        loss_bad: f64,
+    },
+}
+
+fn assert_prob(v: f64, what: &str) {
+    assert!(
+        (0.0..=1.0).contains(&v),
+        "{what} must be in [0, 1], got {v}"
+    );
+}
+
+impl LossModel {
+    /// Independent (memoryless) loss with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn bernoulli(p: f64) -> LossModel {
+        assert_prob(p, "loss probability");
+        LossModel::Bernoulli(p)
+    }
+
+    /// A fully parameterized Gilbert–Elliott chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is outside `[0, 1]`, or if `p_bg` is zero
+    /// while `p_gb` is positive (the chain would absorb into the bad
+    /// state forever).
+    pub fn gilbert_elliott(p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64) -> LossModel {
+        assert_prob(p_gb, "p_gb");
+        assert_prob(p_bg, "p_bg");
+        assert_prob(loss_good, "loss_good");
+        assert_prob(loss_bad, "loss_bad");
+        assert!(
+            p_gb == 0.0 || p_bg > 0.0,
+            "p_bg must be positive when p_gb is (bad state would be absorbing)"
+        );
+        LossModel::GilbertElliott {
+            p_gb,
+            p_bg,
+            loss_good,
+            loss_bad,
+        }
+    }
+
+    /// The classic simplified Gilbert model hitting a target mean loss
+    /// `rate` with mean burst length `mean_burst` (in packets): the bad
+    /// state drops everything, the good state nothing, `p_bg =
+    /// 1 / mean_burst`, and `p_gb` is solved from the stationary
+    /// distribution so the long-run loss equals `rate`.
+    ///
+    /// `burst(rate, 1.0)` has the same mean loss as `Bernoulli(rate)` but
+    /// a different (geometric-burst) correlation structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)` or `mean_burst < 1`.
+    pub fn burst(rate: f64, mean_burst: f64) -> LossModel {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "burst loss rate must be in [0, 1), got {rate}"
+        );
+        assert!(
+            mean_burst >= 1.0,
+            "mean burst length must be >= 1 packet, got {mean_burst}"
+        );
+        if rate == 0.0 {
+            return LossModel::Bernoulli(0.0);
+        }
+        let p_bg = 1.0 / mean_burst;
+        // Stationary P(bad) = p_gb / (p_gb + p_bg) must equal `rate`.
+        let p_gb = rate * p_bg / (1.0 - rate);
+        LossModel::gilbert_elliott(p_gb.min(1.0), p_bg, 0.0, 1.0)
+    }
+
+    /// Long-run mean loss rate of the process.
+    pub fn mean_loss(&self) -> f64 {
+        match *self {
+            LossModel::Bernoulli(p) => p,
+            LossModel::GilbertElliott {
+                p_gb,
+                p_bg,
+                loss_good,
+                loss_bad,
+            } => {
+                if p_gb == 0.0 {
+                    // Never leaves the good state (start state).
+                    loss_good
+                } else {
+                    let pi_bad = p_gb / (p_gb + p_bg);
+                    pi_bad * loss_bad + (1.0 - pi_bad) * loss_good
+                }
+            }
+        }
+    }
+
+    /// Whether the process can never drop a packet.
+    pub fn is_lossless(&self) -> bool {
+        match *self {
+            LossModel::Bernoulli(p) => p <= 0.0,
+            LossModel::GilbertElliott {
+                p_gb,
+                loss_good,
+                loss_bad,
+                ..
+            } => loss_good <= 0.0 && (loss_bad <= 0.0 || p_gb <= 0.0),
+        }
+    }
+
+    /// Samples one traversal: advances the per-direction chain state `bad`
+    /// and returns `true` if the packet is dropped.
+    ///
+    /// Bernoulli ignores `bad` and draws via [`SimRng::chance`], which
+    /// short-circuits at 0 and 1 without consuming randomness — exactly
+    /// the pre-fault-injection behaviour, so existing seeded scenarios
+    /// reproduce bit-for-bit.
+    pub fn sample(&self, bad: &mut bool, rng: &mut SimRng) -> bool {
+        match *self {
+            LossModel::Bernoulli(p) => rng.chance(p),
+            LossModel::GilbertElliott {
+                p_gb,
+                p_bg,
+                loss_good,
+                loss_bad,
+            } => {
+                if *bad {
+                    if rng.chance(p_bg) {
+                        *bad = false;
+                    }
+                } else if rng.chance(p_gb) {
+                    *bad = true;
+                }
+                rng.chance(if *bad { loss_bad } else { loss_good })
+            }
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// The link stops carrying traffic in both directions — *all* classes,
+    /// including the lossless control classes (down is not loss).
+    LinkDown(LinkId),
+    /// The link carries traffic again.
+    LinkUp(LinkId),
+    /// Replaces the link's loss process (both directions) and resets any
+    /// Gilbert–Elliott chain state to good.
+    SetLoss(LinkId, LossModel),
+    /// The node's agent stops receiving callbacks and its pending timers
+    /// die; the node still forwards multicast traffic (the router outlives
+    /// the application process).
+    NodeCrash(NodeId),
+    /// The agent resumes: its `on_start` hook runs again at the restart
+    /// time.  Agent state persists across the crash (a warm restart).
+    NodeRestart(NodeId),
+}
+
+/// A time-ordered schedule of [`FaultEvent`]s.
+///
+/// Build one with the fluent [`FaultPlan::at`] / [`FaultPlan::link_flap`]
+/// calls and hand it to
+/// [`EngineBuilder::fault_plan`](crate::engine::EngineBuilder::fault_plan).
+///
+/// ```
+/// use sharqfec_netsim::faults::{FaultEvent, FaultPlan, LossModel};
+/// use sharqfec_netsim::{LinkId, SimTime};
+///
+/// let plan = FaultPlan::new()
+///     .at(SimTime::from_secs(2), FaultEvent::SetLoss(LinkId(0), LossModel::burst(0.1, 4.0)))
+///     .link_flap(LinkId(1), SimTime::from_secs(5), SimTime::from_secs(8));
+/// assert_eq!(plan.len(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds an event at an absolute time (builder style).
+    pub fn at(mut self, when: SimTime, event: FaultEvent) -> FaultPlan {
+        self.push(when, event);
+        self
+    }
+
+    /// Adds an event at an absolute time (in-place).
+    pub fn push(&mut self, when: SimTime, event: FaultEvent) {
+        self.events.push((when, event));
+    }
+
+    /// Schedules a full flap: the link goes down at `down` and comes back
+    /// at `up`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `up <= down`.
+    pub fn link_flap(self, link: LinkId, down: SimTime, up: SimTime) -> FaultPlan {
+        assert!(up > down, "link must come back up after it goes down");
+        self.at(down, FaultEvent::LinkDown(link))
+            .at(up, FaultEvent::LinkUp(link))
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[(SimTime, FaultEvent)] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_matches_plain_chance() {
+        // LossModel::sample for Bernoulli must consume the identical RNG
+        // stream as the historical `rng.chance(p)` call.
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        let model = LossModel::bernoulli(0.3);
+        let mut bad = false;
+        for _ in 0..1000 {
+            assert_eq!(model.sample(&mut bad, &mut a), b.chance(0.3));
+        }
+        assert!(!bad, "Bernoulli never touches the chain state");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bernoulli_extremes_draw_nothing() {
+        let mut rng = SimRng::new(1);
+        let before = rng.clone();
+        let mut bad = false;
+        assert!(!LossModel::bernoulli(0.0).sample(&mut bad, &mut rng));
+        assert!(LossModel::bernoulli(1.0).sample(&mut bad, &mut rng));
+        let mut b2 = before;
+        assert_eq!(rng.next_u64(), b2.next_u64(), "extremes must not draw");
+    }
+
+    #[test]
+    fn burst_hits_target_mean_loss() {
+        for &(rate, burst) in &[(0.05, 4.0), (0.188, 8.0), (0.4, 16.0)] {
+            let model = LossModel::burst(rate, burst);
+            assert!((model.mean_loss() - rate).abs() < 1e-12);
+            let mut rng = SimRng::new(42);
+            let mut bad = false;
+            let n = 200_000;
+            let drops = (0..n).filter(|_| model.sample(&mut bad, &mut rng)).count();
+            let observed = drops as f64 / n as f64;
+            assert!(
+                (observed - rate).abs() < 0.01,
+                "burst({rate}, {burst}): observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn burst_lengths_are_geometric_with_requested_mean() {
+        let model = LossModel::burst(0.2, 8.0);
+        let mut rng = SimRng::new(9);
+        let mut bad = false;
+        let mut bursts = Vec::new();
+        let mut run = 0u32;
+        for _ in 0..400_000 {
+            if model.sample(&mut bad, &mut rng) {
+                run += 1;
+            } else if run > 0 {
+                bursts.push(run);
+                run = 0;
+            }
+        }
+        let mean = bursts.iter().map(|&b| b as f64).sum::<f64>() / bursts.len() as f64;
+        assert!(
+            (mean - 8.0).abs() < 0.5,
+            "mean burst length {mean}, wanted ~8"
+        );
+    }
+
+    #[test]
+    fn mean_loss_and_losslessness() {
+        assert_eq!(LossModel::bernoulli(0.25).mean_loss(), 0.25);
+        assert!(LossModel::bernoulli(0.0).is_lossless());
+        assert!(!LossModel::bernoulli(0.1).is_lossless());
+        assert!(LossModel::burst(0.0, 4.0).is_lossless());
+        assert!(!LossModel::burst(0.1, 4.0).is_lossless());
+        assert!(LossModel::gilbert_elliott(0.0, 0.0, 0.0, 1.0).is_lossless());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn bernoulli_rejects_out_of_range() {
+        LossModel::bernoulli(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean burst")]
+    fn burst_rejects_sub_packet_bursts() {
+        LossModel::burst(0.1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "absorbing")]
+    fn absorbing_bad_state_rejected() {
+        LossModel::gilbert_elliott(0.1, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn plan_builder_orders_nothing_but_records_everything() {
+        let plan = FaultPlan::new()
+            .at(SimTime::from_secs(5), FaultEvent::NodeCrash(NodeId(3)))
+            .link_flap(LinkId(2), SimTime::from_secs(1), SimTime::from_secs(2))
+            .at(SimTime::from_secs(9), FaultEvent::NodeRestart(NodeId(3)));
+        assert_eq!(plan.len(), 4);
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.events()[1],
+            (SimTime::from_secs(1), FaultEvent::LinkDown(LinkId(2)))
+        );
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "come back up")]
+    fn flap_must_end_after_it_starts() {
+        let _ = FaultPlan::new().link_flap(LinkId(0), SimTime::from_secs(2), SimTime::from_secs(2));
+    }
+}

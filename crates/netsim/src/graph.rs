@@ -1,10 +1,13 @@
 //! Network topology: nodes and links.
 //!
-//! Built once through [`TopologyBuilder`], then immutable for the lifetime
-//! of a simulation — the paper's scenarios all use static topologies (its
-//! §5.2 explicitly assumes distribution trees that are stable near zone
-//! boundaries).
+//! Built once through [`TopologyBuilder`].  The graph structure (nodes,
+//! links, adjacency) is then immutable for the lifetime of a simulation —
+//! the paper's scenarios all use fixed wiring — but link *behaviour* can
+//! change at runtime: a fault plan may swap a link's loss process via
+//! [`Topology::set_loss_model`], and the engine tracks link up/down state
+//! separately.
 
+use crate::faults::LossModel;
 use crate::link::LinkSpec;
 use crate::time::SimDuration;
 use core::fmt;
@@ -97,26 +100,36 @@ pub struct LinkParams {
     pub latency: SimDuration,
     /// Link capacity.
     pub bandwidth: Bandwidth,
-    /// Bernoulli loss probability applied independently per traversal, per
-    /// direction, to lossy traffic classes.
-    pub loss: f64,
+    /// Loss process applied per traversal, per direction, to lossy
+    /// traffic classes.
+    pub loss: LossModel,
 }
 
 impl LinkParams {
-    /// Convenience constructor for a finite-rate link.
+    /// Convenience constructor for a finite-rate link with i.i.d.
+    /// Bernoulli loss (the historical default process).
     ///
     /// # Panics
     ///
     /// Panics if `loss` is outside `[0, 1]` or `bandwidth_bps` is zero
     /// (use [`LinkParams::infinite`] for an infinitely fast link).
     pub fn new(latency: SimDuration, bandwidth_bps: u64, loss: f64) -> LinkParams {
-        assert!(
-            (0.0..=1.0).contains(&loss),
-            "loss probability must be in [0, 1], got {loss}"
-        );
         LinkParams {
             latency,
             bandwidth: Bandwidth::bps(bandwidth_bps),
+            loss: LossModel::bernoulli(loss),
+        }
+    }
+
+    /// A finite-rate link with an explicit loss process.
+    pub fn with_loss_model(
+        latency: SimDuration,
+        bandwidth: Bandwidth,
+        loss: LossModel,
+    ) -> LinkParams {
+        LinkParams {
+            latency,
+            bandwidth,
             loss,
         }
     }
@@ -126,20 +139,16 @@ impl LinkParams {
         LinkParams::new(latency, bandwidth_bps, 0.0)
     }
 
-    /// An infinitely fast (latency-only) link.
+    /// An infinitely fast (latency-only) link with Bernoulli loss.
     ///
     /// # Panics
     ///
     /// Panics if `loss` is outside `[0, 1]`.
     pub fn infinite(latency: SimDuration, loss: f64) -> LinkParams {
-        assert!(
-            (0.0..=1.0).contains(&loss),
-            "loss probability must be in [0, 1], got {loss}"
-        );
         LinkParams {
             latency,
             bandwidth: Bandwidth::Infinite,
-            loss,
+            loss: LossModel::bernoulli(loss),
         }
     }
 
@@ -266,6 +275,13 @@ impl Topology {
     /// Neighbours of a node with the connecting link, sorted by neighbour id.
     pub fn neighbors(&self, node: NodeId) -> &[(NodeId, LinkId)] {
         &self.adjacency[node.idx()]
+    }
+
+    /// Replaces a link's loss process (both directions).  Used by the
+    /// fault-injection `SetLoss` event and by scenario post-passes that
+    /// convert Bernoulli rates into burst models of equal mean.
+    pub fn set_loss_model(&mut self, id: LinkId, model: LossModel) {
+        self.links[id.idx()].params.loss = model;
     }
 
     /// The link joining two adjacent nodes, if any.

@@ -6,11 +6,16 @@
 //! experiments exercise:
 //!
 //! * **Topology** — an undirected graph of nodes and links, each link with a
-//!   propagation latency, a bandwidth, and a Bernoulli loss probability
-//!   ([`graph`], [`link`]).
+//!   propagation latency, a bandwidth, and a pluggable loss process —
+//!   i.i.d. Bernoulli or a bursty Gilbert–Elliott chain ([`graph`],
+//!   [`link`], [`faults`]).
 //! * **Routing** — per-source shortest-path trees (Dijkstra on latency),
-//!   which is how ns builds its multicast distribution trees for the static
-//!   scenarios in the paper ([`routing`]).
+//!   which is how ns builds its multicast distribution trees.  Trees are
+//!   computed lazily against the *current* link-up mask and invalidated
+//!   when a fault plan takes a link down or up ([`routing`]).
+//! * **Fault injection** — a declarative [`faults::FaultPlan`] schedules
+//!   link flaps, loss changes, and node churn as ordinary DES events
+//!   ([`faults`]).
 //! * **Multicast channels** — named groups of member nodes.  A packet sent
 //!   on a channel is forwarded hop-by-hop down the sender-rooted tree,
 //!   store-and-forward, with per-directed-link FIFO serialization and
@@ -62,10 +67,11 @@
 //!     }
 //! }
 //!
-//! let mut engine = Engine::new(topo.build(), 42);
-//! let chan = engine.add_channel(&[a, b]);
-//! engine.set_agent(a, Box::new(Sender { chan }));
-//! engine.set_agent(b, Box::new(Sink { got: 0 }));
+//! let mut builder = EngineBuilder::new(topo.build(), 42);
+//! let chan = builder.add_channel(&[a, b]);
+//! builder.add_agent(a, Box::new(Sender { chan }));
+//! builder.add_agent(b, Box::new(Sink { got: 0 }));
+//! let mut engine = builder.build();
 //! engine.run_until(SimTime::from_secs(1));
 //! assert_eq!(engine.recorder().deliveries.len(), 1);
 //! ```
@@ -76,6 +82,7 @@
 pub mod agent;
 pub mod channel;
 pub mod engine;
+pub mod faults;
 pub mod graph;
 pub mod link;
 pub mod metrics;
@@ -90,8 +97,9 @@ pub mod trace;
 pub mod prelude {
     pub use crate::agent::{Agent, Ctx, TimerId};
     pub use crate::channel::ChannelId;
-    pub use crate::engine::Engine;
-    pub use crate::graph::{LinkParams, NodeId, Topology, TopologyBuilder};
+    pub use crate::engine::{Engine, EngineBuilder};
+    pub use crate::faults::{FaultEvent, FaultPlan, LossModel};
+    pub use crate::graph::{LinkId, LinkParams, NodeId, Topology, TopologyBuilder};
     pub use crate::metrics::{Recorder, RecorderMode, Tally, TrafficClass};
     pub use crate::packet::{Classify, Packet};
     pub use crate::rng::SimRng;

@@ -38,9 +38,31 @@ pub struct LinkState {
     pub busy_until_ab: SimTime,
     /// Serializer-free time for the b→a direction.
     pub busy_until_ba: SimTime,
+    /// Gilbert–Elliott chain state for the a→b direction (`true` = bad).
+    /// Ignored by the Bernoulli loss model.
+    pub bad_ab: bool,
+    /// Gilbert–Elliott chain state for the b→a direction.
+    pub bad_ba: bool,
 }
 
 impl LinkState {
+    /// The Gilbert–Elliott chain state for the direction leaving `from`.
+    pub fn chain_state_mut(&mut self, spec: &LinkSpec, from: NodeId) -> &mut bool {
+        if from == spec.a {
+            &mut self.bad_ab
+        } else {
+            debug_assert_eq!(from, spec.b, "sample from non-endpoint");
+            &mut self.bad_ba
+        }
+    }
+
+    /// Resets both directions' chain state to good (used when a fault
+    /// plan swaps the link's loss model).
+    pub fn reset_chain(&mut self) {
+        self.bad_ab = false;
+        self.bad_ba = false;
+    }
+
     /// Enqueues a transmission of `bytes` from `from` at time `now`.
     /// Returns the arrival time at the far end and updates the serializer.
     pub fn transmit(&mut self, spec: &LinkSpec, from: NodeId, now: SimTime, bytes: u32) -> SimTime {

@@ -81,7 +81,7 @@ impl TrafficClass {
 }
 
 /// One delivery (or transmission) observation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Record {
     /// When the packet was delivered/transmitted.
     pub time: SimTime,
@@ -99,7 +99,7 @@ pub struct Record {
 }
 
 /// One packet dropped by link loss.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DropRecord {
     /// When the drop happened (at the head of the link).
     pub time: SimTime,

@@ -34,10 +34,22 @@ pub struct Spt {
 }
 
 impl Spt {
-    /// Computes the tree rooted at `source`.
+    /// Computes the tree rooted at `source` with every link usable.
     pub fn compute(topo: &Topology, source: NodeId) -> Spt {
+        Spt::compute_masked(topo, source, None)
+    }
+
+    /// Computes the tree rooted at `source`, skipping links whose entry in
+    /// `link_up` is `false` (fault injection: a downed link carries no
+    /// traffic and routing must detour around it).  With a mask the graph
+    /// may be disconnected; unreachable nodes get no parent, no children,
+    /// and a [`SimDuration::MAX`] distance (see [`Spt::reachable`]).
+    pub fn compute_masked(topo: &Topology, source: NodeId, link_up: Option<&[bool]>) -> Spt {
         let n = topo.node_count();
         assert!(source.idx() < n, "unknown source {source:?}");
+        if let Some(mask) = link_up {
+            assert_eq!(mask.len(), topo.link_count(), "link mask length mismatch");
+        }
         let mut dist = vec![u64::MAX; n];
         let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
         let mut done = vec![false; n];
@@ -52,6 +64,11 @@ impl Spt {
             }
             done[u.idx()] = true;
             for &(v, link) in topo.neighbors(u) {
+                if let Some(mask) = link_up {
+                    if !mask[link.idx()] {
+                        continue;
+                    }
+                }
                 let w = topo.link(link).params.latency.as_nanos();
                 let nd = d + w;
                 // Strict < keeps the first (lowest-id thanks to sorted
@@ -64,9 +81,9 @@ impl Spt {
             }
         }
 
-        // Counting sort into CSR: every non-root contributes one edge under
-        // its parent; filling in ascending node order keeps each group
-        // sorted by child id without a per-group sort.
+        // Counting sort into CSR: every reachable non-root contributes one
+        // edge under its parent; filling in ascending node order keeps each
+        // group sorted by child id without a per-group sort.
         let mut child_start = vec![0u32; n + 1];
         for p in parent.iter().flatten() {
             child_start[p.0.idx() + 1] += 1;
@@ -74,8 +91,9 @@ impl Spt {
         for i in 0..n {
             child_start[i + 1] += child_start[i];
         }
+        let edge_count = child_start[n] as usize;
         let mut next = child_start.clone();
-        let mut child_edges = vec![(NodeId(0), LinkId(0)); n.saturating_sub(1)];
+        let mut child_edges = vec![(NodeId(0), LinkId(0)); edge_count];
         for v in topo.nodes() {
             if let Some((p, link)) = parent[v.idx()] {
                 child_edges[next[p.idx()] as usize] = (v, link);
@@ -88,14 +106,21 @@ impl Spt {
             parent,
             child_edges,
             child_start,
-            dist: dist
-                .into_iter()
-                .map(|d| {
-                    debug_assert_ne!(d, u64::MAX, "graph is connected by construction");
-                    SimDuration(d)
-                })
-                .collect(),
+            dist: dist.into_iter().map(SimDuration).collect(),
         }
+    }
+
+    /// Whether `node` is reachable from the root under the mask this tree
+    /// was computed with.  Trees over a fully-up topology always return
+    /// `true` (connectivity is enforced at build time).
+    pub fn reachable(&self, node: NodeId) -> bool {
+        node == self.source || self.parent[node.idx()].is_some()
+    }
+
+    /// Whether this tree routes any traffic over `link` — the invalidation
+    /// test when a fault takes a link down.
+    pub fn uses_link(&self, link: LinkId) -> bool {
+        self.parent.iter().flatten().any(|&(_, l)| l == link)
     }
 
     /// The children of `node` in this tree, sorted by child id.
@@ -120,7 +145,12 @@ impl Spt {
 
     /// The path from the root to `node`, as a list of nodes starting at the
     /// root and ending at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is unreachable under this tree's link mask.
     pub fn path_to(&self, node: NodeId) -> Vec<NodeId> {
+        assert!(self.reachable(node), "{node:?} unreachable from the root");
         let mut rev = vec![node];
         let mut cur = node;
         while let Some((p, _)) = self.parent[cur.idx()] {
@@ -132,7 +162,8 @@ impl Spt {
         rev
     }
 
-    /// One-way propagation delay from the root to `node`.
+    /// One-way propagation delay from the root to `node`
+    /// ([`SimDuration::MAX`] when unreachable under the link mask).
     pub fn delay_to(&self, node: NodeId) -> SimDuration {
         self.dist[node.idx()]
     }
@@ -260,6 +291,54 @@ mod tests {
             let spt = Spt::compute(&t, n0);
             assert_eq!(spt.parent[n3.idx()].unwrap().0, n1);
         }
+    }
+
+    #[test]
+    fn masked_compute_detours_around_down_links() {
+        let (t, [n0, n1, n2, n3]) = diamond();
+        // Take link 0-1 down: everything must route via n2.
+        let l01 = t.link_between(n0, n1).unwrap();
+        let mut up = vec![true; t.link_count()];
+        up[l01.idx()] = false;
+        let spt = Spt::compute_masked(&t, n0, Some(&up));
+        assert_eq!(spt.path_to(n3), vec![n0, n2, n3]);
+        assert_eq!(spt.delay_to(n3), ms(6));
+        assert_eq!(spt.path_to(n1), vec![n0, n2, n3, n1]);
+        assert!(spt.uses_link(t.link_between(n2, n3).unwrap()));
+        assert!(!spt.uses_link(l01));
+        assert!(t.nodes().all(|v| spt.reachable(v)));
+    }
+
+    #[test]
+    fn masked_compute_tolerates_disconnection() {
+        let mut b = TopologyBuilder::new();
+        let n0 = b.add_node("0");
+        let n1 = b.add_node("1");
+        let n2 = b.add_node("2");
+        let l01 = b.add_link(n0, n1, LinkParams::lossless_infinite(ms(1)));
+        b.add_link(n1, n2, LinkParams::lossless_infinite(ms(1)));
+        let t = b.build();
+        let mut up = vec![true; t.link_count()];
+        up[l01.idx()] = false;
+        let spt = Spt::compute_masked(&t, n0, Some(&up));
+        assert!(spt.reachable(n0));
+        assert!(!spt.reachable(n1));
+        assert!(!spt.reachable(n2));
+        assert_eq!(spt.delay_to(n2), SimDuration::MAX);
+        assert!(spt.children(n0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn path_to_unreachable_panics() {
+        let mut b = TopologyBuilder::new();
+        let n0 = b.add_node("0");
+        let n1 = b.add_node("1");
+        let l = b.add_link(n0, n1, LinkParams::lossless_infinite(ms(1)));
+        let t = b.build();
+        let spt = Spt::compute_masked(&t, n0, Some(&[false; 1]));
+        let _ = l;
+        let _ = spt.path_to(n1);
     }
 
     #[test]

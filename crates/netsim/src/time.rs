@@ -58,6 +58,10 @@ impl SimDuration {
     /// The zero-length span.
     pub const ZERO: SimDuration = SimDuration(0);
 
+    /// The largest representable span — routing uses it as the "node
+    /// unreachable under the current link mask" sentinel.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
     /// Builds a span from whole seconds.
     pub const fn from_secs(s: u64) -> SimDuration {
         SimDuration(s * 1_000_000_000)

@@ -116,6 +116,49 @@ proptest! {
         }
     }
 
+    /// Masked Dijkstra (fault injection's re-route) must agree with
+    /// Floyd–Warshall computed over the surviving edge set, including on
+    /// unreachability.
+    #[test]
+    fn masked_spt_matches_floyd_warshall_on_survivors(t in random_topo(), kill in any::<u32>()) {
+        let topo = build(&t);
+        let kill = kill as usize % t.edges.len();
+        let survivors = RandomTopo {
+            n: t.n,
+            edges: t
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != kill)
+                .map(|(_, &e)| e)
+                .collect(),
+        };
+        let fw = floyd_warshall(&survivors);
+        let inf = u64::MAX / 4;
+        let mut up = vec![true; topo.link_count()];
+        // Builder may have dropped duplicate extras, so map the killed
+        // edge to its LinkId through the topology.
+        let (a, b, _) = t.edges[kill];
+        let killed_link = topo
+            .link_between(NodeId(a as u32), NodeId(b as u32))
+            .expect("edge exists");
+        up[killed_link.idx()] = false;
+        for (src, fw_row) in fw.iter().enumerate() {
+            let spt = Spt::compute_masked(&topo, NodeId(src as u32), Some(&up));
+            prop_assert!(!spt.uses_link(killed_link));
+            for (dst, &dist) in fw_row.iter().enumerate() {
+                let node = NodeId(dst as u32);
+                if dist >= inf {
+                    prop_assert!(!spt.reachable(node));
+                    prop_assert_eq!(spt.delay_to(node), SimDuration::MAX);
+                } else {
+                    prop_assert!(spt.reachable(node));
+                    prop_assert_eq!(spt.delay_to(node).as_nanos(), dist);
+                }
+            }
+        }
+    }
+
     /// SPT structure: every non-root's path is acyclic, ends at the root,
     /// and each hop's distance decreases toward the root by exactly the
     /// link latency.
@@ -144,10 +187,11 @@ proptest! {
     fn lossless_multicast_reaches_everyone_once(t in random_topo(), seed in any::<u64>()) {
         let topo = build(&t);
         let oracle = DistanceOracle::compute(&topo);
-        let mut engine: Engine<Ping> = Engine::new(topo, seed);
+        let mut builder: EngineBuilder<Ping> = EngineBuilder::new(topo, seed);
         let members: Vec<NodeId> = (0..t.n as u32).map(NodeId).collect();
-        let chan = engine.add_channel(&members);
-        engine.set_agent(members[0], Box::new(Once { chan }));
+        let chan = builder.add_channel(&members);
+        builder.add_agent(members[0], Box::new(Once { chan }));
+        let mut engine = builder.build();
         engine.run();
         let rec = engine.recorder();
         for &m in &members[1..] {
@@ -172,14 +216,15 @@ proptest! {
     #[test]
     fn scope_pruning_never_leaks(t in random_topo(), mask in any::<u16>(), seed in any::<u64>()) {
         let topo = build(&t);
-        let mut engine: Engine<Ping> = Engine::new(topo, seed);
+        let mut builder: EngineBuilder<Ping> = EngineBuilder::new(topo, seed);
         // Random member subset always containing the sender (node 0).
         let members: Vec<NodeId> = (0..t.n as u32)
             .map(NodeId)
             .filter(|n| n.0 == 0 || mask & (1 << (n.0 % 16)) != 0)
             .collect();
-        let chan = engine.add_channel(&members);
-        engine.set_agent(members[0], Box::new(Once { chan }));
+        let chan = builder.add_channel(&members);
+        builder.add_agent(members[0], Box::new(Once { chan }));
+        let mut engine = builder.build();
         engine.run();
         for d in &engine.recorder().deliveries {
             prop_assert!(
@@ -204,9 +249,10 @@ proptest! {
                     LinkParams::new(SimDuration::from_millis(w), 1_000_000, 0.3),
                 );
             }
-            let mut engine: Engine<Ping> = Engine::new(b.build(), seed);
-            let chan = engine.add_channel(&ids);
-            engine.set_agent(ids[0], Box::new(Once { chan }));
+            let mut builder: EngineBuilder<Ping> = EngineBuilder::new(b.build(), seed);
+            let chan = builder.add_channel(&ids);
+            builder.add_agent(ids[0], Box::new(Once { chan }));
+            let mut engine = builder.build();
             engine.run();
             engine
                 .recorder()
@@ -241,9 +287,10 @@ proptest! {
                     LinkParams::new(SimDuration::from_millis(w), 1_000_000, 0.3),
                 );
             }
-            let mut engine: Engine<Ping> = Engine::new(b.build(), c.seed);
-            let chan = engine.add_channel(&ids);
-            engine.set_agent(ids[0], Box::new(Once { chan }));
+            let mut builder: EngineBuilder<Ping> = EngineBuilder::new(b.build(), c.seed);
+            let chan = builder.add_channel(&ids);
+            builder.add_agent(ids[0], Box::new(Once { chan }));
+            let mut engine = builder.build();
             engine.run();
             engine
                 .recorder()
@@ -279,10 +326,11 @@ proptest! {
                     LinkParams::new(SimDuration::from_millis(w), 1_000_000, 0.3),
                 );
             }
-            let mut engine: Engine<Ping> = Engine::new(b.build(), seed);
-            engine.set_recorder_mode(mode);
-            let chan = engine.add_channel(&ids);
-            engine.set_agent(ids[0], Box::new(Once { chan }));
+            let mut builder: EngineBuilder<Ping> = EngineBuilder::new(b.build(), seed);
+            builder.recorder_mode(mode);
+            let chan = builder.add_channel(&ids);
+            builder.add_agent(ids[0], Box::new(Once { chan }));
+            let mut engine = builder.build();
             engine.run();
             let rec = engine.recorder();
             let counts: Vec<usize> = (0..t.n as u32)

@@ -204,11 +204,11 @@ pub fn setup_session_sim(
     probes: &[(NodeId, ProbePlan)],
 ) -> (Engine<SessionWire>, Rc<Vec<ChannelId>>) {
     let hier = Rc::new(built.hierarchy.clone());
-    let mut engine: Engine<SessionWire> = Engine::new(built.topology.clone(), seed);
+    let mut builder: EngineBuilder<SessionWire> = EngineBuilder::new(built.topology.clone(), seed);
     let channels: Vec<ChannelId> = hier
         .zones()
         .iter()
-        .map(|z| engine.add_channel(&z.members))
+        .map(|z| builder.add_channel(&z.members))
         .collect();
     let channels = Rc::new(channels);
     let root_channel = channels[ZoneId::ROOT.idx()];
@@ -221,9 +221,9 @@ pub fn setup_session_sim(
             .map(|(_, p)| p.clone())
             .unwrap_or_default();
         let agent = SessionAgent::new(core, Rc::clone(&channels), root_channel, plan);
-        engine.set_agent_with_start(member, Box::new(agent), start_at);
+        builder.add_agent_at(member, Box::new(agent), start_at);
     }
-    (engine, channels)
+    (builder.build(), channels)
 }
 
 #[cfg(test)]

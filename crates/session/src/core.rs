@@ -102,6 +102,12 @@ struct Level {
     pending: Option<Pending>,
     /// Scheduled takeover, with the distance that justified it.
     takeover: Option<(TimerId, SimDuration)>,
+    /// Consecutive overheard measurement rounds in which we beat the
+    /// *live* incumbent.  A routing change mid-exchange (a link fault
+    /// re-routes the response but not the challenge) can fake a
+    /// near-zero distance for one round; usurping a live ZCR therefore
+    /// requires two beating rounds in a row (vacant seats are exempt).
+    usurp_rounds: u8,
 }
 
 #[derive(Debug)]
@@ -171,6 +177,7 @@ impl SessionCore {
                     my_dist_to_parent: None,
                     pending: None,
                     takeover: None,
+                    usurp_rounds: 0,
                 }
             })
             .collect();
@@ -507,6 +514,40 @@ impl SessionCore {
         self.direct_rtt(parent_zcr).map(|rtt| rtt / 2)
     }
 
+    /// Whether any member of `zone` has been heard on the zone channel
+    /// within the ZCR liveness window.  A node that has heard nobody
+    /// there for a whole window is cut off from (its side of) the zone
+    /// — evidence used to keep partition-remote election traffic from
+    /// flipping local beliefs.  Trivially true early in the session,
+    /// before a full window has elapsed.
+    fn zone_fresh(&self, zone: ZoneId, now: SimTime) -> bool {
+        let window = self.cfg.challenge_period.mul_f64(self.cfg.liveness_factor);
+        let last = self
+            .tables
+            .get(&zone)
+            .and_then(|t| t.last_heard())
+            .unwrap_or(SimTime::ZERO);
+        now.saturating_since(last) < window
+    }
+
+    /// Whether `peer` specifically has been heard in `zone` within the
+    /// liveness window.  Overheard-challenge arithmetic trusts cached
+    /// RTTs to the challenger; a challenger we no longer hear inside
+    /// the zone (it may be challenging from across a partition via the
+    /// parent channel) invalidates that cache.
+    /// Trivially true before the first full window has elapsed (nobody
+    /// can be declared stale that early).
+    fn peer_fresh(&self, zone: ZoneId, peer: NodeId, now: SimTime) -> bool {
+        let window = self.cfg.challenge_period.mul_f64(self.cfg.liveness_factor);
+        let last = self
+            .tables
+            .get(&zone)
+            .and_then(|t| t.state(peer))
+            .map(|p| p.last_recv_at)
+            .unwrap_or(SimTime::ZERO);
+        now.saturating_since(last) < window
+    }
+
     fn on_announce(&mut self, ctx: &mut dyn SessionCtx, src: NodeId, a: &Announce) {
         let now = ctx.now();
         let Some(l) = self.chain_index(a.zone) else {
@@ -547,6 +588,36 @@ impl SessionCore {
             self.levels[l].zcr_heard_at = now;
             if a.zcr_to_parent.is_some() {
                 self.levels[l].link_dist = a.zcr_to_parent;
+            }
+        }
+
+        // Partition-heal conflict resolution (§5.2): a healed partition can
+        // leave two sitting ZCRs, each believing in itself, and neither side
+        // of the liveness machinery fires because both keep announcing.  When
+        // a sitting ZCR hears a *different* node announce itself as this
+        // zone's ZCR, the contest is decided on distance to the parent ZCR:
+        // the strictly closer one (ties broken toward the lower node id)
+        // reasserts with a takeover, the other concedes and adopts the
+        // announcer.  A measured distance beats an unmeasured one.
+        if self.levels[l].zcr == Some(self.node) && src != self.node && a.zcr == Some(src) {
+            let mine = self.levels[l]
+                .my_dist_to_parent
+                .or_else(|| self.parent_zcr_direct_dist(l));
+            let reassert = match (mine, a.zcr_to_parent) {
+                (Some(m), Some(theirs)) => m < theirs || (m == theirs && self.node < src),
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if reassert {
+                let m = mine.expect("reassert requires a measured distance");
+                self.declare_takeover(ctx, l, m);
+            } else {
+                self.levels[l].zcr = Some(src);
+                self.levels[l].zcr_heard_at = now;
+                self.levels[l].usurp_rounds = 0;
+                if a.zcr_to_parent.is_some() {
+                    self.levels[l].link_dist = a.zcr_to_parent;
+                }
             }
         }
 
@@ -684,8 +755,12 @@ impl SessionCore {
                 vacant,
             });
             // Challenge activity counts as ZCR liveness (an election is in
-            // progress; don't pile on).
-            if Some(challenger) == self.levels[l].zcr {
+            // progress; don't pile on) — but only from a ZCR we still hear
+            // inside the zone.  Challenges travel on the parent channel,
+            // which can survive a cut that severs the zone's own channel;
+            // a partitioned-off ZCR must not keep its seat alive through
+            // election control traffic its zone can no longer benefit from.
+            if Some(challenger) == self.levels[l].zcr && self.peer_fresh(zone, challenger, now) {
                 self.levels[l].zcr_heard_at = now;
                 if claimed.is_some() {
                     self.levels[l].link_dist = claimed;
@@ -723,6 +798,14 @@ impl SessionCore {
         let my_dist = if pending.mine {
             // I issued the challenge: elapsed is my full round trip.
             Some(elapsed / 2)
+        } else if !self.peer_fresh(zone, challenger, now) {
+            // A challenger we have not heard inside the zone for a whole
+            // liveness window is challenging from across a partition (its
+            // challenge reached us via the parent channel).  Our cached
+            // RTT to it predates the split, so the overheard measurement
+            // would be garbage — often a flattering near-zero distance
+            // that then wins elections it should not.
+            None
         } else {
             // Paper §5.2: dist = dist_to_challenger + (t_reply − t_challenge)
             //                   − dist_challenger_to_parent   (one-way units)
@@ -767,7 +850,20 @@ impl SessionCore {
                 },
             }
         };
-        if beats && self.levels[l].takeover.is_none() {
+        if !beats {
+            self.levels[l].usurp_rounds = 0;
+            return;
+        }
+        if !pending.vacant {
+            // Usurping a *live* incumbent needs two consecutive beating
+            // rounds: a single overheard measurement can be garbage when a
+            // link fault re-routes the exchange mid-flight.
+            self.levels[l].usurp_rounds = self.levels[l].usurp_rounds.saturating_add(1);
+            if self.levels[l].usurp_rounds < 2 {
+                return;
+            }
+        }
+        if self.levels[l].takeover.is_none() {
             // Suppression: delay proportional to distance so the closest
             // candidate declares first (paper §5.2: "other potential ZCRs
             // should perform suppression as appropriate").
@@ -802,6 +898,7 @@ impl SessionCore {
         self.levels[l].zcr_heard_at = ctx.now();
         self.levels[l].my_dist_to_parent = Some(my_dist);
         self.levels[l].link_dist = Some(my_dist);
+        self.levels[l].usurp_rounds = 0;
         self.tables.entry(parent).or_default();
     }
 
@@ -825,6 +922,16 @@ impl SessionCore {
         // Sitting ZCR reasserts if it is still strictly closer (§5.2: "the
         // old ZCR will … reassert its superiority").
         if self.levels[l].zcr == Some(self.node) && new_zcr != self.node {
+            if !self.zone_fresh(zone, ctx.now()) {
+                // We are cut off from the zone: the declarer is on the far
+                // side of a partition and this takeover reached us through
+                // the parent channel.  Neither fight back (reasserting
+                // through the parent would flip the far side's freshly
+                // elected ZCR and oscillate) nor concede a zone we can
+                // still serve on our own side — the announce-time conflict
+                // resolution arbitrates once the partition heals.
+                return;
+            }
             if let Some(mine) = self.levels[l].my_dist_to_parent {
                 if mine < dist {
                     self.declare_takeover(ctx, l, mine);
@@ -832,9 +939,19 @@ impl SessionCore {
                 }
             }
         }
+        // Adopt — but only a declarer we can actually hear inside the
+        // zone.  A takeover can arrive through the parent channel from
+        // across a zone partition (the parent's channel survives a cut
+        // that severs the zone's); adopting a representative whose
+        // announcements cannot reach us would strand the zone behind a
+        // silent ZCR and re-trigger elections forever.
+        if new_zcr != self.node && !self.peer_fresh(zone, new_zcr, ctx.now()) {
+            return;
+        }
         self.levels[l].zcr = Some(new_zcr);
         self.levels[l].zcr_heard_at = ctx.now();
         self.levels[l].link_dist = Some(dist);
+        self.levels[l].usurp_rounds = 0;
     }
 }
 
@@ -1187,26 +1304,36 @@ mod tests {
         );
         // ZCR 3 claims 50ms to parent; response timing gives us
         // my_dist = 20 + (t_resp - t_chal) - 50 = 20 + 40 - 50 = 10ms < 50ms.
-        ctx.now = SimTime::from_millis(100);
-        core.on_msg(
-            &mut ctx,
-            n(3),
-            &SessionMsg::ZcrChallenge {
-                zone: z2,
-                challenger: n(3),
-                claimed_dist: Some(ms(50)),
-            },
-        );
-        ctx.now = SimTime::from_millis(140);
-        core.on_msg(
-            &mut ctx,
-            n(1),
-            &SessionMsg::ZcrResponse {
-                zone: z2,
-                challenger: n(3),
-                hold: SimDuration::ZERO,
-            },
-        );
+        // Usurping a live incumbent is debounced: the first beating round
+        // only arms the streak, the second schedules the takeover.
+        for round in 0u64..2 {
+            ctx.now = SimTime::from_millis(100 * (round + 1));
+            core.on_msg(
+                &mut ctx,
+                n(3),
+                &SessionMsg::ZcrChallenge {
+                    zone: z2,
+                    challenger: n(3),
+                    claimed_dist: Some(ms(50)),
+                },
+            );
+            ctx.now = SimTime::from_millis(100 * (round + 1) + 40);
+            core.on_msg(
+                &mut ctx,
+                n(1),
+                &SessionMsg::ZcrResponse {
+                    zone: z2,
+                    challenger: n(3),
+                    hold: SimDuration::ZERO,
+                },
+            );
+            if round == 0 {
+                assert!(
+                    core.levels[0].takeover.is_none(),
+                    "one beating round must not usurp a live ZCR"
+                );
+            }
+        }
         let (_, my_dist) = core.levels[0].takeover.expect("takeover scheduled");
         assert_eq!(my_dist, ms(10));
 
@@ -1370,6 +1497,224 @@ mod tests {
         );
         assert_eq!(core.zcr_of(ZoneId(2)), None); // not in chain
         assert_eq!(core.zcr_of(ZoneId(0)), Some(n(0)));
+    }
+
+    #[test]
+    fn partition_heal_closer_sitting_zcr_reasserts() {
+        // Node 3 sits as ZCR of Z2 at 10ms from the parent ZCR; after a
+        // healed partition it hears node 4 announce itself as Z2's ZCR at
+        // 30ms.  Node 3 is strictly closer, so it must reassert with a
+        // takeover rather than concede.
+        let mut core = SessionCore::new(n(3), hier(), SessionConfig::default(), &designed());
+        let mut ctx = FakeCtx::new();
+        core.start(&mut ctx);
+        core.levels[0].my_dist_to_parent = Some(ms(10));
+        ctx.now = SimTime::from_secs(30);
+        let sent_at = ctx.now;
+        core.on_msg(
+            &mut ctx,
+            n(4),
+            &SessionMsg::Announce(Announce {
+                zone: ZoneId(2),
+                sent_at,
+                zcr: Some(n(4)),
+                zcr_to_parent: Some(ms(30)),
+                report: None,
+                entries: vec![],
+            }),
+        );
+        assert_eq!(core.zcr_of(ZoneId(2)), Some(n(3)), "incumbent holds");
+        assert!(
+            ctx.sent.iter().any(|(_, m)| matches!(
+                m,
+                SessionMsg::ZcrTakeover { zone, new_zcr, .. }
+                    if *zone == ZoneId(2) && *new_zcr == n(3)
+            )),
+            "closer incumbent must reassert via takeover"
+        );
+    }
+
+    #[test]
+    fn partition_heal_farther_sitting_zcr_concedes() {
+        // Mirror image: the sitting ZCR measures 50ms, the rival announces
+        // 30ms — the incumbent concedes and adopts the rival.
+        let mut core = SessionCore::new(n(3), hier(), SessionConfig::default(), &designed());
+        let mut ctx = FakeCtx::new();
+        core.start(&mut ctx);
+        core.levels[0].my_dist_to_parent = Some(ms(50));
+        ctx.now = SimTime::from_secs(30);
+        let sent_at = ctx.now;
+        core.on_msg(
+            &mut ctx,
+            n(4),
+            &SessionMsg::Announce(Announce {
+                zone: ZoneId(2),
+                sent_at,
+                zcr: Some(n(4)),
+                zcr_to_parent: Some(ms(30)),
+                report: None,
+                entries: vec![],
+            }),
+        );
+        assert_eq!(core.zcr_of(ZoneId(2)), Some(n(4)), "incumbent concedes");
+        assert_eq!(core.levels[0].link_dist, Some(ms(30)));
+        assert!(
+            !ctx.sent
+                .iter()
+                .any(|(_, m)| matches!(m, SessionMsg::ZcrTakeover { .. })),
+            "conceding incumbent must not fight"
+        );
+    }
+
+    #[test]
+    fn partition_heal_tie_breaks_toward_lower_node_id() {
+        // Equal distances: the lower node id wins, so node 3 (vs rival 4)
+        // reasserts on a tie.
+        let mut core = SessionCore::new(n(3), hier(), SessionConfig::default(), &designed());
+        let mut ctx = FakeCtx::new();
+        core.start(&mut ctx);
+        core.levels[0].my_dist_to_parent = Some(ms(30));
+        ctx.now = SimTime::from_secs(30);
+        let sent_at = ctx.now;
+        core.on_msg(
+            &mut ctx,
+            n(4),
+            &SessionMsg::Announce(Announce {
+                zone: ZoneId(2),
+                sent_at,
+                zcr: Some(n(4)),
+                zcr_to_parent: Some(ms(30)),
+                report: None,
+                entries: vec![],
+            }),
+        );
+        assert_eq!(core.zcr_of(ZoneId(2)), Some(n(3)));
+    }
+
+    #[test]
+    fn partitioned_sitting_zcr_ignores_remote_takeover() {
+        // Node 3 is ZCR of Z2 but has heard nobody in the zone for far
+        // longer than the liveness window — it is cut off from the zone,
+        // and the takeover it hears arrived through the parent channel
+        // from the far side of the partition.  It must neither reassert
+        // (that would flip the far side's freshly elected ZCR and
+        // oscillate) nor concede the zone it still serves on its side.
+        let mut core = SessionCore::new(n(3), hier(), SessionConfig::default(), &designed());
+        let mut ctx = FakeCtx::new();
+        core.start(&mut ctx);
+        core.levels[0].my_dist_to_parent = Some(ms(10));
+        ctx.now = SimTime::from_secs(20);
+        core.on_msg(
+            &mut ctx,
+            n(6),
+            &SessionMsg::ZcrTakeover {
+                zone: ZoneId(2),
+                new_zcr: n(6),
+                dist_to_parent: ms(25),
+            },
+        );
+        assert_eq!(core.zcr_of(ZoneId(2)), Some(n(3)), "no concession");
+        assert!(
+            !ctx.sent
+                .iter()
+                .any(|(_, m)| matches!(m, SessionMsg::ZcrTakeover { .. })),
+            "no cross-partition reassert"
+        );
+
+        // Once zone traffic is heard again the usual reassert logic is
+        // back in force: the same farther takeover now draws a fight.
+        let sent_at = ctx.now;
+        core.on_msg(
+            &mut ctx,
+            n(4),
+            &SessionMsg::Announce(Announce {
+                zone: ZoneId(2),
+                sent_at,
+                zcr: Some(n(3)),
+                zcr_to_parent: None,
+                report: None,
+                entries: vec![],
+            }),
+        );
+        core.on_msg(
+            &mut ctx,
+            n(6),
+            &SessionMsg::ZcrTakeover {
+                zone: ZoneId(2),
+                new_zcr: n(6),
+                dist_to_parent: ms(25),
+            },
+        );
+        assert_eq!(core.zcr_of(ZoneId(2)), Some(n(3)));
+        assert!(
+            ctx.sent.iter().any(|(_, m)| matches!(
+                m,
+                SessionMsg::ZcrTakeover { new_zcr, .. } if *new_zcr == n(3)
+            )),
+            "connected incumbent reasserts as before"
+        );
+    }
+
+    #[test]
+    fn stale_challenger_measurement_is_discarded() {
+        // Node 5 overhears a challenge from node 3, but node 3 has not
+        // been heard inside the zone for a whole liveness window: the
+        // cached RTT to it predates a partition, so the overheard
+        // distance arithmetic must be skipped, not clamped.
+        let mut core = SessionCore::new(n(5), hier(), SessionConfig::default(), &designed());
+        let mut ctx = FakeCtx::new();
+        core.start(&mut ctx);
+        let z2 = core.chain_zones()[0];
+        // Heard node 3 once, early — the RTT sample that would feed the
+        // overheard formula.
+        ctx.now = SimTime::from_millis(60);
+        core.on_msg(
+            &mut ctx,
+            n(3),
+            &SessionMsg::Announce(Announce {
+                zone: z2,
+                sent_at: SimTime::from_millis(40),
+                zcr: Some(n(3)),
+                zcr_to_parent: None,
+                report: None,
+                entries: vec![PeerEntry {
+                    peer: n(5),
+                    echo_sent_at: SimTime::from_millis(20),
+                    elapsed: SimDuration::ZERO,
+                    rtt_est: None,
+                }],
+            }),
+        );
+        // Much later (node 3 long silent in-zone) its challenge and the
+        // parent's response drift in via the parent channel.
+        ctx.now = SimTime::from_secs(20);
+        core.on_msg(
+            &mut ctx,
+            n(3),
+            &SessionMsg::ZcrChallenge {
+                zone: z2,
+                challenger: n(3),
+                claimed_dist: Some(ms(50)),
+            },
+        );
+        ctx.now = SimTime::from_secs(20) + ms(40);
+        core.on_msg(
+            &mut ctx,
+            n(1),
+            &SessionMsg::ZcrResponse {
+                zone: z2,
+                challenger: n(3),
+                hold: SimDuration::ZERO,
+            },
+        );
+        assert_eq!(
+            core.levels[0].my_dist_to_parent, None,
+            "stale overheard measurement must not update the distance"
+        );
+        assert!(
+            core.levels[0].takeover.is_none(),
+            "and cannot win elections"
+        );
     }
 
     #[test]

@@ -127,6 +127,14 @@ impl PeerTable {
             .max()
     }
 
+    /// Most recent local time any peer in the table was heard, if the
+    /// table is non-empty.  Used as zone-connectivity evidence: a node
+    /// that has heard nobody in a zone for a whole liveness window is
+    /// on the wrong side of a partition from it.
+    pub fn last_heard(&self) -> Option<SimTime> {
+        self.peers.values().map(|p| p.last_recv_at).max()
+    }
+
     /// Drops peers not heard from since `cutoff`.
     pub fn expire(&mut self, cutoff: SimTime) {
         self.peers.retain(|_, p| p.last_recv_at >= cutoff);

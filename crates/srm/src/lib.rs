@@ -45,34 +45,46 @@ pub use msg::SrmMsg;
 pub use receiver::SrmReceiver;
 pub use source::SrmSource;
 
-use sharqfec_netsim::{Engine, SimTime};
+use sharqfec_netsim::{Engine, EngineBuilder, SimTime};
 use sharqfec_topology::BuiltTopology;
 
-/// Builds a ready-to-run SRM simulation: one global channel, a CBR source,
-/// and a receiver agent on every other member.  Nodes join at `join_at`;
-/// the source starts transmitting at `cfg.data_start`.
+/// Assembles a fully-populated [`EngineBuilder`] for an SRM scenario: one
+/// global channel, a CBR source, and a receiver agent on every other
+/// member.  Harnesses needing a streaming recorder or fault plan set
+/// those on the returned builder before [`EngineBuilder::build`].
+pub fn setup_srm_builder(
+    built: &BuiltTopology,
+    seed: u64,
+    cfg: SrmConfig,
+    join_at: SimTime,
+) -> EngineBuilder<SrmMsg> {
+    cfg.validate();
+    let mut builder: EngineBuilder<SrmMsg> = EngineBuilder::new(built.topology.clone(), seed);
+    let chan = builder.add_channel(&built.members());
+    builder.add_agent_at(
+        built.source,
+        Box::new(SrmSource::new(cfg.clone(), chan)),
+        join_at,
+    );
+    for &r in &built.receivers {
+        builder.add_agent_at(
+            r,
+            Box::new(SrmReceiver::new(cfg.clone(), chan, built.source)),
+            join_at,
+        );
+    }
+    builder
+}
+
+/// Builds a ready-to-run SRM simulation.  Nodes join at `join_at`; the
+/// source starts transmitting at `cfg.data_start`.
 pub fn setup_srm_sim(
     built: &BuiltTopology,
     seed: u64,
     cfg: SrmConfig,
     join_at: SimTime,
 ) -> Engine<SrmMsg> {
-    cfg.validate();
-    let mut engine: Engine<SrmMsg> = Engine::new(built.topology.clone(), seed);
-    let chan = engine.add_channel(&built.members());
-    engine.set_agent_with_start(
-        built.source,
-        Box::new(SrmSource::new(cfg.clone(), chan)),
-        join_at,
-    );
-    for &r in &built.receivers {
-        engine.set_agent_with_start(
-            r,
-            Box::new(SrmReceiver::new(cfg.clone(), chan, built.source)),
-            join_at,
-        );
-    }
-    engine
+    setup_srm_builder(built, seed, cfg, join_at).build()
 }
 
 #[cfg(test)]
@@ -204,20 +216,21 @@ mod tests {
                 ),
             );
         }
-        let mut engine: Engine<SrmMsg> = Engine::new(b.build(), 9);
-        let chan = engine.add_channel(&ids);
-        engine.set_agent_with_start(
+        let mut builder: EngineBuilder<SrmMsg> = EngineBuilder::new(b.build(), 9);
+        let chan = builder.add_channel(&ids);
+        builder.add_agent_at(
             ids[0],
             Box::new(SrmSource::new(cfg.clone(), chan)),
             SimTime::from_secs(1),
         );
         for &r in &ids[1..] {
-            engine.set_agent_with_start(
+            builder.add_agent_at(
                 r,
                 Box::new(SrmReceiver::new(cfg.clone(), chan, ids[0])),
                 SimTime::from_secs(1),
             );
         }
+        let mut engine = builder.build();
         engine.run_until(SimTime::from_secs(120));
         for &r in &ids[1..] {
             assert!(engine.agent::<SrmReceiver>(r).unwrap().complete());

@@ -214,7 +214,7 @@ mod tests {
             let l = built
                 .topology
                 .link(sharqfec_netsim::graph::LinkId(id as u32));
-            assert!((0.05..0.10).contains(&l.params.loss));
+            assert!((0.05..0.10).contains(&l.params.loss.mean_loss()));
         }
     }
 

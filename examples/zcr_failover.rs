@@ -1,153 +1,128 @@
-//! ZCR failure and recovery (paper §5.2's robustness claim): "the ZCR
-//! challenge phase … provides a means for the receivers within a zone to
-//! elect a new ZCR, should the old ZCR leave the session."
+//! ZCR failover driven by the *network*, not the node (paper §5.2's
+//! robustness claim): the designed ZCR stays perfectly healthy, but the
+//! link connecting it to the rest of its zone flaps.  While the link is
+//! down the zone members stop hearing its announcements, their liveness
+//! windows expire, and they elect a stand-in over a slow bypass path.
+//! When the link heals, both sides hold a sitting ZCR; the announce-time
+//! conflict resolution lets the closer original reassert and the
+//! stand-in concede.
 //!
-//! A custom agent wraps [`SessionCore`] and simply goes silent at a
-//! configured time — modelling a crashed dedicated cache.  The remaining
-//! zone members notice the silence through their liveness windows, issue
-//! their own challenges, and elect the next-closest receiver.
+//! The partition is injected declaratively with a [`FaultPlan`] — the
+//! agents are stock [`SessionAgent`]s with no failure logic of their own.
 //!
 //! Run: `cargo run --release --example zcr_failover`
 
+use sharqfec_repro::netsim::faults::FaultPlan;
 use sharqfec_repro::netsim::prelude::*;
-use sharqfec_repro::scoping::ZoneId;
-use sharqfec_repro::session::core::{is_session_token, SessionCore, SessionCtx, ZcrSeeding};
-use sharqfec_repro::session::{SessionConfig, SessionMsg, SessionWire};
-use sharqfec_repro::topology::chain;
+use sharqfec_repro::scoping::ZoneHierarchyBuilder;
+use sharqfec_repro::session::{
+    ProbePlan, SessionAgent, SessionConfig, SessionCore, SessionWire, ZcrSeeding,
+};
 use std::rc::Rc;
 
-/// A session agent that dies (goes permanently silent) at `die_at`.
-struct MortalAgent {
-    core: SessionCore,
-    channels: Rc<Vec<ChannelId>>,
-    die_at: Option<SimTime>,
-    dead: bool,
-}
-
-struct Bridge<'a, 'b> {
-    ctx: &'a mut Ctx<'b, SessionWire>,
-    channels: &'a [ChannelId],
-}
-impl SessionCtx for Bridge<'_, '_> {
-    fn now(&self) -> SimTime {
-        self.ctx.now()
-    }
-    fn rng(&mut self) -> &mut SimRng {
-        self.ctx.rng()
-    }
-    fn send(&mut self, zone: ZoneId, msg: SessionMsg, bytes: u32) {
-        self.ctx
-            .multicast(self.channels[zone.idx()], SessionWire(msg), bytes);
-    }
-    fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
-        self.ctx.set_timer(delay, token)
-    }
-    fn cancel_timer(&mut self, id: TimerId) {
-        self.ctx.cancel_timer(id);
-    }
-}
-
-impl MortalAgent {
-    fn alive(&mut self, now: SimTime) -> bool {
-        if let Some(t) = self.die_at {
-            if now >= t {
-                self.dead = true;
-            }
-        }
-        !self.dead
-    }
-}
-
-impl Agent<SessionWire> for MortalAgent {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, SessionWire>) {
-        let mut b = Bridge {
-            ctx,
-            channels: &self.channels,
-        };
-        self.core.start(&mut b);
-    }
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, SessionWire>, token: u64) {
-        if !self.alive(ctx.now()) || !is_session_token(token) {
-            return;
-        }
-        let mut b = Bridge {
-            ctx,
-            channels: &self.channels,
-        };
-        self.core.on_timer(&mut b, token);
-    }
-    fn on_packet(&mut self, ctx: &mut Ctx<'_, SessionWire>, pkt: &Packet<SessionWire>) {
-        if !self.alive(ctx.now()) {
-            return;
-        }
-        let mut b = Bridge {
-            ctx,
-            channels: &self.channels,
-        };
-        self.core.on_msg(&mut b, pkt.src, &pkt.payload.0);
-    }
-}
-
 fn main() {
-    // Chain: src - r1 - r2 - r3 - r4.  r1 is the designed ZCR; it dies at
-    // t = 8 s and r2 (the next-closest) must take over.
-    let built = chain(5);
-    let hier = Rc::new(built.hierarchy.clone());
-    let mut engine: Engine<SessionWire> = Engine::new(built.topology.clone(), 5);
+    // Chain src - r1 - r2 - r3 - r4 plus a slow src - r2 bypass.  r1 is
+    // the designed ZCR of the receiver zone; the r1 - r2 link is the one
+    // that flaps.  The bypass keeps the parent zone reachable from the
+    // orphaned members (without it no election could run at all), but at
+    // 5x the latency, so r1 remains the rightful ZCR once it returns.
+    let mut t = TopologyBuilder::new();
+    let src = t.add_node("src");
+    let r1 = t.add_node("r1");
+    let r2 = t.add_node("r2");
+    let r3 = t.add_node("r3");
+    let r4 = t.add_node("r4");
+    let fast = |ms| LinkParams::lossless(SimDuration::from_millis(ms), 10_000_000);
+    t.add_link(src, r1, fast(10));
+    let flappy = t.add_link(r1, r2, fast(10));
+    t.add_link(src, r2, fast(50));
+    t.add_link(r2, r3, fast(10));
+    t.add_link(r3, r4, fast(10));
+    let topo = t.build();
+
+    let members = [src, r1, r2, r3, r4];
+    let receivers = [r1, r2, r3, r4];
+    let mut h = ZoneHierarchyBuilder::new(members.len());
+    let root = h.root(&members);
+    let zone = h.child(root, &receivers).expect("receiver zone nests");
+    let hier = Rc::new(h.build().expect("valid hierarchy"));
+
+    let down_at = SimTime::from_secs(8);
+    let up_at = SimTime::from_secs(30);
+    let mut builder: EngineBuilder<SessionWire> = EngineBuilder::new(topo, 5);
+    builder.fault_plan(FaultPlan::new().link_flap(flappy, down_at, up_at));
     let channels: Rc<Vec<ChannelId>> = Rc::new(
         hier.zones()
             .iter()
-            .map(|z| engine.add_channel(&z.members))
+            .map(|z| builder.add_channel(&z.members))
             .collect(),
     );
-    let seeding = ZcrSeeding::Designed(built.designed_zcrs.clone());
-    let doomed = built.receivers[0];
-    let heir = built.receivers[1];
-    for member in built.members() {
+    let root_channel = channels[root.idx()];
+    let seeding = ZcrSeeding::Designed(vec![src, r1]);
+    for member in members {
         let core = SessionCore::new(member, Rc::clone(&hier), SessionConfig::default(), &seeding);
-        let die_at = (member == doomed).then(|| SimTime::from_secs(8));
-        engine.set_agent_with_start(
+        builder.add_agent_at(
             member,
-            Box::new(MortalAgent {
+            Box::new(SessionAgent::new(
                 core,
-                channels: Rc::clone(&channels),
-                die_at,
-                dead: false,
-            }),
+                Rc::clone(&channels),
+                root_channel,
+                ProbePlan::default(),
+            )),
             SimTime::from_secs(1),
         );
     }
+    let mut engine = builder.build();
 
-    let zone = built.hierarchy.smallest_zone(heir);
     let view = |engine: &Engine<SessionWire>, node: NodeId| {
         engine
-            .agent::<MortalAgent>(node)
+            .agent::<SessionAgent>(node)
             .expect("agent")
-            .core
+            .core()
             .zcr_of(zone)
     };
 
     engine.run_until(SimTime::from_secs(7));
     println!(
-        "t=7s   (before failure): survivors see ZCR = {:?}",
-        view(&engine, heir)
+        "t=7s   (link up): zone members see ZCR = {:?}",
+        view(&engine, r2)
     );
-    for &r in &built.receivers[1..] {
-        assert_eq!(view(&engine, r), Some(doomed), "designed ZCR in office");
+    for r in receivers {
+        assert_eq!(view(&engine, r), Some(r1), "designed ZCR in office");
     }
 
-    println!("t=8s   ZCR {doomed} crashes (goes silent)");
-    engine.run_until(SimTime::from_secs(25));
+    println!("t=8s   link r1-r2 goes down: r1 is cut off from its zone");
+    engine.run_until(SimTime::from_secs(29));
     println!(
-        "t=25s  (after liveness window + challenge): survivors see ZCR = {:?}",
-        view(&engine, heir)
+        "t=29s  (partitioned): orphaned members see ZCR = {:?}, r1 still sees {:?}",
+        view(&engine, r3),
+        view(&engine, r1)
     );
-    for &r in &built.receivers[1..] {
+    for r in [r2, r3, r4] {
         assert_eq!(
             view(&engine, r),
-            Some(heir),
-            "receiver {r} should have adopted the next-closest receiver"
+            Some(r2),
+            "orphaned members elect the bypass owner (closest to the parent)"
         );
     }
-    println!("failover complete: {heir} (next-closest to the source) took over");
+    assert_eq!(
+        view(&engine, r1),
+        Some(r1),
+        "r1 keeps serving its side of the partition"
+    );
+
+    println!("t=30s  link r1-r2 heals: two sitting ZCRs must reconcile");
+    engine.run_until(SimTime::from_secs(60));
+    println!(
+        "t=60s  (healed): zone members see ZCR = {:?}",
+        view(&engine, r2)
+    );
+    for r in receivers {
+        assert_eq!(
+            view(&engine, r),
+            Some(r1),
+            "closer original reasserts after the heal; stand-in concedes"
+        );
+    }
+    println!("failover and fail-back complete: {r2} covered the partition, {r1} resumed");
 }

@@ -27,12 +27,12 @@ fn sim_with_late_joiner(
     };
     // Mirror setup_sharqfec_sim, but stagger one member's start.
     let hier = Rc::new(built.hierarchy.clone());
-    let mut engine: sharqfec_repro::netsim::Engine<sharqfec_repro::protocol::SfMsg> =
-        sharqfec_repro::netsim::Engine::new(built.topology.clone(), 31);
+    let mut builder: sharqfec_repro::netsim::EngineBuilder<sharqfec_repro::protocol::SfMsg> =
+        sharqfec_repro::netsim::EngineBuilder::new(built.topology.clone(), 31);
     let channels: Rc<Vec<sharqfec_repro::netsim::ChannelId>> = Rc::new(
         hier.zones()
             .iter()
-            .map(|z| engine.add_channel(&z.members))
+            .map(|z| builder.add_channel(&z.members))
             .collect(),
     );
     let seeding = ZcrSeeding::Designed(built.designed_zcrs.clone());
@@ -56,9 +56,9 @@ fn sim_with_late_joiner(
         } else {
             SimTime::from_secs(1)
         };
-        engine.set_agent_with_start(member, Box::new(agent), start);
+        builder.add_agent_at(member, Box::new(agent), start);
     }
-    (engine, built)
+    (builder.build(), built)
 }
 
 #[test]
