@@ -22,4 +22,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet \
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> invariant auditor over the seed-42 sweep grids"
+# Each bin attaches the run-attached auditor to every cell and exits
+# non-zero if any protocol invariant is violated; summaries (with
+# audit_events / audit_violations per cell) land in results/*.json.
+cargo build --release -p sharqfec-bench --bins --quiet
+./target/release/fault_sweep --seed 42 > /dev/null
+./target/release/ablation_sweep --seed 42 > /dev/null
+./target/release/fig14_21_traffic --seed 42 --packets 128 > /dev/null
+
 echo "CI OK"

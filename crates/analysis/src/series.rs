@@ -7,8 +7,15 @@
 //! * [`bin_deliveries_streaming`] / [`bin_transmissions_streaming`] read
 //!   the per-(node, class) bins a `Streaming`-mode recorder aggregated at
 //!   record time, for runs too large (or too numerous) to keep raw traces.
+//!
+//! [`bin_probe_count`] and [`bin_probe_mean`] apply the same [`BinSpec`]
+//! geometry to the protocol-decision probe stream
+//! ([`sharqfec_netsim::probe`]), so packet traffic and protocol internals
+//! (ZLC trajectories, suppression rates, window constants) plot on a
+//! shared time axis.
 
 use sharqfec_netsim::metrics::{Record, Recorder, TrafficClass};
+use sharqfec_netsim::probe::ProbeRecord;
 use sharqfec_netsim::{NodeId, SimTime};
 
 /// A binning specification: window `[start, end)` cut into fixed-width
@@ -164,6 +171,50 @@ pub fn bin_transmissions_streaming(
     counts
 }
 
+/// Counts probe events per bin, filtered by a predicate — e.g. NACK
+/// suppressions only, or one node's injections.  Events outside the
+/// window are ignored.
+pub fn bin_probe_count(
+    records: &[ProbeRecord],
+    spec: &BinSpec,
+    mut filter: impl FnMut(&ProbeRecord) -> bool,
+) -> Vec<f64> {
+    let mut counts = vec![0f64; spec.bins()];
+    for r in records {
+        if !filter(r) {
+            continue;
+        }
+        if let Some(i) = spec.index(r.time) {
+            counts[i] += 1.0;
+        }
+    }
+    counts
+}
+
+/// Means of a numeric projection of probe events per bin — e.g. the ZLC
+/// prediction after each EWMA fold, or the adaptive window's `ave_dup`.
+/// `project` returns `None` to skip an event; bins with no selected
+/// events yield `None` (absence of data, not zero).
+pub fn bin_probe_mean(
+    records: &[ProbeRecord],
+    spec: &BinSpec,
+    mut project: impl FnMut(&ProbeRecord) -> Option<f64>,
+) -> Vec<Option<f64>> {
+    let mut sums = vec![0f64; spec.bins()];
+    let mut counts = vec![0u64; spec.bins()];
+    for r in records {
+        let Some(v) = project(r) else { continue };
+        if let Some(i) = spec.index(r.time) {
+            sums[i] += v;
+            counts[i] += 1;
+        }
+    }
+    sums.into_iter()
+        .zip(counts)
+        .map(|(s, c)| (c > 0).then(|| s / c as f64))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +333,41 @@ mod tests {
         };
         let r = Recorder::new(RecorderMode::Streaming);
         bin_deliveries_streaming(&r, &spec, &[TrafficClass::Data], &[NodeId(1)]);
+    }
+
+    #[test]
+    fn probe_binning_counts_and_means() {
+        use sharqfec_netsim::probe::ProbeEvent;
+        let spec = BinSpec::paper(SimTime::ZERO, SimTime::from_secs(1));
+        let zlc = |t_ms: u64, pred: f64| ProbeRecord {
+            time: SimTime::from_millis(t_ms),
+            node: NodeId(1),
+            event: ProbeEvent::ZlcUpdate {
+                group: 0,
+                level: 0,
+                observed: 0.0,
+                pred,
+            },
+        };
+        let records = vec![
+            zlc(10, 1.0),
+            zlc(20, 3.0),
+            zlc(150, 5.0),
+            zlc(1500, 9.0), // outside the window
+        ];
+        let counts = bin_probe_count(&records, &spec, |r| {
+            matches!(r.event, ProbeEvent::ZlcUpdate { .. })
+        });
+        assert_eq!(counts[0], 2.0);
+        assert_eq!(counts[1], 1.0);
+        assert_eq!(counts[2], 0.0);
+        let means = bin_probe_mean(&records, &spec, |r| match r.event {
+            ProbeEvent::ZlcUpdate { pred, .. } => Some(pred),
+            _ => None,
+        });
+        assert_eq!(means[0], Some(2.0));
+        assert_eq!(means[1], Some(5.0));
+        assert_eq!(means[2], None);
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn scenario(sweep: &str, setting: &str, cfg: SharqfecConfig, loss_scale: f64) ->
     Scenario::sharqfec(format!("{sweep}/{setting}"), cfg, workload())
         .with_params(Figure10Params::default().scaled_loss(loss_scale))
         .streaming()
+        .audited()
 }
 
 /// The full grid: one [`Scenario`] per table row, labelled `sweep/setting`.
@@ -114,17 +115,27 @@ fn main() {
     let threads_used = results.threads;
     let wall = results.wall;
     match results.write_json("results", "ablation_sweep", |o| {
+        let audit = o.audit.as_ref();
         vec![
             ("data_repair_per_rx".into(), o.data_repair_per_rx),
             ("nacks".into(), o.nacks as f64),
             ("repairs".into(), o.repairs as f64),
             ("unrecovered".into(), o.unrecovered as f64),
+            (
+                "audit_events".into(),
+                audit.map_or(0.0, |a| a.events as f64),
+            ),
+            (
+                "audit_violations".into(),
+                audit.map_or(0.0, |a| a.violations as f64),
+            ),
         ]
     }) {
         Ok(path) => eprintln!("summary: {}", path.display()),
         Err(e) => eprintln!("could not write results JSON: {e}"),
     }
 
+    let mut audit_failures = Vec::new();
     let mut t = Table::new(vec![
         "sweep",
         "setting",
@@ -132,9 +143,14 @@ fn main() {
         "NACKs",
         "repairs",
         "unrecovered",
+        "audit",
     ]);
     for o in results.into_values() {
         let (sweep, setting) = o.label.split_once('/').expect("label is sweep/setting");
+        let audit = o.audit.as_ref().expect("every cell is audited");
+        if !audit.ok() {
+            audit_failures.push(format!("{}: {}", o.label, audit.summary));
+        }
         t.row(vec![
             sweep.to_string(),
             setting.to_string(),
@@ -142,6 +158,11 @@ fn main() {
             o.nacks.to_string(),
             o.repairs.to_string(),
             o.unrecovered.to_string(),
+            if audit.ok() {
+                "ok".to_string()
+            } else {
+                format!("{} violations", audit.violations)
+            },
         ]);
     }
     println!("SHARQFEC ablation sweeps (256 packets, Figure 10, seed {seed})");
@@ -153,4 +174,12 @@ fn main() {
     );
     println!();
     println!("{}", t.to_aligned());
+
+    if !audit_failures.is_empty() {
+        eprintln!("invariant auditor found violations:");
+        for f in &audit_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(2);
+    }
 }

@@ -56,7 +56,8 @@ fn plan(packets: u32) -> Vec<Scenario> {
                 .with_params(Figure10Params::default().scaled_loss(scale))
                 .with_burst(mean_burst)
                 .with_faults(flap.clone())
-                .streaming(),
+                .streaming()
+                .audited(),
             );
         }
     }
@@ -105,18 +106,28 @@ fn main() {
     let threads_used = results.threads;
     let wall = results.wall;
     match results.write_json("results", "fault_sweep", |o| {
+        let audit = o.audit.as_ref();
         vec![
             ("data_repair_per_rx".into(), o.data_repair_per_rx),
             ("nacks".into(), o.nacks as f64),
             ("repairs".into(), o.repairs as f64),
             ("unrecovered".into(), o.unrecovered as f64),
             ("dropped".into(), o.dropped as f64),
+            (
+                "audit_events".into(),
+                audit.map_or(0.0, |a| a.events as f64),
+            ),
+            (
+                "audit_violations".into(),
+                audit.map_or(0.0, |a| a.violations as f64),
+            ),
         ]
     }) {
         Ok(path) => eprintln!("summary: {}", path.display()),
         Err(e) => eprintln!("could not write results JSON: {e}"),
     }
 
+    let mut audit_failures = Vec::new();
     let mut t = Table::new(vec![
         "mean burst",
         "loss scale",
@@ -125,9 +136,14 @@ fn main() {
         "repairs",
         "dropped",
         "unrecovered",
+        "audit",
     ]);
     for o in results.into_values() {
         let (mb, scale) = o.label.split_once('/').expect("label is mb=N/xS");
+        let audit = o.audit.as_ref().expect("every cell is audited");
+        if !audit.ok() {
+            audit_failures.push(format!("{}: {}", o.label, audit.summary));
+        }
         t.row(vec![
             mb.to_string(),
             scale.to_string(),
@@ -136,6 +152,11 @@ fn main() {
             o.repairs.to_string(),
             o.dropped.to_string(),
             o.unrecovered.to_string(),
+            if audit.ok() {
+                "ok".to_string()
+            } else {
+                format!("{} violations", audit.violations)
+            },
         ]);
     }
     println!(
@@ -150,4 +171,12 @@ fn main() {
     );
     println!();
     println!("{}", t.to_aligned());
+
+    if !audit_failures.is_empty() {
+        eprintln!("invariant auditor found violations:");
+        for f in &audit_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(2);
+    }
 }

@@ -160,10 +160,10 @@ fn main() {
     // Run each protocol at most once and reuse across figures; the
     // independent runs fan out across the sweep runner's workers, each
     // cell keyed by its scenario's label.
-    let sf = |v: Variant| Scenario::sharqfec(v.label(), SharqfecConfig::variant(v), w);
+    let sf = |v: Variant| Scenario::sharqfec(v.label(), SharqfecConfig::variant(v), w).audited();
     let mut scenarios = Vec::new();
     if want(14) || want(15) {
-        scenarios.push(Scenario::srm("SRM", SrmConfig::default(), w));
+        scenarios.push(Scenario::srm("SRM", SrmConfig::default(), w).audited());
     }
     scenarios.push(sf(Variant::Ecsrm));
     if want(16) {
@@ -187,20 +187,35 @@ fn main() {
             .run_traffic(cell.seed)
     });
     match results.write_json("results", "fig14_21_traffic", |r| {
+        let audit = r.audit.as_ref();
         vec![
             ("total_repairs".into(), r.total_repairs as f64),
             ("total_nacks".into(), r.total_nacks as f64),
             ("unrecovered".into(), r.unrecovered as f64),
+            (
+                "audit_events".into(),
+                audit.map_or(0.0, |a| a.events as f64),
+            ),
+            (
+                "audit_violations".into(),
+                audit.map_or(0.0, |a| a.violations as f64),
+            ),
         ]
     }) {
         Ok(path) => eprintln!("summary: {}", path.display()),
         Err(e) => eprintln!("could not write results JSON: {e}"),
     }
 
+    let mut audit_failures = Vec::new();
     let mut by_label = std::collections::HashMap::new();
     for o in results.outcomes {
         match o.result {
             Ok(run) => {
+                if let Some(a) = run.audit.as_ref() {
+                    if !a.ok() {
+                        audit_failures.push(format!("{}: {}", o.cell.scenario, a.summary));
+                    }
+                }
                 by_label.insert(o.cell.scenario, run);
             }
             Err(e) => panic!("{e}"),
@@ -288,5 +303,13 @@ fn main() {
             "NACK traffic seen by the source",
             args.tsv,
         );
+    }
+
+    if !audit_failures.is_empty() {
+        eprintln!("invariant auditor found violations:");
+        for f in &audit_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(2);
     }
 }

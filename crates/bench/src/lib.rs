@@ -25,6 +25,7 @@ use sharqfec::{setup_sharqfec_builder, SfAgent, SharqfecConfig, Variant};
 use sharqfec_analysis::series::{bin_deliveries, BinSpec};
 use sharqfec_netsim::faults::{FaultPlan, LossModel};
 use sharqfec_netsim::graph::LinkId;
+use sharqfec_netsim::probe::AuditConfig;
 use sharqfec_netsim::{NodeId, RecorderMode, SimTime, TrafficClass};
 use sharqfec_session::core::ZcrSeeding;
 use sharqfec_session::{setup_session_sim, ProbePlan, SessionAgent, SessionConfig};
@@ -58,6 +59,28 @@ pub struct TrafficRun {
     pub total_repairs: usize,
     /// Total NACK transmissions over the run.
     pub total_nacks: usize,
+    /// Invariant-auditor verdict (`None` when the run was not audited).
+    pub audit: Option<AuditOutcome>,
+}
+
+/// The invariant auditor's verdict on one audited run (see
+/// `sharqfec_netsim::probe::Auditor`): how much evidence it saw and what,
+/// if anything, broke.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditOutcome {
+    /// Probe events the auditor ingested.
+    pub events: u64,
+    /// Number of invariant violations.
+    pub violations: usize,
+    /// One-line human-readable verdict.
+    pub summary: String,
+}
+
+impl AuditOutcome {
+    /// Whether every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations == 0
+    }
 }
 
 /// Workload scale for a traffic run.
@@ -138,6 +161,9 @@ pub struct Scenario {
     pub faults: FaultPlan,
     /// Recorder storage mode; sweeps use streaming, figures use raw.
     pub recorder: RecorderMode,
+    /// Attach the probe-stream invariant auditor (fault spans are excused
+    /// automatically; see `EngineBuilder::audit`).
+    pub audit: bool,
 }
 
 /// Aggregate metrics of one [`Scenario`] run, available in both recorder
@@ -156,6 +182,8 @@ pub struct ScenarioOutcome {
     pub data_repair_per_rx: f64,
     /// Data+repair packets dropped by link loss.
     pub dropped: usize,
+    /// Invariant-auditor verdict (`None` when the run was not audited).
+    pub audit: Option<AuditOutcome>,
 }
 
 impl Scenario {
@@ -170,6 +198,7 @@ impl Scenario {
             workload,
             faults: FaultPlan::new(),
             recorder: RecorderMode::Raw,
+            audit: false,
         }
     }
 
@@ -184,6 +213,7 @@ impl Scenario {
             workload,
             faults: FaultPlan::new(),
             recorder: RecorderMode::Raw,
+            audit: false,
         }
     }
 
@@ -209,6 +239,14 @@ impl Scenario {
     /// Switches to the streaming recorder (sweep-friendly footprint).
     pub fn streaming(mut self) -> Scenario {
         self.recorder = RecorderMode::Streaming;
+        self
+    }
+
+    /// Attaches the probe-stream invariant auditor to the run; its verdict
+    /// lands in the outcome's `audit` field.  The scenario's fault plan is
+    /// excused from the single-ZCR invariant automatically.
+    pub fn audited(mut self) -> Scenario {
+        self.audit = true;
         self
     }
 
@@ -242,6 +280,9 @@ impl Scenario {
                 builder
                     .recorder_mode(self.recorder)
                     .fault_plan(self.faults.clone());
+                if self.audit {
+                    builder.audit(AuditConfig::default());
+                }
                 let mut engine = builder.build();
                 engine.run_until(self.workload.run_end());
                 let unrecovered = built
@@ -249,7 +290,8 @@ impl Scenario {
                     .iter()
                     .map(|&r| engine.agent::<SfAgent>(r).expect("receiver").missing())
                     .sum();
-                self.outcome(engine.recorder(), &built, unrecovered)
+                let audit = audit_outcome(&engine);
+                self.outcome(engine.recorder(), &built, unrecovered, audit)
             }
             Protocol::Srm(cfg) => {
                 let cfg = SrmConfig {
@@ -260,6 +302,9 @@ impl Scenario {
                 builder
                     .recorder_mode(self.recorder)
                     .fault_plan(self.faults.clone());
+                if self.audit {
+                    builder.audit(AuditConfig::default());
+                }
                 let mut engine = builder.build();
                 engine.run_until(self.workload.run_end());
                 let unrecovered = built
@@ -267,7 +312,8 @@ impl Scenario {
                     .iter()
                     .map(|&r| engine.agent::<SrmReceiver>(r).expect("receiver").missing())
                     .sum();
-                self.outcome(engine.recorder(), &built, unrecovered)
+                let audit = audit_outcome(&engine);
+                self.outcome(engine.recorder(), &built, unrecovered, audit)
             }
         }
     }
@@ -277,6 +323,7 @@ impl Scenario {
         rec: &sharqfec_netsim::Recorder,
         built: &BuiltTopology,
         unrecovered: u32,
+        audit: Option<AuditOutcome>,
     ) -> ScenarioOutcome {
         let dr_all =
             rec.total_delivered(TrafficClass::Data) + rec.total_delivered(TrafficClass::Repair);
@@ -290,6 +337,7 @@ impl Scenario {
             data_repair_per_rx: (dr_all - dr_src) as f64 / built.receivers.len() as f64,
             dropped: rec.total_dropped(TrafficClass::Data)
                 + rec.total_dropped(TrafficClass::Repair),
+            audit,
         }
     }
 
@@ -315,6 +363,9 @@ impl Scenario {
                 };
                 let mut builder = setup_sharqfec_builder(&built, seed, cfg, SimTime::from_secs(1));
                 builder.fault_plan(self.faults.clone());
+                if self.audit {
+                    builder.audit(AuditConfig::default());
+                }
                 let mut engine = builder.build();
                 engine.run_until(self.workload.run_end());
                 let unrecovered: u32 = built
@@ -331,6 +382,9 @@ impl Scenario {
                 };
                 let mut builder = setup_srm_builder(&built, seed, cfg, SimTime::from_secs(1));
                 builder.fault_plan(self.faults.clone());
+                if self.audit {
+                    builder.audit(AuditConfig::default());
+                }
                 let mut engine = builder.build();
                 engine.run_until(self.workload.run_end());
                 let unrecovered: u32 = built
@@ -342,6 +396,18 @@ impl Scenario {
             }
         }
     }
+}
+
+/// Maps the engine's audit report (if an auditor was attached) to the
+/// outcome representation the sweep harnesses serialize.
+fn audit_outcome<M: sharqfec_netsim::Classify + Clone + 'static>(
+    engine: &sharqfec_netsim::Engine<M>,
+) -> Option<AuditOutcome> {
+    engine.audit_report().map(|r| AuditOutcome {
+        events: r.events,
+        violations: r.violations.len(),
+        summary: r.summary(),
+    })
 }
 
 fn extract_run<M: sharqfec_netsim::Classify + Clone + 'static>(
@@ -378,6 +444,7 @@ fn extract_run<M: sharqfec_netsim::Classify + Clone + 'static>(
             .iter()
             .filter(|t| t.class == TrafficClass::Nack)
             .count(),
+        audit: audit_outcome(engine),
     }
 }
 

@@ -14,74 +14,74 @@
 //! window under duplicate pressure and narrowing it when rounds are quiet
 //! but slow.  Off by default ([`crate::SharqfecConfig::adaptive_timers`]);
 //! the `ablation_sweep` harness compares both settings.
+//!
+//! The update machinery itself lives in
+//! [`sharqfec_netsim::adaptive`] and is shared with the SRM baseline
+//! (`sharqfec-srm::timers`); the two call sites had drifted copies.  The
+//! one *intentional* divergence is the narrowing trigger `delay_high`:
+//! SHARQFEC rounds are measured against `d_SA` to the zone's ZCR (short,
+//! since scoping keeps recovery local), so only genuinely slow rounds —
+//! past [`DELAY_HIGH`] = 4 units — should narrow the window, where SRM's
+//! global sessions narrow from 1.5.
+
+use sharqfec_netsim::adaptive::{AdaptiveConfig, AdaptiveTimer};
+
+/// Recovery delay (in units of `d_SA`) above which narrowing kicks in.
+/// Deliberately higher than SRM's 1.5 — see the module docs.
+pub const DELAY_HIGH: f64 = 4.0;
 
 /// Adaptive request window state for one receiver.
+///
+/// Thin wrapper over the shared [`AdaptiveTimer`] keeping SHARQFEC's
+/// `C1`/`C2` naming and its `delay_high` trigger point.
 #[derive(Clone, Debug)]
 pub struct AdaptiveWindow {
-    /// Current window start factor (C1).
-    pub c1: f64,
-    /// Current window width factor (C2).
-    pub c2: f64,
-    ave_dup: f64,
-    ave_delay: f64,
-    round_dups: u32,
-    enabled: bool,
+    inner: AdaptiveTimer,
 }
-
-/// EWMA gain for the averages (SRM: 1/4).
-const GAIN: f64 = 0.25;
-/// Duplicate pressure above which the window widens.
-const DUP_HIGH: f64 = 1.0;
-/// Duplicate pressure below which narrowing is considered.
-const DUP_LOW: f64 = 0.25;
-/// Recovery delay (in units of d_SA) above which narrowing kicks in.
-const DELAY_HIGH: f64 = 4.0;
-/// Floors.
-const MIN_C1: f64 = 0.5;
-const MIN_C2: f64 = 0.5;
 
 impl AdaptiveWindow {
     /// Starts from the configured fixed constants.
     pub fn new(c1: f64, c2: f64, enabled: bool) -> AdaptiveWindow {
+        let cfg = AdaptiveConfig {
+            delay_high: DELAY_HIGH,
+            ..AdaptiveConfig::default()
+        };
         AdaptiveWindow {
-            c1,
-            c2,
-            ave_dup: 0.0,
-            ave_delay: 1.0,
-            round_dups: 0,
-            enabled,
+            inner: AdaptiveTimer::new(c1, c2, enabled, cfg),
         }
     }
 
+    /// Current window start factor (C1).
+    pub fn c1(&self) -> f64 {
+        self.inner.lo()
+    }
+
+    /// Current window width factor (C2).
+    pub fn c2(&self) -> f64 {
+        self.inner.width()
+    }
+
     /// Records an overheard NACK that did not raise any ZLC (a duplicate
-    /// in SRM's sense).
+    /// in SRM's sense).  Inert while adaptation is disabled.
     pub fn saw_duplicate(&mut self) {
-        self.round_dups = self.round_dups.saturating_add(1);
+        self.inner.saw_duplicate();
     }
 
     /// Closes a recovery round (a group completed after losses): folds
     /// the duplicate count and this receiver's recovery delay into the
-    /// EWMAs and adjusts the window.
+    /// EWMAs and adjusts the window.  Inert while disabled.
     pub fn end_round(&mut self, delay_in_d: f64) {
-        let dups = self.round_dups as f64;
-        self.round_dups = 0;
-        self.ave_dup += GAIN * (dups - self.ave_dup);
-        self.ave_delay += GAIN * (delay_in_d - self.ave_delay);
-        if !self.enabled {
-            return;
-        }
-        if self.ave_dup >= DUP_HIGH {
-            self.c1 += 0.1;
-            self.c2 += 0.5;
-        } else if self.ave_dup < DUP_LOW && self.ave_delay > DELAY_HIGH {
-            self.c1 = (self.c1 - 0.05).max(MIN_C1);
-            self.c2 = (self.c2 - 0.1).max(MIN_C2);
-        }
+        self.inner.end_round(delay_in_d);
     }
 
-    /// Current duplicate-pressure EWMA (diagnostics).
+    /// Current duplicate-pressure EWMA (diagnostics / probes).
     pub fn ave_dup(&self) -> f64 {
-        self.ave_dup
+        self.inner.ave_dup()
+    }
+
+    /// Current recovery-delay EWMA (diagnostics / probes).
+    pub fn ave_delay(&self) -> f64 {
+        self.inner.ave_delay()
     }
 }
 
@@ -90,14 +90,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn disabled_window_stays_fixed() {
+    fn disabled_window_stays_fixed_and_folds_nothing() {
         let mut w = AdaptiveWindow::new(2.0, 2.0, false);
         for _ in 0..20 {
             w.saw_duplicate();
             w.saw_duplicate();
             w.end_round(10.0);
         }
-        assert_eq!((w.c1, w.c2), (2.0, 2.0));
+        assert_eq!((w.c1(), w.c2()), (2.0, 2.0));
+        // Regression: end_round used to fold the EWMAs even while
+        // disabled, so a mid-run enable inherited averages accumulated
+        // under fixed-window dynamics.
+        assert_eq!(w.ave_dup(), 0.0);
+        assert_eq!(w.ave_delay(), 1.0);
     }
 
     #[test]
@@ -109,7 +114,7 @@ mod tests {
             }
             w.end_round(1.0);
         }
-        assert!(w.c1 > 2.0 && w.c2 > 2.0, "({}, {})", w.c1, w.c2);
+        assert!(w.c1() > 2.0 && w.c2() > 2.0, "({}, {})", w.c1(), w.c2());
         assert!(w.ave_dup() > 1.0);
     }
 
@@ -119,7 +124,7 @@ mod tests {
         for _ in 0..100 {
             w.end_round(10.0);
         }
-        assert_eq!((w.c1, w.c2), (MIN_C1, MIN_C2));
+        assert_eq!((w.c1(), w.c2()), (0.5, 0.5));
     }
 
     #[test]
@@ -128,6 +133,18 @@ mod tests {
         for _ in 0..10 {
             w.end_round(1.0);
         }
-        assert_eq!((w.c1, w.c2), (2.0, 2.0));
+        assert_eq!((w.c1(), w.c2()), (2.0, 2.0));
+    }
+
+    #[test]
+    fn moderately_slow_rounds_hold_unlike_srm() {
+        // Call-site pin for the intentional delay_high divergence: a
+        // quiet round at 3 units of d narrows under SRM's 1.5 trigger
+        // but must NOT narrow here (3.0 < DELAY_HIGH = 4.0).
+        let mut w = AdaptiveWindow::new(2.0, 2.0, true);
+        for _ in 0..12 {
+            w.end_round(3.0);
+        }
+        assert_eq!((w.c1(), w.c2()), (2.0, 2.0));
     }
 }

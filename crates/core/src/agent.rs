@@ -104,6 +104,9 @@ impl SessionCtx for Bridge<'_, '_> {
     fn cancel_timer(&mut self, id: TimerId) {
         self.ctx.cancel_timer(id);
     }
+    fn probe(&mut self, event: ProbeEvent) {
+        self.ctx.probe(event);
+    }
 }
 
 macro_rules! bridge {
@@ -227,7 +230,7 @@ impl SfAgent {
 
     fn arm_request(&mut self, ctx: &mut Ctx<'_, SfMsg>, g: u32) {
         let d = self.d_sa();
-        let (c1, c2, max_backoff) = (self.window.c1, self.window.c2, self.cfg.max_backoff);
+        let (c1, c2, max_backoff) = (self.window.c1(), self.window.c2(), self.cfg.max_backoff);
         let st = self.groups.get_mut(&g).expect("group exists");
         let factor = ctx.rng().range_f64(c1, c1 + c2);
         let delay = d.mul_f64(factor) * (1u64 << st.i.min(max_backoff));
@@ -271,12 +274,14 @@ impl SfAgent {
             return;
         }
         st.scope_idx = st.scope_idx.max(zcr_floor);
-        let zone = self.chain[st.scope_idx];
+        let sent_level = st.scope_idx;
+        let zone = self.chain[sent_level];
         let needed = st.deficit();
         let llc = st.llc();
         let max_idx = st.max_idx().unwrap_or(st.k.saturating_sub(1));
         // Our own NACK establishes the new ZLC for the zone.
-        st.zlc[st.scope_idx] = st.zlc[st.scope_idx].max(llc);
+        st.zlc[sent_level] = st.zlc[sent_level].max(llc);
+        let zlc_now = st.zlc[sent_level];
         st.attempts += 1;
         if st.attempts >= self.cfg.attempts_per_zone && st.scope_idx + 1 < self.chain.len() {
             // Escalate to the next-larger scope (paper §4: "after two
@@ -299,6 +304,13 @@ impl SfAgent {
             bytes,
         );
         self.nacks_sent += 1;
+        ctx.probe(ProbeEvent::Nack {
+            group: g,
+            level: sent_level as u32,
+            outcome: NackOutcome::Sent,
+            llc,
+            zlc: zlc_now,
+        });
         // Keep waiting: if the repairs get lost we must re-request.
         self.arm_request(ctx, g);
     }
@@ -415,7 +427,19 @@ impl SfAgent {
                     .map(|t| now.saturating_since(t).as_secs_f64())
                     .unwrap_or(0.0);
                 self.window.end_round(waited / d_sa);
+                ctx.probe(ProbeEvent::Window {
+                    lo: self.window.c1(),
+                    width: self.window.c2(),
+                    ave_dup: self.window.ave_dup(),
+                    ave_delay: self.window.ave_delay(),
+                });
             }
+            ctx.probe(ProbeEvent::GroupClose {
+                group: g,
+                complete: true,
+                held: st.held(),
+                k: st.k,
+            });
             st.phase = Phase::Repair;
             st.i = 1;
             if let Some(t) = st.request_timer.take() {
@@ -450,8 +474,16 @@ impl SfAgent {
             // ZCR duties: preemptive injection sized by the ZLC EWMA…
             if self.cfg.injection && repairs_allowed && !self.groups[&g].injected[level] {
                 self.groups.get_mut(&g).expect("exists").injected[level] = true;
-                let n = self.zlc_pred[level].round().max(0.0) as u32;
+                let pred = self.zlc_pred[level];
+                let n = pred.round().max(0.0) as u32;
                 let n = n.min(self.cfg.group_size);
+                ctx.probe(ProbeEvent::Injection {
+                    group: g,
+                    level: level as u32,
+                    pred,
+                    injected: n,
+                    group_size: self.cfg.group_size,
+                });
                 if n > 0 {
                     let st = self.groups.get_mut(&g).expect("exists");
                     st.outstanding[level] += n;
@@ -473,8 +505,29 @@ impl SfAgent {
         }
     }
 
-    fn measure_fire(&mut self, _ctx: &mut Ctx<'_, SfMsg>, g: u32, level: usize) {
+    /// Upper bound on how often a ZLC measurement is re-armed while the
+    /// session layer still has no RTT estimate.  Bounds the startup defer
+    /// so a permanently partitioned member still measures eventually.
+    const MAX_MEASURE_DEFERS: u8 = 8;
+
+    fn measure_fire(&mut self, ctx: &mut Ctx<'_, SfMsg>, g: u32, level: usize) {
         let gain = self.cfg.zlc_gain;
+        // Startup ordering: when the measurement was armed before the
+        // session converged, its delay came from the `default_dist * 2`
+        // fallback.  If that undershoots the true round-trip the timer
+        // fires before the zone's first repair round settles, folding a
+        // spurious low observation into the EWMA.  Defer until an RTT is
+        // known (bounded by `MAX_MEASURE_DEFERS`).
+        if self.session.max_known_rtt().is_none() {
+            let fallback = self.cfg.default_dist * 2;
+            let factor = self.cfg.zlc_measure_rtt_factor;
+            let st = self.groups.get_mut(&g).expect("group exists");
+            if !st.measured[level] && st.measure_defers[level] < Self::MAX_MEASURE_DEFERS {
+                st.measure_defers[level] += 1;
+                ctx.set_timer(fallback.mul_f64(factor), tok(KIND_MEASURE, g, level));
+                return;
+            }
+        }
         let st = self.groups.get_mut(&g).expect("group exists");
         if st.measured[level] {
             return;
@@ -491,6 +544,12 @@ impl SfAgent {
         // as necessary".
         let observed = st.zone_needed[level] as f64;
         self.zlc_pred[level] += gain * (observed - self.zlc_pred[level]);
+        ctx.probe(ProbeEvent::ZlcUpdate {
+            group: g,
+            level: level as u32,
+            observed,
+            pred: self.zlc_pred[level],
+        });
     }
 
     // ---- packet handling ---------------------------------------------------
@@ -591,7 +650,7 @@ impl SfAgent {
             .unwrap_or(self.cfg.default_dist);
         let max_backoff = self.cfg.max_backoff;
 
-        let (became_visible, suppressed_mine) = {
+        let (became_visible, suppress_outcome, my_llc, zlc_now) = {
             let st = self.groups.get_mut(&g).expect("exists");
             let newly = st.note_exists(max_idx);
             let zlc_increased = llc > st.zlc[level];
@@ -603,24 +662,31 @@ impl SfAgent {
             st.last_nack_dist[level] = Some(dist);
 
             // Requester-side suppression.
-            let mut suppressed = false;
+            let mut outcome = None;
             if st.request_timer.is_some() && !st.complete() {
                 if !zlc_increased {
                     // Duplicate pressure: back off (paper §4's `i` rule)
                     // and, with §7 adaptive timers, widen the window.
                     st.i = (st.i + 1).min(max_backoff);
                     self.window.saw_duplicate();
-                    suppressed = true;
+                    outcome = Some(NackOutcome::SuppressedDuplicate);
                 } else if st.llc() <= st.zlc.iter().copied().max().unwrap_or(0) {
                     // Someone worse off spoke for us at some enclosing
                     // scope: the repairs it provokes reach every nested
                     // member, so push our NACK out.
-                    suppressed = true;
+                    outcome = Some(NackOutcome::SuppressedCovered);
                 }
             }
-            (newly > 0, suppressed)
+            (newly > 0, outcome, st.llc(), st.zlc[level])
         };
-        if suppressed_mine {
+        if let Some(outcome) = suppress_outcome {
+            ctx.probe(ProbeEvent::Nack {
+                group: g,
+                level: level as u32,
+                outcome,
+                llc: my_llc,
+                zlc: zlc_now,
+            });
             self.arm_request(ctx, g); // redraw with the (possibly bumped) i
         }
         if became_visible {
@@ -668,18 +734,24 @@ impl SfAgent {
         let mut all_done = true;
         for g in 0..self.cfg.group_count() {
             self.group_entry(g);
-            let (incomplete, needs_timer) = {
+            let (incomplete, needs_timer, held, k) = {
                 let st = self.groups.get_mut(&g).expect("exists");
                 if st.complete() {
-                    (false, false)
+                    (false, false, 0, 0)
                 } else {
                     st.phase = Phase::Repair;
                     st.note_exists(st.k - 1);
-                    (true, st.request_timer.is_none())
+                    (true, st.request_timer.is_none(), st.held(), st.k)
                 }
             };
             if incomplete {
                 all_done = false;
+                ctx.probe(ProbeEvent::GroupClose {
+                    group: g,
+                    complete: false,
+                    held,
+                    k,
+                });
                 if needs_timer {
                     // Liveness watchdog: regardless of suppression state,
                     // a receiver still missing packets must eventually ask
@@ -727,7 +799,15 @@ impl SfAgent {
         let root = self.chain.len() - 1;
         if self.cfg.injection && !self.groups[&g].injected[root] {
             self.groups.get_mut(&g).expect("exists").injected[root] = true;
-            let n = (self.zlc_pred[root].round().max(0.0) as u32).min(self.cfg.group_size);
+            let pred = self.zlc_pred[root];
+            let n = (pred.round().max(0.0) as u32).min(self.cfg.group_size);
+            ctx.probe(ProbeEvent::Injection {
+                group: g,
+                level: root as u32,
+                pred,
+                injected: n,
+                group_size: self.cfg.group_size,
+            });
             if n > 0 {
                 self.groups.get_mut(&g).expect("exists").outstanding[root] += n;
             }

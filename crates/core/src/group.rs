@@ -57,6 +57,9 @@ pub struct GroupState {
     pub injected: Vec<bool>,
     /// Whether the ZLC measurement fed the EWMA per level.
     pub measured: Vec<bool>,
+    /// How many times the ZLC measurement was deferred per level because
+    /// no RTT was known yet (startup ordering — see `measure_fire`).
+    pub measure_defers: Vec<u8>,
     /// Pending request (NACK) timer.
     pub request_timer: Option<TimerId>,
     /// Request backoff exponent `i` (paper: starts at 1).
@@ -97,6 +100,7 @@ impl GroupState {
             last_nack_dist: vec![None; levels],
             injected: vec![false; levels],
             measured: vec![false; levels],
+            measure_defers: vec![0; levels],
             request_timer: None,
             i: 1,
             scope_idx: initial_scope,

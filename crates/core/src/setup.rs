@@ -223,6 +223,100 @@ mod tests {
     }
 
     #[test]
+    fn zlc_measurement_defers_until_rtt_known() {
+        // Startup-ordering regression: with a short `default_dist`, the
+        // source's first ZLC measurement timer — armed off the
+        // `default_dist * 2` fallback because no RTT is known yet — fires
+        // before the stream's first NACK can possibly arrive.  It used to
+        // fold `zone_needed = 0` into the EWMA and mark the level
+        // measured, so the prediction decayed to 0.75 and the zone's real
+        // repair demand never fed it.  The measurement must instead defer
+        // until the session has an RTT estimate (bounded), by which time
+        // the receiver's NACK has established the true demand.
+        use sharqfec_netsim::prelude::{FaultEvent, FaultPlan, LossModel};
+        use sharqfec_netsim::{LinkId, SimDuration};
+        let built = chain(2);
+        let mut cfg = small_cfg(SharqfecConfig::full());
+        cfg.total_packets = 16; // one group
+        cfg.data_start = SimTime::from_millis(10);
+        cfg.send_interval = SimDuration::from_millis(1);
+        cfg.default_dist = SimDuration::from_millis(1); // fallback: 5 ms
+        let plan = FaultPlan::new()
+            .at(
+                SimTime::ZERO,
+                FaultEvent::SetLoss(LinkId(0), LossModel::bernoulli(1.0)),
+            )
+            .at(
+                SimTime::from_millis(18),
+                FaultEvent::SetLoss(LinkId(0), LossModel::bernoulli(0.0)),
+            );
+        let mut builder = setup_sharqfec_builder(&built, 3, cfg, SimTime::ZERO);
+        builder.fault_plan(plan);
+        let mut engine = builder.build();
+        engine.run_until(SimTime::from_secs(30));
+        let src = engine.agent::<SfAgent>(built.source).unwrap();
+        // The root-level prediction must reflect the NACKed demand (many
+        // lost packets folded at gain 0.25 from an initial 1.0), not the
+        // decayed 0.75 a premature measurement would produce.
+        assert!(
+            src.zlc_prediction(0) > 1.0,
+            "ZLC prediction fed before the first repair round settled: {}",
+            src.zlc_prediction(0)
+        );
+        let rx = engine.agent::<SfAgent>(built.receivers[0]).unwrap();
+        assert!(rx.complete(), "receiver should still recover fully");
+    }
+
+    #[test]
+    fn probe_recording_never_perturbs_the_simulation() {
+        // Tentpole acceptance: probes are observation only.  The same
+        // scenario with recording (and the auditor) on and off must
+        // produce identical traffic traces.
+        use sharqfec_netsim::prelude::AuditConfig;
+        let built = figure10(&Figure10Params::default());
+        let run = |probes: bool| {
+            let cfg = small_cfg(SharqfecConfig::full());
+            let mut builder = setup_sharqfec_builder(&built, 42, cfg, SimTime::from_secs(1));
+            if probes {
+                builder.audit(AuditConfig::default());
+            }
+            let mut engine = builder.build();
+            engine.run_until(SimTime::from_secs(60));
+            (
+                engine.recorder().transmissions.clone(),
+                engine.recorder().deliveries.clone(),
+                engine.recorder().drops.clone(),
+            )
+        };
+        let (tx_off, rx_off, drop_off) = run(false);
+        let (tx_on, rx_on, drop_on) = run(true);
+        assert_eq!(tx_off, tx_on, "transmissions diverged with probes on");
+        assert_eq!(rx_off, rx_on, "deliveries diverged with probes on");
+        assert_eq!(drop_off, drop_on, "drops diverged with probes on");
+    }
+
+    #[test]
+    fn audited_figure10_run_reports_no_violations() {
+        use sharqfec_netsim::prelude::AuditConfig;
+        let built = figure10(&Figure10Params::default());
+        let cfg = small_cfg(SharqfecConfig::full());
+        let mut builder = setup_sharqfec_builder(&built, 42, cfg, SimTime::from_secs(1));
+        builder.audit(AuditConfig::default());
+        let mut engine = builder.build();
+        engine.run_until(SimTime::from_secs(120));
+        assert!(
+            !engine.probe_records().is_empty(),
+            "an audited run must record probe events"
+        );
+        let report = engine.audit_report().expect("auditor attached");
+        assert!(
+            report.ok(),
+            "invariant violations in a healthy run: {}",
+            report.summary()
+        );
+    }
+
+    #[test]
     fn deterministic_across_identical_seeds() {
         let built = figure10(&Figure10Params::default());
         let run = |seed: u64| {

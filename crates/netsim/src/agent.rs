@@ -9,6 +9,7 @@
 use crate::channel::ChannelId;
 use crate::graph::NodeId;
 use crate::packet::Packet;
+use crate::probe::{ProbeEvent, ProbeSink};
 use crate::rng::SimRng;
 use crate::routing::DistanceOracle;
 use crate::time::{SimDuration, SimTime};
@@ -42,6 +43,7 @@ pub struct Ctx<'a, M> {
     pub(crate) oracle: &'a DistanceOracle,
     pub(crate) actions: Vec<Action<M>>,
     pub(crate) next_timer: &'a mut u64,
+    pub(crate) probes: &'a mut ProbeSink,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -104,6 +106,15 @@ impl<'a, M> Ctx<'a, M> {
     /// timer is a no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
         self.actions.push(Action::CancelTimer(id));
+    }
+
+    /// Emits a decision-level probe event, stamped with this callback's
+    /// time and node.  One branch and nothing else when probes are
+    /// disabled — never allocates, draws RNG, or schedules events, so
+    /// runs are bit-identical with probes on or off.
+    #[inline]
+    pub fn probe(&mut self, event: ProbeEvent) {
+        self.probes.emit(self.now, self.node, event);
     }
 }
 

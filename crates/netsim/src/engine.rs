@@ -28,6 +28,7 @@ use crate::graph::{LinkId, NodeId, Topology};
 use crate::link::LinkState;
 use crate::metrics::{DropRecord, Record, Recorder, RecorderMode};
 use crate::packet::{Classify, Packet};
+use crate::probe::{AuditConfig, AuditReport, Auditor, ProbeRecord, ProbeSink};
 use crate::rng::SimRng;
 use crate::routing::{DistanceOracle, Spt};
 use crate::time::{SimDuration, SimTime};
@@ -113,6 +114,7 @@ pub struct Engine<M> {
     next_timer: u64,
     next_uid: u64,
     recorder: Recorder,
+    probes: ProbeSink,
 }
 
 impl<M: Classify + Clone + 'static> Engine<M> {
@@ -149,6 +151,7 @@ impl<M: Classify + Clone + 'static> Engine<M> {
             next_timer: 0,
             next_uid: 0,
             recorder: Recorder::default(),
+            probes: ProbeSink::default(),
             topo,
         }
     }
@@ -217,6 +220,29 @@ impl<M: Classify + Clone + 'static> Engine<M> {
     /// Mutable access to the recorder (e.g. to clear a warm-up phase).
     pub fn recorder_mut(&mut self) -> &mut Recorder {
         &mut self.recorder
+    }
+
+    /// The probe sink agents emit decision-level events into (disabled by
+    /// default; see [`EngineBuilder::record_probes`]).
+    pub fn probes(&self) -> &ProbeSink {
+        &self.probes
+    }
+
+    /// Mutable probe-sink access (e.g. to toggle recording mid-run or
+    /// attach an [`Auditor`] to an imperatively-built engine).
+    pub fn probes_mut(&mut self) -> &mut ProbeSink {
+        &mut self.probes
+    }
+
+    /// Probe events captured so far (empty unless recording was enabled).
+    pub fn probe_records(&self) -> &[ProbeRecord] {
+        self.probes.records()
+    }
+
+    /// The attached auditor's verdict as of the current simulation time,
+    /// or `None` if no auditor was attached.
+    pub fn audit_report(&self) -> Option<AuditReport> {
+        self.probes.audit_report(self.now)
     }
 
     /// Chooses how observations are stored (see [`RecorderMode`]): raw
@@ -445,6 +471,7 @@ impl<M: Classify + Clone + 'static> Engine<M> {
             oracle: &self.oracle,
             actions: Vec::new(),
             next_timer: &mut self.next_timer,
+            probes: &mut self.probes,
         };
         f(agent.as_mut(), &mut ctx);
         let actions = ctx.actions;
@@ -604,6 +631,8 @@ pub struct EngineBuilder<M> {
     channels: Vec<Vec<NodeId>>,
     agents: Vec<(NodeId, Box<dyn Agent<M>>, SimTime)>,
     plan: FaultPlan,
+    record_probes: bool,
+    audit: Option<AuditConfig>,
 }
 
 impl<M: Classify + Clone + 'static> EngineBuilder<M> {
@@ -617,6 +646,8 @@ impl<M: Classify + Clone + 'static> EngineBuilder<M> {
             channels: Vec::new(),
             agents: Vec::new(),
             plan: FaultPlan::new(),
+            record_probes: false,
+            audit: None,
         }
     }
 
@@ -661,6 +692,24 @@ impl<M: Classify + Clone + 'static> EngineBuilder<M> {
         self
     }
 
+    /// Keeps the probe events agents emit (default: discard them).  Probe
+    /// emission is a single branch when disabled, so enabling this never
+    /// changes simulated behaviour — only what is retained.
+    pub fn record_probes(&mut self) -> &mut Self {
+        self.record_probes = true;
+        self
+    }
+
+    /// Attaches an invariant [`Auditor`] fed from the probe stream
+    /// (implies [`EngineBuilder::record_probes`]).  If a fault plan is
+    /// set, its active span is excused from the single-ZCR invariant
+    /// automatically ([`AuditConfig::excuse_faults`]).
+    pub fn audit(&mut self, cfg: AuditConfig) -> &mut Self {
+        self.record_probes = true;
+        self.audit = Some(cfg);
+        self
+    }
+
     /// Builds the engine: recorder configured, channels registered, agent
     /// start events and fault events queued.
     ///
@@ -670,6 +719,13 @@ impl<M: Classify + Clone + 'static> EngineBuilder<M> {
     /// referencing an unknown link or node.
     pub fn build(self) -> Engine<M> {
         let mut engine: Engine<M> = Engine::new(self.topo, self.seed);
+        if self.record_probes {
+            engine.probes.set_recording(true);
+        }
+        if let Some(mut cfg) = self.audit {
+            cfg.excuse_faults(&self.plan);
+            engine.probes.set_auditor(Auditor::new(cfg));
+        }
         engine.recorder.set_mode(self.mode);
         if let Some(w) = self.bin_width {
             engine.recorder.set_bin_width(w);

@@ -79,6 +79,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod agent;
 pub mod channel;
 pub mod engine;
@@ -87,6 +88,7 @@ pub mod graph;
 pub mod link;
 pub mod metrics;
 pub mod packet;
+pub mod probe;
 pub mod rng;
 pub mod routing;
 pub mod runner;
@@ -102,6 +104,10 @@ pub mod prelude {
     pub use crate::graph::{LinkId, LinkParams, NodeId, Topology, TopologyBuilder};
     pub use crate::metrics::{Recorder, RecorderMode, Tally, TrafficClass};
     pub use crate::packet::{Classify, Packet};
+    pub use crate::probe::{
+        AuditConfig, AuditReport, Auditor, NackOutcome, ProbeEvent, ProbeRecord, ProbeSink,
+        ZcrAction,
+    };
     pub use crate::rng::SimRng;
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -1,0 +1,849 @@
+//! Decision-level protocol probes and the run-attached invariant auditor.
+//!
+//! [`crate::metrics::Recorder`] and [`crate::trace::Timeline`] see packets
+//! on the wire; the paper's evaluation, however, reasons from *internal*
+//! protocol state — ZLC EWMAs, NACK suppression outcomes, ZCR seats.
+//! This module gives protocol agents a structured channel for exactly
+//! those decisions:
+//!
+//! * [`ProbeEvent`] — a typed, allocation-free event vocabulary shared by
+//!   the `core`, `session`, and `srm` agents;
+//! * [`ProbeSink`] — the per-engine collector agents emit into via
+//!   [`crate::agent::Ctx::probe`].  Disabled (the default) it is a single
+//!   branch per emission site: no allocation, no RNG draws, no scheduled
+//!   events, so runs are bit-identical with probes on or off;
+//! * [`Auditor`] — an online invariant checker attached to the sink that
+//!   verifies, as events stream, that (1) each zone has at most one
+//!   stable ZCR outside fault/heal windows, (2) preemptive injection
+//!   never exceeds the group size, (3) ZLC predictions stay finite and
+//!   non-negative, and (4) every receiver's delivered set is complete at
+//!   group close.
+//!
+//! Enable recording with [`crate::engine::EngineBuilder::record_probes`]
+//! and auditing with [`crate::engine::EngineBuilder::audit`]; read the
+//! results back with [`crate::engine::Engine::probe_records`] and
+//! [`crate::engine::Engine::audit_report`].
+
+use crate::faults::FaultPlan;
+use crate::graph::NodeId;
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How a NACK decision point resolved at one receiver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NackOutcome {
+    /// The NACK was multicast into the zone.
+    Sent,
+    /// A duplicate NACK (no ZLC increase) was overheard; the request
+    /// backoff doubled instead of sending.
+    SuppressedDuplicate,
+    /// A worse-off receiver spoke at an enclosing scope; its repairs
+    /// cover this member, so its own NACK was pushed out.
+    SuppressedCovered,
+}
+
+impl NackOutcome {
+    /// Short label for timelines and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            NackOutcome::Sent => "sent",
+            NackOutcome::SuppressedDuplicate => "dup-backoff",
+            NackOutcome::SuppressedCovered => "covered",
+        }
+    }
+}
+
+/// What happened to a ZCR seat, from the emitting node's perspective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZcrAction {
+    /// The node seated itself at start (designed seeding or root duty).
+    Seeded,
+    /// The node declared a takeover of the seat.
+    Takeover,
+    /// The node adopted another node as the seat holder.
+    Adopt,
+    /// A sitting ZCR reasserted its seat against a conflicting claim
+    /// (partition-heal conflict resolution).
+    Reassert,
+    /// A sitting ZCR conceded the seat to a closer claimant.
+    Concede,
+}
+
+impl ZcrAction {
+    /// Short label for timelines and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ZcrAction::Seeded => "seeded",
+            ZcrAction::Takeover => "takeover",
+            ZcrAction::Adopt => "adopt",
+            ZcrAction::Reassert => "reassert",
+            ZcrAction::Concede => "concede",
+        }
+    }
+
+    /// Whether the emitting node holds the seat after this action.
+    pub fn claims_seat(self) -> bool {
+        matches!(
+            self,
+            ZcrAction::Seeded | ZcrAction::Takeover | ZcrAction::Reassert
+        )
+    }
+}
+
+/// One typed protocol decision.  All payloads are plain scalars so
+/// emission never allocates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProbeEvent {
+    /// The ZLC EWMA for one chain level folded in a measurement.
+    ZlcUpdate {
+        /// Packet group measured.
+        group: u32,
+        /// Chain level (0 = smallest zone).
+        level: u32,
+        /// The observed zone repair demand (`zone_needed`).
+        observed: f64,
+        /// The prediction after the fold.
+        pred: f64,
+    },
+    /// A preemptive-injection sizing decision at group completion.
+    Injection {
+        /// Packet group being covered.
+        group: u32,
+        /// Chain level injected into.
+        level: u32,
+        /// The ZLC prediction the size was derived from.
+        pred: f64,
+        /// FEC packets queued for injection (post-clamp).
+        injected: u32,
+        /// The configured group size (the injection budget).
+        group_size: u32,
+    },
+    /// A NACK decision point resolved.
+    Nack {
+        /// Packet group concerned.
+        group: u32,
+        /// Chain level (the NACK's scope).
+        level: u32,
+        /// How it resolved.
+        outcome: NackOutcome,
+        /// The deciding member's Local Loss Count.
+        llc: u32,
+        /// The worst loss known for the scope (its ZLC).
+        zlc: u32,
+    },
+    /// The adaptive request/repair window moved (or held) after a
+    /// recovery round closed.
+    Window {
+        /// Window start factor (C1/D1) after the round.
+        lo: f64,
+        /// Window width factor (C2/D2) after the round.
+        width: f64,
+        /// Duplicate-pressure EWMA after the round.
+        ave_dup: f64,
+        /// Recovery-delay EWMA (units of `d`) after the round.
+        ave_delay: f64,
+    },
+    /// A ZCR seat transition performed (or adopted) by the emitting node.
+    Zcr {
+        /// Dense zone index (the scoping layer's `ZoneId::idx`) the seat
+        /// belongs to.
+        zone: u64,
+        /// What happened.
+        action: ZcrAction,
+        /// Who holds the seat after the transition, in the emitter's view.
+        holder: NodeId,
+    },
+    /// A packet group closed at one member (completion, or the stream-end
+    /// audit finding it still open).  The auditor keeps the *last* close
+    /// per (node, group), so an audit-time `complete: false` is superseded
+    /// when a late repair completes the group.
+    GroupClose {
+        /// Packet group closing.
+        group: u32,
+        /// Whether the member can reconstruct the group.
+        complete: bool,
+        /// Distinct packet indices held.
+        held: u32,
+        /// Indices required for reconstruction.
+        k: u32,
+    },
+}
+
+impl ProbeEvent {
+    /// Short kind label for timelines and binning filters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProbeEvent::ZlcUpdate { .. } => "zlc",
+            ProbeEvent::Injection { .. } => "inject",
+            ProbeEvent::Nack { .. } => "nack",
+            ProbeEvent::Window { .. } => "window",
+            ProbeEvent::Zcr { .. } => "zcr",
+            ProbeEvent::GroupClose { .. } => "close",
+        }
+    }
+}
+
+impl fmt::Display for ProbeEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeEvent::ZlcUpdate {
+                group,
+                level,
+                observed,
+                pred,
+            } => write!(f, "g{group} L{level} observed={observed} pred={pred:.3}"),
+            ProbeEvent::Injection {
+                group,
+                level,
+                pred,
+                injected,
+                group_size,
+            } => write!(
+                f,
+                "g{group} L{level} pred={pred:.3} injected={injected}/{group_size}"
+            ),
+            ProbeEvent::Nack {
+                group,
+                level,
+                outcome,
+                llc,
+                zlc,
+            } => write!(
+                f,
+                "g{group} L{level} {} llc={llc} zlc={zlc}",
+                outcome.label()
+            ),
+            ProbeEvent::Window {
+                lo,
+                width,
+                ave_dup,
+                ave_delay,
+            } => write!(
+                f,
+                "lo={lo:.2} width={width:.2} dup={ave_dup:.2} delay={ave_delay:.2}"
+            ),
+            ProbeEvent::Zcr {
+                zone,
+                action,
+                holder,
+            } => write!(f, "zone{zone} {} -> n{}", action.label(), holder.0),
+            ProbeEvent::GroupClose {
+                group,
+                complete,
+                held,
+                k,
+            } => write!(
+                f,
+                "g{group} {} held={held}/{k}",
+                if *complete { "complete" } else { "INCOMPLETE" }
+            ),
+        }
+    }
+}
+
+/// One emitted probe event with its provenance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbeRecord {
+    /// Simulation time of the decision.
+    pub time: SimTime,
+    /// The node that made it.
+    pub node: NodeId,
+    /// The decision.
+    pub event: ProbeEvent,
+}
+
+/// The invariants the auditor enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Invariant {
+    /// At most one stable ZCR per zone outside fault/heal windows.
+    SingleZcr,
+    /// Preemptive injection never exceeds the group size, and fires at
+    /// most once per (node, group, level).
+    InjectionBudget,
+    /// ZLC predictions stay finite and non-negative.
+    ZlcSane,
+    /// Every receiver's delivered set is complete at group close.
+    DeliveryComplete,
+}
+
+impl Invariant {
+    /// Stable label used in reports and JSON summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            Invariant::SingleZcr => "single-zcr",
+            Invariant::InjectionBudget => "injection-budget",
+            Invariant::ZlcSane => "zlc-sane",
+            Invariant::DeliveryComplete => "delivery-complete",
+        }
+    }
+}
+
+/// One invariant violation, with enough context to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// When the violation was detected.
+    pub time: SimTime,
+    /// The node whose event exposed it.
+    pub node: NodeId,
+    /// Which invariant broke.
+    pub invariant: Invariant,
+    /// Human-readable specifics (only built when a violation occurs).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.3}s] n{} {}: {}",
+            self.time.as_secs_f64(),
+            self.node.0,
+            self.invariant.label(),
+            self.detail
+        )
+    }
+}
+
+/// Auditor tuning.
+#[derive(Clone, Debug)]
+pub struct AuditConfig {
+    /// Time windows during which multi-claimant ZCR seats are excused
+    /// (network faults and their heal aftermath).  An overlap episode that
+    /// intersects any excused window is not a violation — partitions
+    /// legitimately split seats, and re-convergence takes a beat after
+    /// heal.
+    pub excused: Vec<(SimTime, SimTime)>,
+    /// How long two simultaneous seat claims may persist before counting
+    /// as a violation.  Covers legitimate handoffs (takeover announced,
+    /// old holder concedes on its next announcement).  Default 10 s —
+    /// several announce/challenge periods, far below the lifetime of a
+    /// genuine split-brain.
+    pub seat_settle: SimDuration,
+    /// Extension appended after the *last* fault event when deriving an
+    /// excused window from a [`FaultPlan`] (see
+    /// [`AuditConfig::excuse_faults`]): elections need a few challenge
+    /// rounds to reconverge after heal.  Default 15 s.
+    pub heal_grace: SimDuration,
+}
+
+impl Default for AuditConfig {
+    fn default() -> AuditConfig {
+        AuditConfig {
+            excused: Vec::new(),
+            seat_settle: SimDuration::from_secs(10),
+            heal_grace: SimDuration::from_secs(15),
+        }
+    }
+}
+
+impl AuditConfig {
+    /// Adds one excused window covering a fault plan's entire activity
+    /// span, from its first event to [`AuditConfig::heal_grace`] past its
+    /// last.  No-op for an empty plan.
+    pub fn excuse_faults(&mut self, plan: &FaultPlan) {
+        let times: Vec<SimTime> = plan.events().iter().map(|&(t, _)| t).collect();
+        let (Some(&first), Some(&last)) = (times.iter().min(), times.iter().max()) else {
+            return;
+        };
+        self.excused.push((first, last + self.heal_grace));
+    }
+}
+
+/// Per-zone seat bookkeeping for the single-ZCR invariant.
+#[derive(Debug, Default)]
+struct SeatState {
+    /// Current claimants and when each claimed.
+    holders: HashMap<NodeId, SimTime>,
+    /// When the current multi-claimant episode began, if one is open.
+    overlap_since: Option<SimTime>,
+}
+
+/// Online invariant checker over the probe stream.
+#[derive(Debug)]
+pub struct Auditor {
+    cfg: AuditConfig,
+    events: u64,
+    violations: Vec<Violation>,
+    seats: HashMap<u64, SeatState>,
+    /// Injections seen per (node, group, level).
+    injections: HashMap<(NodeId, u32, u32), u32>,
+    /// Last close seen per (node, group).
+    closes: HashMap<(NodeId, u32), (SimTime, bool, u32, u32)>,
+}
+
+impl Auditor {
+    /// A fresh auditor.
+    pub fn new(cfg: AuditConfig) -> Auditor {
+        Auditor {
+            cfg,
+            events: 0,
+            violations: Vec::new(),
+            seats: HashMap::new(),
+            injections: HashMap::new(),
+            closes: HashMap::new(),
+        }
+    }
+
+    fn excused(&self, from: SimTime, to: SimTime) -> bool {
+        self.cfg.excused.iter().any(|&(s, e)| from < e && to > s)
+    }
+
+    /// Closes a seat-overlap episode `[since, until)`, recording a
+    /// violation when it outlived the settle window without intersecting
+    /// an excused window.
+    fn close_overlap(&mut self, zone: u64, since: SimTime, until: SimTime, node: NodeId) {
+        if until.saturating_since(since) <= self.cfg.seat_settle || self.excused(since, until) {
+            return;
+        }
+        let holders: Vec<u32> = self
+            .seats
+            .get(&zone)
+            .map(|s| s.holders.keys().map(|n| n.0).collect())
+            .unwrap_or_default();
+        self.violations.push(Violation {
+            time: until,
+            node,
+            invariant: Invariant::SingleZcr,
+            detail: format!(
+                "zone {zone} had multiple ZCR claimants for {:.3}s \
+                 (since {:.3}s; claimants now {holders:?})",
+                until.saturating_since(since).as_secs_f64(),
+                since.as_secs_f64()
+            ),
+        });
+    }
+
+    /// Feeds one event through every streaming check.
+    pub fn ingest(&mut self, r: &ProbeRecord) {
+        self.events += 1;
+        match r.event {
+            ProbeEvent::ZlcUpdate { level, pred, .. } => {
+                if !pred.is_finite() || pred < 0.0 {
+                    self.violations.push(Violation {
+                        time: r.time,
+                        node: r.node,
+                        invariant: Invariant::ZlcSane,
+                        detail: format!("zlc_pred[{level}] became {pred}"),
+                    });
+                }
+            }
+            ProbeEvent::Injection {
+                group,
+                level,
+                injected,
+                group_size,
+                ..
+            } => {
+                if injected > group_size {
+                    self.violations.push(Violation {
+                        time: r.time,
+                        node: r.node,
+                        invariant: Invariant::InjectionBudget,
+                        detail: format!(
+                            "injected {injected} > group_size {group_size} (g{group} L{level})"
+                        ),
+                    });
+                }
+                let seen = self.injections.entry((r.node, group, level)).or_insert(0);
+                *seen += 1;
+                if *seen > 1 {
+                    self.violations.push(Violation {
+                        time: r.time,
+                        node: r.node,
+                        invariant: Invariant::InjectionBudget,
+                        detail: format!("injection fired {seen} times for g{group} L{level}"),
+                    });
+                }
+            }
+            ProbeEvent::Zcr { zone, action, .. } => {
+                let seat = self.seats.entry(zone).or_default();
+                if action.claims_seat() {
+                    seat.holders.entry(r.node).or_insert(r.time);
+                } else {
+                    seat.holders.remove(&r.node);
+                }
+                let (multi, since) = (seat.holders.len() >= 2, seat.overlap_since);
+                match (multi, since) {
+                    (true, None) => {
+                        self.seats
+                            .get_mut(&zone)
+                            .expect("just touched")
+                            .overlap_since = Some(r.time);
+                    }
+                    (false, Some(s)) => {
+                        self.seats
+                            .get_mut(&zone)
+                            .expect("just touched")
+                            .overlap_since = None;
+                        self.close_overlap(zone, s, r.time, r.node);
+                    }
+                    _ => {}
+                }
+            }
+            ProbeEvent::GroupClose {
+                group,
+                complete,
+                held,
+                k,
+            } => {
+                self.closes
+                    .insert((r.node, group), (r.time, complete, held, k));
+            }
+            ProbeEvent::Nack { .. } | ProbeEvent::Window { .. } => {}
+        }
+    }
+
+    /// The verdict as of `now`: all streaming violations, plus end-state
+    /// checks (seat overlaps still open, groups whose last close was
+    /// incomplete).  Non-destructive — the auditor keeps streaming.
+    pub fn report(&self, now: SimTime) -> AuditReport {
+        let mut violations = self.violations.clone();
+        for (&zone, seat) in &self.seats {
+            if let Some(since) = seat.overlap_since {
+                if now.saturating_since(since) > self.cfg.seat_settle && !self.excused(since, now) {
+                    let holders: Vec<u32> = seat.holders.keys().map(|n| n.0).collect();
+                    violations.push(Violation {
+                        time: now,
+                        node: NodeId(*holders.iter().min().unwrap_or(&0)),
+                        invariant: Invariant::SingleZcr,
+                        detail: format!(
+                            "zone {zone} still has claimants {holders:?} at run end \
+                             (overlapping since {:.3}s)",
+                            since.as_secs_f64()
+                        ),
+                    });
+                }
+            }
+        }
+        for (&(node, group), &(time, complete, held, k)) in &self.closes {
+            if !complete {
+                violations.push(Violation {
+                    time,
+                    node,
+                    invariant: Invariant::DeliveryComplete,
+                    detail: format!("g{group} closed incomplete: held {held}/{k}"),
+                });
+            }
+        }
+        violations.sort_by_key(|v| v.time);
+        AuditReport {
+            events: self.events,
+            violations,
+        }
+    }
+}
+
+/// The auditor's verdict for one run.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// Probe events the auditor saw.
+    pub events: u64,
+    /// Every violation, time-ordered.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// Whether the run held every invariant.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line summary for logs and tables.
+    pub fn summary(&self) -> String {
+        if self.ok() {
+            format!("audit OK ({} events)", self.events)
+        } else {
+            format!(
+                "audit FAILED: {} violation(s) over {} events; first: {}",
+                self.violations.len(),
+                self.events,
+                self.violations[0]
+            )
+        }
+    }
+}
+
+/// The per-engine probe collector.  Disabled by default: emission is a
+/// single branch, no allocation, and never perturbs the simulation (no
+/// RNG draws, no events scheduled).
+#[derive(Debug, Default)]
+pub struct ProbeSink {
+    /// Whether emitted events are stored in [`ProbeSink::records`].
+    keep: bool,
+    records: Vec<ProbeRecord>,
+    auditor: Option<Auditor>,
+}
+
+impl ProbeSink {
+    /// A sink that stores every emitted event.
+    pub fn recording() -> ProbeSink {
+        ProbeSink {
+            keep: true,
+            ..ProbeSink::default()
+        }
+    }
+
+    /// Turns on record keeping.
+    pub fn set_recording(&mut self, on: bool) {
+        self.keep = on;
+    }
+
+    /// Attaches an auditor (replacing any previous one).
+    pub fn set_auditor(&mut self, auditor: Auditor) {
+        self.auditor = Some(auditor);
+    }
+
+    /// Whether anything observes emissions (the fast-path check).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.keep || self.auditor.is_some()
+    }
+
+    /// Emits one event.  A disabled sink returns immediately.
+    #[inline]
+    pub fn emit(&mut self, time: SimTime, node: NodeId, event: ProbeEvent) {
+        if !self.enabled() {
+            return;
+        }
+        let r = ProbeRecord { time, node, event };
+        if let Some(a) = &mut self.auditor {
+            a.ingest(&r);
+        }
+        if self.keep {
+            self.records.push(r);
+        }
+    }
+
+    /// Everything recorded so far (empty unless recording was enabled).
+    pub fn records(&self) -> &[ProbeRecord] {
+        &self.records
+    }
+
+    /// The attached auditor's verdict as of `now`, if one is attached.
+    pub fn audit_report(&self, now: SimTime) -> Option<AuditReport> {
+        self.auditor.as_ref().map(|a| a.report(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn rec(t: SimTime, node: u32, event: ProbeEvent) -> ProbeRecord {
+        ProbeRecord {
+            time: t,
+            node: NodeId(node),
+            event,
+        }
+    }
+
+    fn zcr(zone: u64, action: ZcrAction, holder: u32) -> ProbeEvent {
+        ProbeEvent::Zcr {
+            zone,
+            action,
+            holder: NodeId(holder),
+        }
+    }
+
+    #[test]
+    fn disabled_sink_discards_everything() {
+        let mut s = ProbeSink::default();
+        assert!(!s.enabled());
+        s.emit(
+            at(1),
+            NodeId(0),
+            ProbeEvent::Window {
+                lo: 2.0,
+                width: 2.0,
+                ave_dup: 0.0,
+                ave_delay: 1.0,
+            },
+        );
+        assert!(s.records().is_empty());
+        assert!(s.audit_report(at(2)).is_none());
+    }
+
+    #[test]
+    fn recording_sink_keeps_order() {
+        let mut s = ProbeSink::recording();
+        for i in 0..3u64 {
+            s.emit(at(i), NodeId(i as u32), zcr(0, ZcrAction::Seeded, i as u32));
+        }
+        assert_eq!(s.records().len(), 3);
+        assert!(s.records().windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn zlc_nan_and_negative_are_violations() {
+        let mut a = Auditor::new(AuditConfig::default());
+        a.ingest(&rec(
+            at(1),
+            1,
+            ProbeEvent::ZlcUpdate {
+                group: 0,
+                level: 0,
+                observed: 0.0,
+                pred: f64::NAN,
+            },
+        ));
+        a.ingest(&rec(
+            at(2),
+            1,
+            ProbeEvent::ZlcUpdate {
+                group: 1,
+                level: 0,
+                observed: 0.0,
+                pred: -0.5,
+            },
+        ));
+        a.ingest(&rec(
+            at(3),
+            1,
+            ProbeEvent::ZlcUpdate {
+                group: 2,
+                level: 0,
+                observed: 2.0,
+                pred: 1.25,
+            },
+        ));
+        let report = a.report(at(4));
+        assert_eq!(report.violations.len(), 2);
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.invariant == Invariant::ZlcSane));
+    }
+
+    #[test]
+    fn injection_over_budget_and_double_fire_are_violations() {
+        let mut a = Auditor::new(AuditConfig::default());
+        let inj = |injected, group| ProbeEvent::Injection {
+            group,
+            level: 0,
+            pred: 1.0,
+            injected,
+            group_size: 16,
+        };
+        a.ingest(&rec(at(1), 1, inj(16, 0))); // at budget: fine
+        a.ingest(&rec(at(2), 1, inj(17, 1))); // over budget
+        a.ingest(&rec(at(3), 1, inj(1, 2)));
+        a.ingest(&rec(at(4), 1, inj(1, 2))); // double fire
+        let report = a.report(at(5));
+        assert_eq!(report.violations.len(), 2);
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.invariant == Invariant::InjectionBudget));
+    }
+
+    #[test]
+    fn transient_seat_handoff_is_not_a_violation() {
+        let mut a = Auditor::new(AuditConfig::default());
+        a.ingest(&rec(at(1), 1, zcr(0, ZcrAction::Seeded, 1)));
+        // Node 2 takes over; node 1 concedes 3 s later (within settle).
+        a.ingest(&rec(at(20), 2, zcr(0, ZcrAction::Takeover, 2)));
+        a.ingest(&rec(at(23), 1, zcr(0, ZcrAction::Concede, 2)));
+        assert!(a.report(at(60)).ok());
+    }
+
+    #[test]
+    fn stable_double_seat_is_a_violation() {
+        let mut a = Auditor::new(AuditConfig::default());
+        a.ingest(&rec(at(1), 1, zcr(0, ZcrAction::Seeded, 1)));
+        a.ingest(&rec(at(5), 2, zcr(0, ZcrAction::Takeover, 2)));
+        // Nobody concedes for 30 s.
+        a.ingest(&rec(at(35), 1, zcr(0, ZcrAction::Concede, 2)));
+        let report = a.report(at(40));
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].invariant, Invariant::SingleZcr);
+    }
+
+    #[test]
+    fn overlap_open_at_run_end_is_caught_by_report() {
+        let mut a = Auditor::new(AuditConfig::default());
+        a.ingest(&rec(at(1), 1, zcr(0, ZcrAction::Seeded, 1)));
+        a.ingest(&rec(at(5), 2, zcr(0, ZcrAction::Takeover, 2)));
+        assert!(!a.report(at(60)).ok(), "still two claimants at the end");
+        // But a short-lived overlap at the very end is fine.
+        assert!(a.report(at(6)).ok());
+    }
+
+    #[test]
+    fn fault_windows_excuse_seat_overlap() {
+        let mut cfg = AuditConfig::default();
+        cfg.excused.push((at(5), at(50)));
+        let mut a = Auditor::new(cfg);
+        a.ingest(&rec(at(1), 1, zcr(0, ZcrAction::Seeded, 1)));
+        // Partition: the far side elects its own ZCR for 30 s.
+        a.ingest(&rec(at(7), 2, zcr(0, ZcrAction::Takeover, 2)));
+        a.ingest(&rec(at(37), 2, zcr(0, ZcrAction::Concede, 1)));
+        assert!(a.report(at(60)).ok());
+    }
+
+    #[test]
+    fn excuse_faults_covers_plan_span() {
+        use crate::faults::FaultEvent;
+        use crate::graph::LinkId;
+        let plan = FaultPlan::new()
+            .at(at(7), FaultEvent::LinkDown(LinkId(0)))
+            .at(at(9), FaultEvent::LinkUp(LinkId(0)));
+        let mut cfg = AuditConfig::default();
+        cfg.excuse_faults(&plan);
+        assert_eq!(cfg.excused.len(), 1);
+        assert_eq!(cfg.excused[0].0, at(7));
+        assert_eq!(cfg.excused[0].1, at(9) + cfg.heal_grace);
+    }
+
+    #[test]
+    fn incomplete_close_superseded_by_later_completion() {
+        let mut a = Auditor::new(AuditConfig::default());
+        let close = |complete, held| ProbeEvent::GroupClose {
+            group: 3,
+            complete,
+            held,
+            k: 16,
+        };
+        a.ingest(&rec(at(50), 4, close(false, 14)));
+        assert!(!a.report(at(51)).ok());
+        a.ingest(&rec(at(55), 4, close(true, 16)));
+        assert!(a.report(at(60)).ok(), "late completion supersedes");
+    }
+
+    #[test]
+    fn report_summary_reads_well() {
+        let mut a = Auditor::new(AuditConfig::default());
+        a.ingest(&rec(
+            at(1),
+            1,
+            ProbeEvent::ZlcUpdate {
+                group: 0,
+                level: 0,
+                observed: 0.0,
+                pred: f64::INFINITY,
+            },
+        ));
+        let report = a.report(at(2));
+        assert!(report.summary().contains("FAILED"));
+        assert!(report.summary().contains("zlc-sane"));
+        let clean = Auditor::new(AuditConfig::default()).report(at(2));
+        assert!(clean.summary().contains("OK"));
+    }
+
+    #[test]
+    fn event_display_is_compact() {
+        let e = ProbeEvent::Nack {
+            group: 2,
+            level: 1,
+            outcome: NackOutcome::SuppressedCovered,
+            llc: 3,
+            zlc: 5,
+        };
+        assert_eq!(format!("{e}"), "g2 L1 covered llc=3 zlc=5");
+        assert_eq!(e.label(), "nack");
+    }
+}

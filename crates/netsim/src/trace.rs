@@ -23,6 +23,7 @@
 use crate::channel::ChannelId;
 use crate::graph::NodeId;
 use crate::metrics::{Recorder, TrafficClass};
+use crate::probe::ProbeRecord;
 use crate::time::SimTime;
 
 /// What to include in a rendered timeline.
@@ -63,7 +64,7 @@ impl TraceFilter {
         &self,
         time: SimTime,
         node: NodeId,
-        class: TrafficClass,
+        class: Option<TrafficClass>,
         channel: Option<ChannelId>,
     ) -> bool {
         if let Some((from, to)) = self.window {
@@ -76,8 +77,8 @@ impl TraceFilter {
                 return false;
             }
         }
-        if let Some(cs) = &self.classes {
-            if !cs.contains(&class) {
+        if let (Some(cs), Some(c)) = (&self.classes, class) {
+            if !cs.contains(&c) {
                 return false;
             }
         }
@@ -93,6 +94,7 @@ impl TraceFilter {
 /// A renderable view over recorded events.
 pub struct Timeline<'a> {
     recorder: &'a Recorder,
+    probes: &'a [ProbeRecord],
     filter: TraceFilter,
 }
 
@@ -101,8 +103,18 @@ impl<'a> Timeline<'a> {
     pub fn new(recorder: &'a Recorder) -> Timeline<'a> {
         Timeline {
             recorder,
+            probes: &[],
             filter: TraceFilter::default(),
         }
+    }
+
+    /// Interleaves decision-level probe events (see [`crate::probe`]) with
+    /// the packet events.  Probe lines carry no traffic class or channel,
+    /// so class/channel filters never exclude them (like drop lines); node
+    /// and window filters apply normally.
+    pub fn with_probes(mut self, probes: &'a [ProbeRecord]) -> Timeline<'a> {
+        self.probes = probes;
+        self
     }
 
     /// Applies a filter (replaces any previous one).
@@ -115,7 +127,10 @@ impl<'a> Timeline<'a> {
     pub fn lines(&self) -> Vec<(SimTime, String)> {
         let mut out: Vec<(SimTime, String)> = Vec::new();
         for r in &self.recorder.transmissions {
-            if self.filter.admits(r.time, r.node, r.class, Some(r.channel)) {
+            if self
+                .filter
+                .admits(r.time, r.node, Some(r.class), Some(r.channel))
+            {
                 out.push((
                     r.time,
                     format!(
@@ -130,7 +145,10 @@ impl<'a> Timeline<'a> {
             }
         }
         for r in &self.recorder.deliveries {
-            if self.filter.admits(r.time, r.node, r.class, Some(r.channel)) {
+            if self
+                .filter
+                .admits(r.time, r.node, Some(r.class), Some(r.channel))
+            {
                 out.push((
                     r.time,
                     format!(
@@ -146,7 +164,7 @@ impl<'a> Timeline<'a> {
             }
         }
         for d in &self.recorder.drops {
-            if self.filter.admits(d.time, d.to, d.class, None) {
+            if self.filter.admits(d.time, d.to, Some(d.class), None) {
                 out.push((
                     d.time,
                     format!(
@@ -156,6 +174,20 @@ impl<'a> Timeline<'a> {
                         d.to.0,
                         d.from.0,
                         d.to.0
+                    ),
+                ));
+            }
+        }
+        for p in self.probes {
+            if self.filter.admits(p.time, p.node, None, None) {
+                out.push((
+                    p.time,
+                    format!(
+                        "{:>10.6}  probe {:<7} n{:<4} {}",
+                        p.time.as_secs_f64(),
+                        p.event.label(),
+                        p.node.0,
+                        p.event
                     ),
                 ));
             }
@@ -259,5 +291,69 @@ mod tests {
         let r = recorder();
         let t = Timeline::new(&r).filter(TraceFilter::default().node(NodeId(1)).node(NodeId(2)));
         assert_eq!(t.count(), 3); // delivery@1, nack@2, drop→2
+    }
+
+    #[test]
+    fn between_window_is_half_open() {
+        // [from, to): an event exactly at `from` is included, exactly at
+        // `to` is excluded.
+        let r = recorder(); // send@10, recv@30, drop@40, recv@50 (ms)
+        let at = |from_ms: u64, to_ms: u64| {
+            Timeline::new(&r)
+                .filter(
+                    TraceFilter::default()
+                        .between(SimTime::from_millis(from_ms), SimTime::from_millis(to_ms)),
+                )
+                .count()
+        };
+        assert_eq!(at(30, 50), 2, "recv@30 in (at from), recv@50 out (at to)");
+        assert_eq!(at(30, 51), 3, "recv@50 admitted once to > 50");
+        assert_eq!(at(31, 50), 1, "recv@30 excluded once from > 30");
+        assert_eq!(at(30, 30), 0, "empty window admits nothing");
+    }
+
+    #[test]
+    fn probes_interleave_and_ignore_class_filters() {
+        use crate::probe::ProbeEvent;
+        let r = recorder();
+        let probes = [
+            ProbeRecord {
+                time: SimTime::from_millis(35),
+                node: NodeId(1),
+                event: ProbeEvent::ZlcUpdate {
+                    group: 0,
+                    level: 1,
+                    observed: 3.0,
+                    pred: 1.5,
+                },
+            },
+            ProbeRecord {
+                time: SimTime::from_millis(45),
+                node: NodeId(2),
+                event: ProbeEvent::GroupClose {
+                    group: 0,
+                    complete: true,
+                    held: 16,
+                    k: 16,
+                },
+            },
+        ];
+        let t = Timeline::new(&r).with_probes(&probes);
+        assert_eq!(t.count(), 6);
+        let lines = t.lines();
+        for w in lines.windows(2) {
+            assert!(w[0].0 <= w[1].0, "probe lines merge in time order");
+        }
+        assert!(t.render().contains("probe zlc"));
+        // Class filters don't exclude class-less probe lines...
+        let nack_only = Timeline::new(&r)
+            .with_probes(&probes)
+            .filter(TraceFilter::default().class(TrafficClass::Nack));
+        assert_eq!(nack_only.count(), 3); // nack recv + both probes
+                                          // ...but node and window filters apply to them.
+        let n1 = Timeline::new(&r)
+            .with_probes(&probes)
+            .filter(TraceFilter::default().node(NodeId(1)));
+        assert_eq!(n1.count(), 2); // recv@1 + zlc probe@1
     }
 }

@@ -126,6 +126,9 @@ impl SessionCtx for Bridge<'_, '_> {
     fn cancel_timer(&mut self, id: TimerId) {
         self.ctx.cancel_timer(id);
     }
+    fn probe(&mut self, event: sharqfec_netsim::probe::ProbeEvent) {
+        self.ctx.probe(event);
+    }
 }
 
 impl Agent<SessionWire> for SessionAgent {

@@ -24,6 +24,7 @@ use crate::msg::{AncestorEntry, Announce, SessionMsg};
 use crate::reports::LossReport;
 use crate::rtt::PeerTable;
 use sharqfec_netsim::agent::TimerId;
+use sharqfec_netsim::probe::{ProbeEvent, ZcrAction};
 use sharqfec_netsim::{NodeId, SimDuration, SimRng, SimTime};
 use sharqfec_scoping::{ZoneHierarchy, ZoneId};
 use std::collections::HashMap;
@@ -78,6 +79,11 @@ pub trait SessionCtx {
     fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId;
     /// Cancels a timer.
     fn cancel_timer(&mut self, id: TimerId);
+    /// Emits a decision-level probe event (see [`sharqfec_netsim::probe`]).
+    /// Defaults to a no-op so hosts without a sink need no wiring.
+    fn probe(&mut self, event: ProbeEvent) {
+        let _ = event;
+    }
 }
 
 /// Per-chain-level state (level 0 = the node's smallest zone; the last
@@ -397,6 +403,15 @@ impl SessionCore {
         for level in &mut self.levels {
             level.zcr_heard_at = now;
         }
+        for l in 0..self.levels.len() {
+            if self.levels[l].zcr == Some(self.node) {
+                ctx.probe(ProbeEvent::Zcr {
+                    zone: self.chain[l].idx() as u64,
+                    action: ZcrAction::Seeded,
+                    holder: self.node,
+                });
+            }
+        }
         self.arm_announce(ctx);
         for l in 0..self.levels.len() {
             self.arm_challenge(ctx, l);
@@ -610,7 +625,7 @@ impl SessionCore {
             };
             if reassert {
                 let m = mine.expect("reassert requires a measured distance");
-                self.declare_takeover(ctx, l, m);
+                self.declare_takeover(ctx, l, m, ZcrAction::Reassert);
             } else {
                 self.levels[l].zcr = Some(src);
                 self.levels[l].zcr_heard_at = now;
@@ -618,6 +633,11 @@ impl SessionCore {
                 if a.zcr_to_parent.is_some() {
                     self.levels[l].link_dist = a.zcr_to_parent;
                 }
+                ctx.probe(ProbeEvent::Zcr {
+                    zone: a.zone.idx() as u64,
+                    action: ZcrAction::Concede,
+                    holder: src,
+                });
             }
         }
 
@@ -880,10 +900,16 @@ impl SessionCore {
         let Some((_, my_dist)) = self.levels[l].takeover.take() else {
             return;
         };
-        self.declare_takeover(ctx, l, my_dist);
+        self.declare_takeover(ctx, l, my_dist, ZcrAction::Takeover);
     }
 
-    fn declare_takeover(&mut self, ctx: &mut dyn SessionCtx, l: usize, my_dist: SimDuration) {
+    fn declare_takeover(
+        &mut self,
+        ctx: &mut dyn SessionCtx,
+        l: usize,
+        my_dist: SimDuration,
+        action: ZcrAction,
+    ) {
         let zone = self.chain[l];
         let parent = self.chain[l + 1];
         let msg = SessionMsg::ZcrTakeover {
@@ -894,6 +920,11 @@ impl SessionCore {
         // Two packets: one informs the child zone, one the parent (§5.2).
         ctx.send(zone, msg.clone(), self.cfg.control_bytes);
         ctx.send(parent, msg, self.cfg.control_bytes);
+        ctx.probe(ProbeEvent::Zcr {
+            zone: zone.idx() as u64,
+            action,
+            holder: self.node,
+        });
         self.levels[l].zcr = Some(self.node);
         self.levels[l].zcr_heard_at = ctx.now();
         self.levels[l].my_dist_to_parent = Some(my_dist);
@@ -934,7 +965,7 @@ impl SessionCore {
             }
             if let Some(mine) = self.levels[l].my_dist_to_parent {
                 if mine < dist {
-                    self.declare_takeover(ctx, l, mine);
+                    self.declare_takeover(ctx, l, mine, ZcrAction::Reassert);
                     return;
                 }
             }
@@ -947,6 +978,19 @@ impl SessionCore {
         // silent ZCR and re-trigger elections forever.
         if new_zcr != self.node && !self.peer_fresh(zone, new_zcr, ctx.now()) {
             return;
+        }
+        if new_zcr != self.node {
+            // A sitting ZCR stepping aside concedes; everyone else adopts.
+            let action = if self.levels[l].zcr == Some(self.node) {
+                ZcrAction::Concede
+            } else {
+                ZcrAction::Adopt
+            };
+            ctx.probe(ProbeEvent::Zcr {
+                zone: zone.idx() as u64,
+                action,
+                holder: new_zcr,
+            });
         }
         self.levels[l].zcr = Some(new_zcr);
         self.levels[l].zcr_heard_at = ctx.now();
@@ -979,6 +1023,7 @@ mod tests {
         sent: Vec<(ZoneId, SessionMsg)>,
         timers: Vec<(SimDuration, u64)>,
         next_id: u64,
+        probes: Vec<ProbeEvent>,
     }
     impl FakeCtx {
         fn new() -> FakeCtx {
@@ -988,6 +1033,7 @@ mod tests {
                 sent: vec![],
                 timers: vec![],
                 next_id: 0,
+                probes: vec![],
             }
         }
     }
@@ -1007,6 +1053,9 @@ mod tests {
             TimerId(self.next_id)
         }
         fn cancel_timer(&mut self, _id: TimerId) {}
+        fn probe(&mut self, event: ProbeEvent) {
+            self.probes.push(event);
+        }
     }
 
     fn n(i: u32) -> NodeId {
@@ -1391,6 +1440,55 @@ mod tests {
         );
         assert_eq!(core.zcr_of(z2), Some(n(6)));
         assert!(!core.is_zcr_of(z2));
+    }
+
+    #[test]
+    fn seat_transitions_emit_probe_events() {
+        // Replays `sitting_zcr_reasserts_against_farther_usurper` and
+        // checks the probe narrative: seeded -> reassert -> concede.
+        let mut core = SessionCore::new(n(3), hier(), SessionConfig::default(), &designed());
+        let mut ctx = FakeCtx::new();
+        core.start(&mut ctx);
+        let z2 = core.chain_zones()[0];
+        core.levels[0].my_dist_to_parent = Some(ms(10));
+        core.on_msg(
+            &mut ctx,
+            n(6),
+            &SessionMsg::ZcrTakeover {
+                zone: z2,
+                new_zcr: n(6),
+                dist_to_parent: ms(25),
+            },
+        );
+        core.on_msg(
+            &mut ctx,
+            n(6),
+            &SessionMsg::ZcrTakeover {
+                zone: z2,
+                new_zcr: n(6),
+                dist_to_parent: ms(4),
+            },
+        );
+        let seats: Vec<(u64, ZcrAction, NodeId)> = ctx
+            .probes
+            .iter()
+            .filter_map(|e| match *e {
+                ProbeEvent::Zcr {
+                    zone,
+                    action,
+                    holder,
+                } => Some((zone, action, holder)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            seats,
+            vec![
+                (z2.idx() as u64, ZcrAction::Seeded, n(3)),
+                (z2.idx() as u64, ZcrAction::Reassert, n(3)),
+                (z2.idx() as u64, ZcrAction::Concede, n(6)),
+            ]
+        );
     }
 
     #[test]

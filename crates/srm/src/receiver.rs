@@ -97,8 +97,8 @@ impl SrmReceiver {
     fn request_delay(&mut self, ctx: &mut Ctx<'_, SrmMsg>, i: u32) -> SimDuration {
         let d = self.d_sa(ctx);
         let factor = ctx.rng().range_f64(
-            self.req_params.lo,
-            self.req_params.lo + self.req_params.width,
+            self.req_params.lo(),
+            self.req_params.lo() + self.req_params.width(),
         );
         d.mul_f64(factor) * (1u64 << i.min(MAX_BACKOFF))
     }
@@ -152,6 +152,12 @@ impl SrmReceiver {
             let waited = ctx.now().saturating_since(req.detected_at).as_secs_f64();
             let d = self.d_sa(ctx).as_secs_f64().max(1e-9);
             self.req_params.end_round(waited / d);
+            ctx.probe(ProbeEvent::Window {
+                lo: self.req_params.lo(),
+                width: self.req_params.width(),
+                ave_dup: self.req_params.ave_dup(),
+                ave_delay: self.req_params.ave_delay(),
+            });
         }
     }
 
@@ -167,8 +173,8 @@ impl SrmReceiver {
         }
         let d_ab = ctx.one_way(requester);
         let factor = ctx.rng().range_f64(
-            self.rep_params.lo,
-            self.rep_params.lo + self.rep_params.width,
+            self.rep_params.lo(),
+            self.rep_params.lo() + self.rep_params.width(),
         );
         let timer = ctx.set_timer(d_ab.mul_f64(factor), TOK_REP_BASE | seq as u64);
         self.repairs.insert(seq, RepState { timer, d_ab });
@@ -225,6 +231,15 @@ impl Agent<SrmMsg> for SrmReceiver {
         };
         ctx.multicast(self.chan, SrmMsg::Request { seq }, self.cfg.request_bytes);
         self.requests_sent += 1;
+        // SRM has one flat scope and no ZLC; `group` carries the sequence
+        // number and the counts carry what the protocol actually tracks.
+        ctx.probe(ProbeEvent::Nack {
+            group: seq,
+            level: 0,
+            outcome: NackOutcome::Sent,
+            llc: self.missing(),
+            zlc: 0,
+        });
         // Back off and wait for the repair; re-request if it never comes.
         // A fresh round starts: overheard duplicates may back it off once.
         let new_i = (i + 1).min(MAX_BACKOFF);
@@ -270,6 +285,13 @@ impl Agent<SrmMsg> for SrmReceiver {
                     // or a shared upstream loss heard from ~n peers would
                     // multiply the delay by 2^n and deadlock recovery.
                     self.req_params.saw_duplicate();
+                    ctx.probe(ProbeEvent::Nack {
+                        group: seq,
+                        level: 0,
+                        outcome: NackOutcome::SuppressedDuplicate,
+                        llc: self.missing(),
+                        zlc: 0,
+                    });
                     if !backed_off {
                         ctx.cancel_timer(old_timer);
                         let new_i = (i + 1).min(MAX_BACKOFF);

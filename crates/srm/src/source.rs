@@ -52,7 +52,7 @@ impl SrmSource {
         let d_ab = ctx.one_way(requester);
         let delay = d_ab.mul_f64(
             ctx.rng()
-                .range_f64(self.params.lo, self.params.lo + self.params.width),
+                .range_f64(self.params.lo(), self.params.lo() + self.params.width()),
         );
         let id = ctx.set_timer(delay, TOK_REPAIR_BASE | seq as u64);
         self.pending.insert(seq, (id, d_ab));
