@@ -31,4 +31,12 @@ cargo build --release -p sharqfec-bench --bins --quiet
 ./target/release/ablation_sweep --seed 42 > /dev/null
 ./target/release/fig14_21_traffic --seed 42 --packets 128 > /dev/null
 
+echo "==> microbench smoke + JSON schema check"
+# The smoke profile writes to a scratch directory so the committed
+# full-run baseline in results/BENCH_microbench.json is never clobbered.
+mkdir -p target/tmp/bench_ci
+./target/release/microbench --smoke --out target/tmp/bench_ci > /dev/null
+./target/release/microbench --check target/tmp/bench_ci/BENCH_microbench.json
+./target/release/microbench --check results/BENCH_microbench.json
+
 echo "CI OK"

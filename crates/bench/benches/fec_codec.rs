@@ -2,7 +2,7 @@
 //! group shape (k = 16, 1000-byte packets) and a parameter sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sharqfec_fec::codec::GroupCodec;
+use sharqfec_fec::codec::{DecodeScratch, GroupCodec};
 use std::hint::black_box;
 
 fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
@@ -11,18 +11,32 @@ fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         .collect()
 }
 
+fn encode_parity(codec: &GroupCodec, data: &[&[u8]], len: usize) -> Vec<Vec<u8>> {
+    let mut parity = vec![vec![0u8; len]; codec.h()];
+    let mut bufs: Vec<&mut [u8]> = parity.iter_mut().map(|v| v.as_mut_slice()).collect();
+    codec.encode_into(data, &mut bufs).unwrap();
+    parity
+}
+
 fn bench_encode(c: &mut Criterion) {
     let mut g = c.benchmark_group("fec_encode");
     for &(k, h) in &[(16usize, 1usize), (16, 4), (16, 8), (32, 8)] {
         let codec = GroupCodec::new(k, h).unwrap();
         let data = sample_data(k, 1000);
         let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        // Steady-state shape: parity buffers owned by the caller, reused
+        // every iteration.
+        let mut parity = vec![vec![0u8; 1000]; h];
         g.throughput(Throughput::Bytes((k * 1000) as u64));
         g.bench_with_input(
             BenchmarkId::new("k_h", format!("{k}_{h}")),
             &refs,
             |b, refs| {
-                b.iter(|| codec.encode(black_box(refs)).unwrap());
+                b.iter(|| {
+                    let mut bufs: Vec<&mut [u8]> =
+                        parity.iter_mut().map(|v| v.as_mut_slice()).collect();
+                    codec.encode_into(black_box(refs), &mut bufs).unwrap();
+                });
             },
         );
     }
@@ -35,18 +49,22 @@ fn bench_decode(c: &mut Criterion) {
         let codec = GroupCodec::new(k, h).unwrap();
         let data = sample_data(k, 1000);
         let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
-        let parity = codec.encode(&refs).unwrap();
+        let parity = encode_parity(&codec, &refs, 1000);
         // Drop the first `erasures` data packets, replace with parity.
         let shards: Vec<(usize, &[u8])> = (erasures..k)
             .map(|i| (i, data[i].as_slice()))
             .chain((0..erasures).map(|j| (k + j, parity[j].as_slice())))
             .collect();
+        let mut scratch = DecodeScratch::default();
         g.throughput(Throughput::Bytes((k * 1000) as u64));
         g.bench_with_input(
             BenchmarkId::new("k_h_e", format!("{k}_{h}_{erasures}")),
             &shards,
             |b, shards| {
-                b.iter(|| codec.decode(black_box(shards)).unwrap());
+                b.iter(|| {
+                    let rec = codec.decode(black_box(shards), &mut scratch).unwrap();
+                    black_box(rec.flat().len())
+                });
             },
         );
     }

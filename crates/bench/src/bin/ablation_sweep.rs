@@ -17,33 +17,38 @@
 //! no raw event traces are kept.  A machine-readable summary lands in
 //! `results/ablation_sweep.json`.
 //!
-//! Run: `cargo run -p sharqfec-bench --release --bin ablation_sweep -- [--seed S] [--threads N]`
+//! Run: `cargo run -p sharqfec-bench --release --bin ablation_sweep -- [--seed S] [--threads N] [--packets P]`
 
 use sharqfec::SharqfecConfig;
 use sharqfec_analysis::table::Table;
+use sharqfec_bench::cli::{self, SweepArgs};
 use sharqfec_bench::{Scenario, Workload};
-use sharqfec_netsim::runner::{default_threads, run_sweep, Cell};
 use sharqfec_topology::Figure10Params;
-use std::num::NonZeroUsize;
 
 /// Workload matching the old harness: 256 packets, run to t = 60 s.
-fn workload() -> Workload {
+fn workload(packets: u32) -> Workload {
     Workload {
-        packets: 256,
+        packets,
         seed: 0,       // per-cell seeds come from runner::Cell
         tail_secs: 51, // stream ends at 6 s + 2.56 s; 60 s total
     }
 }
 
-fn scenario(sweep: &str, setting: &str, cfg: SharqfecConfig, loss_scale: f64) -> Scenario {
-    Scenario::sharqfec(format!("{sweep}/{setting}"), cfg, workload())
+fn scenario(
+    sweep: &str,
+    setting: &str,
+    cfg: SharqfecConfig,
+    loss_scale: f64,
+    packets: u32,
+) -> Scenario {
+    Scenario::sharqfec(format!("{sweep}/{setting}"), cfg, workload(packets))
         .with_params(Figure10Params::default().scaled_loss(loss_scale))
         .streaming()
         .audited()
 }
 
 /// The full grid: one [`Scenario`] per table row, labelled `sweep/setting`.
-fn plan() -> Vec<Scenario> {
+fn plan(packets: u32) -> Vec<Scenario> {
     let base = SharqfecConfig::full;
     let mut cells = Vec::new();
     for k in [8u32, 16, 32] {
@@ -51,14 +56,20 @@ fn plan() -> Vec<Scenario> {
             group_size: k,
             ..base()
         };
-        cells.push(scenario("group size", &format!("k={k}"), cfg, 1.0));
+        cells.push(scenario("group size", &format!("k={k}"), cfg, 1.0, packets));
     }
     for gain in [0.1f64, 0.25, 0.5] {
         let cfg = SharqfecConfig {
             zlc_gain: gain,
             ..base()
         };
-        cells.push(scenario("zlc EWMA gain", &format!("w={gain}"), cfg, 1.0));
+        cells.push(scenario(
+            "zlc EWMA gain",
+            &format!("w={gain}"),
+            cfg,
+            1.0,
+            packets,
+        ));
     }
     for adaptive in [false, true] {
         let cfg = SharqfecConfig {
@@ -70,51 +81,33 @@ fn plan() -> Vec<Scenario> {
         } else {
             "fixed (paper)"
         };
-        cells.push(scenario("request timers", setting, cfg, 1.0));
+        cells.push(scenario("request timers", setting, cfg, 1.0, packets));
     }
     for scale in [0.5f64, 1.0, 1.5] {
-        cells.push(scenario("loss scale", &format!("x{scale}"), base(), scale));
+        cells.push(scenario(
+            "loss scale",
+            &format!("x{scale}"),
+            base(),
+            scale,
+            packets,
+        ));
     }
     cells
 }
 
 fn main() {
-    let mut seed = 42u64;
-    let mut threads = default_threads();
-    let argv: Vec<String> = std::env::args().collect();
-    let mut i = 1;
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--seed" => {
-                i += 1;
-                seed = argv[i].parse().expect("--seed takes a number");
-            }
-            "--threads" => {
-                i += 1;
-                let n: usize = argv[i].parse().expect("--threads takes a count");
-                threads = NonZeroUsize::new(n).expect("--threads must be >= 1");
-            }
-            other => panic!("unknown argument {other}"),
-        }
-        i += 1;
-    }
+    let SweepArgs {
+        seed,
+        threads,
+        packets,
+    } = SweepArgs::parse(256);
 
-    let specs = plan();
-    let cells: Vec<Cell> = specs
-        .iter()
-        .map(|s| Cell::new(s.label.clone(), seed))
-        .collect();
-    let results = run_sweep(cells, threads, |cell| {
-        specs
-            .iter()
-            .find(|s| s.label == cell.scenario)
-            .expect("cell matches a planned scenario")
-            .run(cell.seed)
-    });
+    let specs = plan(packets);
+    let results = cli::run_scenario_sweep(&specs, seed, threads, |s, seed| s.run(seed));
 
     let threads_used = results.threads;
     let wall = results.wall;
-    match results.write_json("results", "ablation_sweep", |o| {
+    cli::report_summary(results.write_json("results", "ablation_sweep", |o| {
         let audit = o.audit.as_ref();
         vec![
             ("data_repair_per_rx".into(), o.data_repair_per_rx),
@@ -130,10 +123,7 @@ fn main() {
                 audit.map_or(0.0, |a| a.violations as f64),
             ),
         ]
-    }) {
-        Ok(path) => eprintln!("summary: {}", path.display()),
-        Err(e) => eprintln!("could not write results JSON: {e}"),
-    }
+    }));
 
     let mut audit_failures = Vec::new();
     let mut t = Table::new(vec![
@@ -165,7 +155,7 @@ fn main() {
             },
         ]);
     }
-    println!("SHARQFEC ablation sweeps (256 packets, Figure 10, seed {seed})");
+    println!("SHARQFEC ablation sweeps ({packets} packets, Figure 10, seed {seed})");
     println!(
         "({} cells on {} threads, {:.1}s wall, streaming recorder)",
         specs.len(),
@@ -175,11 +165,5 @@ fn main() {
     println!();
     println!("{}", t.to_aligned());
 
-    if !audit_failures.is_empty() {
-        eprintln!("invariant auditor found violations:");
-        for f in &audit_failures {
-            eprintln!("  {f}");
-        }
-        std::process::exit(2);
-    }
+    cli::exit_on_audit_failures(&audit_failures);
 }

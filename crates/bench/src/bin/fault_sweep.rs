@@ -17,13 +17,12 @@
 
 use sharqfec::SharqfecConfig;
 use sharqfec_analysis::table::Table;
+use sharqfec_bench::cli::{self, SweepArgs};
 use sharqfec_bench::{Scenario, Workload};
 use sharqfec_netsim::faults::FaultPlan;
-use sharqfec_netsim::runner::{default_threads, run_sweep, Cell};
 use sharqfec_netsim::SimTime;
 use sharqfec_topology::figure10::mesh_node;
 use sharqfec_topology::{figure10, Figure10Params};
-use std::num::NonZeroUsize;
 
 /// The link that flaps: tree 3's backbone attachment.  Link ids depend
 /// only on construction order, so computing it on a throwaway build is
@@ -65,47 +64,18 @@ fn plan(packets: u32) -> Vec<Scenario> {
 }
 
 fn main() {
-    let mut seed = 42u64;
-    let mut threads = default_threads();
-    let mut packets = 128u32;
-    let argv: Vec<String> = std::env::args().collect();
-    let mut i = 1;
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--seed" => {
-                i += 1;
-                seed = argv[i].parse().expect("--seed takes a number");
-            }
-            "--threads" => {
-                i += 1;
-                let n: usize = argv[i].parse().expect("--threads takes a count");
-                threads = NonZeroUsize::new(n).expect("--threads must be >= 1");
-            }
-            "--packets" => {
-                i += 1;
-                packets = argv[i].parse().expect("--packets takes a count");
-            }
-            other => panic!("unknown argument {other}"),
-        }
-        i += 1;
-    }
+    let SweepArgs {
+        seed,
+        threads,
+        packets,
+    } = SweepArgs::parse(128);
 
     let specs = plan(packets);
-    let cells: Vec<Cell> = specs
-        .iter()
-        .map(|s| Cell::new(s.label.clone(), seed))
-        .collect();
-    let results = run_sweep(cells, threads, |cell| {
-        specs
-            .iter()
-            .find(|s| s.label == cell.scenario)
-            .expect("cell matches a planned scenario")
-            .run(cell.seed)
-    });
+    let results = cli::run_scenario_sweep(&specs, seed, threads, |s, seed| s.run(seed));
 
     let threads_used = results.threads;
     let wall = results.wall;
-    match results.write_json("results", "fault_sweep", |o| {
+    cli::report_summary(results.write_json("results", "fault_sweep", |o| {
         let audit = o.audit.as_ref();
         vec![
             ("data_repair_per_rx".into(), o.data_repair_per_rx),
@@ -122,10 +92,7 @@ fn main() {
                 audit.map_or(0.0, |a| a.violations as f64),
             ),
         ]
-    }) {
-        Ok(path) => eprintln!("summary: {}", path.display()),
-        Err(e) => eprintln!("could not write results JSON: {e}"),
-    }
+    }));
 
     let mut audit_failures = Vec::new();
     let mut t = Table::new(vec![
@@ -172,11 +139,5 @@ fn main() {
     println!();
     println!("{}", t.to_aligned());
 
-    if !audit_failures.is_empty() {
-        eprintln!("invariant auditor found violations:");
-        for f in &audit_failures {
-            eprintln!("  {f}");
-        }
-        std::process::exit(2);
-    }
+    cli::exit_on_audit_failures(&audit_failures);
 }

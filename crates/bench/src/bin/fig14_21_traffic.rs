@@ -15,8 +15,8 @@
 use sharqfec::{SharqfecConfig, Variant};
 use sharqfec_analysis::spark::spark_row;
 use sharqfec_analysis::table::Table;
+use sharqfec_bench::cli::{self, SweepArgs};
 use sharqfec_bench::{Scenario, TrafficRun, Workload};
-use sharqfec_netsim::runner::{default_threads, run_sweep, Cell};
 use sharqfec_srm::SrmConfig;
 use std::num::NonZeroUsize;
 
@@ -29,40 +29,30 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args {
-        fig: None,
-        packets: 1024,
-        seed: 42,
-        threads: default_threads(),
-        tsv: false,
-    };
-    let argv: Vec<String> = std::env::args().collect();
-    let mut i = 1;
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--fig" => {
-                i += 1;
-                args.fig = Some(argv[i].parse().expect("--fig takes a number 14..=21"));
-            }
-            "--packets" => {
-                i += 1;
-                args.packets = argv[i].parse().expect("--packets takes a count");
-            }
-            "--seed" => {
-                i += 1;
-                args.seed = argv[i].parse().expect("--seed takes a number");
-            }
-            "--threads" => {
-                i += 1;
-                let n: usize = argv[i].parse().expect("--threads takes a count");
-                args.threads = NonZeroUsize::new(n).expect("--threads must be >= 1");
-            }
-            "--tsv" => args.tsv = true,
-            other => panic!("unknown argument {other}"),
+    let mut fig = None;
+    let mut tsv = false;
+    let shared = SweepArgs::parse_with(1024, |flag, cur| match flag {
+        "--fig" => {
+            fig = Some(
+                cur.value("--fig takes a number 14..=21")
+                    .parse()
+                    .expect("--fig takes a number 14..=21"),
+            );
+            true
         }
-        i += 1;
+        "--tsv" => {
+            tsv = true;
+            true
+        }
+        _ => false,
+    });
+    Args {
+        fig,
+        packets: shared.packets,
+        seed: shared.seed,
+        threads: shared.threads,
+        tsv,
     }
-    args
 }
 
 /// Which series a figure plots: receiver data+repair, NACKs, or the
@@ -175,18 +165,10 @@ fn main() {
     }
     scenarios.push(sf(Variant::Full));
 
-    let cells: Vec<Cell> = scenarios
-        .iter()
-        .map(|s| Cell::new(s.label.clone(), args.seed))
-        .collect();
-    let results = run_sweep(cells, args.threads, |cell| {
-        scenarios
-            .iter()
-            .find(|s| s.label == cell.scenario)
-            .expect("cell matches a planned scenario")
-            .run_traffic(cell.seed)
+    let results = cli::run_scenario_sweep(&scenarios, args.seed, args.threads, |s, seed| {
+        s.run_traffic(seed)
     });
-    match results.write_json("results", "fig14_21_traffic", |r| {
+    cli::report_summary(results.write_json("results", "fig14_21_traffic", |r| {
         let audit = r.audit.as_ref();
         vec![
             ("total_repairs".into(), r.total_repairs as f64),
@@ -201,10 +183,7 @@ fn main() {
                 audit.map_or(0.0, |a| a.violations as f64),
             ),
         ]
-    }) {
-        Ok(path) => eprintln!("summary: {}", path.display()),
-        Err(e) => eprintln!("could not write results JSON: {e}"),
-    }
+    }));
 
     let mut audit_failures = Vec::new();
     let mut by_label = std::collections::HashMap::new();
@@ -305,11 +284,5 @@ fn main() {
         );
     }
 
-    if !audit_failures.is_empty() {
-        eprintln!("invariant auditor found violations:");
-        for f in &audit_failures {
-            eprintln!("  {f}");
-        }
-        std::process::exit(2);
-    }
+    cli::exit_on_audit_failures(&audit_failures);
 }

@@ -21,6 +21,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod microbench;
+
 use sharqfec::{setup_sharqfec_builder, SfAgent, SharqfecConfig, Variant};
 use sharqfec_analysis::series::{bin_deliveries, BinSpec};
 use sharqfec_netsim::faults::{FaultPlan, LossModel};

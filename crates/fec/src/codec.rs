@@ -12,6 +12,74 @@ use crate::matrix::Matrix;
 use crate::{FecError, MAX_GROUP};
 use sharqfec_gf256::{mul_acc_slice, Gf256};
 
+/// Reusable decode workspace.
+///
+/// [`GroupCodec::decode`] writes the recovered data shards into this
+/// scratch's flat buffer and borrows the result back as a
+/// [`RecoveredGroup`].  All buffers (seen-set, row selection, decode
+/// matrices, output) are grown once and reused, so steady-state repair
+/// decoding — the same codec shape group after group — performs no heap
+/// allocation at all.
+#[derive(Debug, Default, Clone)]
+pub struct DecodeScratch {
+    /// Dedup bitmap over shard indices, `n` entries.
+    seen: Vec<bool>,
+    /// Indices of the k shards used for reconstruction.
+    rows: Vec<usize>,
+    /// The selected k×k generator rows (destroyed by inversion).
+    sub: Matrix,
+    /// The inverse decode matrix.
+    inv: Matrix,
+    /// Flat `k × shard_len` output buffer.
+    out: Vec<u8>,
+}
+
+/// A borrowed view of the `k` recovered data shards of one group, laid out
+/// contiguously inside a [`DecodeScratch`].
+///
+/// The view lives only as long as the scratch borrow; copy out what must
+/// outlive it (or use [`RecoveredGroup::to_vecs`] in tests).
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveredGroup<'a> {
+    flat: &'a [u8],
+    shard_len: usize,
+}
+
+impl<'a> RecoveredGroup<'a> {
+    /// Number of data shards recovered (`k`).
+    pub fn k(&self) -> usize {
+        self.flat.len() / self.shard_len
+    }
+
+    /// Length of each shard in bytes.
+    pub fn shard_len(&self) -> usize {
+        self.shard_len
+    }
+
+    /// Data shard `i` (`0..k`).
+    pub fn shard(&self, i: usize) -> &'a [u8] {
+        &self.flat[i * self.shard_len..(i + 1) * self.shard_len]
+    }
+
+    /// Iterates the shards in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [u8]> {
+        self.flat.chunks_exact(self.shard_len)
+    }
+
+    /// The shards as one contiguous `k × shard_len` byte run — shard `i`
+    /// starts at offset `i * shard_len`, which is exactly the layout a
+    /// framed object wants.
+    pub fn flat(&self) -> &'a [u8] {
+        self.flat
+    }
+
+    /// Copies the shards out into owned vectors (convenience for tests and
+    /// non-hot paths).
+    pub fn to_vecs(&self) -> Vec<Vec<u8>> {
+        self.iter().map(|s| s.to_vec()).collect()
+    }
+}
+
 /// A fixed-rate systematic erasure codec for one packet-group shape.
 ///
 /// `k` is the number of data packets per group and `h` the maximum number of
@@ -74,21 +142,47 @@ impl GroupCodec {
     }
 
     /// Encodes all `h` parity packets for a group of `k` equal-length data
-    /// packets.
-    pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, FecError> {
+    /// packets into caller-provided buffers — one per parity packet, each
+    /// exactly the data packets' length.
+    ///
+    /// The buffers are zeroed and overwritten; on error their contents are
+    /// unspecified.  Callers own the storage, so a steady-state encoder
+    /// reuses the same parity buffers group after group.
+    pub fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<(), FecError> {
         self.check_data(data)?;
-        (self.k..self.n())
-            .map(|row| self.encode_shard_checked(data, row))
-            .collect()
+        if parity.len() != self.h {
+            return Err(FecError::WrongShardCount {
+                expected: self.h,
+                got: parity.len(),
+            });
+        }
+        let len = data[0].len();
+        for (j, out) in parity.iter_mut().enumerate() {
+            if out.len() != len {
+                return Err(FecError::UnequalShardLengths);
+            }
+            out.fill(0);
+            let coeffs = self.generator.row(self.k + j);
+            for (i, shard) in data.iter().enumerate() {
+                mul_acc_slice(out, shard, coeffs[i]);
+            }
+        }
+        Ok(())
     }
 
-    /// Encodes the single output packet with index `index` (`0..k` returns
-    /// a copy of the data packet; `k..k+h` computes a parity packet).
+    /// Encodes the single output packet with index `index` into `out`
+    /// (`0..k` copies the data packet; `k..k+h` computes a parity packet).
+    /// `out` must have the data packets' length.
     ///
     /// SHARQFEC repairers use this to generate *specific* FEC packets above
     /// the highest identifier already seen, so that concurrent repairers
     /// never duplicate each other's repair packets.
-    pub fn encode_shard(&self, data: &[&[u8]], index: usize) -> Result<Vec<u8>, FecError> {
+    pub fn encode_shard_into(
+        &self,
+        data: &[&[u8]],
+        index: usize,
+        out: &mut [u8],
+    ) -> Result<(), FecError> {
         self.check_data(data)?;
         if index >= self.n() {
             return Err(FecError::IndexOutOfRange {
@@ -96,29 +190,37 @@ impl GroupCodec {
                 group: self.n(),
             });
         }
-        self.encode_shard_checked(data, index)
-    }
-
-    fn encode_shard_checked(&self, data: &[&[u8]], row: usize) -> Result<Vec<u8>, FecError> {
-        if row < self.k {
-            return Ok(data[row].to_vec());
+        if out.len() != data[0].len() {
+            return Err(FecError::UnequalShardLengths);
         }
-        let len = data[0].len();
-        let mut out = vec![0u8; len];
-        let coeffs = self.generator.row(row);
-        for (j, shard) in data.iter().enumerate() {
-            mul_acc_slice(&mut out, shard, coeffs[j]);
+        if index < self.k {
+            out.copy_from_slice(data[index]);
+            return Ok(());
         }
-        Ok(out)
+        out.fill(0);
+        let coeffs = self.generator.row(index);
+        for (i, shard) in data.iter().enumerate() {
+            mul_acc_slice(out, shard, coeffs[i]);
+        }
+        Ok(())
     }
 
     /// Reconstructs the `k` original data packets from any `k` received
-    /// packets given as `(index, payload)` pairs.
+    /// packets given as `(index, payload)` pairs, writing them into
+    /// `scratch` and returning a borrowed [`RecoveredGroup`] view.
     ///
-    /// Extra packets beyond `k` are ignored (the first `k` valid ones are
-    /// used).  Indices must be distinct and in `0..k+h`; payloads must be
-    /// non-empty and of equal length.
-    pub fn decode(&self, shards: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>, FecError> {
+    /// Extra packets beyond `k` are ignored (the first `k` are used; all
+    /// entries are still validated).  Indices must be distinct and in
+    /// `0..k+h`; payloads must be non-empty and of equal length.
+    ///
+    /// The scratch may be shared across codecs of different shapes; its
+    /// buffers grow to the largest shape seen and are then reused without
+    /// further allocation.
+    pub fn decode<'s>(
+        &self,
+        shards: &[(usize, &[u8])],
+        scratch: &'s mut DecodeScratch,
+    ) -> Result<RecoveredGroup<'s>, FecError> {
         if shards.len() < self.k {
             return Err(FecError::NotEnoughShards {
                 needed: self.k,
@@ -129,8 +231,8 @@ impl GroupCodec {
         if len == 0 {
             return Err(FecError::EmptyShards);
         }
-        let mut seen = vec![false; self.n()];
-        let mut use_shards: Vec<(usize, &[u8])> = Vec::with_capacity(self.k);
+        scratch.seen.clear();
+        scratch.seen.resize(self.n(), false);
         for &(idx, payload) in shards {
             if idx >= self.n() {
                 return Err(FecError::IndexOutOfRange {
@@ -138,47 +240,51 @@ impl GroupCodec {
                     group: self.n(),
                 });
             }
-            if seen[idx] {
+            if scratch.seen[idx] {
                 return Err(FecError::DuplicateIndex(idx));
             }
-            seen[idx] = true;
+            scratch.seen[idx] = true;
             if payload.len() != len {
                 return Err(FecError::UnequalShardLengths);
             }
-            if use_shards.len() < self.k {
-                use_shards.push((idx, payload));
-            }
         }
-        if use_shards.len() < self.k {
-            return Err(FecError::NotEnoughShards {
-                needed: self.k,
-                got: use_shards.len(),
-            });
-        }
+        // Every entry is valid and indices are distinct, so the shards used
+        // for reconstruction are simply the first k in input order.
+        let use_shards = &shards[..self.k];
+        scratch.out.clear();
+        scratch.out.resize(self.k * len, 0);
 
         // Fast path: if the k selected shards are exactly the data shards,
         // no algebra is needed.
         if use_shards.iter().all(|&(idx, _)| idx < self.k) {
-            let mut out: Vec<Option<Vec<u8>>> = vec![None; self.k];
-            for &(idx, payload) in &use_shards {
-                out[idx] = Some(payload.to_vec());
+            for &(idx, payload) in use_shards {
+                scratch.out[idx * len..(idx + 1) * len].copy_from_slice(payload);
             }
             // All k data indices are distinct and < k, so all slots filled.
-            return Ok(out.into_iter().map(|s| s.expect("slot filled")).collect());
+            return Ok(RecoveredGroup {
+                flat: &scratch.out,
+                shard_len: len,
+            });
         }
 
-        let rows: Vec<usize> = use_shards.iter().map(|&(i, _)| i).collect();
-        let sub = self.generator.select_rows(&rows);
-        let inv = sub.inverse().ok_or(FecError::SingularMatrix)?;
+        scratch.rows.clear();
+        scratch.rows.extend(use_shards.iter().map(|&(i, _)| i));
+        scratch.sub.select_rows_into(&self.generator, &scratch.rows);
+        if !scratch.sub.invert_into(&mut scratch.inv) {
+            return Err(FecError::SingularMatrix);
+        }
 
-        let mut out = vec![vec![0u8; len]; self.k];
-        for (data_row, out_shard) in out.iter_mut().enumerate() {
-            let coeffs = inv.row(data_row);
+        for data_row in 0..self.k {
+            let out_shard = &mut scratch.out[data_row * len..(data_row + 1) * len];
+            let coeffs = scratch.inv.row(data_row);
             for (j, &(_, payload)) in use_shards.iter().enumerate() {
                 mul_acc_slice(out_shard, payload, coeffs[j]);
             }
         }
-        Ok(out)
+        Ok(RecoveredGroup {
+            flat: &scratch.out,
+            shard_len: len,
+        })
     }
 
     fn check_data(&self, data: &[&[u8]]) -> Result<(), FecError> {
@@ -223,6 +329,24 @@ mod tests {
         data.iter().map(|v| v.as_slice()).collect()
     }
 
+    /// Test convenience: encode all parity shards into fresh vectors.
+    fn encode_parity(codec: &GroupCodec, data: &[&[u8]]) -> Vec<Vec<u8>> {
+        let len = data.first().map_or(0, |d| d.len());
+        let mut parity = vec![vec![0u8; len]; codec.h()];
+        let mut bufs: Vec<&mut [u8]> = parity.iter_mut().map(|v| v.as_mut_slice()).collect();
+        codec.encode_into(data, &mut bufs).unwrap();
+        parity
+    }
+
+    /// Test convenience: decode through a throwaway scratch into vectors.
+    fn decode_vecs(
+        codec: &GroupCodec,
+        shards: &[(usize, &[u8])],
+    ) -> Result<Vec<Vec<u8>>, FecError> {
+        let mut scratch = DecodeScratch::default();
+        codec.decode(shards, &mut scratch).map(|r| r.to_vecs())
+    }
+
     #[test]
     fn systematic_prefix_is_identity() {
         let codec = GroupCodec::new(16, 8).unwrap();
@@ -240,7 +364,7 @@ mod tests {
         for h in [1usize, 2, 4] {
             let codec = GroupCodec::new(16, h).unwrap();
             let data = sample_data(16, 64);
-            let parity = codec.encode(&refs(&data)).unwrap();
+            let parity = encode_parity(&codec, &refs(&data));
             assert_eq!(parity.len(), h);
 
             // Drop the first h data packets, decode from the rest + parity.
@@ -251,7 +375,7 @@ mod tests {
             for (j, p) in parity.iter().enumerate() {
                 shards.push((16 + j, p.as_slice()));
             }
-            let rec = codec.decode(&shards).unwrap();
+            let rec = decode_vecs(&codec, &shards).unwrap();
             assert_eq!(rec, data, "h={h}");
         }
     }
@@ -263,9 +387,11 @@ mod tests {
         let (k, h) = (4usize, 3usize);
         let codec = GroupCodec::new(k, h).unwrap();
         let data = sample_data(k, 32);
-        let parity = codec.encode(&refs(&data)).unwrap();
+        let parity = encode_parity(&codec, &refs(&data));
         let all: Vec<Vec<u8>> = data.iter().cloned().chain(parity.iter().cloned()).collect();
 
+        // One scratch across every loss pattern — the steady-state shape.
+        let mut scratch = DecodeScratch::default();
         let n = k + h;
         for mask in 0u32..(1 << n) {
             if mask.count_ones() as usize != k {
@@ -275,8 +401,8 @@ mod tests {
                 .filter(|i| mask & (1 << i) != 0)
                 .map(|i| (i, all[i].as_slice()))
                 .collect();
-            let rec = codec.decode(&shards).unwrap();
-            assert_eq!(rec, data, "mask={mask:07b}");
+            let rec = codec.decode(&shards, &mut scratch).unwrap();
+            assert_eq!(rec.to_vecs(), data, "mask={mask:07b}");
         }
     }
 
@@ -284,7 +410,7 @@ mod tests {
     fn decode_uses_only_first_k_and_ignores_extras() {
         let codec = GroupCodec::new(3, 2).unwrap();
         let data = sample_data(3, 8);
-        let parity = codec.encode(&refs(&data)).unwrap();
+        let parity = encode_parity(&codec, &refs(&data));
         let shards = vec![
             (0usize, data[0].as_slice()),
             (3, parity[0].as_slice()),
@@ -292,7 +418,7 @@ mod tests {
             (4, parity[1].as_slice()), // extra
             (1, data[1].as_slice()),   // extra
         ];
-        assert_eq!(codec.decode(&shards).unwrap(), data);
+        assert_eq!(decode_vecs(&codec, &shards).unwrap(), data);
     }
 
     #[test]
@@ -304,7 +430,7 @@ mod tests {
             .enumerate()
             .map(|(i, d)| (i, d.as_slice()))
             .collect();
-        assert_eq!(codec.decode(&shards).unwrap(), data);
+        assert_eq!(decode_vecs(&codec, &shards).unwrap(), data);
         // Out-of-order data shards still land in the right slots.
         let shuffled = vec![
             (2usize, data[2].as_slice()),
@@ -312,19 +438,24 @@ mod tests {
             (3, data[3].as_slice()),
             (1, data[1].as_slice()),
         ];
-        assert_eq!(codec.decode(&shuffled).unwrap(), data);
+        assert_eq!(decode_vecs(&codec, &shuffled).unwrap(), data);
     }
 
     #[test]
     fn encode_shard_matches_batch_encode() {
         let codec = GroupCodec::new(5, 4).unwrap();
         let data = sample_data(5, 20);
-        let parity = codec.encode(&refs(&data)).unwrap();
+        let parity = encode_parity(&codec, &refs(&data));
+        let mut out = vec![0u8; 20];
         for (j, expected) in parity.iter().enumerate() {
-            assert_eq!(&codec.encode_shard(&refs(&data), 5 + j).unwrap(), expected);
+            codec
+                .encode_shard_into(&refs(&data), 5 + j, &mut out)
+                .unwrap();
+            assert_eq!(&out, expected);
         }
         for (i, expected) in data.iter().enumerate() {
-            assert_eq!(&codec.encode_shard(&refs(&data), i).unwrap(), expected);
+            codec.encode_shard_into(&refs(&data), i, &mut out).unwrap();
+            assert_eq!(&out, expected);
         }
     }
 
@@ -338,10 +469,15 @@ mod tests {
 
         let codec = GroupCodec::new(3, 2).unwrap();
         let data = sample_data(3, 8);
+        let mut parity = vec![vec![0u8; 8]; 2];
 
+        let encode = |codec: &GroupCodec, data: &[&[u8]], parity: &mut [Vec<u8>]| {
+            let mut bufs: Vec<&mut [u8]> = parity.iter_mut().map(|v| v.as_mut_slice()).collect();
+            codec.encode_into(data, &mut bufs)
+        };
         // wrong shard count
         assert!(matches!(
-            codec.encode(&refs(&data)[..2]).unwrap_err(),
+            encode(&codec, &refs(&data)[..2], &mut parity).unwrap_err(),
             FecError::WrongShardCount {
                 expected: 3,
                 got: 2
@@ -350,15 +486,32 @@ mod tests {
         // unequal lengths
         let bad = vec![&data[0][..], &data[1][..4], &data[2][..]];
         assert_eq!(
-            codec.encode(&bad).unwrap_err(),
+            encode(&codec, &bad, &mut parity).unwrap_err(),
             FecError::UnequalShardLengths
         );
         // empty shards
         let empty: Vec<&[u8]> = vec![&[], &[], &[]];
-        assert_eq!(codec.encode(&empty).unwrap_err(), FecError::EmptyShards);
+        assert_eq!(
+            encode(&codec, &empty, &mut parity).unwrap_err(),
+            FecError::EmptyShards
+        );
+        // wrong number of parity buffers
+        assert!(matches!(
+            encode(&codec, &refs(&data), &mut parity[..1]).unwrap_err(),
+            FecError::WrongShardCount {
+                expected: 2,
+                got: 1
+            }
+        ));
+        // mis-sized parity buffer
+        let mut short = vec![vec![0u8; 8], vec![0u8; 4]];
+        assert_eq!(
+            encode(&codec, &refs(&data), &mut short).unwrap_err(),
+            FecError::UnequalShardLengths
+        );
         // decode: not enough
         assert!(matches!(
-            codec.decode(&[(0, data[0].as_slice())]).unwrap_err(),
+            decode_vecs(&codec, &[(0, data[0].as_slice())]).unwrap_err(),
             FecError::NotEnoughShards { needed: 3, got: 1 }
         ));
         // decode: duplicate index
@@ -367,7 +520,10 @@ mod tests {
             (0, data[0].as_slice()),
             (1, data[1].as_slice()),
         ];
-        assert_eq!(codec.decode(&dup).unwrap_err(), FecError::DuplicateIndex(0));
+        assert_eq!(
+            decode_vecs(&codec, &dup).unwrap_err(),
+            FecError::DuplicateIndex(0)
+        );
         // decode: index out of range
         let oor = vec![
             (0usize, data[0].as_slice()),
@@ -375,23 +531,34 @@ mod tests {
             (9, data[2].as_slice()),
         ];
         assert!(matches!(
-            codec.decode(&oor).unwrap_err(),
+            decode_vecs(&codec, &oor).unwrap_err(),
             FecError::IndexOutOfRange { index: 9, group: 5 }
         ));
-        // encode_shard: index out of range
+        // encode_shard_into: index out of range
+        let mut out = vec![0u8; 8];
         assert!(matches!(
-            codec.encode_shard(&refs(&data), 5).unwrap_err(),
+            codec
+                .encode_shard_into(&refs(&data), 5, &mut out)
+                .unwrap_err(),
             FecError::IndexOutOfRange { index: 5, group: 5 }
         ));
+        // encode_shard_into: mis-sized output buffer
+        let mut short_out = vec![0u8; 4];
+        assert_eq!(
+            codec
+                .encode_shard_into(&refs(&data), 0, &mut short_out)
+                .unwrap_err(),
+            FecError::UnequalShardLengths
+        );
     }
 
     #[test]
     fn one_byte_payloads_work() {
         let codec = GroupCodec::new(2, 1).unwrap();
         let data = vec![vec![0xAAu8], vec![0x55u8]];
-        let parity = codec.encode(&refs(&data)).unwrap();
+        let parity = encode_parity(&codec, &refs(&data));
         let shards = vec![(1usize, data[1].as_slice()), (2, parity[0].as_slice())];
-        assert_eq!(codec.decode(&shards).unwrap(), data);
+        assert_eq!(decode_vecs(&codec, &shards).unwrap(), data);
     }
 
     #[test]
@@ -399,11 +566,11 @@ mod tests {
         // With k=1 every parity packet is a copy of the single data packet.
         let codec = GroupCodec::new(1, 3).unwrap();
         let data = vec![vec![1u8, 2, 3]];
-        let parity = codec.encode(&refs(&data)).unwrap();
+        let parity = encode_parity(&codec, &refs(&data));
         for p in &parity {
             assert_eq!(p, &data[0]);
         }
-        let rec = codec.decode(&[(3usize, parity[2].as_slice())]).unwrap();
+        let rec = decode_vecs(&codec, &[(3usize, parity[2].as_slice())]).unwrap();
         assert_eq!(rec, data);
     }
 
@@ -411,18 +578,70 @@ mod tests {
     fn zero_parity_codec_is_a_noop_pass_through() {
         let codec = GroupCodec::new(4, 0).unwrap();
         let data = sample_data(4, 6);
-        assert!(codec.encode(&refs(&data)).unwrap().is_empty());
+        assert!(encode_parity(&codec, &refs(&data)).is_empty());
         let shards: Vec<(usize, &[u8])> = data
             .iter()
             .enumerate()
             .map(|(i, d)| (i, d.as_slice()))
             .collect();
-        assert_eq!(codec.decode(&shards).unwrap(), data);
+        assert_eq!(decode_vecs(&codec, &shards).unwrap(), data);
     }
 
     #[test]
     fn debug_format_names_shape() {
         let codec = GroupCodec::new(16, 4).unwrap();
         assert_eq!(format!("{codec:?}"), "GroupCodec(k=16, h=4)");
+    }
+
+    #[test]
+    fn recovered_group_view_exposes_shards_and_flat_layout() {
+        let codec = GroupCodec::new(3, 2).unwrap();
+        let data = sample_data(3, 8);
+        let parity = encode_parity(&codec, &refs(&data));
+        let shards = vec![
+            (1usize, data[1].as_slice()),
+            (3, parity[0].as_slice()),
+            (4, parity[1].as_slice()),
+        ];
+        let mut scratch = DecodeScratch::default();
+        let rec = codec.decode(&shards, &mut scratch).unwrap();
+        assert_eq!(rec.k(), 3);
+        assert_eq!(rec.shard_len(), 8);
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(rec.shard(i), d.as_slice());
+        }
+        assert_eq!(rec.iter().count(), 3);
+        // Flat layout: shard i at offset i * shard_len.
+        assert_eq!(&rec.flat()[8..16], data[1].as_slice());
+        assert_eq!(rec.flat().len(), 24);
+    }
+
+    #[test]
+    fn one_scratch_serves_codecs_of_different_shapes() {
+        // A session decodes tail groups (smaller k) with the same scratch
+        // it used for full groups; shrinking shapes must not read stale
+        // bytes from the previous, larger decode.
+        let mut scratch = DecodeScratch::default();
+        for (k, h) in [(16usize, 4usize), (4, 2), (7, 3), (2, 1)] {
+            let codec = GroupCodec::new(k, h).unwrap();
+            let data = sample_data(k, 32);
+            let parity = encode_parity(&codec, &refs(&data));
+            // Lose the first min(h, k) data shards.
+            let lost = h.min(k);
+            let shards: Vec<(usize, &[u8])> = data
+                .iter()
+                .enumerate()
+                .skip(lost)
+                .map(|(i, d)| (i, d.as_slice()))
+                .chain(
+                    parity
+                        .iter()
+                        .enumerate()
+                        .map(|(j, p)| (k + j, p.as_slice())),
+                )
+                .collect();
+            let rec = codec.decode(&shards, &mut scratch).unwrap();
+            assert_eq!(rec.to_vecs(), data, "k={k} h={h}");
+        }
     }
 }

@@ -11,7 +11,7 @@
 //! header so the decoder can strip tail padding; everything after it is raw
 //! object bytes.
 
-use crate::codec::GroupCodec;
+use crate::codec::{DecodeScratch, GroupCodec};
 use crate::FecError;
 
 /// Header bytes prepended to the object (little-endian u64 length).
@@ -95,7 +95,9 @@ impl GroupEncoder {
                 .map(|i| chunk[i * self.payload_len..(i + 1) * self.payload_len].to_vec())
                 .collect();
             let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
-            let parity = self.codec.encode(&refs)?;
+            let mut parity = vec![vec![0u8; self.payload_len]; self.codec.h()];
+            let mut bufs: Vec<&mut [u8]> = parity.iter_mut().map(|v| v.as_mut_slice()).collect();
+            self.codec.encode_into(&refs, &mut bufs)?;
             out.push(EncodedGroup {
                 group_id: g as u64,
                 data,
@@ -182,7 +184,11 @@ impl GroupDecoder {
     /// Reconstructs the object.  Fails if any group is still short.
     pub fn finish(&self) -> Result<Vec<u8>, FecError> {
         let mut framed = Vec::with_capacity(self.groups.len() * self.codec.k() * self.payload_len);
-        for (g, shards) in self.groups.iter().enumerate() {
+        // One decode scratch reused across every group of the object: the
+        // recovered shards land flat in index order, which is exactly the
+        // framed layout, so each group is one decode + one memcpy.
+        let mut scratch = DecodeScratch::default();
+        for shards in self.groups.iter() {
             if shards.len() < self.codec.k() {
                 return Err(FecError::NotEnoughShards {
                     needed: self.codec.k(),
@@ -191,11 +197,8 @@ impl GroupDecoder {
             }
             let refs: Vec<(usize, &[u8])> =
                 shards.iter().map(|(i, p)| (*i, p.as_slice())).collect();
-            let data = self.codec.decode(&refs)?;
-            let _ = g;
-            for shard in data {
-                framed.extend_from_slice(&shard);
-            }
+            let recovered = self.codec.decode(&refs, &mut scratch)?;
+            framed.extend_from_slice(recovered.flat());
         }
         if framed.len() < FRAME_HEADER_LEN {
             return Err(FecError::BadFrame("object shorter than header"));

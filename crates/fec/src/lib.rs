@@ -18,14 +18,22 @@
 //!
 //! # Quickstart
 //!
+//! The codec works over borrowed shard views: encoding writes parity into
+//! caller-provided buffers, and decoding reuses a [`DecodeScratch`]
+//! workspace so steady-state repair decoding never allocates.
+//!
 //! ```
-//! use sharqfec_fec::codec::GroupCodec;
+//! use sharqfec_fec::codec::{DecodeScratch, GroupCodec};
 //!
 //! // A group of k = 4 data packets, able to survive any 2 losses.
 //! let codec = GroupCodec::new(4, 2).unwrap();
 //! let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 16]).collect();
 //! let shards: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
-//! let parity = codec.encode(&shards).unwrap();
+//! let mut parity = vec![vec![0u8; 16]; 2];
+//! {
+//!     let mut bufs: Vec<&mut [u8]> = parity.iter_mut().map(|v| v.as_mut_slice()).collect();
+//!     codec.encode_into(&shards, &mut bufs).unwrap();
+//! }
 //!
 //! // Lose packets 1 and 3; recover from 0, 2 and the two parity packets.
 //! let received = vec![
@@ -34,8 +42,9 @@
 //!     (4, parity[0].as_slice()),
 //!     (5, parity[1].as_slice()),
 //! ];
-//! let recovered = codec.decode(&received).unwrap();
-//! assert_eq!(recovered, data);
+//! let mut scratch = DecodeScratch::default();
+//! let recovered = codec.decode(&received, &mut scratch).unwrap();
+//! assert_eq!(recovered.to_vecs(), data);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -45,7 +54,7 @@ pub mod codec;
 pub mod group;
 pub mod matrix;
 
-pub use codec::GroupCodec;
+pub use codec::{DecodeScratch, GroupCodec, RecoveredGroup};
 pub use group::{GroupDecoder, GroupEncoder};
 
 /// Maximum total number of packets (`k + h`) in one group.

@@ -28,6 +28,18 @@ impl core::fmt::Debug for Matrix {
     }
 }
 
+impl Default for Matrix {
+    /// A dimensionless (0 × 0) placeholder, the initial state of reusable
+    /// scratch matrices; give it a shape with [`Matrix::reset`] before use.
+    fn default() -> Matrix {
+        Matrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
+}
+
 impl Matrix {
     /// An all-zero matrix.
     pub fn zero(rows: usize, cols: usize) -> Matrix {
@@ -110,12 +122,30 @@ impl Matrix {
 
     /// A new matrix consisting of the selected rows, in order.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
-        let mut m = Matrix::zero(indices.len(), self.cols);
-        for (dst, &src) in indices.iter().enumerate() {
-            let row = self.row(src).to_vec();
-            m.data[dst * self.cols..(dst + 1) * self.cols].copy_from_slice(&row);
-        }
+        let mut m = Matrix::default();
+        m.select_rows_into(self, indices);
         m
+    }
+
+    /// Reshapes this matrix in place to `rows × cols` with every entry
+    /// zeroed, reusing the existing allocation when its capacity suffices.
+    /// This is what lets decode scratch buffers go allocation-free once
+    /// they have seen their largest shape.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, Gf256::ZERO);
+    }
+
+    /// Overwrites `self` with the selected rows of `src`, in order,
+    /// reusing `self`'s storage.
+    pub fn select_rows_into(&mut self, src: &Matrix, indices: &[usize]) {
+        self.reset(indices.len(), src.cols);
+        for (dst, &s) in indices.iter().enumerate() {
+            self.data[dst * self.cols..(dst + 1) * self.cols].copy_from_slice(src.row(s));
+        }
     }
 
     /// Matrix product `self * rhs`.
@@ -147,34 +177,51 @@ impl Matrix {
     ///
     /// Panics if the matrix is not square.
     pub fn inverse(&self) -> Option<Matrix> {
+        let mut a = self.clone();
+        let mut inv = Matrix::default();
+        a.invert_into(&mut inv).then_some(inv)
+    }
+
+    /// Allocation-reusing Gauss–Jordan: reduces `self` in place (leaving it
+    /// as the identity on success) and writes the inverse into `inv`, whose
+    /// storage is reused.  Returns `false` if `self` is singular, in which
+    /// case both matrices hold partially-reduced garbage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn invert_into(&mut self, inv: &mut Matrix) -> bool {
         assert_eq!(self.rows, self.cols, "only square matrices invert");
         let n = self.rows;
-        let mut a = self.clone();
-        let mut inv = Matrix::identity(n);
-
+        inv.reset(n, n);
+        for i in 0..n {
+            inv[(i, i)] = Gf256::ONE;
+        }
         for col in 0..n {
             // Find a pivot: any nonzero entry works (exact field arithmetic,
             // no numerical-stability concerns).
-            let pivot_row = (col..n).find(|&r| !a[(r, col)].is_zero())?;
+            let Some(pivot_row) = (col..n).find(|&r| !self[(r, col)].is_zero()) else {
+                return false;
+            };
             if pivot_row != col {
-                a.swap_rows(pivot_row, col);
+                self.swap_rows(pivot_row, col);
                 inv.swap_rows(pivot_row, col);
             }
-            let pivot = a[(col, col)];
+            let pivot = self[(col, col)];
             let pinv = pivot.inverse().expect("pivot chosen nonzero");
-            a.scale_row(col, pinv);
+            self.scale_row(col, pinv);
             inv.scale_row(col, pinv);
             for r in 0..n {
                 if r != col {
-                    let factor = a[(r, col)];
+                    let factor = self[(r, col)];
                     if !factor.is_zero() {
-                        a.add_scaled_row(col, r, factor);
+                        self.add_scaled_row(col, r, factor);
                         inv.add_scaled_row(col, r, factor);
                     }
                 }
             }
         }
-        Some(inv)
+        true
     }
 
     fn swap_rows(&mut self, r1: usize, r2: usize) {
@@ -299,6 +346,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn invert_into_reuses_buffers_across_shapes() {
+        let mut scratch = Matrix::default();
+        let mut inv = Matrix::default();
+        for n in [6usize, 3, 5] {
+            let m = Matrix::vandermonde(n, n);
+            scratch.select_rows_into(&m, &(0..n).collect::<Vec<_>>());
+            assert!(scratch.invert_into(&mut inv));
+            assert!(m.mul(&inv).is_identity(), "n={n}");
+        }
+        // Singular input reports failure through the same path.
+        let singular = Matrix::from_rows(&[&[1, 2], &[1, 2]]);
+        scratch.select_rows_into(&singular, &[0, 1]);
+        assert!(!scratch.invert_into(&mut inv));
     }
 
     #[test]

@@ -2,8 +2,18 @@
 //! *any k of the k+h transmitted packets reconstruct the group*.
 
 use proptest::prelude::*;
-use sharqfec_fec::codec::GroupCodec;
+use sharqfec_fec::codec::{DecodeScratch, GroupCodec};
 use sharqfec_fec::group::{GroupDecoder, GroupEncoder};
+
+/// Encodes all parity shards into fresh vectors (test convenience over the
+/// buffer-reusing `encode_into`).
+fn encode_parity(codec: &GroupCodec, data: &[&[u8]]) -> Vec<Vec<u8>> {
+    let len = data.first().map_or(0, |d| d.len());
+    let mut parity = vec![vec![0u8; len]; codec.h()];
+    let mut bufs: Vec<&mut [u8]> = parity.iter_mut().map(|v| v.as_mut_slice()).collect();
+    codec.encode_into(data, &mut bufs).unwrap();
+    parity
+}
 
 /// Strategy: a group shape (k, h) within a budget, payload data, and a
 /// random survival subset of exactly k indices.
@@ -29,7 +39,7 @@ proptest! {
             })
             .collect();
         let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
-        let parity = codec.encode(&refs).unwrap();
+        let parity = encode_parity(&codec, &refs);
         let all: Vec<&[u8]> = refs
             .iter()
             .copied()
@@ -48,8 +58,9 @@ proptest! {
         let survivors: Vec<(usize, &[u8])> =
             indices[..k].iter().map(|&i| (i, all[i])).collect();
 
-        let recovered = codec.decode(&survivors).unwrap();
-        prop_assert_eq!(recovered, data);
+        let mut scratch = DecodeScratch::default();
+        let recovered = codec.decode(&survivors, &mut scratch).unwrap();
+        prop_assert_eq!(recovered.to_vecs(), data);
     }
 
     #[test]
@@ -66,7 +77,7 @@ proptest! {
             .map(|i| (0..len).map(|j| ((i + 1) * (j + 3) % 256) as u8).collect())
             .collect();
         let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
-        let parity = codec.encode(&refs).unwrap();
+        let parity = encode_parity(&codec, &refs);
         for a in 0..parity.len() {
             for b in (a + 1)..parity.len() {
                 prop_assert_ne!(&parity[a], &parity[b]);

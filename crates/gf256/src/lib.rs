@@ -29,7 +29,7 @@
 
 mod tables;
 
-pub use tables::{EXP_TABLE, LOG_TABLE};
+pub use tables::{EXP_TABLE, LOG_TABLE, MUL_HI_TABLE, MUL_LO_TABLE};
 
 use core::fmt;
 use core::iter::{Product, Sum};
@@ -201,12 +201,11 @@ impl Mul for Gf256 {
     type Output = Gf256;
     #[inline]
     fn mul(self, rhs: Gf256) -> Gf256 {
-        if self.is_zero() || rhs.is_zero() {
-            return Gf256::ZERO;
-        }
-        let la = LOG_TABLE[self.0 as usize] as usize;
-        let lb = LOG_TABLE[rhs.0 as usize] as usize;
-        Gf256(EXP_TABLE[(la + lb) % GROUP_ORDER])
+        // Nibble-split lookup: branchless (no zero guards, no mod-255
+        // reduction), and the same tables the slice kernels stream over.
+        let row_lo = &MUL_LO_TABLE[self.0 as usize];
+        let row_hi = &MUL_HI_TABLE[self.0 as usize];
+        Gf256(row_lo[(rhs.0 & 0x0F) as usize] ^ row_hi[(rhs.0 >> 4) as usize])
     }
 }
 
@@ -253,6 +252,11 @@ impl Product for Gf256 {
 /// here so both the encoder and the decoder share one audited
 /// implementation.
 ///
+/// The body is two nibble-table lookups and two XORs per byte with no
+/// data-dependent branches, so the compiler can unroll and vectorize it —
+/// the per-coefficient table rows (2 × 16 bytes) stay resident in registers
+/// or L1 for the whole slice.
+///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
@@ -271,12 +275,10 @@ pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], coeff: Gf256) {
         }
         return;
     }
-    let lc = LOG_TABLE[coeff.0 as usize] as usize;
+    let row_lo = &MUL_LO_TABLE[coeff.0 as usize];
+    let row_hi = &MUL_HI_TABLE[coeff.0 as usize];
     for (d, s) in dst.iter_mut().zip(src) {
-        if *s != 0 {
-            let ls = LOG_TABLE[*s as usize] as usize;
-            *d ^= EXP_TABLE[(lc + ls) % GROUP_ORDER];
-        }
+        *d ^= row_lo[(*s & 0x0F) as usize] ^ row_hi[(*s >> 4) as usize];
     }
 }
 
@@ -289,12 +291,10 @@ pub fn mul_slice(dst: &mut [u8], coeff: Gf256) {
         dst.fill(0);
         return;
     }
-    let lc = LOG_TABLE[coeff.0 as usize] as usize;
+    let row_lo = &MUL_LO_TABLE[coeff.0 as usize];
+    let row_hi = &MUL_HI_TABLE[coeff.0 as usize];
     for d in dst.iter_mut() {
-        if *d != 0 {
-            let ld = LOG_TABLE[*d as usize] as usize;
-            *d = EXP_TABLE[(lc + ld) % GROUP_ORDER];
-        }
+        *d = row_lo[(*d & 0x0F) as usize] ^ row_hi[(*d >> 4) as usize];
     }
 }
 
@@ -335,6 +335,19 @@ mod tests {
                     slow_mul(a, b),
                     "mismatch at {a} * {b}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn nibble_tables_recombine_to_the_full_product() {
+        // The slice kernels rely on c·v = LO[c][v&0xF] ⊕ HI[c][v>>4];
+        // verify the split against the schoolbook oracle exhaustively.
+        for c in 0..=255u8 {
+            for v in 0..=255u8 {
+                let split = MUL_LO_TABLE[c as usize][(v & 0x0F) as usize]
+                    ^ MUL_HI_TABLE[c as usize][(v >> 4) as usize];
+                assert_eq!(split, slow_mul(c, v), "mismatch at {c} * {v}");
             }
         }
     }

@@ -6,6 +6,14 @@
 //! sequence number, agents draw from per-node RNG streams split off the
 //! root seed, and link-loss sampling uses its own stream.
 //!
+//! Two allocation-conscious structures back the hot path: the slab-backed
+//! [`crate::queue::EventQueue`], whose heap moves 24-byte keys
+//! instead of whole events, and the private packet arena (`arena.rs`),
+//! which interns each transmitted packet once and forwards lightweight
+//! handles hop-by-hop instead of cloning an `Rc` per hop.  Both recycle
+//! their slots, so a steady-state run does not touch the allocator per
+//! event or per packet.
+//!
 //! Configuration goes through [`EngineBuilder`], which assembles the whole
 //! scenario — channels, agents with start times, recorder mode, fault
 //! plan — before [`EngineBuilder::build`] produces a runnable [`Engine`].
@@ -22,6 +30,7 @@
 //! a *converged* session's RTT knowledge, not instantaneous reachability.
 
 use crate::agent::{Action, Agent, Ctx, TimerId};
+use crate::arena::{PacketArena, PacketRef};
 use crate::channel::{Channel, ChannelId};
 use crate::faults::{FaultEvent, FaultPlan};
 use crate::graph::{LinkId, NodeId, Topology};
@@ -29,20 +38,22 @@ use crate::link::LinkState;
 use crate::metrics::{DropRecord, Record, Recorder, RecorderMode};
 use crate::packet::{Classify, Packet};
 use crate::probe::{AuditConfig, AuditReport, Auditor, ProbeRecord, ProbeSink};
+use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::routing::{DistanceOracle, Spt};
 use crate::time::{SimDuration, SimTime};
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
-use std::rc::Rc;
+use std::collections::HashSet;
 
-enum EventKind<M> {
+/// One scheduled event.  Payload-free: packets in flight live in the
+/// engine's arena and events carry only a `Copy` handle, so the whole
+/// enum is small and `M`-independent.
+enum EventKind {
     Start(NodeId),
     /// Packet arriving at `node`, to be delivered and forwarded onward.
     Arrive {
         node: NodeId,
-        pkt: Rc<Packet<M>>,
+        pkt: PacketRef,
     },
     Timer {
         node: NodeId,
@@ -54,30 +65,6 @@ enum EventKind<M> {
     },
     /// A scheduled fault takes effect.
     Fault(FaultEvent),
-}
-
-struct QItem<M> {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for QItem<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for QItem<M> {}
-impl<M> PartialOrd for QItem<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QItem<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
 }
 
 /// The simulator.  `M` is the protocol payload type.
@@ -100,8 +87,10 @@ pub struct Engine<M> {
     agents: Vec<Option<Box<dyn Agent<M>>>>,
     agent_rngs: Vec<SimRng>,
     loss_rng: SimRng,
-    queue: BinaryHeap<QItem<M>>,
-    seq: u64,
+    queue: EventQueue<EventKind>,
+    /// In-flight packets, interned once per multicast; `Arrive` events
+    /// hold [`PacketRef`] handles into it.
+    arena: PacketArena<M>,
     now: SimTime,
     /// Timer events scheduled but not yet fired.  Keyed by id (ids are
     /// never reused), removed when the event is popped, so both this set
@@ -143,8 +132,8 @@ impl<M: Classify + Clone + 'static> Engine<M> {
             agents: (0..n).map(|_| None).collect(),
             agent_rngs,
             loss_rng,
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: EventQueue::new(),
+            arena: PacketArena::new(),
             now: SimTime::ZERO,
             pending_timers: HashSet::new(),
             cancelled: HashSet::new(),
@@ -212,6 +201,13 @@ impl<M: Classify + Clone + 'static> Engine<M> {
         self.cancelled.len()
     }
 
+    /// Packets currently interned in the arena, i.e. with at least one
+    /// `Arrive` event still queued (diagnostics).  Zero after the queue
+    /// drains — arena slots must not leak.
+    pub fn packets_in_flight(&self) -> usize {
+        self.arena.live()
+    }
+
     /// Recorded observations so far.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
@@ -245,14 +241,6 @@ impl<M: Classify + Clone + 'static> Engine<M> {
         self.probes.audit_report(self.now)
     }
 
-    /// Chooses how observations are stored (see [`RecorderMode`]): raw
-    /// event traces (the default) or streaming per-(node, class) bins.
-    /// Must be called before the first event is recorded.
-    #[deprecated(note = "configure the mode up front via EngineBuilder::recorder_mode")]
-    pub fn set_recorder_mode(&mut self, mode: RecorderMode) {
-        self.recorder.set_mode(mode);
-    }
-
     /// Registers a multicast channel over the given members.
     pub fn add_channel(&mut self, members: &[NodeId]) -> ChannelId {
         let id = ChannelId(self.channels.len() as u32);
@@ -269,13 +257,6 @@ impl<M: Classify + Clone + 'static> Engine<M> {
     /// Attaches an agent to a node and schedules its `on_start` at t = 0.
     pub fn set_agent(&mut self, node: NodeId, agent: Box<dyn Agent<M>>) {
         self.attach_agent(node, agent, SimTime::ZERO);
-    }
-
-    /// Attaches an agent with an explicit start time (the paper's receivers
-    /// join the session at t = 1 s).
-    #[deprecated(note = "configure agents up front via EngineBuilder::add_agent_at")]
-    pub fn set_agent_with_start(&mut self, node: NodeId, agent: Box<dyn Agent<M>>, at: SimTime) {
-        self.attach_agent(node, agent, at);
     }
 
     fn attach_agent(&mut self, node: NodeId, agent: Box<dyn Agent<M>>, at: SimTime) {
@@ -323,14 +304,14 @@ impl<M: Classify + Clone + 'static> Engine<M> {
     /// the horizon.
     pub fn run_until(&mut self, t_end: SimTime) -> u64 {
         let mut processed = 0;
-        while let Some(item) = self.queue.peek() {
-            if item.time > t_end {
+        while let Some(time) = self.queue.peek_time() {
+            if time > t_end {
                 break;
             }
-            let item = self.queue.pop().expect("peeked");
-            debug_assert!(item.time >= self.now, "time went backwards");
-            self.now = item.time;
-            self.dispatch(item.kind);
+            let (time, kind) = self.queue.pop().expect("peeked");
+            debug_assert!(time >= self.now, "time went backwards");
+            self.now = time;
+            self.dispatch(kind);
             processed += 1;
         }
         if self.now < t_end {
@@ -345,22 +326,20 @@ impl<M: Classify + Clone + 'static> Engine<M> {
     /// scheduling "now" after `run()` must never be "in the past".
     pub fn run(&mut self) -> u64 {
         let mut processed = 0;
-        while let Some(item) = self.queue.pop() {
-            debug_assert!(item.time >= self.now, "time went backwards");
-            self.now = item.time;
-            self.dispatch(item.kind);
+        while let Some((time, kind)) = self.queue.pop() {
+            debug_assert!(time >= self.now, "time went backwards");
+            self.now = time;
+            self.dispatch(kind);
             processed += 1;
         }
         processed
     }
 
-    fn push(&mut self, time: SimTime, kind: EventKind<M>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(QItem { time, seq, kind });
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        self.queue.push(time, kind);
     }
 
-    fn dispatch(&mut self, kind: EventKind<M>) {
+    fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::Start(node) => {
                 self.with_agent(node, |agent, ctx| agent.on_start(ctx));
@@ -388,17 +367,30 @@ impl<M: Classify + Clone + 'static> Engine<M> {
                 // down the source-rooted tree.  A crashed node still
                 // forwards — the router outlives the application — but its
                 // agent hears nothing (with_agent checks node_up).
+                let hdr = self.arena.header(pkt);
                 self.recorder.record_delivery(Record {
                     time: self.now,
                     node,
-                    src: pkt.src,
-                    class: pkt.class(),
-                    bytes: pkt.bytes,
-                    channel: pkt.channel,
+                    src: hdr.src,
+                    class: hdr.class,
+                    bytes: hdr.bytes,
+                    channel: hdr.channel,
                 });
-                self.forward(node, &pkt);
-                if self.agents[node.idx()].is_some() {
-                    self.with_agent(node, |agent, ctx| agent.on_packet(ctx, &pkt));
+                self.forward(node, pkt);
+                let has_agent = self.agents[node.idx()].is_some();
+                if let Some(owned) = self.arena.release(pkt) {
+                    // Last arrival: the packet moved out of the arena with
+                    // no clone; deliver it and let it drop.
+                    if has_agent {
+                        self.with_agent(node, |agent, ctx| agent.on_packet(ctx, &owned));
+                    }
+                } else if has_agent {
+                    // Other arrivals still pending: lend the packet to the
+                    // callback and put it back.  The slot stays reserved,
+                    // so re-entrant multicasts cannot reuse it.
+                    let owned = self.arena.take(pkt);
+                    self.with_agent(node, |agent, ctx| agent.on_packet(ctx, &owned));
+                    self.arena.restore(pkt, owned);
                 }
             }
             EventKind::Fault(ev) => self.apply_fault(ev),
@@ -521,35 +513,44 @@ impl<M: Classify + Clone + 'static> Engine<M> {
             self.channels[channel.idx()].contains(node),
             "{node:?} is not a member of {channel:?}"
         );
-        let pkt = Rc::new(Packet {
+        let pkt = Packet {
             uid: self.next_uid,
             src: node,
             channel,
             sent_at: self.now,
             bytes,
             payload,
-        });
+        };
         self.next_uid += 1;
+        let class = pkt.class();
         self.recorder.record_transmission(Record {
             time: self.now,
             node,
             src: node,
-            class: pkt.class(),
+            class,
             bytes,
             channel,
         });
-        self.forward(node, &pkt);
+        // Intern once; every queued Arrive takes a reference in forward().
+        // If no first hop survives (pruned, down, or dropped) the orphan
+        // is reclaimed immediately.
+        let pref = self.arena.insert(pkt, class);
+        self.forward(node, pref);
+        self.arena.release_orphan(pref);
     }
 
     /// Forwards `pkt` from `at` to each child in the packet-source's SPT,
     /// pruning at channel non-members (administrative scope boundary) and
     /// sampling the per-link loss process for lossy traffic classes.
-    fn forward(&mut self, at: NodeId, pkt: &Rc<Packet<M>>) {
-        let lossy = pkt.class().lossy();
+    fn forward(&mut self, at: NodeId, pkt: PacketRef) {
+        // The cached header carries everything the hop loop needs — the
+        // payload (and its class()) is never touched per hop.
+        let hdr = self.arena.header(pkt);
+        let lossy = hdr.class.lossy();
         // The SPT stores child edges in a flat CSR arena, so each edge is
         // copied out by index — no per-packet allocation while the rest of
         // the engine state stays mutable.
-        let src = pkt.src.idx();
+        let src = hdr.src.idx();
         self.ensure_spt(src);
         let spt = self.spts[src].as_ref().expect("just ensured");
         let (start, end) = spt.child_range(at);
@@ -561,7 +562,7 @@ impl<M: Classify + Clone + 'static> Engine<M> {
                 // record, and lossless classes are blocked too).
                 continue;
             }
-            if !self.channels[pkt.channel.idx()].contains(child) {
+            if !self.channels[hdr.channel.idx()].contains(child) {
                 continue; // scope boundary: prune the whole subtree
             }
             let spec = self.topo.link(link);
@@ -576,19 +577,14 @@ impl<M: Classify + Clone + 'static> Engine<M> {
                         time: self.now,
                         from: at,
                         to: child,
-                        class: pkt.class(),
+                        class: hdr.class,
                     });
                     continue;
                 }
             }
-            let arrive = self.link_state[link.idx()].transmit(spec, at, self.now, pkt.bytes);
-            self.push(
-                arrive,
-                EventKind::Arrive {
-                    node: child,
-                    pkt: Rc::clone(pkt),
-                },
-            );
+            let arrive = self.link_state[link.idx()].transmit(spec, at, self.now, hdr.bytes);
+            self.arena.add_ref(pkt);
+            self.push(arrive, EventKind::Arrive { node: child, pkt });
         }
     }
 }
@@ -1031,26 +1027,45 @@ mod tests {
         fn on_packet(&mut self, _: &mut Ctx<'_, Msg>, _: &Packet<Msg>) {}
     }
 
-    // The deprecated shims' own test: they must keep behaving exactly like
-    // the builder until removal.
+    // Ported from the removed `set_recorder_mode`/`set_agent_with_start`
+    // shims: the builder covers both configuration axes they provided.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
+    fn builder_configures_recorder_mode_and_delayed_start() {
         let (t, [n0, ..]) = chain3(0.0);
-        let mut e: Engine<Msg> = Engine::new(t, 1);
-        e.set_recorder_mode(RecorderMode::Streaming);
-        e.set_agent_with_start(
+        let mut b: EngineBuilder<Msg> = EngineBuilder::new(t, 1);
+        b.recorder_mode(RecorderMode::Streaming);
+        b.add_agent_at(
             n0,
             Box::new(StartClock {
                 started_at: Vec::new(),
             }),
             SimTime::from_secs(1),
         );
+        let mut e = b.build();
         e.run();
+        assert_eq!(e.recorder().mode(), RecorderMode::Streaming);
         assert_eq!(
             e.agent::<StartClock>(n0).unwrap().started_at,
             vec![SimTime::from_secs(1)]
         );
+    }
+
+    #[test]
+    fn arena_drains_with_the_event_queue() {
+        // Lossy traffic, pruned subtrees, and leaf deliveries all hand
+        // their packet slots back: nothing may stay interned once the
+        // queue is empty.
+        let (t, [n0, n1, n2]) = chain3(0.3);
+        let mut e: Engine<Msg> = Engine::new(t, 11);
+        let chan = e.add_channel(&[n0, n1, n2]);
+        let scoped = e.add_channel(&[n0]); // every first hop pruned
+        e.set_agent(n0, Box::new(Burst { chan, count: 40 }));
+        e.set_agent(n2, Box::new(Sniffer::default()));
+        e.multicast_from(n0, scoped, Msg::Data(0), 1000);
+        assert_eq!(e.packets_in_flight(), 0, "orphan reclaimed immediately");
+        e.run();
+        assert!(!e.agent::<Sniffer>(n2).unwrap().heard.is_empty());
+        assert_eq!(e.packets_in_flight(), 0);
     }
 
     #[test]

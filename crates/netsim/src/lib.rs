@@ -81,6 +81,7 @@
 
 pub mod adaptive;
 pub mod agent;
+mod arena;
 pub mod channel;
 pub mod engine;
 pub mod faults;
@@ -89,6 +90,7 @@ pub mod link;
 pub mod metrics;
 pub mod packet;
 pub mod probe;
+pub mod queue;
 pub mod rng;
 pub mod routing;
 pub mod runner;

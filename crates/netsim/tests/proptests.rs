@@ -1,9 +1,10 @@
 //! Property-based tests for the simulator substrate: routing correctness
 //! against an independent oracle, delivery invariants under random
-//! topologies, and determinism.
+//! topologies, determinism, and the event queue's ordering contract.
 
 use proptest::prelude::*;
 use sharqfec_netsim::prelude::*;
+use sharqfec_netsim::queue::EventQueue;
 use sharqfec_netsim::routing::{DistanceOracle, Spt};
 
 /// A random connected topology: a random tree plus a few extra edges.
@@ -82,6 +83,17 @@ impl Classify for Ping {
     fn class(&self) -> TrafficClass {
         TrafficClass::Data
     }
+}
+
+/// One step of the queue-model equivalence test.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    /// Schedule an event at the given millisecond timestamp.
+    Push(u64),
+    /// Cancel an arbitrary pending event (selector reduced mod pending).
+    Cancel(u16),
+    /// Pop the next non-cancelled event from both structures.
+    Pop,
 }
 
 struct Once {
@@ -308,6 +320,94 @@ proptest! {
             run_cell,
         );
         prop_assert_eq!(serial.into_values(), parallel.into_values());
+    }
+
+    /// The slab-backed [`EventQueue`] must pop in exactly the order the
+    /// engine's old `BinaryHeap<QItem>` did: ascending time, FIFO within
+    /// a timestamp (insertion-sequence tie-break).  The model is that
+    /// very `BinaryHeap` over reverse-ordered `(time, seq)` pairs, and
+    /// the op stream interleaves pushes, pops, and timer-style
+    /// cancellations (an overlay set consulted at pop time, exactly as
+    /// the engine skips cancelled timers).
+    #[test]
+    fn event_queue_matches_binary_heap_semantics(
+        ops in proptest::collection::vec(
+            // Pushes dominate (repeated arms stand in for weights), with
+            // a tiny time range to force ties.
+            prop_oneof![
+                (0u64..16).prop_map(QueueOp::Push),
+                (0u64..16).prop_map(QueueOp::Push),
+                (0u64..16).prop_map(QueueOp::Push),
+                any::<u16>().prop_map(QueueOp::Cancel),
+                Just(QueueOp::Pop),
+                Just(QueueOp::Pop),
+            ],
+            1..200,
+        ),
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::{BinaryHeap, HashSet};
+
+        let mut model: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+        let mut queue: EventQueue<u64> = EventQueue::new();
+        let mut next_seq = 0u64;
+        let mut pending: Vec<u64> = Vec::new();
+        let mut cancelled: HashSet<u64> = HashSet::new();
+        let mut popped: Vec<(SimTime, u64)> = Vec::new();
+
+        for op in ops {
+            match op {
+                QueueOp::Push(ms) => {
+                    let time = SimTime::from_millis(ms);
+                    let seq = queue.push(time, next_seq);
+                    prop_assert_eq!(seq, next_seq, "queue must assign dense push sequences");
+                    model.push(Reverse((time, seq)));
+                    pending.push(seq);
+                    next_seq += 1;
+                }
+                QueueOp::Cancel(pick) => {
+                    // Cancel an arbitrary still-queued event, engine-style:
+                    // it stays in both structures and is skipped on pop.
+                    if !pending.is_empty() {
+                        let seq = pending[pick as usize % pending.len()];
+                        cancelled.insert(seq);
+                    }
+                }
+                QueueOp::Pop => loop {
+                    let expect = model.pop().map(|Reverse(pair)| pair);
+                    let got = queue.pop();
+                    prop_assert_eq!(got, expect);
+                    let Some((time, seq)) = got else { break };
+                    pending.retain(|&s| s != seq);
+                    if !cancelled.remove(&seq) {
+                        popped.push((time, seq));
+                        break;
+                    }
+                },
+            }
+        }
+        // Drain both and check the full surviving pop order once more.
+        while let Some(Reverse(pair)) = model.pop() {
+            prop_assert_eq!(queue.pop(), Some(pair));
+            if !cancelled.contains(&pair.1) {
+                popped.push(pair);
+            }
+        }
+        prop_assert!(queue.is_empty());
+        // Global FIFO contract: two events at the same timestamp always
+        // pop in push (sequence) order, no matter how pushes and pops
+        // interleaved.  (Across different timestamps a later push may
+        // legally pop earlier, so only the tie case is globally ordered.)
+        for (i, a) in popped.iter().enumerate() {
+            for b in &popped[i + 1..] {
+                if a.0 == b.0 {
+                    prop_assert!(
+                        a.1 < b.1,
+                        "same-time FIFO violated: {:?} before {:?}", a, b
+                    );
+                }
+            }
+        }
     }
 
     /// The streaming recorder's O(1) aggregates agree with raw-mode counts

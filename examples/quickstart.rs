@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use sharqfec_repro::fec::codec::GroupCodec;
+use sharqfec_repro::fec::codec::{DecodeScratch, GroupCodec};
 use sharqfec_repro::netsim::{SimTime, TrafficClass};
 use sharqfec_repro::protocol::{setup_sharqfec_sim, SfAgent, SharqfecConfig};
 use sharqfec_repro::topology::{figure10, Figure10Params};
@@ -24,7 +24,13 @@ fn codec_demo() {
         s.resize(4, 0);
     }
     let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
-    let parity = codec.encode(&refs).expect("encode");
+    // Parity goes into caller-owned buffers (reused across groups in a
+    // real sender); decoding reuses a scratch workspace the same way.
+    let mut parity = vec![vec![0u8; 4]; 4];
+    {
+        let mut bufs: Vec<&mut [u8]> = parity.iter_mut().map(|v| v.as_mut_slice()).collect();
+        codec.encode_into(&refs, &mut bufs).expect("encode");
+    }
 
     // Disaster: packets 0, 5, 9 and 13 are lost in transit.
     let lost = [0usize, 5, 9, 13];
@@ -34,8 +40,12 @@ fn codec_demo() {
         .map(|i| (i, refs[i]))
         .chain((0..4).map(|j| (16 + j, parity[j].as_slice())))
         .collect();
-    let recovered = codec.decode(&received).expect("any 16 of 20 suffice");
-    let flat: Vec<u8> = recovered.concat();
+    let mut scratch = DecodeScratch::default();
+    let recovered = codec
+        .decode(&received, &mut scratch)
+        .expect("any 16 of 20 suffice");
+    // The recovered shards are already flat in index order.
+    let flat = recovered.flat();
     assert_eq!(&flat[..message.len()], message);
     println!(
         "   reconstructed: {:?}",
