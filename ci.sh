@@ -31,6 +31,13 @@ cargo build --release -p sharqfec-bench --bins --quiet
 ./target/release/ablation_sweep --seed 42 > /dev/null
 ./target/release/fig14_21_traffic --seed 42 --packets 128 > /dev/null
 
+echo "==> injection-policy ablation grid + schema/pin check"
+# The policy sweep's gate also pins the EwmaPolicy arm bit-identical to
+# the ablation sweep's historical baseline and requires the optimizing
+# policy to beat the EWMA's repair bill on the long-burst cells.
+./target/release/policy_sweep --seed 42 > /dev/null
+./target/release/policy_sweep --check results/BENCH_policy_sweep.json
+
 echo "==> microbench smoke + JSON schema check"
 # The smoke profile writes to a scratch directory so the committed
 # full-run baseline in results/BENCH_microbench.json is never clobbered.

@@ -19,7 +19,7 @@
 //!
 //! Run: `cargo run -p sharqfec-bench --release --bin ablation_sweep -- [--seed S] [--threads N] [--packets P]`
 
-use sharqfec::SharqfecConfig;
+use sharqfec::{PolicyKind, SharqfecConfig};
 use sharqfec_analysis::table::Table;
 use sharqfec_bench::cli::{self, SweepArgs};
 use sharqfec_bench::{Scenario, Workload};
@@ -59,9 +59,10 @@ fn plan(packets: u32) -> Vec<Scenario> {
         cells.push(scenario("group size", &format!("k={k}"), cfg, 1.0, packets));
     }
     for gain in [0.1f64, 0.25, 0.5] {
-        let cfg = SharqfecConfig {
-            zlc_gain: gain,
-            ..base()
+        let mut cfg = base();
+        cfg.policy.kind = PolicyKind::Ewma {
+            gain,
+            initial_pred: 1.0,
         };
         cells.push(scenario(
             "zlc EWMA gain",
@@ -100,9 +101,10 @@ fn main() {
         seed,
         threads,
         packets,
+        policy,
     } = SweepArgs::parse(256);
 
-    let specs = plan(packets);
+    let specs = cli::apply_policy_override(plan(packets), policy.as_ref());
     let results = cli::run_scenario_sweep(&specs, seed, threads, |s, seed| s.run(seed));
 
     let threads_used = results.threads;

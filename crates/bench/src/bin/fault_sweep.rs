@@ -68,9 +68,10 @@ fn main() {
         seed,
         threads,
         packets,
+        policy,
     } = SweepArgs::parse(128);
 
-    let specs = plan(packets);
+    let specs = cli::apply_policy_override(plan(packets), policy.as_ref());
     let results = cli::run_scenario_sweep(&specs, seed, threads, |s, seed| s.run(seed));
 
     let threads_used = results.threads;

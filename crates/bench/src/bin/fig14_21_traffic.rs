@@ -26,6 +26,7 @@ struct Args {
     seed: u64,
     threads: NonZeroUsize,
     tsv: bool,
+    policy: Option<sharqfec::PolicyConfig>,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +53,7 @@ fn parse_args() -> Args {
         seed: shared.seed,
         threads: shared.threads,
         tsv,
+        policy: shared.policy,
     }
 }
 
@@ -165,6 +167,7 @@ fn main() {
     }
     scenarios.push(sf(Variant::Full));
 
+    let scenarios = cli::apply_policy_override(scenarios, args.policy.as_ref());
     let results = cli::run_scenario_sweep(&scenarios, args.seed, args.threads, |s, seed| {
         s.run_traffic(seed)
     });

@@ -9,12 +9,13 @@
 //! count).
 
 use crate::Scenario;
+use sharqfec::PolicyConfig;
 use sharqfec_netsim::runner::{default_threads, run_sweep, Cell, SweepResults};
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
 
 /// The flags every sweep binary understands.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SweepArgs {
     /// Root RNG seed shared by every cell (default 42).
     pub seed: u64,
@@ -22,6 +23,10 @@ pub struct SweepArgs {
     pub threads: NonZeroUsize,
     /// Data packets per run (each binary passes its historical default).
     pub packets: u32,
+    /// Injection-policy override for every SHARQFEC cell (`--policy
+    /// ewma|percentile|optimizing`); `None` keeps each cell's own
+    /// configuration.
+    pub policy: Option<PolicyConfig>,
 }
 
 /// Cursor over `argv` used by bin-specific flag handlers to consume flag
@@ -44,8 +49,9 @@ impl ArgCursor {
 }
 
 impl SweepArgs {
-    /// Parses the shared flags (`--seed`, `--threads`, `--packets`) from
-    /// the process arguments, panicking on anything else.
+    /// Parses the shared flags (`--seed`, `--threads`, `--packets`,
+    /// `--policy`) from the process arguments, panicking on anything
+    /// else.
     pub fn parse(default_packets: u32) -> SweepArgs {
         SweepArgs::parse_with(default_packets, |_, _| false)
     }
@@ -61,6 +67,7 @@ impl SweepArgs {
             seed: 42,
             threads: default_threads(),
             packets: default_packets,
+            policy: None,
         };
         let mut cur = ArgCursor {
             argv: std::env::args().collect(),
@@ -88,6 +95,13 @@ impl SweepArgs {
                         .parse()
                         .expect("--packets takes a count");
                 }
+                "--policy" => {
+                    let name = cur.value("--policy takes ewma|percentile|optimizing");
+                    args.policy = Some(
+                        PolicyConfig::named(name)
+                            .unwrap_or_else(|| panic!("unknown policy {name}")),
+                    );
+                }
                 other => {
                     if !extra(other, &mut cur) {
                         panic!("unknown argument {other}");
@@ -98,6 +112,28 @@ impl SweepArgs {
         }
         args
     }
+}
+
+/// Applies a `--policy` override (when given) to every SHARQFEC
+/// scenario in a grid; SRM cells pass through untouched.  A cell that
+/// had injection disabled (the ablation ladders' "no injection"
+/// variants) stays disabled — the override swaps the predictor, not the
+/// arm's on/off gate.
+pub fn apply_policy_override(specs: Vec<Scenario>, policy: Option<&PolicyConfig>) -> Vec<Scenario> {
+    let Some(p) = policy else {
+        return specs;
+    };
+    specs
+        .into_iter()
+        .map(|s| match &s.protocol {
+            crate::Protocol::Sharqfec(cfg) => {
+                let mut p = p.clone();
+                p.enabled &= cfg.effective_policy().enabled;
+                s.with_policy(p)
+            }
+            crate::Protocol::Srm(_) => s,
+        })
+        .collect()
 }
 
 /// Fans the scenario grid out over the parallel sweep runner, one cell
@@ -166,5 +202,61 @@ mod tests {
             results.into_values(),
             vec![("a".to_string(), 7), ("b".to_string(), 7)]
         );
+    }
+
+    #[test]
+    fn policy_override_rewrites_sharqfec_cells_only() {
+        use crate::Protocol;
+        use sharqfec::PolicyConfig;
+        use sharqfec_srm::SrmConfig;
+
+        let w = Workload {
+            packets: 1,
+            seed: 0,
+            tail_secs: 1,
+        };
+        let specs = vec![
+            Scenario::sharqfec("sf", SharqfecConfig::full(), w),
+            Scenario::srm("srm", SrmConfig::default(), w),
+        ];
+        let out = apply_policy_override(specs, Some(&PolicyConfig::optimizing()));
+        match &out[0].protocol {
+            Protocol::Sharqfec(cfg) => assert_eq!(cfg.policy.name(), "optimizing"),
+            Protocol::Srm(_) => unreachable!(),
+        }
+        assert!(matches!(out[1].protocol, Protocol::Srm(_)));
+
+        let kept = apply_policy_override(
+            vec![Scenario::sharqfec("sf", SharqfecConfig::full(), w)],
+            None,
+        );
+        match &kept[0].protocol {
+            Protocol::Sharqfec(cfg) => assert_eq!(cfg.policy.name(), "ewma"),
+            Protocol::Srm(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn policy_override_preserves_a_cells_disabled_injection_gate() {
+        use crate::Protocol;
+        use sharqfec::Variant;
+
+        let w = Workload {
+            packets: 1,
+            seed: 0,
+            tail_secs: 1,
+        };
+        let no_injection = SharqfecConfig::variant(Variant::NoInjection);
+        let out = apply_policy_override(
+            vec![Scenario::sharqfec("sf", no_injection, w)],
+            Some(&PolicyConfig::optimizing()),
+        );
+        match &out[0].protocol {
+            Protocol::Sharqfec(cfg) => {
+                assert_eq!(cfg.policy.name(), "optimizing");
+                assert!(!cfg.policy.enabled, "--policy must not re-enable injection");
+            }
+            Protocol::Srm(_) => unreachable!(),
+        }
     }
 }

@@ -23,8 +23,9 @@
 
 pub mod cli;
 pub mod microbench;
+pub mod policy;
 
-use sharqfec::{setup_sharqfec_builder, SfAgent, SharqfecConfig, Variant};
+use sharqfec::{setup_sharqfec_builder, PolicyConfig, SfAgent, SharqfecConfig, Variant};
 use sharqfec_analysis::series::{bin_deliveries, BinSpec};
 use sharqfec_netsim::faults::{FaultPlan, LossModel};
 use sharqfec_netsim::graph::LinkId;
@@ -185,6 +186,10 @@ pub struct ScenarioOutcome {
     pub data_repair_per_rx: f64,
     /// Data+repair packets dropped by link loss.
     pub dropped: usize,
+    /// Absolute sim time (seconds) at which the *last* receiver
+    /// completed its last group — the stream's time-to-complete.  `None`
+    /// for SRM runs and whenever any packet stayed unrecovered.
+    pub time_to_complete: Option<f64>,
     /// Invariant-auditor verdict (`None` when the run was not audited).
     pub audit: Option<AuditOutcome>,
 }
@@ -236,6 +241,19 @@ impl Scenario {
     /// Installs a fault plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Scenario {
         self.faults = faults;
+        self
+    }
+
+    /// Selects the injection policy (SHARQFEC scenarios only).
+    ///
+    /// # Panics
+    ///
+    /// Panics on SRM scenarios — SRM has no preemptive injection.
+    pub fn with_policy(mut self, policy: PolicyConfig) -> Scenario {
+        match &mut self.protocol {
+            Protocol::Sharqfec(cfg) => cfg.policy = policy,
+            Protocol::Srm(_) => panic!("SRM has no injection policy"),
+        }
         self
     }
 
@@ -293,8 +311,21 @@ impl Scenario {
                     .iter()
                     .map(|&r| engine.agent::<SfAgent>(r).expect("receiver").missing())
                     .sum();
+                // Stream time-to-complete: the slowest receiver's last
+                // group completion (only meaningful at full delivery).
+                let ttc = built
+                    .receivers
+                    .iter()
+                    .map(|&r| {
+                        engine
+                            .agent::<SfAgent>(r)
+                            .expect("receiver")
+                            .completion_time()
+                    })
+                    .try_fold(SimTime::ZERO, |acc, t| t.map(|t| acc.max(t)))
+                    .map(|t| t.as_secs_f64());
                 let audit = audit_outcome(&engine);
-                self.outcome(engine.recorder(), &built, unrecovered, audit)
+                self.outcome(engine.recorder(), &built, unrecovered, ttc, audit)
             }
             Protocol::Srm(cfg) => {
                 let cfg = SrmConfig {
@@ -316,7 +347,7 @@ impl Scenario {
                     .map(|&r| engine.agent::<SrmReceiver>(r).expect("receiver").missing())
                     .sum();
                 let audit = audit_outcome(&engine);
-                self.outcome(engine.recorder(), &built, unrecovered, audit)
+                self.outcome(engine.recorder(), &built, unrecovered, None, audit)
             }
         }
     }
@@ -326,6 +357,7 @@ impl Scenario {
         rec: &sharqfec_netsim::Recorder,
         built: &BuiltTopology,
         unrecovered: u32,
+        time_to_complete: Option<f64>,
         audit: Option<AuditOutcome>,
     ) -> ScenarioOutcome {
         let dr_all =
@@ -340,6 +372,11 @@ impl Scenario {
             data_repair_per_rx: (dr_all - dr_src) as f64 / built.receivers.len() as f64,
             dropped: rec.total_dropped(TrafficClass::Data)
                 + rec.total_dropped(TrafficClass::Repair),
+            time_to_complete: if unrecovered == 0 {
+                time_to_complete
+            } else {
+                None
+            },
             audit,
         }
     }

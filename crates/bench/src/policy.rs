@@ -1,0 +1,270 @@
+//! The injection-policy ablation grid (`policy_sweep` binary).
+//!
+//! Three [`sharqfec::InjectionPolicy`] implementations — the paper's
+//! EWMA, the quantile tracker, and the TAROT-style optimizing
+//! controller — run the same workload over the Gilbert–Elliott burst
+//! ladder from `fault_sweep` (no faults: this grid isolates the
+//! predictor), plus a Bernoulli "base" cell that is configured
+//! identically to the ablation sweep's EWMA baseline so the two sweeps
+//! pin each other.  Compared per cell: repair traffic, NACK count, and
+//! the stream's time-to-complete.
+//!
+//! [`check_json`] is the CI gate over `results/BENCH_policy_sweep.json`:
+//! schema, the EWMA baseline's bit-exact historical numbers, and the
+//! redesign's payoff criterion (the optimizing policy spends fewer
+//! repair packets than the EWMA on the long-burst cells at full
+//! delivery).
+
+use crate::{Scenario, Workload};
+use sharqfec::{PolicyConfig, SharqfecConfig};
+use sharqfec_topology::Figure10Params;
+
+/// Sweep name; the summary lands in `results/BENCH_policy_sweep.json`.
+pub const SWEEP_NAME: &str = "BENCH_policy_sweep";
+
+/// The policies compared, by [`PolicyConfig::named`] name.
+pub const POLICIES: [&str; 3] = ["ewma", "percentile", "optimizing"];
+
+/// The loss cells: the Bernoulli baseline plus the Gilbert–Elliott
+/// mean-burst ladder (packets per burst; equal mean loss throughout).
+pub const CELLS: [(&str, Option<f64>); 5] = [
+    ("base", None),
+    ("mb=1", Some(1.0)),
+    ("mb=4", Some(4.0)),
+    ("mb=8", Some(8.0)),
+    ("mb=16", Some(16.0)),
+];
+
+/// The `ewma/base` cell must reproduce the ablation sweep's EWMA
+/// baseline ("zlc EWMA gain/w=0.25", seed 42, 256 packets) bit-exactly:
+/// same scenario, same seed, different harness.
+pub const EWMA_BASE_PINS: [(&str, &str); 5] = [
+    ("data_repair_per_rx", "338.63392857142856"),
+    ("nacks", "218"),
+    ("repairs", "602"),
+    ("unrecovered", "0"),
+    ("audit_events", "5642"),
+];
+
+/// Metric keys every cell must carry.
+pub const REQUIRED_METRICS: [&str; 7] = [
+    "data_repair_per_rx",
+    "nacks",
+    "repairs",
+    "unrecovered",
+    "time_to_complete_s",
+    "audit_events",
+    "audit_violations",
+];
+
+/// The full grid: `policy/cell` labelled scenarios, every cell audited
+/// and streaming (metrics come from the recorder's O(1) totals).
+pub fn plan(packets: u32) -> Vec<Scenario> {
+    let workload = Workload {
+        packets,
+        seed: 0, // per-cell seeds come from runner::Cell
+        tail_secs: 51,
+    };
+    let mut cells = Vec::new();
+    for policy in POLICIES {
+        for (cell, mean_burst) in CELLS {
+            let mut s =
+                Scenario::sharqfec(format!("{policy}/{cell}"), SharqfecConfig::full(), workload)
+                    .with_policy(PolicyConfig::named(policy).expect("known policy"))
+                    .with_params(Figure10Params::default().scaled_loss(1.0))
+                    .streaming()
+                    .audited();
+            if let Some(mb) = mean_burst {
+                s = s.with_burst(mb);
+            }
+            cells.push(s);
+        }
+    }
+    cells
+}
+
+/// The line describing one cell of the summary (cells are one line each
+/// in the sweep-runner schema).
+fn cell_line<'a>(text: &'a str, label: &str) -> Option<&'a str> {
+    let tag = format!("\"scenario\": \"{label}\"");
+    text.lines().find(|l| l.contains(&tag))
+}
+
+/// Extracts an integer-valued metric from a cell line.
+fn metric_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\": ");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse::<f64>().ok().map(|v| v.round() as u64)
+}
+
+/// Validates a `BENCH_policy_sweep.json` summary (seed-42 defaults):
+/// sweep-runner schema, every grid cell present and ok with the
+/// required metrics, zero audit violations, the `ewma/base` cell
+/// bit-identical to the pre-redesign ablation baseline, and the
+/// optimizing policy beating the EWMA's repair bill on the long-burst
+/// cells (mb ≥ 8) at full delivery.  Returns problems (empty = pass).
+pub fn check_json(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    if !text.contains(&format!("\"sweep\": \"{SWEEP_NAME}\"")) {
+        problems.push(format!("missing sweep name {SWEEP_NAME:?}"));
+    }
+    for key in ["threads", "wall_ms", "cells_ok", "cells_failed", "cells"] {
+        if !text.contains(&format!("\"{key}\":")) {
+            problems.push(format!("missing top-level field {key:?}"));
+        }
+    }
+    let total = POLICIES.len() * CELLS.len();
+    if !text.contains(&format!("\"cells_ok\": {total}")) {
+        problems.push(format!("expected all {total} cells ok"));
+    }
+    for policy in POLICIES {
+        for (cell, _) in CELLS {
+            let label = format!("{policy}/{cell}");
+            let Some(line) = cell_line(text, &label) else {
+                problems.push(format!("missing cell {label:?}"));
+                continue;
+            };
+            for m in REQUIRED_METRICS {
+                if !line.contains(&format!("\"{m}\":")) {
+                    problems.push(format!("missing metric {m:?} (cell {label:?})"));
+                }
+            }
+            match metric_u64(line, "audit_violations") {
+                Some(0) => {}
+                _ => problems.push(format!("cell {label:?} has audit violations")),
+            }
+        }
+    }
+    // The EWMA arm must not have moved: its base cell re-runs the
+    // ablation sweep's historical baseline under a different harness.
+    if let Some(line) = cell_line(text, "ewma/base") {
+        for (key, value) in EWMA_BASE_PINS {
+            if !line.contains(&format!("\"{key}\": {value}")) {
+                problems.push(format!(
+                    "ewma/base {key} drifted from the pinned baseline {value}"
+                ));
+            }
+        }
+    }
+    // The redesign's payoff: under sustained bursts the optimizing
+    // controller must deliver everything with a smaller repair bill.
+    for cell in ["mb=8", "mb=16"] {
+        let (Some(ewma), Some(opt)) = (
+            cell_line(text, &format!("ewma/{cell}")),
+            cell_line(text, &format!("optimizing/{cell}")),
+        ) else {
+            continue; // already reported as missing
+        };
+        if metric_u64(opt, "unrecovered") != Some(0) {
+            problems.push(format!("optimizing/{cell} did not deliver everything"));
+            continue;
+        }
+        match (metric_u64(ewma, "repairs"), metric_u64(opt, "repairs")) {
+            (Some(e), Some(o)) if o < e => {}
+            (e, o) => problems.push(format!(
+                "optimizing/{cell} repairs ({o:?}) not below ewma ({e:?})"
+            )),
+        }
+    }
+    if text.matches('{').count() != text.matches('}').count()
+        || text.matches('[').count() != text.matches(']').count()
+    {
+        problems.push("unbalanced braces or brackets".to_string());
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Protocol;
+
+    #[test]
+    fn plan_covers_the_policy_by_burst_grid() {
+        let specs = plan(256);
+        assert_eq!(specs.len(), 15);
+        for policy in POLICIES {
+            for (cell, mb) in CELLS {
+                let s = specs
+                    .iter()
+                    .find(|s| s.label == format!("{policy}/{cell}"))
+                    .expect("cell planned");
+                assert_eq!(s.mean_burst, mb);
+                assert!(s.audit);
+                let Protocol::Sharqfec(cfg) = &s.protocol else {
+                    panic!("policy sweep is SHARQFEC-only");
+                };
+                assert_eq!(cfg.policy.name(), policy);
+            }
+        }
+    }
+
+    /// A minimal syntactically-plausible summary that satisfies every
+    /// check, for exercising the gate logic.
+    fn good_json() -> String {
+        let mut s = String::new();
+        s.push_str(&format!("{{\n  \"sweep\": \"{SWEEP_NAME}\",\n"));
+        s.push_str("  \"threads\": 1,\n  \"wall_ms\": 1.0,\n");
+        s.push_str("  \"cells_ok\": 15,\n  \"cells_failed\": 0,\n  \"cells\": [\n");
+        for policy in POLICIES {
+            for (cell, _) in CELLS {
+                let repairs = match (policy, cell) {
+                    ("optimizing", _) => 500,
+                    ("ewma", "base") => 602, // the pinned baseline value
+                    _ => 900,
+                };
+                s.push_str(&format!(
+                    "    {{\"scenario\": \"{policy}/{cell}\", \"seed\": 42, \"wall_ms\": 1.0, \
+                     \"status\": \"ok\", \"metrics\": {{\"data_repair_per_rx\": 338.63392857142856, \
+                     \"nacks\": 218, \"repairs\": {repairs}, \"unrecovered\": 0, \
+                     \"time_to_complete_s\": 9.5, \"audit_events\": 5642, \
+                     \"audit_violations\": 0}}}},\n"
+                ));
+            }
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    #[test]
+    fn checker_accepts_a_conforming_summary() {
+        let text = good_json();
+        // The pinned EWMA numbers double as this fixture's values, so a
+        // conforming file passes clean.
+        assert_eq!(check_json(&text), Vec::<String>::new());
+    }
+
+    #[test]
+    fn checker_flags_schema_and_criterion_breaks() {
+        assert!(!check_json("{}").is_empty());
+
+        // Drift in the pinned EWMA baseline is caught…
+        let drifted = good_json().replace(
+            "\"ewma/base\", \"seed\": 42, \"wall_ms\": 1.0, \"status\": \"ok\", \
+             \"metrics\": {\"data_repair_per_rx\": 338.63392857142856",
+            "\"ewma/base\", \"seed\": 42, \"wall_ms\": 1.0, \"status\": \"ok\", \
+             \"metrics\": {\"data_repair_per_rx\": 340.0",
+        );
+        assert!(check_json(&drifted)
+            .iter()
+            .any(|p| p.contains("drifted from the pinned baseline")));
+
+        // …and so is an optimizing arm that stopped paying for itself.
+        let regressed = good_json().replace("\"repairs\": 500", "\"repairs\": 900");
+        assert!(check_json(&regressed)
+            .iter()
+            .any(|p| p.contains("not below ewma")));
+    }
+
+    #[test]
+    fn metric_extraction_reads_trailing_and_mid_fields() {
+        let line =
+            "{\"scenario\": \"x\", \"metrics\": {\"repairs\": 602, \"audit_violations\": 0}}";
+        assert_eq!(metric_u64(line, "repairs"), Some(602));
+        assert_eq!(metric_u64(line, "audit_violations"), Some(0));
+        assert_eq!(metric_u64(line, "absent"), None);
+    }
+}

@@ -1,0 +1,67 @@
+//! Regression pin for the deprecated injection knobs: configuring a run
+//! through the old loose `SharqfecConfig` fields (`zlc_gain`,
+//! `initial_zlc_pred`, `zlc_measure_rtt_factor`, `injection`) must
+//! behave bit-identically to the explicit [`sharqfec::PolicyConfig`]
+//! they fold into.  Holds the one-PR deprecation shim honest until the
+//! fields are removed.
+
+#![allow(deprecated)]
+
+use sharqfec::{PolicyKind, SharqfecConfig};
+use sharqfec_bench::{Scenario, ScenarioOutcome, Workload};
+
+const WORKLOAD: Workload = Workload {
+    packets: 48,
+    seed: 0, // the per-run seed is passed to `run`
+    tail_secs: 20,
+};
+
+fn run(label: &str, cfg: SharqfecConfig) -> ScenarioOutcome {
+    Scenario::sharqfec(label, cfg, WORKLOAD)
+        .streaming()
+        .audited()
+        .run(7)
+}
+
+fn assert_identical(a: &ScenarioOutcome, b: &ScenarioOutcome) {
+    assert_eq!(a.data_repair_per_rx, b.data_repair_per_rx);
+    assert_eq!(a.nacks, b.nacks);
+    assert_eq!(a.repairs, b.repairs);
+    assert_eq!(a.unrecovered, b.unrecovered);
+    assert_eq!(a.time_to_complete, b.time_to_complete);
+    let (aa, ba) = (
+        a.audit.as_ref().expect("audited"),
+        b.audit.as_ref().expect("audited"),
+    );
+    assert_eq!(aa.events, ba.events, "probe streams diverged");
+    assert_eq!(aa.violations, ba.violations);
+}
+
+#[test]
+fn deprecated_knobs_run_identically_to_the_explicit_ewma_policy() {
+    let mut old = SharqfecConfig::full();
+    old.zlc_gain = 0.4;
+    old.initial_zlc_pred = 2.0;
+    old.zlc_measure_rtt_factor = 3.0;
+
+    let mut new = SharqfecConfig::full();
+    new.policy.kind = PolicyKind::Ewma {
+        gain: 0.4,
+        initial_pred: 2.0,
+    };
+    new.policy.measure_rtt_factor = 3.0;
+
+    assert_identical(&run("old-knobs", old), &run("explicit-policy", new));
+}
+
+#[test]
+fn deprecated_injection_gate_matches_a_disabled_policy() {
+    let mut old = SharqfecConfig::full();
+    old.injection = false;
+
+    let mut new = SharqfecConfig::full();
+    new.policy.enabled = false;
+
+    let (a, b) = (run("old-gate", old), run("disabled-policy", new));
+    assert_identical(&a, &b);
+}

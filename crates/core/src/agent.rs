@@ -10,6 +10,7 @@ use crate::adapt::AdaptiveWindow;
 use crate::config::SharqfecConfig;
 use crate::group::{GroupState, Phase};
 use crate::msg::SfMsg;
+use crate::policy::InjectionPolicy;
 use sharqfec_netsim::prelude::*;
 use sharqfec_scoping::{ZoneHierarchy, ZoneId};
 use sharqfec_session::core::{is_session_token, SessionCore, SessionCtx};
@@ -65,9 +66,14 @@ pub struct SfAgent {
     /// rule).
     initial_scope: usize,
     groups: HashMap<u32, GroupState>,
-    /// Predicted ZLC per chain level (EWMA, paper §4); drives preemptive
-    /// injection where this member is the level's ZCR.
-    zlc_pred: Vec<f64>,
+    /// Sizes preemptive injection where this member is a level's ZCR
+    /// (paper §4's EWMA by default; see [`crate::policy`]).
+    policy: Box<dyn InjectionPolicy>,
+    /// Whether preemptive injection runs at all (`policy.enabled`,
+    /// resolved once — `false` reproduces the `ni` variants).
+    injection_on: bool,
+    /// ZLC measurement delay as a multiple of the farthest known RTT.
+    measure_rtt_factor: f64,
     /// Source only: next absolute data sequence number.
     next_seq: u32,
     /// Request-window constants, optionally adapted (paper §7 extension).
@@ -142,7 +148,8 @@ impl SfAgent {
         } else {
             0
         };
-        let zlc_pred = vec![cfg.initial_zlc_pred; chain.len()];
+        let pcfg = cfg.effective_policy();
+        let policy = pcfg.build(chain.len());
         let window = AdaptiveWindow::new(cfg.c1, cfg.c2, cfg.adaptive_timers);
         SfAgent {
             cfg,
@@ -154,7 +161,9 @@ impl SfAgent {
             root_channel,
             initial_scope,
             groups: HashMap::new(),
-            zlc_pred,
+            policy,
+            injection_on: pcfg.enabled,
+            measure_rtt_factor: pcfg.measure_rtt_factor,
             next_seq: 0,
             window,
             observed_loss: 0.0,
@@ -192,7 +201,35 @@ impl SfAgent {
 
     /// Current predicted ZLC at a chain level (diagnostics / benches).
     pub fn zlc_prediction(&self, level: usize) -> f64 {
-        self.zlc_pred[level]
+        self.policy.predicted(level)
+    }
+
+    /// The injection policy driving this member's ZCR duties.
+    pub fn policy(&self) -> &dyn InjectionPolicy {
+        &*self.policy
+    }
+
+    /// When this receiver completed its last group, once *every* group
+    /// of the stream is reconstructable here (`None` for the source and
+    /// for receivers still missing packets).
+    pub fn completion_time(&self) -> Option<SimTime> {
+        if self.role == Role::Source {
+            return None;
+        }
+        let mut worst = SimTime::ZERO;
+        for g in 0..self.cfg.group_count() {
+            let t = self.groups.get(&g).and_then(|s| s.complete_at)?;
+            worst = worst.max(t);
+        }
+        Some(worst)
+    }
+
+    /// Forwards ZCR seat transitions recorded by the session layer to
+    /// the policy, so history-bearing predictors can reset on election.
+    fn drain_seat_events(&mut self) {
+        for (level, is_zcr) in self.session.take_seat_events() {
+            self.policy.on_seat_change(level, is_zcr);
+        }
     }
 
     /// The packet indices this member holds for group `g`, sorted — the
@@ -471,19 +508,10 @@ impl SfAgent {
                 }
                 continue;
             }
-            // ZCR duties: preemptive injection sized by the ZLC EWMA…
-            if self.cfg.injection && repairs_allowed && !self.groups[&g].injected[level] {
+            // ZCR duties: preemptive injection sized by the policy…
+            if self.injection_on && repairs_allowed && !self.groups[&g].injected[level] {
                 self.groups.get_mut(&g).expect("exists").injected[level] = true;
-                let pred = self.zlc_pred[level];
-                let n = pred.round().max(0.0) as u32;
-                let n = n.min(self.cfg.group_size);
-                ctx.probe(ProbeEvent::Injection {
-                    group: g,
-                    level: level as u32,
-                    pred,
-                    injected: n,
-                    group_size: self.cfg.group_size,
-                });
+                let n = self.decide_injection(ctx, g, level);
                 if n > 0 {
                     let st = self.groups.get_mut(&g).expect("exists");
                     st.outstanding[level] += n;
@@ -499,7 +527,7 @@ impl SfAgent {
                     .session
                     .max_known_rtt()
                     .unwrap_or(self.cfg.default_dist * 2);
-                let delay = rtt.mul_f64(self.cfg.zlc_measure_rtt_factor);
+                let delay = rtt.mul_f64(self.measure_rtt_factor);
                 ctx.set_timer(delay, tok(KIND_MEASURE, g, level));
             }
         }
@@ -510,17 +538,36 @@ impl SfAgent {
     /// so a permanently partitioned member still measures eventually.
     const MAX_MEASURE_DEFERS: u8 = 8;
 
+    /// Asks the policy how much FEC to inject into `level`'s zone for
+    /// group `g`, records the decision, and returns the clamped count.
+    fn decide_injection(&mut self, ctx: &mut Ctx<'_, SfMsg>, g: u32, level: usize) -> u32 {
+        let pred = self.policy.predicted(level);
+        let n = self.policy.injected(level, self.cfg.group_size) as u32;
+        // The budget invariant is the agent's to enforce; the auditor
+        // still flags a policy that tried to exceed it.
+        let chosen = n.min(self.cfg.group_size);
+        ctx.probe(ProbeEvent::PolicyDecision {
+            policy: self.policy.name(),
+            group: g,
+            level: level as u32,
+            pred,
+            target: self.policy.target(),
+            chosen: n,
+            group_size: self.cfg.group_size,
+        });
+        chosen
+    }
+
     fn measure_fire(&mut self, ctx: &mut Ctx<'_, SfMsg>, g: u32, level: usize) {
-        let gain = self.cfg.zlc_gain;
         // Startup ordering: when the measurement was armed before the
         // session converged, its delay came from the `default_dist * 2`
         // fallback.  If that undershoots the true round-trip the timer
         // fires before the zone's first repair round settles, folding a
-        // spurious low observation into the EWMA.  Defer until an RTT is
-        // known (bounded by `MAX_MEASURE_DEFERS`).
+        // spurious low observation into the predictor.  Defer until an
+        // RTT is known (bounded by `MAX_MEASURE_DEFERS`).
         if self.session.max_known_rtt().is_none() {
             let fallback = self.cfg.default_dist * 2;
-            let factor = self.cfg.zlc_measure_rtt_factor;
+            let factor = self.measure_rtt_factor;
             let st = self.groups.get_mut(&g).expect("group exists");
             if !st.measured[level] && st.measure_defers[level] < Self::MAX_MEASURE_DEFERS {
                 st.measure_defers[level] += 1;
@@ -543,12 +590,12 @@ impl SfAgent {
         // paper's "decays over time; receivers request additional repairs
         // as necessary".
         let observed = st.zone_needed[level] as f64;
-        self.zlc_pred[level] += gain * (observed - self.zlc_pred[level]);
+        self.policy.on_zlc_measurement(level, observed);
         ctx.probe(ProbeEvent::ZlcUpdate {
             group: g,
             level: level as u32,
             observed,
-            pred: self.zlc_pred[level],
+            pred: self.policy.predicted(level),
         });
     }
 
@@ -679,6 +726,10 @@ impl SfAgent {
             }
             (newly > 0, outcome, st.llc(), st.zlc[level])
         };
+        // Loss evidence for the injection policy: a NACK advertises the
+        // zone's uncovered shortfall (the EWMA ignores this; reactive
+        // policies fold it in as a floor on the next decision).
+        self.policy.on_nack(level, needed);
         if let Some(outcome) = suppress_outcome {
             ctx.probe(ProbeEvent::Nack {
                 group: g,
@@ -793,21 +844,13 @@ impl SfAgent {
     }
 
     /// The source's end-of-group duties: preemptive redundancy sized by
-    /// the root-zone ZLC EWMA, the first queued repair, and the ZLC
+    /// the root-zone policy, the first queued repair, and the ZLC
     /// measurement timer.
     fn finish_group(&mut self, ctx: &mut Ctx<'_, SfMsg>, g: u32) {
         let root = self.chain.len() - 1;
-        if self.cfg.injection && !self.groups[&g].injected[root] {
+        if self.injection_on && !self.groups[&g].injected[root] {
             self.groups.get_mut(&g).expect("exists").injected[root] = true;
-            let pred = self.zlc_pred[root];
-            let n = (pred.round().max(0.0) as u32).min(self.cfg.group_size);
-            ctx.probe(ProbeEvent::Injection {
-                group: g,
-                level: root as u32,
-                pred,
-                injected: n,
-                group_size: self.cfg.group_size,
-            });
+            let n = self.decide_injection(ctx, g, root);
             if n > 0 {
                 self.groups.get_mut(&g).expect("exists").outstanding[root] += n;
             }
@@ -819,7 +862,7 @@ impl SfAgent {
                 .max_known_rtt()
                 .unwrap_or(self.cfg.default_dist * 2);
             ctx.set_timer(
-                rtt.mul_f64(self.cfg.zlc_measure_rtt_factor),
+                rtt.mul_f64(self.measure_rtt_factor),
                 tok(KIND_MEASURE, g, root),
             );
         }
@@ -832,6 +875,7 @@ impl Agent<SfMsg> for SfAgent {
             let mut b = bridge!(self, ctx);
             self.session.start(&mut b);
         }
+        self.drain_seat_events();
         match self.role {
             Role::Source => {
                 let delay = self.cfg.data_start.saturating_since(ctx.now());
@@ -848,8 +892,11 @@ impl Agent<SfMsg> for SfAgent {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, SfMsg>, token: u64) {
         if is_session_token(token) {
-            let mut b = bridge!(self, ctx);
-            self.session.on_timer(&mut b, token);
+            {
+                let mut b = bridge!(self, ctx);
+                self.session.on_timer(&mut b, token);
+            }
+            self.drain_seat_events();
             return;
         }
         let (kind, g, level) = tok_parts(token);
@@ -873,8 +920,11 @@ impl Agent<SfMsg> for SfAgent {
     fn on_packet(&mut self, ctx: &mut Ctx<'_, SfMsg>, pkt: &Packet<SfMsg>) {
         match &pkt.payload {
             SfMsg::Session(msg) => {
-                let mut b = bridge!(self, ctx);
-                self.session.on_msg(&mut b, pkt.src, msg);
+                {
+                    let mut b = bridge!(self, ctx);
+                    self.session.on_msg(&mut b, pkt.src, msg);
+                }
+                self.drain_seat_events();
             }
             SfMsg::Data { group, idx, .. } => {
                 self.handle_payload(ctx, *group, *idx, pkt.channel, *idx, false);

@@ -37,9 +37,13 @@ pub mod agent;
 pub mod config;
 pub mod group;
 pub mod msg;
+pub mod policy;
 pub mod setup;
 
 pub use agent::{Role, SfAgent};
 pub use config::{SharqfecConfig, Variant};
 pub use msg::SfMsg;
+pub use policy::{
+    EwmaPolicy, InjectionPolicy, OptimizingPolicy, PercentilePolicy, PolicyConfig, PolicyKind,
+};
 pub use setup::{setup_sharqfec_builder, setup_sharqfec_sim};

@@ -1,0 +1,826 @@
+//! Pluggable preemptive-injection sizing: the [`InjectionPolicy`] trait.
+//!
+//! The paper sizes preemptive FEC with a fixed-gain EWMA of the measured
+//! ZLC (§4).  TAROT-style controllers reframe the same decision as an
+//! online optimization: predict the zone's loss process, then pick the
+//! smallest redundancy `h` that meets a delivery target.  This module
+//! extracts the decision behind a trait so the EWMA becomes one
+//! implementation among several:
+//!
+//! * [`EwmaPolicy`] — the paper's predictor, bit-identical to the
+//!   pre-trait hard-coded path.
+//! * [`PercentilePolicy`] — a quantile of the recent ZLC history held in
+//!   a bounded ring buffer; conservative tail-tracking without EWMA lag.
+//! * [`OptimizingPolicy`] — a Gilbert–Elliott-aware controller: it
+//!   reconstructs the zone's *total* repair demand per measurement round
+//!   (observed residual + what it injected itself), estimates the loss
+//!   burst process from that, and chooses the smallest `h` whose modeled
+//!   residual-loss probability meets a configurable delivery target.
+//!
+//! Policies are fed by the agent's existing evidence path: ZLC
+//! measurements ([`InjectionPolicy::on_zlc_measurement`], the same
+//! observation the probe layer records as `ProbeEvent::ZlcUpdate`) and
+//! NACK arrivals ([`InjectionPolicy::on_nack`]).  ZCR seat changes from
+//! the session layer reach [`InjectionPolicy::on_seat_change`] so a
+//! policy can discard history collected while it was not responsible for
+//! a zone.  Every decision is recorded as `ProbeEvent::PolicyDecision`
+//! and audited against `chosen h ≤ group_size`.
+
+/// Sizes preemptive FEC injection for the zones one member represents.
+///
+/// Levels index the member's zone chain (smallest zone first), matching
+/// the agent's `chain`.  Implementations must be deterministic: the
+/// engine replays runs bit-identically and policies hold no clock or RNG.
+pub trait InjectionPolicy {
+    /// Stable short name recorded in `ProbeEvent::PolicyDecision` and
+    /// accepted by [`PolicyConfig::named`].
+    fn name(&self) -> &'static str;
+
+    /// Folds one ZLC measurement — the worst residual repair demand any
+    /// NACK in the zone advertised for a group, observed ~2.5 RTT after
+    /// the group completed — into the predictor for `level`.
+    fn on_zlc_measurement(&mut self, level: usize, observed: f64);
+
+    /// A NACK for `needed` repairs reached this member at `level`.
+    /// Default: ignored (the EWMA only consumes settled measurements).
+    fn on_nack(&mut self, level: usize, needed: u32) {
+        let _ = (level, needed);
+    }
+
+    /// This member gained (`is_zcr`) or lost the ZCR seat at `level`.
+    /// Default: ignored.  History-bearing policies reset the level so a
+    /// freshly elected ZCR does not act on another era's evidence.
+    fn on_seat_change(&mut self, level: usize, is_zcr: bool) {
+        let _ = (level, is_zcr);
+    }
+
+    /// Current loss prediction for `level` (diagnostics, probes, and the
+    /// `ZlcUpdate` event).
+    fn predicted(&self, level: usize) -> f64;
+
+    /// The number of FEC packets to inject preemptively into `level`'s
+    /// zone for a freshly completed group.  Must not exceed
+    /// `group_size`; the agent clamps and the auditor flags violations.
+    fn injected(&mut self, level: usize, group_size: u32) -> usize;
+
+    /// The delivery/coverage target this policy steers toward, or `0.0`
+    /// when the policy is not target-driven (recorded in
+    /// `ProbeEvent::PolicyDecision`).
+    fn target(&self) -> f64 {
+        0.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EwmaPolicy — the paper's §4 predictor.
+// ---------------------------------------------------------------------------
+
+/// The paper's fixed-gain EWMA: `pred += gain · (observed − pred)`,
+/// injecting `round(pred)` packets.  Selected by default; bit-identical
+/// to the pre-trait hard-coded agent path.
+#[derive(Clone, Debug)]
+pub struct EwmaPolicy {
+    gain: f64,
+    pred: Vec<f64>,
+}
+
+impl EwmaPolicy {
+    /// An EWMA predictor over `levels` chain levels.
+    pub fn new(gain: f64, initial_pred: f64, levels: usize) -> EwmaPolicy {
+        EwmaPolicy {
+            gain,
+            pred: vec![initial_pred; levels],
+        }
+    }
+}
+
+impl InjectionPolicy for EwmaPolicy {
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+
+    fn on_zlc_measurement(&mut self, level: usize, observed: f64) {
+        self.pred[level] += self.gain * (observed - self.pred[level]);
+    }
+
+    fn predicted(&self, level: usize) -> f64 {
+        self.pred[level]
+    }
+
+    fn injected(&mut self, level: usize, group_size: u32) -> usize {
+        let n = self.pred[level].round().max(0.0) as u32;
+        n.min(group_size) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PercentilePolicy — quantile of recent ZLC history.
+// ---------------------------------------------------------------------------
+
+/// Per-level bounded history ring.
+#[derive(Clone, Debug, Default)]
+struct Ring {
+    buf: Vec<f64>,
+    next: usize,
+}
+
+impl Ring {
+    fn push(&mut self, window: usize, v: f64) {
+        if self.buf.len() < window {
+            self.buf.push(v);
+        } else {
+            self.buf[self.next] = v;
+            self.next = (self.next + 1) % window;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+    }
+}
+
+/// Predicts the ZLC as a quantile of the last `window` measurements.
+///
+/// Where the EWMA tracks the *mean* demand (and lags bursts by
+/// `1/gain` rounds), a high quantile tracks the *tail*: under bursty
+/// loss it keeps injecting near the recent worst case until the burst
+/// ages out of the window.  An empty history predicts `initial_pred`.
+#[derive(Clone, Debug)]
+pub struct PercentilePolicy {
+    quantile: f64,
+    window: usize,
+    initial_pred: f64,
+    hist: Vec<Ring>,
+}
+
+impl PercentilePolicy {
+    /// A quantile predictor over `levels` chain levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `quantile` is outside `[0, 1]` or `window` is zero.
+    pub fn new(quantile: f64, window: usize, initial_pred: f64, levels: usize) -> PercentilePolicy {
+        assert!(
+            (0.0..=1.0).contains(&quantile),
+            "quantile must lie in [0,1]"
+        );
+        assert!(window > 0, "history window must be positive");
+        PercentilePolicy {
+            quantile,
+            window,
+            initial_pred,
+            hist: vec![Ring::default(); levels],
+        }
+    }
+
+    /// The quantile of a level's history by linear interpolation on the
+    /// sorted samples at rank `q·(n−1)`; `initial_pred` when empty.
+    fn quantile_of(&self, level: usize) -> f64 {
+        let buf = &self.hist[level].buf;
+        if buf.is_empty() {
+            return self.initial_pred;
+        }
+        let mut sorted = buf.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("ZLC samples are finite"));
+        let rank = self.quantile * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        sorted[lo] + frac * (sorted[hi] - sorted[lo])
+    }
+}
+
+impl InjectionPolicy for PercentilePolicy {
+    fn name(&self) -> &'static str {
+        "percentile"
+    }
+
+    fn on_zlc_measurement(&mut self, level: usize, observed: f64) {
+        self.hist[level].push(self.window, observed);
+    }
+
+    fn on_seat_change(&mut self, level: usize, is_zcr: bool) {
+        if is_zcr {
+            // A fresh seat must not inherit demand observed from the
+            // vantage point of a different (or failed) representative.
+            self.hist[level].clear();
+        }
+    }
+
+    fn predicted(&self, level: usize) -> f64 {
+        self.quantile_of(level)
+    }
+
+    fn injected(&mut self, level: usize, group_size: u32) -> usize {
+        let n = self.quantile_of(level).round().max(0.0) as u32;
+        n.min(group_size) as usize
+    }
+
+    fn target(&self) -> f64 {
+        self.quantile
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OptimizingPolicy — TAROT-style smallest-h-meeting-a-target controller.
+// ---------------------------------------------------------------------------
+
+/// Per-level state for the optimizing controller.
+#[derive(Clone, Debug, Default)]
+struct OptLevel {
+    /// Ring of reconstructed total demands (observed residual + our own
+    /// injection that round): the zone's loss process as a Gilbert–
+    /// Elliott style sequence of per-group demand observations.
+    demands: Ring,
+    /// FIFO of h values injected but not yet matched to a measurement.
+    pending_h: Vec<u32>,
+    /// Worst shortfall advertised by a NACK since the last injection —
+    /// a reactive floor under the model-chosen h, consumed on use.
+    nack_floor: u32,
+}
+
+/// Chooses the smallest `h` whose modeled residual-loss probability
+/// meets a delivery target, from a Gilbert–Elliott view of the zone's
+/// demand process.
+///
+/// The ZLC measurement the agent feeds policies is *net of our own
+/// injection* — when injection covered everyone, the observation is 0
+/// regardless of how lossy the zone was.  A controller trained on the
+/// net signal would conclude the zone is clean, cut `h`, provoke NACKs,
+/// and oscillate.  This policy therefore reconstructs the *gross*
+/// demand per measurement round as `observed + h_injected` (pairing
+/// rounds through a FIFO of its own decisions) and models that:
+///
+/// * `p_loss` — fraction of rounds with any demand: the stationary
+///   probability a group gets clipped by a bad-state visit.
+/// * `b` — mean demand given demand > 0: the mean burst clip, which for
+///   Gilbert–Elliott loss tracks the bad-state sojourn length.
+/// * residual after injecting `h`: a burst needs more than `h` repairs
+///   with probability ≈ `((b−1)/b)^h` (geometric sojourn tail), so the
+///   group misses its first repair round with probability
+///   `p_loss · ((b−1)/b)^h`.
+///
+/// It picks the smallest `h` pushing that below `1 − delivery_target`,
+/// raised to any NACK-advertised shortfall since the last round and
+/// clamped to `min(max_h, group_size)`.
+#[derive(Clone, Debug)]
+pub struct OptimizingPolicy {
+    delivery_target: f64,
+    window: usize,
+    max_h: u32,
+    initial_h: u32,
+    levels: Vec<OptLevel>,
+}
+
+impl OptimizingPolicy {
+    /// An optimizing controller over `levels` chain levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `delivery_target` is outside `(0, 1]` or `window` is
+    /// zero.
+    pub fn new(
+        delivery_target: f64,
+        window: usize,
+        max_h: u32,
+        initial_h: u32,
+        levels: usize,
+    ) -> OptimizingPolicy {
+        assert!(
+            delivery_target > 0.0 && delivery_target <= 1.0,
+            "delivery target must lie in (0,1]"
+        );
+        assert!(window > 0, "demand window must be positive");
+        OptimizingPolicy {
+            delivery_target,
+            window,
+            max_h,
+            initial_h,
+            levels: vec![OptLevel::default(); levels],
+        }
+    }
+
+    /// `(p_loss, b)` for a level: loss-round frequency and mean clip.
+    fn loss_model(&self, level: usize) -> Option<(f64, f64)> {
+        let buf = &self.levels[level].demands.buf;
+        if buf.is_empty() {
+            return None;
+        }
+        let lossy: Vec<f64> = buf.iter().copied().filter(|&d| d > 0.0).collect();
+        let p_loss = lossy.len() as f64 / buf.len() as f64;
+        let b = if lossy.is_empty() {
+            0.0
+        } else {
+            lossy.iter().sum::<f64>() / lossy.len() as f64
+        };
+        Some((p_loss, b))
+    }
+
+    /// Smallest `h` with `p_loss · ((b−1)/b)^h ≤ 1 − delivery_target`.
+    fn model_h(&self, level: usize) -> u32 {
+        let Some((p_loss, b)) = self.loss_model(level) else {
+            return self.initial_h;
+        };
+        let eps = 1.0 - self.delivery_target;
+        if p_loss <= eps || b <= 0.0 {
+            return 0;
+        }
+        if b <= 1.0 {
+            // Bursts clip one packet: a single repair covers the mean
+            // bad-state visit.
+            return 1;
+        }
+        let tail = (b - 1.0) / b;
+        // h = ⌈ln(eps / p_loss) / ln(tail)⌉, guarded for eps = 0 (100%
+        // target): fall back to the worst demand in the window.
+        if eps <= 0.0 {
+            let worst = self.levels[level]
+                .demands
+                .buf
+                .iter()
+                .copied()
+                .fold(0.0_f64, f64::max);
+            return worst.ceil() as u32;
+        }
+        let h = (eps / p_loss).ln() / tail.ln();
+        h.ceil().max(0.0) as u32
+    }
+}
+
+impl InjectionPolicy for OptimizingPolicy {
+    fn name(&self) -> &'static str {
+        "optimizing"
+    }
+
+    fn on_zlc_measurement(&mut self, level: usize, observed: f64) {
+        let window = self.window;
+        let st = &mut self.levels[level];
+        // Reconstruct the round's gross demand: what the zone still
+        // asked for on top of what we had already injected for the
+        // group this measurement settles (FIFO pairing — injections and
+        // measurements both proceed in group order).
+        let own = if st.pending_h.is_empty() {
+            0
+        } else {
+            st.pending_h.remove(0)
+        };
+        st.demands.push(window, observed + own as f64);
+    }
+
+    fn on_nack(&mut self, level: usize, needed: u32) {
+        let st = &mut self.levels[level];
+        st.nack_floor = st.nack_floor.max(needed);
+    }
+
+    fn on_seat_change(&mut self, level: usize, is_zcr: bool) {
+        if is_zcr {
+            self.levels[level] = OptLevel::default();
+        }
+    }
+
+    fn predicted(&self, level: usize) -> f64 {
+        match self.loss_model(level) {
+            Some((p_loss, b)) => p_loss * b,
+            None => self.initial_h as f64,
+        }
+    }
+
+    fn injected(&mut self, level: usize, group_size: u32) -> usize {
+        let h = self.model_h(level);
+        let st = &mut self.levels[level];
+        let floor = std::mem::take(&mut st.nack_floor);
+        let h = h.max(floor).min(self.max_h).min(group_size);
+        st.pending_h.push(h);
+        // Bound the FIFO: measurements for very late groups can be
+        // skipped entirely (audit path), so stale entries must not pile
+        // up and skew reconstruction forever.
+        if st.pending_h.len() > self.window {
+            st.pending_h.remove(0);
+        }
+        h as usize
+    }
+
+    fn target(&self) -> f64 {
+        self.delivery_target
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration.
+// ---------------------------------------------------------------------------
+
+/// Which predictor a [`PolicyConfig`] builds, with its parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PolicyKind {
+    /// The paper's fixed-gain EWMA (default).
+    Ewma {
+        /// New-sample weight (paper: 0.25).
+        gain: f64,
+        /// Prediction before any measurement (paper: "a small number").
+        initial_pred: f64,
+    },
+    /// Quantile-of-recent-history predictor.
+    Percentile {
+        /// The quantile tracked, in `[0,1]`.
+        quantile: f64,
+        /// Ring-buffer capacity (measurements kept per level).
+        window: usize,
+        /// Prediction while the history is empty.
+        initial_pred: f64,
+    },
+    /// TAROT-style optimizing controller.
+    Optimizing {
+        /// Probability a group must be covered by the first repair
+        /// round, in `(0,1]`.
+        delivery_target: f64,
+        /// Demand-history window per level.
+        window: usize,
+        /// Hard cap on chosen `h` (further clamped to the group size).
+        max_h: u32,
+        /// `h` before any demand has been observed.
+        initial_h: u32,
+    },
+}
+
+/// Injection-policy selection and shared measurement parameters, carried
+/// by `SharqfecConfig` and threaded through `EngineBuilder` and the
+/// bench CLI (`--policy`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicyConfig {
+    /// Master switch for preemptive injection (`false` ⇒ the paper's
+    /// `ni` variants: no policy runs and nothing is injected).
+    pub enabled: bool,
+    /// ZLC measurement delay as a multiple of the RTT to the most
+    /// distant known receiver (paper: 2.5).  A property of the
+    /// measurement pipeline, not of any one predictor, so it lives here.
+    pub measure_rtt_factor: f64,
+    /// The predictor to build.
+    pub kind: PolicyKind,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> PolicyConfig {
+        PolicyConfig::ewma()
+    }
+}
+
+impl PolicyConfig {
+    /// The paper's EWMA with §4 constants (gain 0.25, initial 1.0).
+    pub fn ewma() -> PolicyConfig {
+        PolicyConfig {
+            enabled: true,
+            measure_rtt_factor: 2.5,
+            kind: PolicyKind::Ewma {
+                gain: 0.25,
+                initial_pred: 1.0,
+            },
+        }
+    }
+
+    /// The 0.95-quantile of the last 32 measurements.
+    pub fn percentile() -> PolicyConfig {
+        PolicyConfig {
+            enabled: true,
+            measure_rtt_factor: 2.5,
+            kind: PolicyKind::Percentile {
+                quantile: 0.95,
+                window: 32,
+                initial_pred: 1.0,
+            },
+        }
+    }
+
+    /// The optimizing controller with its tuned defaults.
+    pub fn optimizing() -> PolicyConfig {
+        PolicyConfig {
+            enabled: true,
+            measure_rtt_factor: 2.5,
+            kind: PolicyKind::Optimizing {
+                delivery_target: 0.75,
+                window: 8,
+                max_h: 16,
+                initial_h: 0,
+            },
+        }
+    }
+
+    /// Resolves a CLI policy name (`ewma` | `percentile` | `optimizing`)
+    /// to its default configuration.
+    pub fn named(name: &str) -> Option<PolicyConfig> {
+        match name {
+            "ewma" => Some(PolicyConfig::ewma()),
+            "percentile" => Some(PolicyConfig::percentile()),
+            "optimizing" => Some(PolicyConfig::optimizing()),
+            _ => None,
+        }
+    }
+
+    /// The stable name of the configured kind (matches
+    /// [`InjectionPolicy::name`]).
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            PolicyKind::Ewma { .. } => "ewma",
+            PolicyKind::Percentile { .. } => "percentile",
+            PolicyKind::Optimizing { .. } => "optimizing",
+        }
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn validate(&self) {
+        assert!(
+            self.measure_rtt_factor > 0.0,
+            "measure_rtt_factor must be positive"
+        );
+        match self.kind {
+            PolicyKind::Ewma { gain, initial_pred } => {
+                assert!(
+                    (0.0..=1.0).contains(&gain),
+                    "EWMA gain must be a weight in [0,1]"
+                );
+                assert!(initial_pred >= 0.0, "initial prediction must be >= 0");
+            }
+            PolicyKind::Percentile {
+                quantile,
+                window,
+                initial_pred,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(&quantile),
+                    "quantile must lie in [0,1]"
+                );
+                assert!(window > 0, "history window must be positive");
+                assert!(initial_pred >= 0.0, "initial prediction must be >= 0");
+            }
+            PolicyKind::Optimizing {
+                delivery_target,
+                window,
+                ..
+            } => {
+                assert!(
+                    delivery_target > 0.0 && delivery_target <= 1.0,
+                    "delivery target must lie in (0,1]"
+                );
+                assert!(window > 0, "demand window must be positive");
+            }
+        }
+    }
+
+    /// Builds the configured policy for a member with `levels` chain
+    /// levels.
+    pub fn build(&self, levels: usize) -> Box<dyn InjectionPolicy> {
+        match self.kind {
+            PolicyKind::Ewma { gain, initial_pred } => {
+                Box::new(EwmaPolicy::new(gain, initial_pred, levels))
+            }
+            PolicyKind::Percentile {
+                quantile,
+                window,
+                initial_pred,
+            } => Box::new(PercentilePolicy::new(
+                quantile,
+                window,
+                initial_pred,
+                levels,
+            )),
+            PolicyKind::Optimizing {
+                delivery_target,
+                window,
+                max_h,
+                initial_h,
+            } => Box::new(OptimizingPolicy::new(
+                delivery_target,
+                window,
+                max_h,
+                initial_h,
+                levels,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_matches_the_papers_fold() {
+        let mut p = EwmaPolicy::new(0.25, 1.0, 2);
+        // pred = 1.0 → observe 5 → 1 + 0.25·(5−1) = 2.0
+        p.on_zlc_measurement(0, 5.0);
+        assert_eq!(p.predicted(0), 2.0);
+        // Untouched level keeps its initial prediction.
+        assert_eq!(p.predicted(1), 1.0);
+        // Rounds to nearest, clamps at the group size.
+        assert_eq!(p.injected(0, 16), 2);
+        p.on_zlc_measurement(0, 100.0);
+        assert_eq!(p.injected(0, 16), 16);
+    }
+
+    #[test]
+    fn ewma_decays_toward_zero_on_clean_measurements() {
+        let mut p = EwmaPolicy::new(0.25, 4.0, 1);
+        for _ in 0..16 {
+            p.on_zlc_measurement(0, 0.0);
+        }
+        assert!(p.predicted(0) < 0.1);
+        assert_eq!(p.injected(0, 16), 0);
+    }
+
+    #[test]
+    fn percentile_empty_history_uses_initial_pred() {
+        let mut p = PercentilePolicy::new(0.9, 16, 3.0, 1);
+        assert_eq!(p.predicted(0), 3.0);
+        assert_eq!(p.injected(0, 16), 3);
+    }
+
+    #[test]
+    fn percentile_all_equal_samples_returns_the_sample() {
+        let mut p = PercentilePolicy::new(0.5, 8, 1.0, 1);
+        for _ in 0..20 {
+            p.on_zlc_measurement(0, 7.0);
+        }
+        assert_eq!(p.predicted(0), 7.0);
+        assert_eq!(p.injected(0, 16), 7);
+    }
+
+    #[test]
+    fn percentile_quantile_zero_and_one_are_min_and_max() {
+        let samples = [4.0, 1.0, 9.0, 2.0];
+        let mut lo = PercentilePolicy::new(0.0, 16, 0.0, 1);
+        let mut hi = PercentilePolicy::new(1.0, 16, 0.0, 1);
+        for s in samples {
+            lo.on_zlc_measurement(0, s);
+            hi.on_zlc_measurement(0, s);
+        }
+        assert_eq!(lo.predicted(0), 1.0);
+        assert_eq!(hi.predicted(0), 9.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        // Sorted: [0, 10]; q=0.75 → rank 0.75 → 7.5.
+        let mut p = PercentilePolicy::new(0.75, 16, 0.0, 1);
+        p.on_zlc_measurement(0, 10.0);
+        p.on_zlc_measurement(0, 0.0);
+        assert_eq!(p.predicted(0), 7.5);
+    }
+
+    #[test]
+    fn percentile_window_evicts_oldest() {
+        let mut p = PercentilePolicy::new(1.0, 4, 0.0, 1);
+        p.on_zlc_measurement(0, 50.0);
+        for _ in 0..4 {
+            p.on_zlc_measurement(0, 2.0);
+        }
+        // The 50 aged out of the 4-deep window.
+        assert_eq!(p.predicted(0), 2.0);
+    }
+
+    #[test]
+    fn percentile_seat_gain_clears_history() {
+        let mut p = PercentilePolicy::new(1.0, 16, 1.0, 2);
+        p.on_zlc_measurement(0, 9.0);
+        p.on_zlc_measurement(1, 9.0);
+        p.on_seat_change(0, true);
+        p.on_seat_change(1, false); // losing the seat keeps history
+        assert_eq!(p.predicted(0), 1.0);
+        assert_eq!(p.predicted(1), 9.0);
+    }
+
+    #[test]
+    fn optimizing_clean_history_chooses_zero() {
+        let mut p = OptimizingPolicy::new(0.75, 32, 16, 1, 1);
+        // Initial h before evidence:
+        assert_eq!(p.injected(0, 16), 1);
+        for _ in 0..10 {
+            p.on_zlc_measurement(0, 0.0);
+        }
+        // p_loss dropped under 1−target ⇒ no preemptive FEC.  (The
+        // predicted demand is not exactly 0: the initial h=1 round is
+        // itself part of the reconstructed demand history.)
+        assert_eq!(p.injected(0, 16), 0);
+        assert!(p.predicted(0) < 0.25);
+    }
+
+    #[test]
+    fn optimizing_persistent_bursts_raise_h() {
+        let mut p = OptimizingPolicy::new(0.9, 32, 16, 0, 1);
+        for _ in 0..10 {
+            p.on_zlc_measurement(0, 6.0);
+        }
+        // Every round lost ~6 packets: h must cover most of the burst.
+        let h = p.injected(0, 16);
+        assert!(h >= 6, "burst demand 6 every round needs h >= 6, got {h}");
+        assert!(h <= 16);
+    }
+
+    #[test]
+    fn optimizing_reconstructs_gross_demand_past_own_injection() {
+        let mut p = OptimizingPolicy::new(0.9, 32, 16, 4, 1);
+        // Round trip: inject 4, then the measurement reads 0 because our
+        // own injection covered the zone.  Gross demand is 4, not 0 —
+        // the policy must keep injecting rather than concluding "clean".
+        for _ in 0..8 {
+            let h = p.injected(0, 16);
+            assert!(h >= 1, "must not collapse to zero while demand persists");
+            p.on_zlc_measurement(0, 0.0);
+        }
+        assert!(p.predicted(0) >= 1.0);
+    }
+
+    #[test]
+    fn optimizing_nack_floor_is_consumed_once() {
+        let mut p = OptimizingPolicy::new(0.75, 32, 16, 0, 1);
+        for _ in 0..10 {
+            p.on_zlc_measurement(0, 0.0); // model says 0
+        }
+        p.on_nack(0, 5);
+        assert_eq!(p.injected(0, 16), 5); // floor applies…
+        p.on_zlc_measurement(0, 0.0);
+        assert!(p.injected(0, 16) <= 1); // …once
+    }
+
+    #[test]
+    fn optimizing_clamps_to_max_h_and_group_size() {
+        let mut p = OptimizingPolicy::new(1.0, 32, 6, 0, 1);
+        for _ in 0..4 {
+            p.on_zlc_measurement(0, 40.0);
+        }
+        assert_eq!(p.injected(0, 16), 6); // max_h
+        let mut q = OptimizingPolicy::new(1.0, 32, 64, 0, 1);
+        for _ in 0..4 {
+            q.on_zlc_measurement(0, 40.0);
+        }
+        assert_eq!(q.injected(0, 8), 8); // group_size
+    }
+
+    #[test]
+    fn optimizing_seat_gain_resets_the_level() {
+        let mut p = OptimizingPolicy::new(0.9, 32, 16, 2, 1);
+        for _ in 0..10 {
+            p.on_zlc_measurement(0, 8.0);
+        }
+        assert!(p.injected(0, 16) >= 6);
+        p.on_seat_change(0, true);
+        assert_eq!(p.injected(0, 16), 2); // back to initial_h
+    }
+
+    #[test]
+    fn config_names_round_trip() {
+        for name in ["ewma", "percentile", "optimizing"] {
+            let cfg = PolicyConfig::named(name).expect("known policy");
+            assert_eq!(cfg.name(), name);
+            cfg.validate();
+            assert_eq!(cfg.build(3).name(), name);
+        }
+        assert_eq!(PolicyConfig::named("fixed"), None);
+    }
+
+    #[test]
+    fn config_default_is_the_papers_ewma() {
+        let cfg = PolicyConfig::default();
+        assert!(cfg.enabled);
+        assert_eq!(cfg.measure_rtt_factor, 2.5);
+        assert_eq!(
+            cfg.kind,
+            PolicyKind::Ewma {
+                gain: 0.25,
+                initial_pred: 1.0
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn config_rejects_out_of_range_quantile() {
+        PolicyConfig {
+            kind: PolicyKind::Percentile {
+                quantile: 1.5,
+                window: 16,
+                initial_pred: 1.0,
+            },
+            ..PolicyConfig::percentile()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "delivery target")]
+    fn config_rejects_zero_delivery_target() {
+        PolicyConfig {
+            kind: PolicyKind::Optimizing {
+                delivery_target: 0.0,
+                window: 32,
+                max_h: 16,
+                initial_h: 1,
+            },
+            ..PolicyConfig::optimizing()
+        }
+        .validate();
+    }
+}

@@ -14,10 +14,11 @@
 //!   events, so runs are bit-identical with probes on or off;
 //! * [`Auditor`] — an online invariant checker attached to the sink that
 //!   verifies, as events stream, that (1) each zone has at most one
-//!   stable ZCR outside fault/heal windows, (2) preemptive injection
-//!   never exceeds the group size, (3) ZLC predictions stay finite and
-//!   non-negative, and (4) every receiver's delivered set is complete at
-//!   group close.
+//!   stable ZCR outside fault/heal windows, (2) the injection chosen by
+//!   *any* policy (EWMA, percentile, optimizing) never exceeds the group
+//!   size and fires once per (node, group, level), (3) ZLC predictions
+//!   stay finite and non-negative, and (4) every receiver's delivered set
+//!   is complete at group close.
 //!
 //! Enable recording with [`crate::engine::EngineBuilder::record_probes`]
 //! and auditing with [`crate::engine::EngineBuilder::audit`]; read the
@@ -106,16 +107,24 @@ pub enum ProbeEvent {
         /// The prediction after the fold.
         pred: f64,
     },
-    /// A preemptive-injection sizing decision at group completion.
-    Injection {
+    /// A preemptive-injection sizing decision made by an injection policy
+    /// at group completion (the pluggable `InjectionPolicy` API — EWMA,
+    /// percentile, or the optimization-driven controller).
+    PolicyDecision {
+        /// Static name of the deciding policy (`"ewma"`, `"percentile"`,
+        /// `"optimizing"`).
+        policy: &'static str,
         /// Packet group being covered.
         group: u32,
         /// Chain level injected into.
         level: u32,
-        /// The ZLC prediction the size was derived from.
+        /// The policy's predicted per-group zone repair demand.
         pred: f64,
-        /// FEC packets queued for injection (post-clamp).
-        injected: u32,
+        /// The delivery/coverage target the policy aims for (`0` when the
+        /// policy is not target-driven, as with the EWMA baseline).
+        target: f64,
+        /// FEC packets chosen for injection.
+        chosen: u32,
         /// The configured group size (the injection budget).
         group_size: u32,
     },
@@ -175,7 +184,7 @@ impl ProbeEvent {
     pub fn label(&self) -> &'static str {
         match self {
             ProbeEvent::ZlcUpdate { .. } => "zlc",
-            ProbeEvent::Injection { .. } => "inject",
+            ProbeEvent::PolicyDecision { .. } => "policy",
             ProbeEvent::Nack { .. } => "nack",
             ProbeEvent::Window { .. } => "window",
             ProbeEvent::Zcr { .. } => "zcr",
@@ -193,15 +202,18 @@ impl fmt::Display for ProbeEvent {
                 observed,
                 pred,
             } => write!(f, "g{group} L{level} observed={observed} pred={pred:.3}"),
-            ProbeEvent::Injection {
+            ProbeEvent::PolicyDecision {
+                policy,
                 group,
                 level,
                 pred,
-                injected,
+                target,
+                chosen,
                 group_size,
             } => write!(
                 f,
-                "g{group} L{level} pred={pred:.3} injected={injected}/{group_size}"
+                "g{group} L{level} {policy} pred={pred:.3} target={target:.2} \
+                 chosen={chosen}/{group_size}"
             ),
             ProbeEvent::Nack {
                 group,
@@ -258,8 +270,8 @@ pub struct ProbeRecord {
 pub enum Invariant {
     /// At most one stable ZCR per zone outside fault/heal windows.
     SingleZcr,
-    /// Preemptive injection never exceeds the group size, and fires at
-    /// most once per (node, group, level).
+    /// The injection chosen by any policy never exceeds the group size,
+    /// and the decision fires at most once per (node, group, level).
     InjectionBudget,
     /// ZLC predictions stay finite and non-negative.
     ZlcSane,
@@ -428,21 +440,31 @@ impl Auditor {
                     });
                 }
             }
-            ProbeEvent::Injection {
+            ProbeEvent::PolicyDecision {
+                policy,
                 group,
                 level,
-                injected,
+                pred,
+                chosen,
                 group_size,
                 ..
             } => {
-                if injected > group_size {
+                if chosen > group_size {
                     self.violations.push(Violation {
                         time: r.time,
                         node: r.node,
                         invariant: Invariant::InjectionBudget,
                         detail: format!(
-                            "injected {injected} > group_size {group_size} (g{group} L{level})"
+                            "{policy} chose {chosen} > group_size {group_size} (g{group} L{level})"
                         ),
+                    });
+                }
+                if !pred.is_finite() || pred < 0.0 {
+                    self.violations.push(Violation {
+                        time: r.time,
+                        node: r.node,
+                        invariant: Invariant::ZlcSane,
+                        detail: format!("{policy} prediction became {pred} (g{group} L{level})"),
                     });
                 }
                 let seen = self.injections.entry((r.node, group, level)).or_insert(0);
@@ -452,7 +474,9 @@ impl Auditor {
                         time: r.time,
                         node: r.node,
                         invariant: Invariant::InjectionBudget,
-                        detail: format!("injection fired {seen} times for g{group} L{level}"),
+                        detail: format!(
+                            "{policy} injection decided {seen} times for g{group} L{level}"
+                        ),
                     });
                 }
             }
@@ -722,11 +746,13 @@ mod tests {
     #[test]
     fn injection_over_budget_and_double_fire_are_violations() {
         let mut a = Auditor::new(AuditConfig::default());
-        let inj = |injected, group| ProbeEvent::Injection {
+        let inj = |chosen, group| ProbeEvent::PolicyDecision {
+            policy: "ewma",
             group,
             level: 0,
             pred: 1.0,
-            injected,
+            target: 0.0,
+            chosen,
             group_size: 16,
         };
         a.ingest(&rec(at(1), 1, inj(16, 0))); // at budget: fine
@@ -739,6 +765,62 @@ mod tests {
             .violations
             .iter()
             .all(|v| v.invariant == Invariant::InjectionBudget));
+    }
+
+    #[test]
+    fn budget_invariant_applies_to_every_policy() {
+        // The chosen-h ≤ group_size check keys on the decision event, not
+        // on the policy that produced it.
+        let mut a = Auditor::new(AuditConfig::default());
+        for (i, policy) in ["ewma", "percentile", "optimizing"].iter().enumerate() {
+            a.ingest(&rec(
+                at(i as u64 + 1),
+                1,
+                ProbeEvent::PolicyDecision {
+                    policy,
+                    group: i as u32,
+                    level: 0,
+                    pred: 40.0,
+                    target: 0.9,
+                    chosen: 33,
+                    group_size: 32,
+                },
+            ));
+        }
+        let report = a.report(at(10));
+        assert_eq!(report.violations.len(), 3);
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.invariant == Invariant::InjectionBudget));
+        for (v, policy) in report
+            .violations
+            .iter()
+            .zip(["ewma", "percentile", "optimizing"])
+        {
+            assert!(v.detail.contains(policy), "detail names the policy: {v}");
+        }
+    }
+
+    #[test]
+    fn non_finite_policy_prediction_is_a_violation() {
+        let mut a = Auditor::new(AuditConfig::default());
+        a.ingest(&rec(
+            at(1),
+            1,
+            ProbeEvent::PolicyDecision {
+                policy: "optimizing",
+                group: 0,
+                level: 0,
+                pred: f64::NAN,
+                target: 0.9,
+                chosen: 1,
+                group_size: 16,
+            },
+        ));
+        let report = a.report(at(2));
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].invariant, Invariant::ZlcSane);
     }
 
     #[test]

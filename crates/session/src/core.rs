@@ -149,6 +149,11 @@ pub struct SessionCore {
     zone_reports: HashMap<ZoneId, HashMap<NodeId, LossReport>>,
     announces_sent: u32,
     started: bool,
+    /// ZCR seat transitions of *this node* (chain level, now-held),
+    /// queued for the host protocol to drain via
+    /// [`SessionCore::take_seat_events`] — injection policies reset
+    /// per-level history when responsibility changes hands.
+    seat_events: Vec<(usize, bool)>,
 }
 
 impl SessionCore {
@@ -200,7 +205,26 @@ impl SessionCore {
             zone_reports: HashMap::new(),
             announces_sent: 0,
             started: false,
+            seat_events: Vec::new(),
         }
+    }
+
+    /// Updates the believed ZCR at chain level `l`, recording a seat
+    /// event whenever *this node's* tenure changes.
+    fn set_seat(&mut self, l: usize, holder: Option<NodeId>) {
+        let was_me = self.levels[l].zcr == Some(self.node);
+        let is_me = holder == Some(self.node);
+        if was_me != is_me {
+            self.seat_events.push((l, is_me));
+        }
+        self.levels[l].zcr = holder;
+    }
+
+    /// Drains the queued ZCR seat transitions of this node — `(chain
+    /// level, whether the seat is now held)`, in occurrence order.  The
+    /// host protocol forwards these to its injection policy.
+    pub fn take_seat_events(&mut self) -> Vec<(usize, bool)> {
+        std::mem::take(&mut self.seat_events)
     }
 
     /// Sets this member's own reception-quality figure (loss fraction)
@@ -410,6 +434,8 @@ impl SessionCore {
                     action: ZcrAction::Seeded,
                     holder: self.node,
                 });
+                // Seeded tenure counts as a seat gain for the host.
+                self.seat_events.push((l, true));
             }
         }
         self.arm_announce(ctx);
@@ -593,10 +619,10 @@ impl SessionCore {
 
         // ZCR belief and liveness.
         if self.levels[l].zcr.is_none() {
-            self.levels[l].zcr = a.zcr;
+            self.set_seat(l, a.zcr);
         } else if Some(src) == self.levels[l].zcr {
             if let Some(z) = a.zcr {
-                self.levels[l].zcr = Some(z);
+                self.set_seat(l, Some(z));
             }
         }
         if Some(src) == self.levels[l].zcr {
@@ -627,7 +653,7 @@ impl SessionCore {
                 let m = mine.expect("reassert requires a measured distance");
                 self.declare_takeover(ctx, l, m, ZcrAction::Reassert);
             } else {
-                self.levels[l].zcr = Some(src);
+                self.set_seat(l, Some(src));
                 self.levels[l].zcr_heard_at = now;
                 self.levels[l].usurp_rounds = 0;
                 if a.zcr_to_parent.is_some() {
@@ -925,7 +951,7 @@ impl SessionCore {
             action,
             holder: self.node,
         });
-        self.levels[l].zcr = Some(self.node);
+        self.set_seat(l, Some(self.node));
         self.levels[l].zcr_heard_at = ctx.now();
         self.levels[l].my_dist_to_parent = Some(my_dist);
         self.levels[l].link_dist = Some(my_dist);
@@ -992,7 +1018,7 @@ impl SessionCore {
                 holder: new_zcr,
             });
         }
-        self.levels[l].zcr = Some(new_zcr);
+        self.set_seat(l, Some(new_zcr));
         self.levels[l].zcr_heard_at = ctx.now();
         self.levels[l].link_dist = Some(dist);
         self.levels[l].usurp_rounds = 0;
@@ -1489,6 +1515,46 @@ mod tests {
                 (z2.idx() as u64, ZcrAction::Concede, n(6)),
             ]
         );
+    }
+
+    #[test]
+    fn seat_events_record_this_nodes_tenure_changes() {
+        let mut core = SessionCore::new(n(3), hier(), SessionConfig::default(), &designed());
+        let mut ctx = FakeCtx::new();
+        core.start(&mut ctx);
+        // Seeded ZCR of Z2 (chain level 0): one gain event, drained once.
+        assert_eq!(core.take_seat_events(), vec![(0, true)]);
+        assert_eq!(core.take_seat_events(), vec![]);
+        let z2 = core.chain_zones()[0];
+        core.levels[0].my_dist_to_parent = Some(ms(10));
+        // Reassert against a farther usurper: tenure unchanged, no event.
+        core.on_msg(
+            &mut ctx,
+            n(6),
+            &SessionMsg::ZcrTakeover {
+                zone: z2,
+                new_zcr: n(6),
+                dist_to_parent: ms(25),
+            },
+        );
+        assert_eq!(core.take_seat_events(), vec![]);
+        // A strictly closer usurper wins the seat: one loss event.
+        core.on_msg(
+            &mut ctx,
+            n(6),
+            &SessionMsg::ZcrTakeover {
+                zone: z2,
+                new_zcr: n(6),
+                dist_to_parent: ms(4),
+            },
+        );
+        assert_eq!(core.take_seat_events(), vec![(0, false)]);
+
+        // A node seeded with no seats never produces events.
+        let mut other = SessionCore::new(n(5), hier(), SessionConfig::default(), &designed());
+        let mut c2 = FakeCtx::new();
+        other.start(&mut c2);
+        assert_eq!(other.take_seat_events(), vec![]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use sharqfec_repro::netsim::{
     Engine, LinkParams, NodeId, SimDuration, SimTime, TopologyBuilder, TrafficClass,
 };
-use sharqfec_repro::protocol::{setup_sharqfec_sim, SfAgent, SfMsg, SharqfecConfig};
+use sharqfec_repro::protocol::{setup_sharqfec_sim, PolicyKind, SfAgent, SfMsg, SharqfecConfig};
 use sharqfec_repro::scoping::ZoneHierarchyBuilder;
 use sharqfec_repro::topology::BuiltTopology;
 
@@ -136,10 +136,13 @@ fn zcr_requests_go_upstream() {
 #[test]
 fn injection_decays_on_a_clean_network() {
     let built = shared_loss_topology(0.0);
-    let cfg = SharqfecConfig {
+    let mut cfg = SharqfecConfig {
         total_packets: 320, // 20 groups
-        initial_zlc_pred: 4.0,
         ..SharqfecConfig::full()
+    };
+    cfg.policy.kind = PolicyKind::Ewma {
+        gain: 0.25,
+        initial_pred: 4.0,
     };
     let engine = run(&built, cfg, 10, 60);
     let repairs: Vec<SimTime> = engine
