@@ -46,4 +46,12 @@ mkdir -p target/tmp/bench_ci
 ./target/release/microbench --check target/tmp/bench_ci/BENCH_microbench.json
 ./target/release/microbench --check results/BENCH_microbench.json
 
+echo "==> scaling sweep smoke (10^2/10^3) + crossover check"
+# The smoke grid re-measures the SHARQFEC-vs-SRM session crossover at
+# CI-sized memberships; the committed full run (through 10^5) carries
+# the exponent fit and the state-growth assertions.
+./target/release/scale_sweep --smoke --out target/tmp/bench_ci > /dev/null
+./target/release/scale_sweep --check target/tmp/bench_ci/BENCH_scale_sweep.json
+./target/release/scale_sweep --check results/BENCH_scale_sweep.json
+
 echo "CI OK"

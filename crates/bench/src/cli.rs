@@ -128,7 +128,7 @@ pub fn apply_policy_override(specs: Vec<Scenario>, policy: Option<&PolicyConfig>
         .map(|s| match &s.protocol {
             crate::Protocol::Sharqfec(cfg) => {
                 let mut p = p.clone();
-                p.enabled &= cfg.effective_policy().enabled;
+                p.enabled &= cfg.policy.enabled;
                 s.with_policy(p)
             }
             crate::Protocol::Srm(_) => s,

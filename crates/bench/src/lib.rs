@@ -24,6 +24,7 @@
 pub mod cli;
 pub mod microbench;
 pub mod policy;
+pub mod scale;
 
 use sharqfec::{setup_sharqfec_builder, PolicyConfig, SfAgent, SharqfecConfig, Variant};
 use sharqfec_analysis::series::{bin_deliveries, BinSpec};

@@ -85,19 +85,24 @@ pub fn plan(packets: u32) -> Vec<Scenario> {
 
 /// The line describing one cell of the summary (cells are one line each
 /// in the sweep-runner schema).
-fn cell_line<'a>(text: &'a str, label: &str) -> Option<&'a str> {
+pub(crate) fn cell_line<'a>(text: &'a str, label: &str) -> Option<&'a str> {
     let tag = format!("\"scenario\": \"{label}\"");
     text.lines().find(|l| l.contains(&tag))
 }
 
 /// Extracts an integer-valued metric from a cell line.
-fn metric_u64(line: &str, key: &str) -> Option<u64> {
+pub(crate) fn metric_u64(line: &str, key: &str) -> Option<u64> {
+    metric_f64(line, key).map(|v| v.round() as u64)
+}
+
+/// Extracts a metric from a cell line as written.
+pub(crate) fn metric_f64(line: &str, key: &str) -> Option<f64> {
     let tag = format!("\"{key}\": ");
     let rest = &line[line.find(&tag)? + tag.len()..];
     let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
         .unwrap_or(rest.len());
-    rest[..end].parse::<f64>().ok().map(|v| v.round() as u64)
+    rest[..end].parse::<f64>().ok()
 }
 
 /// Validates a `BENCH_policy_sweep.json` summary (seed-42 defaults):

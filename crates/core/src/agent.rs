@@ -148,7 +148,7 @@ impl SfAgent {
         } else {
             0
         };
-        let pcfg = cfg.effective_policy();
+        let pcfg = cfg.policy.clone();
         let policy = pcfg.build(chain.len());
         let window = AdaptiveWindow::new(cfg.c1, cfg.c2, cfg.adaptive_timers);
         SfAgent {
@@ -870,6 +870,24 @@ impl SfAgent {
 }
 
 impl Agent<SfMsg> for SfAgent {
+    fn state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // The per-zone channel table is behind a shared `Rc` (one copy
+        // per run, not per member) and is excluded, like the hierarchy
+        // inside the session core.
+        let mut bytes = size_of::<SfAgent>()
+            + self.session.state_bytes()
+            + self.chain.capacity() * size_of::<ZoneId>()
+            + self.chan_to_level.capacity()
+                * (size_of::<ChannelId>() + size_of::<usize>() + size_of::<u64>())
+            + self.groups.capacity()
+                * (size_of::<u32>() + size_of::<GroupState>() + size_of::<u64>());
+        for g in self.groups.values() {
+            bytes += g.heap_bytes();
+        }
+        bytes
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_, SfMsg>) {
         {
             let mut b = bridge!(self, ctx);

@@ -1,6 +1,6 @@
 //! SHARQFEC configuration and the §6.2 ablation ladder.
 
-use crate::policy::{PolicyConfig, PolicyKind};
+use crate::policy::PolicyConfig;
 use sharqfec_netsim::{SimDuration, SimTime};
 use sharqfec_session::SessionConfig;
 
@@ -56,20 +56,13 @@ pub struct SharqfecConfig {
     /// Administrative scoping (`false` ⇒ the `ns` variants: one global
     /// zone).
     pub scoping: bool,
-    /// Deprecated alias for `policy.enabled` (`false` ⇒ the `ni`
-    /// variants).  Honoured for one more release via
-    /// [`SharqfecConfig::effective_policy`].
-    #[deprecated(note = "set `policy.enabled` instead")]
-    pub injection: bool,
     /// Receivers repair their peers (`false` ⇒ the `so` variant: sender
     /// only).
     pub receiver_repairs: bool,
 
     // ---- injection policy ----
     /// How preemptive FEC injection is sized: predictor selection and
-    /// parameters.  The agent resolves the final configuration through
-    /// [`SharqfecConfig::effective_policy`], which still folds in the
-    /// deprecated loose knobs below.
+    /// parameters (`policy.enabled = false` ⇒ the `ni` variants).
     pub policy: PolicyConfig,
 
     // ---- timers (paper §4) ----
@@ -90,20 +83,6 @@ pub struct SharqfecConfig {
     /// default — the paper's evaluation uses fixed timers.
     pub adaptive_timers: bool,
 
-    // ---- EWMA / injection (paper §4) — deprecated loose knobs ----
-    /// Deprecated alias for the EWMA policy's `gain` (paper: 0.25).
-    /// Non-default values are folded into [`PolicyKind::Ewma`] by
-    /// [`SharqfecConfig::effective_policy`]; ignored for other kinds.
-    #[deprecated(note = "set `policy.kind` (PolicyKind::Ewma { gain, .. }) instead")]
-    pub zlc_gain: f64,
-    /// Deprecated alias for `policy.measure_rtt_factor` (paper: 2.5).
-    #[deprecated(note = "set `policy.measure_rtt_factor` instead")]
-    pub zlc_measure_rtt_factor: f64,
-    /// Deprecated alias for the EWMA policy's `initial_pred` ("a small
-    /// number of redundant FEC packets"); ignored for other kinds.
-    #[deprecated(note = "set `policy.kind` (PolicyKind::Ewma { initial_pred, .. }) instead")]
-    pub initial_zlc_pred: f64,
-
     /// Fallback one-way distance used for timers before the session has
     /// produced an estimate.
     pub default_dist: SimDuration,
@@ -112,7 +91,6 @@ pub struct SharqfecConfig {
 }
 
 impl Default for SharqfecConfig {
-    #[allow(deprecated)] // the shims themselves must still be initialized
     fn default() -> SharqfecConfig {
         SharqfecConfig {
             total_packets: 1024,
@@ -122,7 +100,6 @@ impl Default for SharqfecConfig {
             data_start: SimTime::from_secs(6),
             group_size: 16,
             scoping: true,
-            injection: true,
             receiver_repairs: true,
             c1: 2.0,
             c2: 2.0,
@@ -132,9 +109,6 @@ impl Default for SharqfecConfig {
             attempts_per_zone: 2,
             adaptive_timers: false,
             policy: PolicyConfig::default(),
-            zlc_gain: 0.25,
-            zlc_measure_rtt_factor: 2.5,
-            initial_zlc_pred: 1.0,
             default_dist: SimDuration::from_millis(50),
             session: SessionConfig::default(),
         }
@@ -202,33 +176,6 @@ impl SharqfecConfig {
         (self.total_packets - start).min(self.group_size)
     }
 
-    /// The injection-policy configuration the agent actually runs:
-    /// `self.policy` with any non-default values of the deprecated loose
-    /// knobs (`injection`, `zlc_gain`, `zlc_measure_rtt_factor`,
-    /// `initial_zlc_pred`) folded in, so code written against the old
-    /// field API keeps its exact pre-trait behavior for one more
-    /// release.  EWMA-specific shims are ignored when another
-    /// [`PolicyKind`] is selected.
-    #[allow(deprecated)] // the whole point: resolve the shims
-    pub fn effective_policy(&self) -> PolicyConfig {
-        let mut p = self.policy.clone();
-        if !self.injection {
-            p.enabled = false;
-        }
-        if self.zlc_measure_rtt_factor != 2.5 {
-            p.measure_rtt_factor = self.zlc_measure_rtt_factor;
-        }
-        if let PolicyKind::Ewma { gain, initial_pred } = &mut p.kind {
-            if self.zlc_gain != 0.25 {
-                *gain = self.zlc_gain;
-            }
-            if self.initial_zlc_pred != 1.0 {
-                *initial_pred = self.initial_zlc_pred;
-            }
-        }
-        p
-    }
-
     /// Validates invariants.
     ///
     /// # Panics
@@ -246,13 +193,6 @@ impl SharqfecConfig {
             self.c1 > 0.0 && self.c2 >= 0.0 && self.d1 > 0.0 && self.d2 >= 0.0,
             "timer factors must be positive"
         );
-        #[allow(deprecated)] // the shim must stay within the old contract
-        {
-            assert!(
-                (0.0..=1.0).contains(&self.zlc_gain),
-                "zlc_gain must be a weight in [0,1]"
-            );
-        }
         assert!(
             self.attempts_per_zone >= 1,
             "need at least one attempt per zone"
@@ -261,7 +201,7 @@ impl SharqfecConfig {
             self.send_interval > SimDuration::ZERO,
             "CBR interval must be positive"
         );
-        self.effective_policy().validate();
+        self.policy.validate();
         self.session.validate();
     }
 }
@@ -269,6 +209,7 @@ impl SharqfecConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::PolicyKind;
 
     #[test]
     fn defaults_match_the_paper() {
@@ -278,7 +219,7 @@ mod tests {
         assert_eq!(c.group_size, 16);
         assert_eq!(c.group_count(), 64);
         assert_eq!((c.c1, c.c2, c.d1, c.d2), (2.0, 2.0, 1.0, 1.0));
-        let p = c.effective_policy();
+        let p = &c.policy;
         assert!(p.enabled);
         assert_eq!(p.measure_rtt_factor, 2.5);
         assert_eq!(
@@ -293,7 +234,7 @@ mod tests {
 
     #[test]
     fn variant_ladder_flags() {
-        let injection = |c: &SharqfecConfig| c.effective_policy().enabled;
+        let injection = |c: &SharqfecConfig| c.policy.enabled;
         assert!(SharqfecConfig::full().scoping);
         assert!(injection(&SharqfecConfig::full()));
         assert!(SharqfecConfig::full().receiver_repairs);
@@ -312,49 +253,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercising the one-release compatibility shims
-    fn deprecated_knobs_fold_into_the_effective_policy() {
-        let mut c = SharqfecConfig {
-            zlc_gain: 0.5,
-            initial_zlc_pred: 4.0,
-            zlc_measure_rtt_factor: 3.0,
-            ..SharqfecConfig::default()
-        };
-        let p = c.effective_policy();
-        assert_eq!(p.measure_rtt_factor, 3.0);
-        assert_eq!(
-            p.kind,
-            PolicyKind::Ewma {
-                gain: 0.5,
-                initial_pred: 4.0
-            }
-        );
-
-        // The old injection switch still gates the policy…
-        c.injection = false;
-        assert!(!c.effective_policy().enabled);
-
-        // …and EWMA-specific shims do not leak into other kinds.
-        let mut c = SharqfecConfig {
-            policy: crate::policy::PolicyConfig::percentile(),
-            ..SharqfecConfig::default()
-        };
-        c.zlc_gain = 0.5;
-        assert_eq!(
-            c.effective_policy(),
-            crate::policy::PolicyConfig::percentile()
-        );
-    }
-
-    #[test]
     fn explicit_policy_overrides_are_preserved() {
         let c = SharqfecConfig {
             policy: crate::policy::PolicyConfig::optimizing(),
             ..SharqfecConfig::default()
         };
-        let p = c.effective_policy();
-        assert_eq!(p.name(), "optimizing");
-        assert!(p.enabled);
+        assert_eq!(c.policy.name(), "optimizing");
+        assert!(c.policy.enabled);
+        c.validate();
     }
 
     #[test]

@@ -3,7 +3,58 @@
 
 use sharqfec_netsim::agent::TimerId;
 use sharqfec_netsim::{SimDuration, SimTime};
-use std::collections::HashSet;
+
+/// Compact set of packet indices: bitset words, lazily grown.
+///
+/// Group indices are dense and small (data `0..k`, FEC a few dozen past
+/// `k`), so a `HashSet<u32>` per group — tens of groups per receiver,
+/// 10⁵–10⁶ receivers — wasted a heap table plus ~48 bytes of header on a
+/// set that fits in one or two machine words.  Iteration order is
+/// ascending by construction.
+#[derive(Debug, Default)]
+struct IndexBitset {
+    words: Vec<u64>,
+    len: u32,
+}
+
+impl IndexBitset {
+    /// Inserts `idx`; `true` if it was absent.
+    fn insert(&mut self, idx: u32) -> bool {
+        let w = (idx / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (idx % 64);
+        if self.words[w] & bit != 0 {
+            return false;
+        }
+        self.words[w] |= bit;
+        self.len += 1;
+        true
+    }
+
+    fn contains(&self, idx: u32) -> bool {
+        let w = (idx / 64) as usize;
+        w < self.words.len() && self.words[w] & (1u64 << (idx % 64)) != 0
+    }
+
+    fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Set members in ascending order.
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word & (1u64 << b) != 0)
+                .map(move |b| (w as u32) * 64 + b)
+        })
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
 
 /// Delivery phase of one group (paper §4's two-phase process).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,7 +75,7 @@ pub enum Phase {
 pub struct GroupState {
     /// Data packets in this group.
     pub k: u32,
-    received: HashSet<u32>,
+    received: IndexBitset,
     /// Highest packet identifier known to exist (from local receptions or
     /// NACK advertisements); `None` until anything is known.
     max_idx: Option<u32>,
@@ -87,7 +138,7 @@ impl GroupState {
     pub fn new(k: u32, levels: usize, initial_scope: usize) -> GroupState {
         GroupState {
             k,
-            received: HashSet::new(),
+            received: IndexBitset::default(),
             max_idx: None,
             missing: 0,
             peak_llc: 0,
@@ -127,20 +178,35 @@ impl GroupState {
 
     /// Number of distinct indices held.
     pub fn held(&self) -> u32 {
-        self.received.len() as u32
+        self.received.len()
     }
 
     /// Whether `idx` is held.
     pub fn has(&self, idx: u32) -> bool {
-        self.received.contains(&idx)
+        self.received.contains(idx)
     }
 
     /// All held packet indices, sorted ascending (data first, then FEC) —
     /// what an application would hand to the erasure decoder.
     pub fn held_indices(&self) -> Vec<u32> {
-        let mut v: Vec<u32> = self.received.iter().copied().collect();
-        v.sort_unstable();
-        v
+        self.received.iter().collect()
+    }
+
+    /// Approximate heap bytes retained by this group's state (bitset
+    /// words plus the per-chain-level vectors), for the scaling harness's
+    /// resident-state accounting.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.received.heap_bytes()
+            + self.zlc.capacity() * size_of::<u32>()
+            + self.zone_needed.capacity() * size_of::<u32>()
+            + self.outstanding.capacity() * size_of::<u32>()
+            + self.reply_timer.capacity() * size_of::<Option<TimerId>>()
+            + self.pacing.capacity() * size_of::<bool>()
+            + self.last_nack_dist.capacity() * size_of::<Option<SimDuration>>()
+            + self.injected.capacity() * size_of::<bool>()
+            + self.measured.capacity() * size_of::<bool>()
+            + self.measure_defers.capacity() * size_of::<u8>()
     }
 
     /// FEC packets still needed to reconstruct (`needed` in NACKs).

@@ -136,4 +136,15 @@ pub trait Agent<M>: Any {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, token: u64) {
         let _ = (ctx, token);
     }
+
+    /// Approximate resident bytes of this agent's protocol state (heap
+    /// content it retains between callbacks, not transient allocations).
+    ///
+    /// The scaling harness aggregates this via
+    /// [`crate::engine::Engine::state_bytes`] to measure per-receiver
+    /// memory growth; agents that don't implement it report zero and are
+    /// simply excluded from the accounting.
+    fn state_bytes(&self) -> usize {
+        0
+    }
 }

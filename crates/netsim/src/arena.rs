@@ -167,20 +167,23 @@ mod tests {
     use super::*;
     use crate::time::SimTime;
 
-    fn pkt(uid: u64) -> Packet<u32> {
+    fn pkt(uid: u64) -> Packet<u64> {
         Packet {
             uid,
             src: NodeId(3),
             channel: ChannelId(1),
             sent_at: SimTime::ZERO,
             bytes: 1000,
-            payload: uid as u32,
+            // The payload mirrors the uid at full width.  This used to be
+            // `uid as u32`, silently aliasing packet identities past 2³²
+            // interned payloads on long large-n runs.
+            payload: uid,
         }
     }
 
     #[test]
     fn last_release_moves_the_packet_out_and_recycles_the_slot() {
-        let mut a: PacketArena<u32> = PacketArena::new();
+        let mut a: PacketArena<u64> = PacketArena::new();
         let r = a.insert(pkt(7), TrafficClass::Data);
         a.add_ref(r);
         a.add_ref(r);
@@ -198,8 +201,29 @@ mod tests {
     }
 
     #[test]
+    fn uids_past_u32_boundary_do_not_alias() {
+        // Regression: identities at and beyond 2³² must survive interning
+        // intact — a u32-truncating mirror would alias 2³² with 0 and
+        // 2³² + 7 with 7.
+        let mut a: PacketArena<u64> = PacketArena::new();
+        let big = 1u64 << 32;
+        let r0 = a.insert(pkt(big), TrafficClass::Data);
+        let r7 = a.insert(pkt(big + 7), TrafficClass::Data);
+        a.add_ref(r0);
+        a.add_ref(r7);
+        let p0 = a.release(r0).expect("sole reference");
+        let p7 = a.release(r7).expect("sole reference");
+        assert_eq!((p0.uid, p0.payload), (big, big));
+        assert_eq!((p7.uid, p7.payload), (big + 7, big + 7));
+        assert_ne!(
+            p0.payload as u32 as u64, p0.payload,
+            "truncation would alias"
+        );
+    }
+
+    #[test]
     fn header_caches_class_and_wire_fields() {
-        let mut a: PacketArena<u32> = PacketArena::new();
+        let mut a: PacketArena<u64> = PacketArena::new();
         let r = a.insert(pkt(1), TrafficClass::Repair);
         let h = a.header(r);
         assert_eq!(h.src, NodeId(3));
@@ -211,7 +235,7 @@ mod tests {
 
     #[test]
     fn orphan_release_is_a_noop_once_referenced() {
-        let mut a: PacketArena<u32> = PacketArena::new();
+        let mut a: PacketArena<u64> = PacketArena::new();
         let r = a.insert(pkt(1), TrafficClass::Data);
         a.add_ref(r);
         a.release_orphan(r); // someone holds it: must not free
@@ -222,7 +246,7 @@ mod tests {
 
     #[test]
     fn take_keeps_the_slot_reserved_for_reentrant_inserts() {
-        let mut a: PacketArena<u32> = PacketArena::new();
+        let mut a: PacketArena<u64> = PacketArena::new();
         let r = a.insert(pkt(1), TrafficClass::Data);
         a.add_ref(r);
         a.add_ref(r);

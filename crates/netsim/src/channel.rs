@@ -32,9 +32,16 @@ impl fmt::Debug for ChannelId {
 }
 
 /// Membership set of one channel.
+///
+/// Membership is stored as sorted, disjoint id ranges rather than a
+/// `Vec<bool>` over every node: a simulation registers one channel per
+/// zone, so dense per-channel bitmaps cost `O(zones × nodes)` — gigabytes
+/// at 10⁶ receivers — while zone members get contiguous ids from the
+/// topology generators and collapse to a handful of ranges.
 #[derive(Clone, Debug)]
 pub struct Channel {
-    member: Vec<bool>,
+    /// Sorted disjoint half-open member id ranges `[start, end)`.
+    ranges: Vec<(u32, u32)>,
     members: Vec<NodeId>,
 }
 
@@ -42,22 +49,30 @@ impl Channel {
     /// Builds a channel over `node_count` possible nodes with the given
     /// members (order and duplicates are normalized away).
     pub fn new(node_count: usize, members: &[NodeId]) -> Channel {
-        let mut member = vec![false; node_count];
-        for &m in members {
-            assert!(m.idx() < node_count, "member {m:?} out of range");
-            member[m.idx()] = true;
+        let mut members: Vec<NodeId> = members.to_vec();
+        members.sort_unstable();
+        members.dedup();
+        if let Some(&last) = members.last() {
+            assert!(last.idx() < node_count, "member {last:?} out of range");
         }
-        let members = (0..node_count as u32)
-            .map(NodeId)
-            .filter(|n| member[n.idx()])
-            .collect();
-        Channel { member, members }
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        for &m in &members {
+            match ranges.last_mut() {
+                Some((_, end)) if *end == m.0 => *end += 1,
+                _ => ranges.push((m.0, m.0 + 1)),
+            }
+        }
+        Channel { ranges, members }
     }
 
     /// Whether `node` belongs to the channel.
     #[inline]
     pub fn contains(&self, node: NodeId) -> bool {
-        self.member[node.idx()]
+        // Find the last range starting at or before the node.
+        match self.ranges.partition_point(|&(start, _)| start <= node.0) {
+            0 => false,
+            i => node.0 < self.ranges[i - 1].1,
+        }
     }
 
     /// Sorted member list.
@@ -118,6 +133,32 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_member_rejected() {
         Channel::new(2, &[NodeId(2)]);
+    }
+
+    #[test]
+    fn contiguous_members_collapse_to_one_range() {
+        // The range encoding is what keeps per-channel memory O(ranges)
+        // instead of O(node_count); contiguous zone ids must not fragment.
+        let members: Vec<NodeId> = (10..500).map(NodeId).collect();
+        let c = Channel::new(1000, &members);
+        assert_eq!(c.len(), 490);
+        assert!(!c.contains(NodeId(9)));
+        assert!(c.contains(NodeId(10)));
+        assert!(c.contains(NodeId(499)));
+        assert!(!c.contains(NodeId(500)));
+        assert!(!c.contains(NodeId(999)));
+    }
+
+    #[test]
+    fn gapped_membership_answers_exactly() {
+        let c = Channel::new(
+            100,
+            &[NodeId(0), NodeId(5), NodeId(6), NodeId(7), NodeId(99)],
+        );
+        for i in 0..100u32 {
+            let expect = matches!(i, 0 | 5 | 6 | 7 | 99);
+            assert_eq!(c.contains(NodeId(i)), expect, "node {i}");
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! a *converged* session's RTT knowledge, not instantaneous reachability.
 
 use crate::agent::{Action, Agent, Ctx, TimerId};
-use crate::arena::{PacketArena, PacketRef};
+use crate::arena::{PacketArena, PacketHeader, PacketRef};
 use crate::channel::{Channel, ChannelId};
 use crate::faults::{FaultEvent, FaultPlan};
 use crate::graph::{LinkId, NodeId, Topology};
@@ -72,8 +72,15 @@ pub struct Engine<M> {
     topo: Topology,
     oracle: DistanceOracle,
     /// Lazily-computed shortest-path trees against the current `link_up`
-    /// mask; `None` means "invalidated or never needed yet".
+    /// mask; `None` means "invalidated or never needed yet".  Stays a
+    /// zero-length vec until a tree is first requested, so tree-forwarded
+    /// runs never pay the `O(nodes)` table (let alone the `O(n²)` trees).
     spts: Vec<Option<Spt>>,
+    /// Whether forwarding may use the `O(depth)`-per-hop tree fast path
+    /// instead of per-source SPTs.  True only when the topology is a tree
+    /// *and* no link fault can change routing mid-run; the two paths
+    /// produce bit-identical schedules where both apply.
+    tree_forwarding: bool,
     link_state: Vec<LinkState>,
     /// Whether each link currently carries traffic (fault injection).
     link_up: Vec<bool>,
@@ -109,9 +116,12 @@ pub struct Engine<M> {
 impl<M: Classify + Clone + 'static> Engine<M> {
     /// Creates an engine over a topology with a root RNG seed.
     ///
-    /// The all-pairs distance oracle is computed eagerly (cheap at paper
-    /// scale, 113 nodes); per-source routing trees are computed lazily on
-    /// first use so fault-driven invalidation stays cheap.
+    /// The distance oracle is computed eagerly — dense all-pairs for meshy
+    /// topologies (cheap at paper scale, 113 nodes), `O(n)` tree arrays
+    /// when the topology is a tree; per-source routing trees are computed
+    /// lazily on first use so fault-driven invalidation stays cheap, and
+    /// are never computed at all on fault-free tree topologies (see
+    /// [`Engine::schedule_faults`]).
     ///
     /// Prefer [`EngineBuilder`], which configures channels, agents,
     /// recorder mode, and the fault plan in one place.
@@ -121,12 +131,14 @@ impl<M: Classify + Clone + 'static> Engine<M> {
         let loss_rng = root.split(u64::MAX);
         let agent_rngs = (0..n as u64).map(|i| root.split(i)).collect();
         let oracle = DistanceOracle::compute(&topo);
+        let tree_forwarding = oracle.is_tree();
         Engine {
             link_state: vec![LinkState::default(); topo.link_count()],
             link_up: vec![true; topo.link_count()],
             node_up: vec![true; n],
             epoch: vec![0; n],
-            spts: (0..n).map(|_| None).collect(),
+            spts: Vec::new(),
+            tree_forwarding,
             oracle,
             channels: Vec::new(),
             agents: (0..n).map(|_| None).collect(),
@@ -165,6 +177,9 @@ impl<M: Classify + Clone + 'static> Engine<M> {
     }
 
     fn ensure_spt(&mut self, src: usize) {
+        if self.spts.is_empty() {
+            self.spts = (0..self.topo.node_count()).map(|_| None).collect();
+        }
         if self.spts[src].is_none() {
             self.spts[src] = Some(Spt::compute_masked(
                 &self.topo,
@@ -206,6 +221,12 @@ impl<M: Classify + Clone + 'static> Engine<M> {
     /// drains — arena slots must not leak.
     pub fn packets_in_flight(&self) -> usize {
         self.arena.live()
+    }
+
+    /// Per-source routing trees currently cached (diagnostics).  Stays
+    /// zero for tree-forwarded runs, which never materialize an SPT.
+    pub fn cached_spt_count(&self) -> usize {
+        self.spts.iter().flatten().count()
     }
 
     /// Recorded observations so far.
@@ -271,7 +292,19 @@ impl<M: Classify + Clone + 'static> Engine<M> {
 
     /// Schedules every event of a fault plan.  Events must not lie in the
     /// engine's past.
+    ///
+    /// A plan containing link up/down events disables the tree forwarding
+    /// fast path for the rest of the run: packets already in a subtree
+    /// must observe the live link mask and rerouted trees, which only the
+    /// masked-SPT path models.
     pub fn schedule_faults(&mut self, plan: &FaultPlan) {
+        if plan
+            .events()
+            .iter()
+            .any(|(_, ev)| matches!(ev, FaultEvent::LinkDown(_) | FaultEvent::LinkUp(_)))
+        {
+            self.tree_forwarding = false;
+        }
         for &(when, ev) in plan.events() {
             assert!(
                 when >= self.now,
@@ -539,14 +572,36 @@ impl<M: Classify + Clone + 'static> Engine<M> {
         self.arena.release_orphan(pref);
     }
 
-    /// Forwards `pkt` from `at` to each child in the packet-source's SPT,
+    /// Forwards `pkt` from `at` to each child in the packet-source's tree,
     /// pruning at channel non-members (administrative scope boundary) and
     /// sampling the per-link loss process for lossy traffic classes.
+    ///
+    /// On tree topologies without link faults the children are enumerated
+    /// directly from the adjacency list (every neighbour except the one
+    /// toward the source), so no per-source SPT is ever materialized —
+    /// the `O(n)` trees that session-announce traffic from every member
+    /// would otherwise force add up to `O(n²)`.  Both neighbour lists and
+    /// SPT child groups are sorted by node id, so the hop order (and with
+    /// it the loss-RNG draw order) is bit-identical across the two paths.
     fn forward(&mut self, at: NodeId, pkt: PacketRef) {
         // The cached header carries everything the hop loop needs — the
         // payload (and its class()) is never touched per hop.
         let hdr = self.arena.header(pkt);
-        let lossy = hdr.class.lossy();
+        if self.tree_forwarding {
+            let toward = if at == hdr.src {
+                None
+            } else {
+                Some(self.oracle.tree_next_hop(at, hdr.src))
+            };
+            for i in 0..self.topo.neighbors(at).len() {
+                let (child, link) = self.topo.neighbors(at)[i];
+                if Some(child) == toward {
+                    continue;
+                }
+                self.hop(at, child, link, pkt, hdr);
+            }
+            return;
+        }
         // The SPT stores child edges in a flat CSR arena, so each edge is
         // copied out by index — no per-packet allocation while the rest of
         // the engine state stays mutable.
@@ -556,36 +611,60 @@ impl<M: Classify + Clone + 'static> Engine<M> {
         let (start, end) = spt.child_range(at);
         for i in start..end {
             let (child, link) = self.spts[src].as_ref().expect("ensured").child_edge(i);
-            if !self.link_up[link.idx()] {
-                // A link that died after this packet entered the subtree:
-                // the hop simply never happens (down is not loss — no drop
-                // record, and lossless classes are blocked too).
-                continue;
-            }
-            if !self.channels[hdr.channel.idx()].contains(child) {
-                continue; // scope boundary: prune the whole subtree
-            }
-            let spec = self.topo.link(link);
-            if lossy {
-                let state = &mut self.link_state[link.idx()];
-                let dropped = {
-                    let bad = state.chain_state_mut(spec, at);
-                    spec.params.loss.sample(bad, &mut self.loss_rng)
-                };
-                if dropped {
-                    self.recorder.record_drop(DropRecord {
-                        time: self.now,
-                        from: at,
-                        to: child,
-                        class: hdr.class,
-                    });
-                    continue;
-                }
-            }
-            let arrive = self.link_state[link.idx()].transmit(spec, at, self.now, hdr.bytes);
-            self.arena.add_ref(pkt);
-            self.push(arrive, EventKind::Arrive { node: child, pkt });
+            self.hop(at, child, link, pkt, hdr);
         }
+    }
+
+    /// One forwarding hop: link-mask and scope checks, loss sampling for
+    /// lossy classes, then the queued arrival.
+    fn hop(&mut self, at: NodeId, child: NodeId, link: LinkId, pkt: PacketRef, hdr: PacketHeader) {
+        if !self.link_up[link.idx()] {
+            // A link that died after this packet entered the subtree: the
+            // hop simply never happens (down is not loss — no drop record,
+            // and lossless classes are blocked too).
+            return;
+        }
+        if !self.channels[hdr.channel.idx()].contains(child) {
+            return; // scope boundary: prune the whole subtree
+        }
+        let spec = self.topo.link(link);
+        if hdr.class.lossy() {
+            let state = &mut self.link_state[link.idx()];
+            let dropped = {
+                let bad = state.chain_state_mut(spec, at);
+                spec.params.loss.sample(bad, &mut self.loss_rng)
+            };
+            if dropped {
+                self.recorder.record_drop(DropRecord {
+                    time: self.now,
+                    from: at,
+                    to: child,
+                    class: hdr.class,
+                });
+                return;
+            }
+        }
+        let arrive = self.link_state[link.idx()].transmit(spec, at, self.now, hdr.bytes);
+        self.arena.add_ref(pkt);
+        self.push(arrive, EventKind::Arrive { node: child, pkt });
+    }
+
+    /// Total approximate resident bytes of protocol state across every
+    /// attached agent (see [`Agent::state_bytes`]).
+    pub fn state_bytes(&self) -> u64 {
+        self.agents
+            .iter()
+            .flatten()
+            .map(|a| a.state_bytes() as u64)
+            .sum()
+    }
+
+    /// Approximate resident protocol-state bytes of one node's agent
+    /// (zero when the node has no agent).
+    pub fn agent_state_bytes(&self, node: NodeId) -> usize {
+        self.agents[node.idx()]
+            .as_deref()
+            .map_or(0, |a| a.state_bytes())
     }
 }
 
@@ -702,6 +781,16 @@ impl<M: Classify + Clone + 'static> EngineBuilder<M> {
     /// automatically ([`AuditConfig::excuse_faults`]).
     pub fn audit(&mut self, cfg: AuditConfig) -> &mut Self {
         self.record_probes = true;
+        self.audit = Some(cfg);
+        self
+    }
+
+    /// Attaches an invariant [`Auditor`] *without* retaining the probe
+    /// stream: events flow into the auditor (whose state is zone-bounded)
+    /// and are then discarded, instead of accumulating an `O(events)`
+    /// record log.  Large-scale runs use this so a 10⁶-receiver sweep can
+    /// stay audited without holding per-event history.
+    pub fn audit_streaming(&mut self, cfg: AuditConfig) -> &mut Self {
         self.audit = Some(cfg);
         self
     }
@@ -1369,6 +1458,88 @@ mod tests {
         // Once the cancelled deadline is processed, both sets are empty.
         assert_eq!(e.pending_timer_count(), 0);
         assert_eq!(e.cancelled_timer_count(), 0);
+    }
+
+    #[test]
+    fn tree_fast_path_is_bit_identical_to_spt_forwarding() {
+        // The same lossy tree scenario run twice: once on the tree fast
+        // path, once with the legacy masked-SPT path forced by a link
+        // fault scheduled far beyond the horizon.  Arrival sequences (and
+        // hence every loss-RNG draw) must match exactly; the fast path
+        // must cache no SPTs at all.
+        let run = |force_legacy: bool| -> (Vec<(SimTime, Msg)>, usize) {
+            let (t, [n0, n1, n2]) = chain3(0.3);
+            let l = t.link_between(n0, n1).unwrap();
+            let mut b: EngineBuilder<Msg> = EngineBuilder::new(t, 9);
+            let chan = b.add_channel(&[n0, n1, n2]);
+            b.add_agent(n0, Box::new(Burst { chan, count: 50 }));
+            b.add_agent(n2, Box::new(Sniffer::default()));
+            if force_legacy {
+                b.fault_plan(
+                    FaultPlan::new().at(SimTime::from_secs(1_000_000), FaultEvent::LinkDown(l)),
+                );
+            }
+            let mut e = b.build();
+            e.run_until(SimTime::from_secs(100));
+            (
+                e.agent::<Sniffer>(n2).unwrap().heard.clone(),
+                e.cached_spt_count(),
+            )
+        };
+        let (fast, fast_spts) = run(false);
+        let (legacy, legacy_spts) = run(true);
+        assert!(!fast.is_empty());
+        assert_eq!(fast, legacy);
+        assert_eq!(fast_spts, 0, "tree forwarding must not materialize SPTs");
+        assert!(legacy_spts > 0, "the control run must use the SPT path");
+    }
+
+    #[test]
+    fn audit_streaming_feeds_the_auditor_without_record_retention() {
+        use crate::probe::ProbeEvent;
+        struct CloseProbe;
+        impl Agent<Msg> for CloseProbe {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.probe(ProbeEvent::GroupClose {
+                    group: 0,
+                    complete: true,
+                    held: 4,
+                    k: 4,
+                });
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, Msg>, _: &Packet<Msg>) {}
+        }
+        let (t, [n0, ..]) = chain3(0.0);
+        let mut b: EngineBuilder<Msg> = EngineBuilder::new(t, 1);
+        b.audit_streaming(AuditConfig::default());
+        b.add_agent(n0, Box::new(CloseProbe));
+        let mut e = b.build();
+        e.run();
+        assert!(e.probe_records().is_empty(), "no O(events) record log");
+        let report = e.audit_report().expect("auditor attached");
+        assert_eq!(report.events, 1, "the probe still reached the auditor");
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn state_bytes_aggregates_agent_reports() {
+        struct Sized(usize);
+        impl Agent<Msg> for Sized {
+            fn on_packet(&mut self, _: &mut Ctx<'_, Msg>, _: &Packet<Msg>) {}
+            fn state_bytes(&self) -> usize {
+                self.0
+            }
+        }
+        let (t, [n0, n1, n2]) = chain3(0.0);
+        let mut e: Engine<Msg> = Engine::new(t, 1);
+        e.set_agent(n0, Box::new(Sized(100)));
+        e.set_agent(n2, Box::new(Sized(23)));
+        assert_eq!(e.state_bytes(), 123);
+        assert_eq!(e.agent_state_bytes(n0), 100);
+        assert_eq!(e.agent_state_bytes(n1), 0, "agent-less node reports zero");
+        // Sniffer has no state_bytes impl: the default reports zero.
+        e.set_agent(n1, Box::new(Sniffer::default()));
+        assert_eq!(e.state_bytes(), 123);
     }
 
     #[test]

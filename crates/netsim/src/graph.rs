@@ -163,6 +163,10 @@ impl LinkParams {
 pub struct TopologyBuilder {
     labels: Vec<String>,
     links: Vec<LinkSpec>,
+    /// Normalized `(min, max)` endpoint pairs, for O(1) duplicate checks
+    /// (a linear scan per `add_link` would make building a 10⁶-link tree
+    /// quadratic).
+    seen_links: std::collections::HashSet<(u32, u32)>,
 }
 
 impl TopologyBuilder {
@@ -185,6 +189,16 @@ impl TopologyBuilder {
             .collect()
     }
 
+    /// Adds `n` unlabelled nodes (empty label, no per-node allocation),
+    /// returning the contiguous id range.  Large generated topologies use
+    /// this: a million `format!`ed labels are pure overhead when nodes
+    /// are only ever addressed by id.
+    pub fn add_unlabeled_nodes(&mut self, n: usize) -> std::ops::Range<u32> {
+        let start = self.labels.len() as u32;
+        self.labels.resize_with(self.labels.len() + n, String::new);
+        start..start + n as u32
+    }
+
     /// Adds an undirected link between two existing nodes.
     ///
     /// # Panics
@@ -194,13 +208,8 @@ impl TopologyBuilder {
         assert!(a.idx() < self.labels.len(), "unknown node {a:?}");
         assert!(b.idx() < self.labels.len(), "unknown node {b:?}");
         assert_ne!(a, b, "self-loops are not allowed");
-        assert!(
-            !self
-                .links
-                .iter()
-                .any(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a)),
-            "duplicate link {a:?}-{b:?}"
-        );
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        assert!(self.seen_links.insert(key), "duplicate link {a:?}-{b:?}");
         let id = LinkId(self.links.len() as u32);
         self.links.push(LinkSpec { a, b, params });
         id

@@ -6,7 +6,7 @@
 //! those plots are binned from; the `sharqfec-analysis` crate does the
 //! binning.
 //!
-//! Two storage modes ([`RecorderMode`]) trade fidelity for footprint:
+//! Three storage modes ([`RecorderMode`]) trade fidelity for footprint:
 //!
 //! * **Raw** (the default) keeps every event in the public vectors, so
 //!   post-hoc tooling (timelines, custom filters) can see everything.
@@ -14,10 +14,14 @@
 //!   totals and fixed-width time bins, keeping memory `O(nodes × bins)`
 //!   regardless of traffic volume — the mode the parallel sweep runner
 //!   uses, where dozens of engines are alive at once.
+//! * **Aggregate** keeps only session-global per-class totals and bins,
+//!   `O(bins)` regardless of node count — the mode the 10⁵–10⁶-receiver
+//!   scaling sweeps use.
 //!
-//! In both modes the per-(node, class) totals are maintained as the
-//! events arrive, so [`Recorder::delivered_count`] and
-//! [`Recorder::sent_count`] are O(1) lookups, never scans.
+//! In the raw and streaming modes the per-(node, class) totals are
+//! maintained as the events arrive, so [`Recorder::delivered_count`] and
+//! [`Recorder::sent_count`] are O(1) lookups, never scans; the global
+//! totals are O(1) in every mode.
 
 use crate::channel::ChannelId;
 use crate::graph::NodeId;
@@ -120,6 +124,14 @@ pub enum RecorderMode {
     /// Aggregate into per-(node, class) totals and time bins at record
     /// time; the raw vectors stay empty.  Memory is `O(nodes × bins)`.
     Streaming,
+    /// Keep only session-global per-class totals and time bins — no
+    /// per-node state, no raw vectors.  Memory is `O(bins)` regardless of
+    /// node count or traffic volume, the mode large-scale sweeps use
+    /// (10⁶ receivers would make even per-node totals several hundred
+    /// megabytes).  Per-node queries ([`Recorder::delivered_count`],
+    /// [`Recorder::sent_count`], the per-node bin accessors) read as zero
+    /// or empty in this mode.
+    Aggregate,
 }
 
 /// A packet count plus the bytes those packets carried.
@@ -164,6 +176,9 @@ pub struct Recorder {
     delivered_total: [Tally; CLASS_COUNT],
     sent_total: [Tally; CLASS_COUNT],
     drop_total: [u64; CLASS_COUNT],
+    /// Session-global time bins, maintained in [`RecorderMode::Aggregate`].
+    delivered_bins_total: [Vec<Tally>; CLASS_COUNT],
+    sent_bins_total: [Vec<Tally>; CLASS_COUNT],
 }
 
 impl Default for Recorder {
@@ -179,6 +194,8 @@ impl Default for Recorder {
             delivered_total: [Tally::default(); CLASS_COUNT],
             sent_total: [Tally::default(); CLASS_COUNT],
             drop_total: [0; CLASS_COUNT],
+            delivered_bins_total: Default::default(),
+            sent_bins_total: Default::default(),
         }
     }
 }
@@ -237,6 +254,8 @@ impl Recorder {
             && self.transmissions.is_empty()
             && self.drops.is_empty()
             && self.drop_total.iter().all(|&c| c == 0)
+            && self.delivered_total.iter().all(|t| t.packets == 0)
+            && self.sent_total.iter().all(|t| t.packets == 0)
     }
 
     fn node_mut(&mut self, node: NodeId) -> &mut NodeStats {
@@ -254,17 +273,27 @@ impl Recorder {
     pub fn record_delivery(&mut self, r: Record) {
         self.delivered_total[r.class.index()].add(r.bytes);
         let bin = self.bin_index(r.time);
-        let streaming = self.mode == RecorderMode::Streaming;
-        let stats = self.node_mut(r.node);
-        stats.delivered[r.class.index()].add(r.bytes);
-        if streaming {
-            let bins = &mut stats.delivered_bins[r.class.index()];
-            if bins.len() <= bin {
-                bins.resize(bin + 1, Tally::default());
+        match self.mode {
+            RecorderMode::Aggregate => {
+                let bins = &mut self.delivered_bins_total[r.class.index()];
+                if bins.len() <= bin {
+                    bins.resize(bin + 1, Tally::default());
+                }
+                bins[bin].add(r.bytes);
             }
-            bins[bin].add(r.bytes);
-        } else {
-            self.deliveries.push(r);
+            RecorderMode::Streaming => {
+                let stats = self.node_mut(r.node);
+                stats.delivered[r.class.index()].add(r.bytes);
+                let bins = &mut stats.delivered_bins[r.class.index()];
+                if bins.len() <= bin {
+                    bins.resize(bin + 1, Tally::default());
+                }
+                bins[bin].add(r.bytes);
+            }
+            RecorderMode::Raw => {
+                self.node_mut(r.node).delivered[r.class.index()].add(r.bytes);
+                self.deliveries.push(r);
+            }
         }
     }
 
@@ -272,17 +301,27 @@ impl Recorder {
     pub fn record_transmission(&mut self, r: Record) {
         self.sent_total[r.class.index()].add(r.bytes);
         let bin = self.bin_index(r.time);
-        let streaming = self.mode == RecorderMode::Streaming;
-        let stats = self.node_mut(r.node);
-        stats.sent[r.class.index()].add(r.bytes);
-        if streaming {
-            let bins = &mut stats.sent_bins[r.class.index()];
-            if bins.len() <= bin {
-                bins.resize(bin + 1, Tally::default());
+        match self.mode {
+            RecorderMode::Aggregate => {
+                let bins = &mut self.sent_bins_total[r.class.index()];
+                if bins.len() <= bin {
+                    bins.resize(bin + 1, Tally::default());
+                }
+                bins[bin].add(r.bytes);
             }
-            bins[bin].add(r.bytes);
-        } else {
-            self.transmissions.push(r);
+            RecorderMode::Streaming => {
+                let stats = self.node_mut(r.node);
+                stats.sent[r.class.index()].add(r.bytes);
+                let bins = &mut stats.sent_bins[r.class.index()];
+                if bins.len() <= bin {
+                    bins.resize(bin + 1, Tally::default());
+                }
+                bins[bin].add(r.bytes);
+            }
+            RecorderMode::Raw => {
+                self.node_mut(r.node).sent[r.class.index()].add(r.bytes);
+                self.transmissions.push(r);
+            }
         }
     }
 
@@ -304,6 +343,8 @@ impl Recorder {
         self.delivered_total = [Tally::default(); CLASS_COUNT];
         self.sent_total = [Tally::default(); CLASS_COUNT];
         self.drop_total = [0; CLASS_COUNT];
+        self.delivered_bins_total = Default::default();
+        self.sent_bins_total = Default::default();
     }
 
     /// Counts deliveries at `node` with the given class.  O(1).
@@ -362,6 +403,42 @@ impl Recorder {
         self.nodes
             .get(node.idx())
             .map_or(&[][..], |s| &s.sent_bins[class.index()])
+    }
+
+    /// Aggregate-mode session-global delivery bins for a class; entry `i`
+    /// covers `[i × bin_width, (i + 1) × bin_width)`.  Empty in the other
+    /// modes (which keep raw events or per-node bins instead).
+    pub fn total_delivered_bins(&self, class: TrafficClass) -> &[Tally] {
+        &self.delivered_bins_total[class.index()]
+    }
+
+    /// Aggregate-mode session-global transmission bins for a class; see
+    /// [`Recorder::total_delivered_bins`].
+    pub fn total_sent_bins(&self, class: TrafficClass) -> &[Tally] {
+        &self.sent_bins_total[class.index()]
+    }
+
+    /// Approximate heap bytes this recorder currently holds.  The
+    /// scaling harness asserts this stays `O(bins)` in
+    /// [`RecorderMode::Aggregate`] — independent of node count and
+    /// traffic volume.
+    pub fn resident_bytes(&self) -> usize {
+        let record = std::mem::size_of::<Record>();
+        let tally = std::mem::size_of::<Tally>();
+        let mut total = self.deliveries.capacity() * record
+            + self.transmissions.capacity() * record
+            + self.drops.capacity() * std::mem::size_of::<DropRecord>()
+            + self.nodes.capacity() * std::mem::size_of::<NodeStats>();
+        for s in &self.nodes {
+            for c in 0..CLASS_COUNT {
+                total += (s.delivered_bins[c].capacity() + s.sent_bins[c].capacity()) * tally;
+            }
+        }
+        for c in 0..CLASS_COUNT {
+            total += (self.delivered_bins_total[c].capacity() + self.sent_bins_total[c].capacity())
+                * tally;
+        }
+        total
     }
 }
 
@@ -509,6 +586,55 @@ mod tests {
         let bins = r.delivered_bins(NodeId(1), TrafficClass::Data);
         assert_eq!(bins.len(), 3);
         assert_eq!(bins[2].packets, 1);
+    }
+
+    #[test]
+    fn aggregate_mode_keeps_global_bins_and_no_per_node_state() {
+        let mut r = Recorder::new(RecorderMode::Aggregate);
+        r.record_delivery(rec_at(10, 1, TrafficClass::Data));
+        r.record_delivery(rec_at(99, 2, TrafficClass::Data));
+        r.record_delivery(rec_at(350, 3, TrafficClass::Session));
+        r.record_transmission(rec_at(120, 0, TrafficClass::Nack));
+
+        assert!(r.deliveries.is_empty() && r.transmissions.is_empty());
+        assert_eq!(r.node_count(), 0, "no per-node tables at all");
+        assert_eq!(r.delivered_count(NodeId(1), TrafficClass::Data), 0);
+        assert!(r.delivered_bins(NodeId(1), TrafficClass::Data).is_empty());
+
+        // Global totals and bins still answer.
+        assert_eq!(r.total_delivered(TrafficClass::Data), 2);
+        assert_eq!(r.total_delivered(TrafficClass::Session), 1);
+        assert_eq!(r.total_sent(TrafficClass::Nack), 1);
+        let bins = r.total_delivered_bins(TrafficClass::Data);
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].packets, 2);
+        let sess = r.total_delivered_bins(TrafficClass::Session);
+        assert_eq!(sess.len(), 4);
+        assert_eq!(sess[3].packets, 1);
+        assert_eq!(r.total_sent_bins(TrafficClass::Nack)[1].packets, 1);
+
+        r.clear();
+        assert_eq!(r.total_delivered(TrafficClass::Data), 0);
+        assert!(r.total_delivered_bins(TrafficClass::Data).is_empty());
+    }
+
+    #[test]
+    fn aggregate_mode_memory_is_o_bins_not_o_packets() {
+        // Record 10× the traffic into the same time window from many
+        // different nodes: resident bytes must not move at all.
+        let record = |events: u32| -> usize {
+            let mut r = Recorder::new(RecorderMode::Aggregate);
+            for i in 0..events {
+                r.record_delivery(rec_at((i % 1000) as u64, i % 5000, TrafficClass::Data));
+            }
+            r.resident_bytes()
+        };
+        let small = record(2_000);
+        let large = record(20_000);
+        assert_eq!(
+            small, large,
+            "aggregate-mode footprint must depend only on the bin span"
+        );
     }
 
     #[test]

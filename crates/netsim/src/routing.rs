@@ -169,35 +169,151 @@ impl Spt {
     }
 }
 
-/// All-pairs propagation delays (one Dijkstra per node).
+/// All-pairs propagation delays.
 ///
 /// Protocol baselines use this as a *converged-session oracle*: SRM assumes
 /// every member has RTT estimates to every other member via its session
 /// protocol; handing the baseline exact delays is strictly generous to it,
 /// which is the conservative direction for comparisons against SHARQFEC.
+///
+/// Two representations, chosen automatically by [`DistanceOracle::compute`]:
+///
+/// * **Dense** — one Dijkstra row per node, `O(n²)` memory.  Used for
+///   meshy topologies (paper scale: 113 nodes, trivially cheap).
+/// * **Tree** — when the topology has exactly `n − 1` links (connectivity
+///   is asserted at build time, so that means a tree), paths are unique
+///   and `delay(a, b) = dist(a) + dist(b) − 2·dist(lca(a, b))` over
+///   root-distances.  `O(n)` memory and `O(depth)` per query, with values
+///   *identical* to the Dijkstra rows — large-scale runs stay bit-compatible
+///   with the dense representation.
 #[derive(Clone, Debug)]
 pub struct DistanceOracle {
-    delays: Vec<Vec<SimDuration>>,
+    repr: OracleRepr,
+}
+
+#[derive(Clone, Debug)]
+enum OracleRepr {
+    Dense {
+        delays: Vec<Vec<SimDuration>>,
+    },
+    Tree {
+        /// Parent of each node in the tree rooted at node 0 (the root maps
+        /// to itself).
+        parent: Vec<u32>,
+        depth: Vec<u32>,
+        /// Propagation latency from the root, in nanoseconds.
+        dist: Vec<u64>,
+    },
+}
+
+fn tree_lca(parent: &[u32], depth: &[u32], mut a: usize, mut b: usize) -> usize {
+    while depth[a] > depth[b] {
+        a = parent[a] as usize;
+    }
+    while depth[b] > depth[a] {
+        b = parent[b] as usize;
+    }
+    while a != b {
+        a = parent[a] as usize;
+        b = parent[b] as usize;
+    }
+    a
 }
 
 impl DistanceOracle {
-    /// Precomputes delays for every ordered pair.
+    /// Computes delays for every ordered pair — eagerly (dense) for meshy
+    /// topologies, as `O(n)` tree arrays when the topology is a tree.
     pub fn compute(topo: &Topology) -> DistanceOracle {
+        if topo.link_count() == topo.node_count() - 1 {
+            // Connected with n − 1 links ⇒ a tree: unique paths make the
+            // LCA distance exactly what Dijkstra would compute.
+            let n = topo.node_count();
+            let mut parent = vec![0u32; n];
+            let mut depth = vec![0u32; n];
+            let mut dist = vec![0u64; n];
+            let mut seen = vec![false; n];
+            let mut stack = vec![NodeId(0)];
+            seen[0] = true;
+            while let Some(u) = stack.pop() {
+                for &(v, link) in topo.neighbors(u) {
+                    if !seen[v.idx()] {
+                        seen[v.idx()] = true;
+                        parent[v.idx()] = u.0;
+                        depth[v.idx()] = depth[u.idx()] + 1;
+                        dist[v.idx()] = dist[u.idx()] + topo.link(link).params.latency.as_nanos();
+                        stack.push(v);
+                    }
+                }
+            }
+            return DistanceOracle {
+                repr: OracleRepr::Tree {
+                    parent,
+                    depth,
+                    dist,
+                },
+            };
+        }
         let delays = topo
             .nodes()
             .map(|src| Spt::compute(topo, src).dist)
             .collect();
-        DistanceOracle { delays }
+        DistanceOracle {
+            repr: OracleRepr::Dense { delays },
+        }
+    }
+
+    /// Whether the compact tree representation is in use (equivalently:
+    /// whether the topology is a tree).
+    pub fn is_tree(&self) -> bool {
+        matches!(self.repr, OracleRepr::Tree { .. })
     }
 
     /// One-way propagation delay between two nodes.
     pub fn one_way(&self, a: NodeId, b: NodeId) -> SimDuration {
-        self.delays[a.idx()][b.idx()]
+        match &self.repr {
+            OracleRepr::Dense { delays } => delays[a.idx()][b.idx()],
+            OracleRepr::Tree {
+                parent,
+                depth,
+                dist,
+            } => {
+                let l = tree_lca(parent, depth, a.idx(), b.idx());
+                SimDuration(dist[a.idx()] + dist[b.idx()] - 2 * dist[l])
+            }
+        }
     }
 
     /// Round-trip propagation delay between two nodes.
     pub fn rtt(&self, a: NodeId, b: NodeId) -> SimDuration {
         self.one_way(a, b) * 2
+    }
+
+    /// On a tree topology, the neighbour of `at` on the unique path toward
+    /// `to`.  This is what lets the engine forward down a source-rooted
+    /// tree without materializing per-source [`Spt`]s: the children of
+    /// `at` re-rooted at `src` are exactly its neighbours minus
+    /// `tree_next_hop(at, src)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dense (non-tree) oracle or when `at == to`.
+    pub fn tree_next_hop(&self, at: NodeId, to: NodeId) -> NodeId {
+        let OracleRepr::Tree { parent, depth, .. } = &self.repr else {
+            panic!("tree_next_hop requires a tree topology");
+        };
+        assert_ne!(at, to, "no next hop from a node to itself");
+        // If `at` is an ancestor of `to`, step down through the child of
+        // `at` on the path; otherwise the path leaves through the parent.
+        if depth[to.idx()] > depth[at.idx()] {
+            let mut v = to.idx();
+            while depth[v] > depth[at.idx()] + 1 {
+                v = parent[v] as usize;
+            }
+            if parent[v] as usize == at.idx() {
+                return NodeId(v as u32);
+            }
+        }
+        NodeId(parent[at.idx()])
     }
 }
 
@@ -345,6 +461,7 @@ mod tests {
     fn oracle_is_symmetric_and_matches_spt() {
         let (t, [n0, n1, n2, n3]) = diamond();
         let oracle = DistanceOracle::compute(&t);
+        assert!(!oracle.is_tree(), "the diamond has a cycle");
         for &a in &[n0, n1, n2, n3] {
             let spt = Spt::compute(&t, a);
             for &b in &[n0, n1, n2, n3] {
@@ -353,5 +470,69 @@ mod tests {
             }
         }
         assert_eq!(oracle.rtt(n0, n3), ms(4));
+    }
+
+    /// A lopsided 8-node tree with distinct latencies, built in scrambled
+    /// link order so adjacency sorting matters.
+    fn lopsided_tree() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let n: Vec<NodeId> = (0..8).map(|i| b.add_node(format!("t{i}"))).collect();
+        b.add_link(n[2], n[6], LinkParams::lossless_infinite(ms(4)));
+        b.add_link(n[0], n[1], LinkParams::lossless_infinite(ms(1)));
+        b.add_link(n[1], n[4], LinkParams::lossless_infinite(ms(7)));
+        b.add_link(n[0], n[2], LinkParams::lossless_infinite(ms(2)));
+        b.add_link(n[2], n[5], LinkParams::lossless_infinite(ms(3)));
+        b.add_link(n[4], n[7], LinkParams::lossless_infinite(ms(5)));
+        b.add_link(n[1], n[3], LinkParams::lossless_infinite(ms(9)));
+        b.build()
+    }
+
+    #[test]
+    fn tree_oracle_matches_dijkstra_on_every_pair() {
+        let t = lopsided_tree();
+        let oracle = DistanceOracle::compute(&t);
+        assert!(oracle.is_tree());
+        for a in t.nodes() {
+            let spt = Spt::compute(&t, a);
+            for b in t.nodes() {
+                assert_eq!(
+                    oracle.one_way(a, b),
+                    spt.delay_to(b),
+                    "oracle {a:?}->{b:?} must equal the Dijkstra distance"
+                );
+                assert_eq!(oracle.one_way(a, b), oracle.one_way(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_next_hop_walks_the_unique_path() {
+        let t = lopsided_tree();
+        let oracle = DistanceOracle::compute(&t);
+        for src in t.nodes() {
+            let spt = Spt::compute(&t, src);
+            for dst in t.nodes() {
+                if src == dst {
+                    continue;
+                }
+                // Walk from dst toward src one hop at a time; the hops
+                // must retrace the SPT path in reverse.
+                let path = spt.path_to(dst);
+                let mut cur = dst;
+                for expect in path.iter().rev().skip(1) {
+                    cur = oracle.tree_next_hop(cur, src);
+                    assert_eq!(cur, *expect);
+                }
+                assert_eq!(cur, src);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a tree topology")]
+    fn tree_next_hop_rejects_dense_oracles() {
+        let (t, [n0, n1, ..]) = diamond();
+        let oracle = DistanceOracle::compute(&t);
+        let _ = oracle.tree_next_hop(n0, n1);
     }
 }

@@ -36,7 +36,6 @@
 #![warn(missing_docs)]
 
 use sharqfec_netsim::NodeId;
-use std::collections::HashSet;
 
 /// Identifier of a zone within one [`ZoneHierarchy`], dense from 0.
 /// Zone 0 is always the root (largest scope).
@@ -203,12 +202,19 @@ impl ZoneHierarchyBuilder {
             }
         }
         // Nesting: every member of a child is a member of the parent.
+        // Member vectors are sorted, so a two-pointer subset scan checks
+        // each child in O(|parent| + |child|) — a per-child `HashSet` of
+        // the parent rebuilt fanout times was the dominant build cost at
+        // 10⁵–10⁶ members.
         for z in &self.zones {
             if let Some(p) = z.parent {
-                let parent_set: HashSet<NodeId> =
-                    self.zones[p.idx()].members.iter().copied().collect();
+                let parent = &self.zones[p.idx()].members;
+                let mut pi = 0;
                 for &m in &z.members {
-                    if !parent_set.contains(&m) {
+                    while pi < parent.len() && parent[pi] < m {
+                        pi += 1;
+                    }
+                    if pi >= parent.len() || parent[pi] != m {
                         return Err(ScopeError::NotNested {
                             zone: z.id,
                             node: m,
@@ -217,18 +223,26 @@ impl ZoneHierarchyBuilder {
                 }
             }
         }
-        // Sibling disjointness.
+        // Sibling disjointness: tag every member of every child with its
+        // zone, sort once per parent, and look for adjacent duplicates.
+        // O(n log n) per level instead of pairwise set intersections.
         for z in &self.zones {
-            for (i, &a) in z.children.iter().enumerate() {
-                let set_a: HashSet<NodeId> = self.zones[a.idx()].members.iter().copied().collect();
-                for &b in &z.children[i + 1..] {
-                    if let Some(&shared) = self.zones[b.idx()]
-                        .members
-                        .iter()
-                        .find(|m| set_a.contains(m))
-                    {
-                        return Err(ScopeError::SiblingOverlap { a, b, node: shared });
-                    }
+            if z.children.len() < 2 {
+                continue;
+            }
+            let mut tagged: Vec<(NodeId, ZoneId)> = z
+                .children
+                .iter()
+                .flat_map(|&c| self.zones[c.idx()].members.iter().map(move |&m| (m, c)))
+                .collect();
+            tagged.sort();
+            for w in tagged.windows(2) {
+                if w[0].0 == w[1].0 {
+                    return Err(ScopeError::SiblingOverlap {
+                        a: w[0].1,
+                        b: w[1].1,
+                        node: w[0].0,
+                    });
                 }
             }
         }
@@ -346,6 +360,106 @@ impl ZoneHierarchy {
             .filter(|z| z.children.is_empty())
             .map(|z| z.id)
             .collect()
+    }
+}
+
+/// Interned symbol naming one zone path, dense from 0 within one
+/// [`ZoneInterner`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ZoneSym(pub u32);
+
+impl ZoneSym {
+    /// The index as usize, for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interns hierarchical zone names as dense `u32` symbols.
+///
+/// Large generated topologies must not carry a heap `String` per zone (or
+/// worse, per node): at 10⁶ receivers even short labels cost tens of
+/// megabytes and a pointer chase per use.  The interner stores each zone
+/// name as a fixed-size `(parent symbol, ordinal)` pair — 8 bytes per
+/// zone, total memory O(zones) — and reconstructs the human-readable
+/// dotted path only on demand (diagnostics, plots).
+///
+/// Interning is idempotent: the same `(parent, ordinal)` pair always
+/// yields the same symbol.
+#[derive(Clone, Debug, Default)]
+pub struct ZoneInterner {
+    /// Per symbol: parent symbol (`u32::MAX` for a root) and ordinal.
+    entries: Vec<(u32, u32)>,
+    index: std::collections::HashMap<(u32, u32), u32>,
+}
+
+impl ZoneInterner {
+    const NO_PARENT: u32 = u32::MAX;
+
+    /// An empty interner.
+    pub fn new() -> ZoneInterner {
+        ZoneInterner::default()
+    }
+
+    /// Interns the zone that is child number `ordinal` of `parent`
+    /// (`None` for a root-level name).  Returns the existing symbol if
+    /// this exact path was interned before.
+    pub fn intern(&mut self, parent: Option<ZoneSym>, ordinal: u32) -> ZoneSym {
+        let p = parent.map_or(Self::NO_PARENT, |s| s.0);
+        if let Some(&sym) = self.index.get(&(p, ordinal)) {
+            return ZoneSym(sym);
+        }
+        if let Some(parent) = parent {
+            assert!(parent.idx() < self.entries.len(), "unknown parent symbol");
+        }
+        let sym = u32::try_from(self.entries.len()).expect("interner full");
+        self.entries.push((p, ordinal));
+        self.index.insert((p, ordinal), sym);
+        ZoneSym(sym)
+    }
+
+    /// The parent symbol, or `None` for a root-level name.
+    pub fn parent(&self, sym: ZoneSym) -> Option<ZoneSym> {
+        match self.entries[sym.idx()].0 {
+            Self::NO_PARENT => None,
+            p => Some(ZoneSym(p)),
+        }
+    }
+
+    /// The ordinal this symbol holds under its parent.
+    pub fn ordinal(&self, sym: ZoneSym) -> u32 {
+        self.entries[sym.idx()].1
+    }
+
+    /// Renders the dotted path, e.g. `"0.2.7"` — root ordinal first.
+    /// Allocates; intended for diagnostics, never for hot paths.
+    pub fn path(&self, sym: ZoneSym) -> String {
+        let mut ordinals = Vec::new();
+        let mut cur = Some(sym);
+        while let Some(s) = cur {
+            ordinals.push(self.ordinal(s));
+            cur = self.parent(s);
+        }
+        ordinals.reverse();
+        let mut out = String::new();
+        for (i, o) in ordinals.iter().enumerate() {
+            if i > 0 {
+                out.push('.');
+            }
+            out.push_str(&o.to_string());
+        }
+        out
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no symbol was interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -503,5 +617,32 @@ mod tests {
         b.root(&[n(0), n(1)]);
         let h = b.build().unwrap();
         h.smallest_zone(n(2));
+    }
+
+    #[test]
+    fn interner_is_idempotent_and_walks_paths() {
+        let mut i = ZoneInterner::new();
+        let root = i.intern(None, 0);
+        let a = i.intern(Some(root), 2);
+        let b = i.intern(Some(a), 7);
+        assert_eq!(i.intern(Some(root), 2), a, "re-interning dedups");
+        assert_eq!(i.intern(None, 0), root);
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.parent(b), Some(a));
+        assert_eq!(i.parent(root), None);
+        assert_eq!(i.ordinal(b), 7);
+        assert_eq!(i.path(b), "0.2.7");
+        assert_eq!(i.path(root), "0");
+        // Same ordinal under a different parent is a different symbol.
+        let c = i.intern(Some(b), 2);
+        assert_ne!(c, a);
+        assert_eq!(i.path(c), "0.2.7.2");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent symbol")]
+    fn interner_rejects_unknown_parent() {
+        let mut i = ZoneInterner::new();
+        i.intern(Some(ZoneSym(5)), 0);
     }
 }

@@ -132,6 +132,15 @@ impl SessionCtx for Bridge<'_, '_> {
 }
 
 impl Agent<SessionWire> for SessionAgent {
+    fn state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // The channel table is behind a shared `Rc` (one copy per run).
+        size_of::<SessionAgent>()
+            + self.core.state_bytes()
+            + self.probe_plan.times.capacity() * size_of::<SimTime>()
+            + self.observations.capacity() * size_of::<SessionObservation>()
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_, SessionWire>) {
         let times = self.probe_plan.times.clone();
         for (i, t) in times.iter().enumerate() {

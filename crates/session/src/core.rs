@@ -209,6 +209,47 @@ impl SessionCore {
         }
     }
 
+    /// Approximate resident heap bytes of this node's session state:
+    /// zone chain, per-level election state (sibling-ZCR distance
+    /// tables), peer tables, and heard loss reports.
+    ///
+    /// Everything here is bounded by the node's *zone chain* (depth of
+    /// the hierarchy) and its *zone sizes*, never by total session
+    /// membership — the property the scaling sweep measures.  The shared
+    /// `Rc<ZoneHierarchy>` is deliberately excluded: it is one structure
+    /// for the whole run, not per-receiver state.
+    pub fn state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let map = |cap: usize, k: usize, v: usize| cap * (k + v + size_of::<u64>());
+        let mut bytes = self.chain.capacity() * size_of::<ZoneId>()
+            + self.levels.capacity() * size_of::<Level>()
+            + self.seat_events.capacity() * size_of::<(usize, bool)>();
+        for l in &self.levels {
+            bytes += map(
+                l.zcr_peer_dists.capacity(),
+                size_of::<NodeId>(),
+                size_of::<SimDuration>(),
+            );
+        }
+        bytes += map(
+            self.tables.capacity(),
+            size_of::<ZoneId>(),
+            size_of::<PeerTable>(),
+        );
+        for t in self.tables.values() {
+            bytes += t.state_bytes();
+        }
+        bytes += map(
+            self.zone_reports.capacity(),
+            size_of::<ZoneId>(),
+            size_of::<HashMap<NodeId, LossReport>>(),
+        );
+        for m in self.zone_reports.values() {
+            bytes += map(m.capacity(), size_of::<NodeId>(), size_of::<LossReport>());
+        }
+        bytes
+    }
+
     /// Updates the believed ZCR at chain level `l`, recording a seat
     /// event whenever *this node's* tenure changes.
     fn set_seat(&mut self, l: usize, holder: Option<NodeId>) {

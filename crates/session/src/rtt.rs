@@ -118,6 +118,14 @@ impl PeerTable {
         self.peers.is_empty()
     }
 
+    /// Approximate resident heap bytes of this table, for the scaling
+    /// harness's per-receiver state accounting (Figure 8's entry count
+    /// converted to memory).
+    pub fn state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.peers.capacity() * (size_of::<NodeId>() + size_of::<PeerState>() + size_of::<u64>())
+    }
+
     /// Largest RTT estimate in the table (used for the paper's
     /// "2.5 × RTT to the most distant known receiver" ZLC window).
     pub fn max_rtt(&self) -> Option<SimDuration> {

@@ -36,6 +36,22 @@ pub struct SrmConfig {
     /// How often receivers audit for tail losses after the stream should
     /// have ended (as a multiple of `send_interval`).
     pub audit_factor: f64,
+    /// Optional session-message layer (SRM's periodic session packets):
+    /// every receiver multicasts a globally scoped announcement each
+    /// interval, and every receiver records each announcer it hears in a
+    /// peer table — the O(n)-per-receiver state and O(n²) session traffic
+    /// the scale sweep measures.  `None` (the default) disables the layer
+    /// entirely, leaving the paper-scenario runs bit-identical.
+    pub session_announce: Option<SimDuration>,
+    /// Session announcement packet size, bytes.
+    pub announce_bytes: u32,
+    /// Announcer rotation stride: in round `r`, only receivers whose
+    /// `(node + r) % stride == 0` announce.  `1` (the default) is full
+    /// SRM — every member announces every interval.  Large sweep cells use
+    /// a constant stride to bound simulated event counts; a stride shared
+    /// across cells rescales session traffic by `1/stride` without
+    /// changing its growth exponent in `n`.
+    pub announce_stride: u64,
 }
 
 impl Default for SrmConfig {
@@ -53,6 +69,9 @@ impl Default for SrmConfig {
             adaptive: true,
             repair_holdoff_factor: 3.0,
             audit_factor: 10.0,
+            session_announce: None,
+            announce_bytes: 40,
+            announce_stride: 1,
         }
     }
 }
@@ -74,6 +93,11 @@ impl SrmConfig {
             self.send_interval > SimDuration::ZERO,
             "CBR interval must be positive"
         );
+        if let Some(iv) = self.session_announce {
+            assert!(iv > SimDuration::ZERO, "announce interval must be positive");
+            assert!(self.announce_bytes > 0, "announcements must have a size");
+            assert!(self.announce_stride > 0, "announce stride must be positive");
+        }
     }
 }
 
@@ -90,6 +114,18 @@ mod tests {
         assert_eq!(c.send_interval, SimDuration::from_millis(10));
         assert_eq!(c.data_start, SimTime::from_secs(6));
         assert!(c.adaptive);
+        assert!(c.session_announce.is_none(), "session layer is opt-in");
+    }
+
+    #[test]
+    #[should_panic(expected = "announce stride must be positive")]
+    fn zero_stride_rejected_when_session_layer_on() {
+        SrmConfig {
+            session_announce: Some(SimDuration::from_millis(500)),
+            announce_stride: 0,
+            ..SrmConfig::default()
+        }
+        .validate();
     }
 
     #[test]

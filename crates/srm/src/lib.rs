@@ -29,7 +29,19 @@
 //! ([`sharqfec_netsim::routing::DistanceOracle`]) rather than a simulated
 //! SRM session protocol — strictly generous to the baseline, which is the
 //! conservative direction for comparisons (and the session-traffic
-//! comparison is made analytically in `sharqfec-analysis`, not here).
+//! comparison is made analytically in `sharqfec-analysis`).
+//!
+//! For the *measured* session-traffic comparison (the scale sweep), an
+//! opt-in session-message layer can be enabled via
+//! [`SrmConfig::session_announce`]: every receiver periodically multicasts
+//! a globally scoped [`SrmMsg::Announce`] and records each announcer it
+//! hears in a peer table.  That reproduces SRM's two scaling liabilities —
+//! O(n²) session traffic and O(n) per-receiver state — without altering
+//! repair behaviour; the default (`None`) leaves every existing scenario
+//! bit-identical.  [`SrmConfig::announce_stride`] rotates announcers to
+//! bound simulated event counts at very large n (a stride shared across
+//! sweep cells rescales traffic by a constant, leaving the growth exponent
+//! intact).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -190,6 +202,54 @@ mod tests {
             (nacks_adaptive as f64) < 1.5 * nacks_fixed as f64,
             "adaptive timers should not inflate requests: {nacks_adaptive} vs {nacks_fixed}"
         );
+    }
+
+    #[test]
+    fn session_layer_is_opt_in_and_builds_full_peer_tables() {
+        use sharqfec_netsim::SimDuration;
+        let built = chain(5);
+        let run = |announce: Option<SimDuration>, stride: u64| {
+            let cfg = SrmConfig {
+                total_packets: 10,
+                session_announce: announce,
+                announce_stride: stride,
+                ..SrmConfig::default()
+            };
+            let mut engine = setup_srm_sim(&built, 3, cfg, SimTime::from_secs(1));
+            engine.run_until(SimTime::from_secs(40));
+            let session_tx = engine
+                .recorder()
+                .transmissions
+                .iter()
+                .filter(|t| t.class == TrafficClass::Session)
+                .count();
+            let peers: Vec<usize> = built
+                .receivers
+                .iter()
+                .map(|&r| engine.agent::<SrmReceiver>(r).unwrap().session_peer_count())
+                .collect();
+            (session_tx, peers)
+        };
+
+        // Default off: zero session traffic, empty peer tables.
+        let (tx_off, peers_off) = run(None, 1);
+        assert_eq!(tx_off, 0);
+        assert!(peers_off.iter().all(|&p| p == 0));
+
+        // On: every receiver hears every other receiver — the O(n) state.
+        let (tx_on, peers_on) = run(Some(SimDuration::from_millis(200)), 1);
+        assert!(tx_on > 0);
+        for &p in &peers_on {
+            assert_eq!(p, built.receivers.len() - 1);
+        }
+
+        // A stride rotates announcers, thinning traffic but (over enough
+        // rounds) still filling the tables.
+        let (tx_strided, peers_strided) = run(Some(SimDuration::from_millis(200)), 2);
+        assert!(tx_strided < tx_on);
+        for &p in &peers_strided {
+            assert_eq!(p, built.receivers.len() - 1);
+        }
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub enum SrmMsg {
         /// The retransmitted packet.
         seq: u32,
     },
+    /// Periodic session announcement (opt-in via
+    /// `SrmConfig::session_announce`).  Globally scoped, so every member
+    /// hears — and keeps state for — every announcer.
+    Announce,
 }
 
 impl Classify for SrmMsg {
@@ -30,6 +34,7 @@ impl Classify for SrmMsg {
             SrmMsg::Data { .. } => TrafficClass::Data,
             SrmMsg::Request { .. } => TrafficClass::Nack,
             SrmMsg::Repair { .. } => TrafficClass::Repair,
+            SrmMsg::Announce => TrafficClass::Session,
         }
     }
 }
@@ -43,5 +48,6 @@ mod tests {
         assert_eq!(SrmMsg::Data { seq: 0 }.class(), TrafficClass::Data);
         assert_eq!(SrmMsg::Request { seq: 0 }.class(), TrafficClass::Nack);
         assert_eq!(SrmMsg::Repair { seq: 0 }.class(), TrafficClass::Repair);
+        assert_eq!(SrmMsg::Announce.class(), TrafficClass::Session);
     }
 }

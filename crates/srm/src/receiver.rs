@@ -9,6 +9,7 @@ use std::collections::HashMap;
 const TOK_REQ_BASE: u64 = 1 << 32;
 const TOK_REP_BASE: u64 = 2 << 32;
 const TOK_AUDIT: u64 = 3 << 32;
+const TOK_ANNOUNCE: u64 = 4 << 32;
 
 /// Backoff exponent cap: 2^7 × window tops out around tens of seconds on
 /// the paper topology, keeping the repair tail finite within a simulation
@@ -51,10 +52,20 @@ pub struct SrmReceiver {
     holdoff: HashMap<u32, SimTime>,
     req_params: AdaptiveParams,
     rep_params: AdaptiveParams,
+    /// Session-layer peer table: every announcer heard, with the time it
+    /// was last heard.  Because announcements are globally scoped this
+    /// grows O(n) with session size — the state SRM's session protocol
+    /// fundamentally requires and the scale sweep measures.
+    session_peers: HashMap<NodeId, SimTime>,
+    /// Which announce rotation round comes next (see
+    /// `SrmConfig::announce_stride`).
+    announce_round: u64,
     /// Requests this receiver transmitted (for diagnostics).
     pub requests_sent: u32,
     /// Repairs this receiver transmitted.
     pub repairs_sent: u32,
+    /// Session announcements this receiver transmitted.
+    pub announces_sent: u32,
 }
 
 impl SrmReceiver {
@@ -75,8 +86,11 @@ impl SrmReceiver {
             holdoff: HashMap::new(),
             req_params,
             rep_params,
+            session_peers: HashMap::new(),
+            announce_round: 0,
             requests_sent: 0,
             repairs_sent: 0,
+            announces_sent: 0,
         }
     }
 
@@ -88,6 +102,27 @@ impl SrmReceiver {
     /// Number of packets still missing.
     pub fn missing(&self) -> u32 {
         self.cfg.total_packets - self.received_count
+    }
+
+    /// Distinct peers heard via session announcements.
+    pub fn session_peer_count(&self) -> usize {
+        self.session_peers.len()
+    }
+
+    /// Resident bytes of the session-layer peer table — the O(n) share of
+    /// this receiver's state (zero while the layer is off).
+    pub fn session_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.session_peers.capacity()
+            * (size_of::<NodeId>() + size_of::<SimTime>() + size_of::<u64>())
+    }
+
+    /// When the session layer stops announcing: the same deadline the
+    /// tail-loss audit uses, so a quiescent run still terminates.
+    fn stream_end(&self) -> SimTime {
+        self.cfg.data_start
+            + self.cfg.send_interval * self.cfg.total_packets as u64
+            + self.cfg.send_interval.mul_f64(self.cfg.audit_factor)
     }
 
     fn d_sa(&self, ctx: &Ctx<'_, SrmMsg>) -> SimDuration {
@@ -182,19 +217,52 @@ impl SrmReceiver {
 }
 
 impl Agent<SrmMsg> for SrmReceiver {
+    fn state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let map = |cap: usize, v: usize| cap * (size_of::<u32>() + v + size_of::<u64>());
+        size_of::<SrmReceiver>()
+            + self.received.capacity() * size_of::<bool>()
+            + map(self.requests.capacity(), size_of::<ReqState>())
+            + map(self.repairs.capacity(), size_of::<RepState>())
+            + map(self.holdoff.capacity(), size_of::<SimTime>())
+            + self.session_bytes()
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_, SrmMsg>) {
         // Audit for tail losses after the stream should have ended: the
         // receiver knows the advertised stream length and rate, mirroring
         // SHARQFEC's use of the advertised channel bandwidth for its LDP
         // estimate.
-        let stream_end = self.cfg.data_start
-            + self.cfg.send_interval * self.cfg.total_packets as u64
-            + self.cfg.send_interval.mul_f64(self.cfg.audit_factor);
-        let delay = stream_end.saturating_since(ctx.now());
+        let delay = self.stream_end().saturating_since(ctx.now());
         ctx.set_timer(delay, TOK_AUDIT);
+        if let Some(iv) = self.cfg.session_announce {
+            // Desynchronise announcers with a uniform phase so a round is
+            // spread over the interval rather than bursting at one instant.
+            let phase = iv.mul_f64(ctx.rng().range_f64(0.0, 1.0));
+            ctx.set_timer(phase, TOK_ANNOUNCE);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, SrmMsg>, token: u64) {
+        if token == TOK_ANNOUNCE {
+            // Must be matched exactly, before the masked request/repair
+            // dispatch below misreads its high bits.
+            let Some(iv) = self.cfg.session_announce else {
+                return;
+            };
+            let stride = self.cfg.announce_stride;
+            if (u64::from(ctx.node().0) + self.announce_round).is_multiple_of(stride) {
+                ctx.multicast(self.chan, SrmMsg::Announce, self.cfg.announce_bytes);
+                self.announces_sent += 1;
+            }
+            self.announce_round += 1;
+            // Announce for the life of the stream, then stop so quiescent
+            // runs still drain their event queues.
+            if ctx.now() < self.stream_end() {
+                ctx.set_timer(iv, TOK_ANNOUNCE);
+            }
+            return;
+        }
         if token == TOK_AUDIT {
             if !self.complete() {
                 // Anything never even heard of is a tail loss.
@@ -303,6 +371,9 @@ impl Agent<SrmMsg> for SrmReceiver {
                         req.backed_off = true;
                     }
                 }
+            }
+            SrmMsg::Announce => {
+                self.session_peers.insert(pkt.src, ctx.now());
             }
         }
     }

@@ -60,6 +60,14 @@ impl SrmSource {
 }
 
 impl Agent<SrmMsg> for SrmSource {
+    fn state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let map = |cap: usize, v: usize| cap * (size_of::<u32>() + v + size_of::<u64>());
+        size_of::<SrmSource>()
+            + map(self.pending.capacity(), size_of::<(TimerId, SimDuration)>())
+            + map(self.holdoff.capacity(), size_of::<SimTime>())
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_, SrmMsg>) {
         let delay = self.cfg.data_start.saturating_since(ctx.now());
         ctx.set_timer(delay, TOK_SEND);
@@ -113,6 +121,9 @@ impl Agent<SrmMsg> for SrmSource {
                 }
             }
             SrmMsg::Data { .. } => {}
+            // The source keeps no session peer table; its state is
+            // measured by the receivers (see `SrmReceiver`).
+            SrmMsg::Announce => {}
         }
     }
 }

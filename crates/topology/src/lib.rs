@@ -24,11 +24,13 @@
 pub mod figure10;
 pub mod national;
 pub mod random;
+pub mod scaled;
 pub mod simple;
 
 pub use figure10::{figure10, Figure10Params};
 pub use national::{national, NationalParams};
 pub use random::{random_tree, RandomTreeParams};
+pub use scaled::{scaled_tree, ScaledTopology, ScaledTreeParams};
 pub use simple::{balanced_tree, chain, star};
 
 use sharqfec_netsim::{NodeId, Topology};
