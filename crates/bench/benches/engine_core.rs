@@ -60,7 +60,7 @@ fn bench_multicast_storm(c: &mut Criterion) {
                 }),
             );
             let mut e = builder.build();
-            e.run();
+            e.advance(RunSpec::drain());
             black_box(e.recorder().deliveries.len())
         });
     });

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sharqfec::{setup_sharqfec_sim, SharqfecConfig, Variant};
-use sharqfec_netsim::SimTime;
+use sharqfec_netsim::{RunSpec, SimTime};
 use sharqfec_srm::{setup_srm_sim, SrmConfig};
 use sharqfec_topology::{figure10, Figure10Params};
 use std::hint::black_box;
@@ -25,7 +25,7 @@ fn bench_variants(c: &mut Criterion) {
                     ..SharqfecConfig::variant(v)
                 };
                 let mut e = setup_sharqfec_sim(&built, 1, cfg, SimTime::from_secs(1));
-                e.run_until(SimTime::from_secs(40));
+                e.advance(RunSpec::to(SimTime::from_secs(40)));
                 black_box(e.recorder().deliveries.len())
             });
         });
@@ -37,7 +37,7 @@ fn bench_variants(c: &mut Criterion) {
                 ..SrmConfig::default()
             };
             let mut e = setup_srm_sim(&built, 1, cfg, SimTime::from_secs(1));
-            e.run_until(SimTime::from_secs(40));
+            e.advance(RunSpec::to(SimTime::from_secs(40)));
             black_box(e.recorder().deliveries.len())
         });
     });

@@ -10,7 +10,7 @@ use sharqfec_session::core::{SessionCore, SessionCtx, ZcrSeeding};
 use sharqfec_session::msg::{AncestorEntry, Announce, PeerEntry, SessionMsg};
 use sharqfec_session::SessionConfig;
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
 struct NullCtx {
     now: SimTime,
@@ -40,7 +40,7 @@ fn make_core() -> (SessionCore, NullCtx) {
     let z0 = b.root(&all);
     let z1 = b.child(z0, &(50..200).map(n).collect::<Vec<_>>()).unwrap();
     b.child(z1, &(100..150).map(n).collect::<Vec<_>>()).unwrap();
-    let hier = Rc::new(b.build().unwrap());
+    let hier = Arc::new(b.build().unwrap());
     let seeding = ZcrSeeding::Designed(vec![n(0), n(50), n(100)]);
     let mut core = SessionCore::new(n(120), hier, SessionConfig::default(), &seeding);
     let mut ctx = NullCtx {

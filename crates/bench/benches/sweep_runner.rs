@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sharqfec::Variant;
-use sharqfec_bench::{run_sharqfec, Workload};
+use sharqfec_bench::{Scenario, Workload};
 use sharqfec_netsim::runner::{default_threads, grid, run_sweep};
 use std::hint::black_box;
 use std::num::NonZeroUsize;
@@ -19,7 +19,9 @@ fn sweep(threads: NonZeroUsize) -> usize {
             seed: cell.seed,
             tail_secs: 10,
         };
-        run_sharqfec(Variant::Full, w).total_repairs
+        Scenario::variant(Variant::Full, w)
+            .run_traffic(w.seed)
+            .total_repairs
     });
     results.into_values().len()
 }

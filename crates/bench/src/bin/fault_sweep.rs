@@ -8,6 +8,9 @@
 //! source↔mesh link of tree 3 from t = 7 s to t = 9 s, cutting 16
 //! receivers off mid-stream; the recovery machinery must still deliver
 //! everything by the horizon (`unrecovered` = 0 columns demonstrate it).
+//! The tail is 82 s: at mean burst 16 an unlucky chain realization can
+//! keep a group in exponential-backoff repair for well over a minute
+//! after the stream ends, and the horizon must outlast the worst cell.
 //!
 //! Cells fan out over the parallel sweep runner in streaming recorder
 //! mode; results are identical at any `--threads` value.  A
@@ -39,7 +42,7 @@ fn plan(packets: u32) -> Vec<Scenario> {
     let workload = Workload {
         packets,
         seed: 0, // per-cell seeds come from runner::Cell
-        tail_secs: 52,
+        tail_secs: 82,
     };
     let flap =
         FaultPlan::new().link_flap(flapped_link(), SimTime::from_secs(7), SimTime::from_secs(9));

@@ -12,7 +12,7 @@
 
 use sharqfec_analysis::stats::Summary;
 use sharqfec_analysis::table::Table;
-use sharqfec_bench::run_rtt_probes;
+use sharqfec_bench::RttExperiment;
 use sharqfec_netsim::{NodeId, SimTime};
 
 fn main() {
@@ -20,7 +20,11 @@ fn main() {
     // The paper's probers (Figures 11, 12, 13 respectively).
     let probers = [NodeId(3), NodeId(25), NodeId(36)];
     let times: Vec<SimTime> = (0..5).map(|i| SimTime::from_secs(10 + 4 * i)).collect();
-    let results = run_rtt_probes(&probers, &times, 42, elect);
+    let mut exp = RttExperiment::new(&probers, &times);
+    if elect {
+        exp = exp.elected();
+    }
+    let results = exp.run(42);
 
     println!(
         "Figures 11-13 — estimated/actual RTT ratios ({} ZCRs)",

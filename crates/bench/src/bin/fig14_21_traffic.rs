@@ -3,14 +3,16 @@
 //! network under the paper's workload (1024 × 1000 B packets at
 //! 800 kbit/s, groups of 16, joins at t = 1 s, data from t = 6 s).
 //!
-//! Run: `cargo run -p sharqfec-bench --release --bin fig14_21_traffic -- [--fig N] [--packets P] [--seed S] [--threads N] [--tsv]`
+//! Run: `cargo run -p sharqfec-bench --release --bin fig14_21_traffic -- [--fig N] [--packets P] [--seed S] [--threads N] [--shards K] [--tsv]`
 //!
 //! Without `--fig` all eight figures are printed.  `--tsv` emits the raw
 //! binned series for plotting.  The protocol runs are independent, so
 //! they fan out over the parallel sweep runner
 //! (`sharqfec_netsim::runner`); per-run totals land in
 //! `results/fig14_21_traffic.json`.  Results are identical at any
-//! `--threads` value: each cell is a pure function of (scenario, seed).
+//! `--threads` value: each cell is a pure function of (scenario, seed) —
+//! and at any `--shards` value, which shards each engine over the
+//! Figure 10 backbone subtrees (conservative PDES, bit-identical).
 
 use sharqfec::{SharqfecConfig, Variant};
 use sharqfec_analysis::spark::spark_row;
@@ -25,6 +27,7 @@ struct Args {
     packets: u32,
     seed: u64,
     threads: NonZeroUsize,
+    shards: usize,
     tsv: bool,
     policy: Option<sharqfec::PolicyConfig>,
 }
@@ -32,6 +35,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut fig = None;
     let mut tsv = false;
+    let mut shards = 1usize;
     let shared = SweepArgs::parse_with(1024, |flag, cur| match flag {
         "--fig" => {
             fig = Some(
@@ -45,6 +49,14 @@ fn parse_args() -> Args {
             tsv = true;
             true
         }
+        "--shards" => {
+            shards = cur
+                .value("--shards takes a shard count")
+                .parse()
+                .expect("--shards takes a positive integer");
+            assert!(shards >= 1, "--shards takes a positive integer");
+            true
+        }
         _ => false,
     });
     Args {
@@ -52,6 +64,7 @@ fn parse_args() -> Args {
         packets: shared.packets,
         seed: shared.seed,
         threads: shared.threads,
+        shards,
         tsv,
         policy: shared.policy,
     }
@@ -152,10 +165,18 @@ fn main() {
     // Run each protocol at most once and reuse across figures; the
     // independent runs fan out across the sweep runner's workers, each
     // cell keyed by its scenario's label.
-    let sf = |v: Variant| Scenario::sharqfec(v.label(), SharqfecConfig::variant(v), w).audited();
+    let sf = |v: Variant| {
+        Scenario::sharqfec(v.label(), SharqfecConfig::variant(v), w)
+            .audited()
+            .with_shards(args.shards)
+    };
     let mut scenarios = Vec::new();
     if want(14) || want(15) {
-        scenarios.push(Scenario::srm("SRM", SrmConfig::default(), w).audited());
+        scenarios.push(
+            Scenario::srm("SRM", SrmConfig::default(), w)
+                .audited()
+                .with_shards(args.shards),
+        );
     }
     scenarios.push(sf(Variant::Ecsrm));
     if want(16) {

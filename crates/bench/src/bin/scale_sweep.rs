@@ -4,12 +4,16 @@
 //! measurement design and its honesty caveats).
 //!
 //! Run: `cargo run -p sharqfec-bench --release --bin scale_sweep -- \
-//!       [--smoke] [--mega] [--seed S] [--threads N] [--packets P] [--out DIR]`
+//!       [--smoke] [--mega] [--seed S] [--threads N] [--shards K] \
+//!       [--packets P] [--out DIR]`
 //! Gate: `scale_sweep --check results/BENCH_scale_sweep.json`
 //!
 //! `--smoke` runs the 10²/10³ CI grid; the default adds 10⁴ and 10⁵;
 //! `--mega` appends the opt-in 10⁶ cell (consider `--threads 1` — two
 //! million-agent engines resident at once is a lot of memory).
+//! `--shards K` runs each engine sharded over K zone subtrees
+//! (conservative PDES); results are bit-identical to `--shards 1`,
+//! only `events_per_sec`/`wall_ms` change.
 
 use sharqfec_analysis::table::Table;
 use sharqfec_bench::cli::{self, SweepArgs};
@@ -21,6 +25,7 @@ fn main() {
     let mut smoke = false;
     let mut mega = false;
     let mut out = "results".to_string();
+    let mut shards = 1usize;
     let SweepArgs {
         seed,
         threads,
@@ -41,6 +46,14 @@ fn main() {
         }
         "--out" => {
             out = cur.value("--out takes a directory").to_string();
+            true
+        }
+        "--shards" => {
+            shards = cur
+                .value("--shards takes a shard count")
+                .parse()
+                .expect("--shards takes a positive integer");
+            assert!(shards >= 1, "--shards takes a positive integer");
             true
         }
         _ => false,
@@ -81,7 +94,7 @@ fn main() {
             .iter()
             .find(|c| c.label() == cell.scenario)
             .expect("cell matches a planned scale cell");
-        scale::run_cell(*spec, cell.seed, packets)
+        scale::run_cell(*spec, cell.seed, packets, shards)
     });
 
     let threads_used = results.threads;

@@ -10,7 +10,7 @@
 //! Run: `cargo run -p sharqfec-bench --release --bin zcr_convergence`
 
 use sharqfec_analysis::table::Table;
-use sharqfec_netsim::{SimTime, TrafficClass};
+use sharqfec_netsim::{RunSpec, SimTime, TrafficClass};
 use sharqfec_session::core::ZcrSeeding;
 use sharqfec_session::{setup_session_sim, SessionAgent, SessionConfig};
 use sharqfec_topology::{balanced_tree, chain, star, BuiltTopology};
@@ -24,7 +24,7 @@ fn run_case(name: &str, built: &BuiltTopology, t: &mut Table) {
         SimTime::from_secs(1),
         &[],
     );
-    engine.run_until(SimTime::from_secs(15));
+    engine.advance(RunSpec::to(SimTime::from_secs(15)));
 
     // Count challenge/takeover control traffic.
     let controls = engine

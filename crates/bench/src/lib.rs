@@ -10,11 +10,12 @@
 //!   the ablation sweep, and the fault sweep all build scenarios and run
 //!   them through the same code path (fanned out via
 //!   `sharqfec_netsim::runner` when there are many).
-//! * Figures 14–21: [`run_srm`] / [`run_sharqfec`] execute the §6.2
-//!   workload (1024 × 1000 B packets at 800 kbit/s on the Figure 10
-//!   network) and return 0.1-second-binned traffic series.
-//! * Figures 11–13: [`run_rtt_probes`] executes the §6.1 session
-//!   experiment and returns per-receiver estimated/actual RTT ratios.
+//! * Figures 14–21: [`Scenario::variant`] / [`Scenario::srm_baseline`]
+//!   build the §6.2 workload (1024 × 1000 B packets at 800 kbit/s on the
+//!   Figure 10 network); [`Scenario::run_traffic`] returns
+//!   0.1-second-binned traffic series.
+//! * Figures 11–13: [`RttExperiment`] runs the §6.1 session experiment
+//!   and returns per-receiver estimated/actual RTT ratios.
 //! * Figure 1 / Figure 8 are analytic (`sharqfec-analysis`); their
 //!   binaries format those computations.
 
@@ -31,14 +32,14 @@ use sharqfec_analysis::series::{bin_deliveries, BinSpec};
 use sharqfec_netsim::faults::{FaultPlan, LossModel};
 use sharqfec_netsim::graph::LinkId;
 use sharqfec_netsim::probe::AuditConfig;
-use sharqfec_netsim::{NodeId, RecorderMode, SimTime, TrafficClass};
+use sharqfec_netsim::{NodeId, RecorderMode, RunSpec, SimTime, TrafficClass};
 use sharqfec_session::core::ZcrSeeding;
 use sharqfec_session::{setup_session_sim, ProbePlan, SessionAgent, SessionConfig};
 use sharqfec_srm::{setup_srm_builder, SrmConfig, SrmReceiver};
 use sharqfec_topology::{figure10, BuiltTopology, Figure10Params};
 
 /// Binned traffic observed in one protocol run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrafficRun {
     /// Protocol label (matches the paper's figure annotations).
     pub label: String,
@@ -169,6 +170,10 @@ pub struct Scenario {
     /// Attach the probe-stream invariant auditor (fault spans are excused
     /// automatically; see `EngineBuilder::audit`).
     pub audit: bool,
+    /// Engine shards the run executes on (1 = serial).  Results are
+    /// bit-identical at any shard count (see `sharqfec_netsim::shard`),
+    /// so this is purely a throughput knob.
+    pub shards: usize,
 }
 
 /// Aggregate metrics of one [`Scenario`] run, available in both recorder
@@ -208,6 +213,7 @@ impl Scenario {
             faults: FaultPlan::new(),
             recorder: RecorderMode::Raw,
             audit: false,
+            shards: 1,
         }
     }
 
@@ -223,7 +229,20 @@ impl Scenario {
             faults: FaultPlan::new(),
             recorder: RecorderMode::Raw,
             audit: false,
+            shards: 1,
         }
+    }
+
+    /// The §6.2 figure cell for a SHARQFEC variant: the variant's label
+    /// and config on the default Figure 10 network.
+    pub fn variant(variant: Variant, workload: Workload) -> Scenario {
+        Scenario::sharqfec(variant.label(), SharqfecConfig::variant(variant), workload)
+    }
+
+    /// The §6.2 SRM comparison cell (adaptive timers, as the paper's
+    /// comparison does) on the default Figure 10 network.
+    pub fn srm_baseline(workload: Workload) -> Scenario {
+        Scenario::srm("SRM", SrmConfig::default(), workload)
     }
 
     /// Replaces the topology knobs.
@@ -272,6 +291,23 @@ impl Scenario {
         self
     }
 
+    /// Runs the engine sharded over up to `shards` zone subtrees
+    /// (conservative PDES; bit-identical to serial).
+    pub fn with_shards(mut self, shards: usize) -> Scenario {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The [`RunSpec`] for this scenario on an already-built topology:
+    /// run to the workload's end, sharded if requested.
+    fn run_spec(&self, built: &BuiltTopology) -> RunSpec {
+        let mut spec = RunSpec::to(self.workload.run_end());
+        if self.shards > 1 {
+            spec = spec.with_plan(std::sync::Arc::new(built.shard_plan(self.shards)));
+        }
+        spec
+    }
+
     /// Builds the scenario's network, applying the burst re-model.
     pub fn build_topology(&self) -> BuiltTopology {
         let mut built = figure10(&self.params);
@@ -306,7 +342,7 @@ impl Scenario {
                     builder.audit(AuditConfig::default());
                 }
                 let mut engine = builder.build();
-                engine.run_until(self.workload.run_end());
+                engine.advance(self.run_spec(&built));
                 let unrecovered = built
                     .receivers
                     .iter()
@@ -341,7 +377,7 @@ impl Scenario {
                     builder.audit(AuditConfig::default());
                 }
                 let mut engine = builder.build();
-                engine.run_until(self.workload.run_end());
+                engine.advance(self.run_spec(&built));
                 let unrecovered = built
                     .receivers
                     .iter()
@@ -408,7 +444,7 @@ impl Scenario {
                     builder.audit(AuditConfig::default());
                 }
                 let mut engine = builder.build();
-                engine.run_until(self.workload.run_end());
+                engine.advance(self.run_spec(&built));
                 let unrecovered: u32 = built
                     .receivers
                     .iter()
@@ -427,7 +463,7 @@ impl Scenario {
                     builder.audit(AuditConfig::default());
                 }
                 let mut engine = builder.build();
-                engine.run_until(self.workload.run_end());
+                engine.advance(self.run_spec(&built));
                 let unrecovered: u32 = built
                     .receivers
                     .iter()
@@ -491,18 +527,20 @@ fn extract_run<M: sharqfec_netsim::Classify + Clone + 'static>(
 
 /// Runs SRM (adaptive timers, as the paper's comparison does) on the
 /// Figure 10 network.
+#[deprecated(note = "use Scenario::srm_baseline(w).run_traffic(w.seed)")]
 pub fn run_srm(w: Workload) -> TrafficRun {
-    Scenario::srm("SRM", SrmConfig::default(), w).run_traffic(w.seed)
+    Scenario::srm_baseline(w).run_traffic(w.seed)
 }
 
 /// Runs a SHARQFEC variant on the Figure 10 network.
+#[deprecated(note = "use Scenario::variant(v, w).run_traffic(w.seed)")]
 pub fn run_sharqfec(variant: Variant, w: Workload) -> TrafficRun {
-    Scenario::sharqfec(variant.label(), SharqfecConfig::variant(variant), w).run_traffic(w.seed)
+    Scenario::variant(variant, w).run_traffic(w.seed)
 }
 
 /// One receiver's estimated/actual RTT ratios for successive probes from
 /// one prober (Figures 11–13 plot these per receiver).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RttRatioResult {
     /// The probing node (the paper uses receivers 3, 25, 36).
     pub prober: NodeId,
@@ -510,64 +548,107 @@ pub struct RttRatioResult {
     pub ratios: Vec<(NodeId, u32, Option<f64>)>,
 }
 
-/// Runs the §6.1 RTT-estimation experiment: the session protocol alone on
-/// a lossless Figure 10, with `probers` multicasting probes at the largest
-/// scope at the given times.
+/// The §6.1 RTT-estimation experiment: the session protocol alone on a
+/// lossless Figure 10, with each prober multicasting probes at the
+/// largest scope at the given times.  Built like a [`Scenario`]: the
+/// constructor takes the experiment's shape, [`RttExperiment::run`] takes
+/// the seed.
+#[derive(Clone, Debug)]
+pub struct RttExperiment {
+    /// The probing nodes (the paper uses receivers 3, 25, 36).
+    pub probers: Vec<NodeId>,
+    /// When each prober multicasts a probe.
+    pub probe_times: Vec<SimTime>,
+    /// Elect ZCRs at runtime (`true`, Figure 13) or seed the by-design
+    /// ones (`false`, Figures 11–12).
+    pub elect: bool,
+}
+
+impl RttExperiment {
+    /// An experiment with by-design ZCR seeding (Figures 11–12).
+    pub fn new(probers: &[NodeId], probe_times: &[SimTime]) -> RttExperiment {
+        RttExperiment {
+            probers: probers.to_vec(),
+            probe_times: probe_times.to_vec(),
+            elect: false,
+        }
+    }
+
+    /// Switches to runtime ZCR election (Figure 13).
+    pub fn elected(mut self) -> RttExperiment {
+        self.elect = true;
+        self
+    }
+
+    /// Runs the experiment and returns per-prober ratio series.
+    pub fn run(&self, seed: u64) -> Vec<RttRatioResult> {
+        let built = figure10(&Figure10Params::lossless());
+        let seeding = if self.elect {
+            ZcrSeeding::Elect { root: built.source }
+        } else {
+            ZcrSeeding::Designed(built.designed_zcrs.clone())
+        };
+        let plans: Vec<(NodeId, ProbePlan)> = self
+            .probers
+            .iter()
+            .map(|&p| {
+                (
+                    p,
+                    ProbePlan {
+                        times: self.probe_times.to_vec(),
+                    },
+                )
+            })
+            .collect();
+        let (mut engine, _) = setup_session_sim(
+            &built,
+            seed,
+            seeding,
+            SessionConfig::default(),
+            SimTime::from_secs(1),
+            &plans,
+        );
+        let end = self
+            .probe_times
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(SimTime::from_secs(10))
+            + sharqfec_netsim::SimDuration::from_secs(2);
+        engine.advance(RunSpec::to(end));
+
+        self.probers
+            .iter()
+            .map(|&prober| {
+                let mut ratios = Vec::new();
+                for &r in &built.receivers {
+                    if r == prober {
+                        continue;
+                    }
+                    let agent = engine.agent::<SessionAgent>(r).expect("receiver");
+                    for obs in agent.observations.iter().filter(|o| o.src == prober) {
+                        ratios.push((r, obs.seq, obs.ratio()));
+                    }
+                }
+                RttRatioResult { prober, ratios }
+            })
+            .collect()
+    }
+}
+
+/// Runs the §6.1 RTT-estimation experiment.
+#[deprecated(note = "use RttExperiment::new(probers, times) [+ .elected()] .run(seed)")]
 pub fn run_rtt_probes(
     probers: &[NodeId],
     probe_times: &[SimTime],
     seed: u64,
     elect: bool,
 ) -> Vec<RttRatioResult> {
-    let built = figure10(&Figure10Params::lossless());
-    let seeding = if elect {
-        ZcrSeeding::Elect { root: built.source }
-    } else {
-        ZcrSeeding::Designed(built.designed_zcrs.clone())
-    };
-    let plans: Vec<(NodeId, ProbePlan)> = probers
-        .iter()
-        .map(|&p| {
-            (
-                p,
-                ProbePlan {
-                    times: probe_times.to_vec(),
-                },
-            )
-        })
-        .collect();
-    let (mut engine, _) = setup_session_sim(
-        &built,
-        seed,
-        seeding,
-        SessionConfig::default(),
-        SimTime::from_secs(1),
-        &plans,
-    );
-    let end = probe_times
-        .iter()
-        .max()
-        .copied()
-        .unwrap_or(SimTime::from_secs(10))
-        + sharqfec_netsim::SimDuration::from_secs(2);
-    engine.run_until(end);
-
-    probers
-        .iter()
-        .map(|&prober| {
-            let mut ratios = Vec::new();
-            for &r in &built.receivers {
-                if r == prober {
-                    continue;
-                }
-                let agent = engine.agent::<SessionAgent>(r).expect("receiver");
-                for obs in agent.observations.iter().filter(|o| o.src == prober) {
-                    ratios.push((r, obs.seq, obs.ratio()));
-                }
-            }
-            RttRatioResult { prober, ratios }
-        })
-        .collect()
+    let mut exp = RttExperiment::new(probers, probe_times);
+    if elect {
+        exp = exp.elected();
+    }
+    exp.run(seed)
 }
 
 #[cfg(test)]
@@ -585,8 +666,8 @@ mod tests {
             seed: 3,
             tail_secs: 20,
         };
-        let ecsrm = run_sharqfec(Variant::Ecsrm, w);
-        let full = run_sharqfec(Variant::Full, w);
+        let ecsrm = Scenario::variant(Variant::Ecsrm, w).run_traffic(w.seed);
+        let full = Scenario::variant(Variant::Full, w).run_traffic(w.seed);
         assert_eq!(ecsrm.unrecovered, 0);
         assert_eq!(full.unrecovered, 0);
 
@@ -599,5 +680,40 @@ mod tests {
             src_full < src_ecsrm,
             "source traffic: full={src_full} ecsrm={src_ecsrm}"
         );
+    }
+
+    /// The deprecated free-function entry points must keep producing the
+    /// numbers the builder surface produces (seed-42 pin).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_bench_entry_points_match_builders() {
+        let w = Workload::small(42);
+        assert_eq!(run_srm(w), Scenario::srm_baseline(w).run_traffic(w.seed));
+        assert_eq!(
+            run_sharqfec(Variant::Ecsrm, w),
+            Scenario::variant(Variant::Ecsrm, w).run_traffic(w.seed)
+        );
+        let probers = [NodeId(3)];
+        let times = [SimTime::from_secs(4), SimTime::from_secs(8)];
+        assert_eq!(
+            run_rtt_probes(&probers, &times, 42, true),
+            RttExperiment::new(&probers, &times).elected().run(42)
+        );
+    }
+
+    /// A sharded figure run is the same run: every binned series and
+    /// total is bit-identical to the serial engine.
+    #[test]
+    fn sharded_traffic_run_matches_serial() {
+        let w = Workload {
+            packets: 32,
+            seed: 42,
+            tail_secs: 15,
+        };
+        let serial = Scenario::variant(Variant::Full, w).run_traffic(w.seed);
+        let sharded = Scenario::variant(Variant::Full, w)
+            .with_shards(4)
+            .run_traffic(w.seed);
+        assert_eq!(serial, sharded);
     }
 }

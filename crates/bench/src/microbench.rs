@@ -197,7 +197,7 @@ fn bench_event_loop(cfg: MicrobenchConfig) -> Metrics {
             }),
         );
         let mut e = builder.build();
-        events += e.run();
+        events += e.advance(RunSpec::drain());
     }
     let secs = start.elapsed().as_secs_f64();
     vec![

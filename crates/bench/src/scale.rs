@@ -50,7 +50,7 @@ use crate::policy::{cell_line, metric_f64, metric_u64};
 use crate::AuditOutcome;
 use sharqfec::{setup_sharqfec_builder, SfAgent, SharqfecConfig};
 use sharqfec_netsim::probe::AuditConfig;
-use sharqfec_netsim::{RecorderMode, SimDuration, SimTime, TrafficClass};
+use sharqfec_netsim::{RecorderMode, RunSpec, SimDuration, SimTime, TrafficClass};
 use sharqfec_srm::{setup_srm_builder, SrmConfig, SrmReceiver};
 use sharqfec_topology::{scaled_tree, ScaledTreeParams};
 use std::time::Instant;
@@ -142,6 +142,9 @@ pub struct ScaleOutcome {
     /// Events per wall-clock second (machine-dependent; excluded from
     /// every [`check_json`] assertion).
     pub events_per_sec: f64,
+    /// Engine shards the cell ran with (1 = serial).  Results are
+    /// bit-identical at any shard count; only throughput may differ.
+    pub shards: usize,
     /// The invariant auditor's verdict.
     pub audit: AuditOutcome,
 }
@@ -165,9 +168,13 @@ const HORIZON: SimTime = SimTime::from_secs(8);
 
 /// Runs one cell: generate the tree, run the protocol with its session
 /// layer on, collect aggregate metrics.  Deterministic in
-/// `(cell, seed)`; only `events_per_sec` varies across machines.
-pub fn run_cell(cell: ScaleCell, seed: u64, packets: u32) -> ScaleOutcome {
+/// `(cell, seed)` at any `shards` value — the sharded engine is
+/// bit-identical to serial; only `events_per_sec` varies across machines
+/// and shard counts.
+pub fn run_cell(cell: ScaleCell, seed: u64, packets: u32, shards: usize) -> ScaleOutcome {
     let built = scaled_tree(&scale_params(cell.receivers), seed).built;
+    let plan = std::sync::Arc::new(built.shard_plan(shards.max(1)));
+    let spec = || RunSpec::to(HORIZON).with_plan(std::sync::Arc::clone(&plan));
     let started = Instant::now();
     let (events, session, data_repair, nacks, unrecovered, state_sum, peers_sum, audit) =
         if cell.srm {
@@ -182,7 +189,7 @@ pub fn run_cell(cell: ScaleCell, seed: u64, packets: u32) -> ScaleOutcome {
                 .recorder_mode(RecorderMode::Aggregate)
                 .audit_streaming(AuditConfig::default());
             let mut engine = builder.build();
-            let events = engine.run_until(HORIZON);
+            let events = engine.advance(spec());
             let mut unrecovered = 0u64;
             let mut peers = 0u64;
             for &r in &built.receivers {
@@ -201,7 +208,7 @@ pub fn run_cell(cell: ScaleCell, seed: u64, packets: u32) -> ScaleOutcome {
                 .recorder_mode(RecorderMode::Aggregate)
                 .audit_streaming(AuditConfig::default());
             let mut engine = builder.build();
-            let events = engine.run_until(HORIZON);
+            let events = engine.advance(spec());
             let mut unrecovered = 0u64;
             for &r in &built.receivers {
                 unrecovered += u64::from(engine.agent::<SfAgent>(r).expect("receiver").missing());
@@ -228,6 +235,7 @@ pub fn run_cell(cell: ScaleCell, seed: u64, packets: u32) -> ScaleOutcome {
         peers_per_rx: peers_sum as f64 / n,
         events,
         events_per_sec: events as f64 / wall,
+        shards: plan.shard_count(),
         audit,
     }
 }
@@ -281,6 +289,7 @@ pub fn metrics(o: &ScaleOutcome) -> Vec<(String, f64)> {
         ("peers_per_rx".into(), o.peers_per_rx),
         ("events".into(), o.events as f64),
         ("events_per_sec".into(), o.events_per_sec),
+        ("shards".into(), o.shards as f64),
         ("audit_events".into(), o.audit.events as f64),
         ("audit_violations".into(), o.audit.violations as f64),
     ]
@@ -554,6 +563,34 @@ mod tests {
         assert!(check_json(&violated)
             .iter()
             .any(|p| p.contains("audit violations")));
+    }
+
+    /// The sharded engine must not change a single published number:
+    /// every field of [`ScaleOutcome`] except throughput (and the shard
+    /// count itself) is bit-identical between serial and 4-shard runs,
+    /// for both protocols.
+    #[test]
+    fn sharded_scale_cell_matches_serial() {
+        for srm in [false, true] {
+            let cell = ScaleCell {
+                receivers: 100,
+                srm,
+            };
+            let serial = run_cell(cell, 42, 24, 1);
+            let sharded = run_cell(cell, 42, 24, 4);
+            assert_eq!(serial.shards, 1);
+            assert!(sharded.shards > 1, "the scaled tree must actually shard");
+            assert_eq!(serial.label, sharded.label);
+            assert_eq!(serial.session_deliveries, sharded.session_deliveries);
+            assert_eq!(serial.session_norm, sharded.session_norm);
+            assert_eq!(serial.data_repair, sharded.data_repair);
+            assert_eq!(serial.nacks, sharded.nacks);
+            assert_eq!(serial.unrecovered, sharded.unrecovered);
+            assert_eq!(serial.state_bytes_per_rx, sharded.state_bytes_per_rx);
+            assert_eq!(serial.peers_per_rx, sharded.peers_per_rx);
+            assert_eq!(serial.events, sharded.events);
+            assert_eq!(serial.audit, sharded.audit);
+        }
     }
 
     #[test]

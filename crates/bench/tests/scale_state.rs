@@ -16,7 +16,7 @@
 //!   horizon, never on receivers or packets.
 
 use sharqfec::{setup_sharqfec_builder, SharqfecConfig};
-use sharqfec_netsim::{RecorderMode, SimDuration, SimTime};
+use sharqfec_netsim::{RecorderMode, RunSpec, SimDuration, SimTime};
 use sharqfec_srm::{setup_srm_builder, SrmConfig};
 use sharqfec_topology::{scaled_tree, BuiltTopology, ScaledTreeParams};
 
@@ -60,7 +60,7 @@ fn mean_receiver_state_sharqfec(built: &BuiltTopology) -> f64 {
     let mut builder = setup_sharqfec_builder(built, 5, cfg, SimTime::from_secs(1));
     builder.recorder_mode(RecorderMode::Aggregate);
     let mut engine = builder.build();
-    engine.run_until(SimTime::from_secs(7));
+    engine.advance(RunSpec::to(SimTime::from_secs(7)));
     let sum: u64 = built
         .receivers
         .iter()
@@ -78,7 +78,7 @@ fn mean_receiver_state_srm(built: &BuiltTopology) -> f64 {
     let mut builder = setup_srm_builder(built, 5, cfg, SimTime::from_secs(1));
     builder.recorder_mode(RecorderMode::Aggregate);
     let mut engine = builder.build();
-    engine.run_until(SimTime::from_secs(7));
+    engine.advance(RunSpec::to(SimTime::from_secs(7)));
     let sum: u64 = built
         .receivers
         .iter()
@@ -127,7 +127,7 @@ fn aggregate_recorder_allocation_is_o_bins_not_o_packets_or_receivers() {
         let mut builder = setup_sharqfec_builder(built, 5, cfg, SimTime::from_secs(1));
         builder.recorder_mode(RecorderMode::Aggregate);
         let mut engine = builder.build();
-        engine.run_until(SimTime::from_secs(2));
+        engine.advance(RunSpec::to(SimTime::from_secs(2)));
         engine.recorder().resident_bytes()
     };
     let small = run(&small_tree(9), 16);
@@ -170,7 +170,7 @@ fn ten_thousand_receiver_smoke_run_stays_bounded() {
     let mut builder = setup_sharqfec_builder(&built, 42, cfg, SimTime::from_secs(1));
     builder.recorder_mode(RecorderMode::Aggregate);
     let mut engine = builder.build();
-    engine.run_until(SimTime::from_millis(1_600));
+    engine.advance(RunSpec::to(SimTime::from_millis(1_600)));
     assert!(
         engine.recorder().resident_bytes() < 64 * 1024,
         "recorder grew with the 10^4 run: {} bytes",

@@ -16,7 +16,7 @@ use sharqfec_scoping::{ZoneHierarchy, ZoneId};
 use sharqfec_session::core::{is_session_token, SessionCore, SessionCtx};
 use sharqfec_session::msg::SessionMsg;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Whether this member originates the stream or receives it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,7 +55,7 @@ pub struct SfAgent {
     role: Role,
     session: SessionCore,
     /// Channel of each zone, indexed by `ZoneId`.
-    channels: Rc<Vec<ChannelId>>,
+    channels: Arc<Vec<ChannelId>>,
     /// Reverse map for classifying received repairs by scope.
     chan_to_level: HashMap<ChannelId, usize>,
     /// This member's zone chain (smallest zone first).
@@ -131,8 +131,8 @@ impl SfAgent {
         cfg: SharqfecConfig,
         role: Role,
         session: SessionCore,
-        hier: Rc<ZoneHierarchy>,
-        channels: Rc<Vec<ChannelId>>,
+        hier: Arc<ZoneHierarchy>,
+        channels: Arc<Vec<ChannelId>>,
         source_node: NodeId,
     ) -> SfAgent {
         cfg.validate();
@@ -872,7 +872,7 @@ impl SfAgent {
 impl Agent<SfMsg> for SfAgent {
     fn state_bytes(&self) -> usize {
         use std::mem::size_of;
-        // The per-zone channel table is behind a shared `Rc` (one copy
+        // The per-zone channel table is behind a shared `Arc` (one copy
         // per run, not per member) and is excluded, like the hierarchy
         // inside the session core.
         let mut bytes = size_of::<SfAgent>()

@@ -31,7 +31,10 @@
 /// Levels index the member's zone chain (smallest zone first), matching
 /// the agent's `chain`.  Implementations must be deterministic: the
 /// engine replays runs bit-identically and policies hold no clock or RNG.
-pub trait InjectionPolicy {
+/// `Send` is a supertrait because policies live inside agents, which the
+/// sharded engine moves to worker threads; policies are plain
+/// deterministic state machines, so this costs implementations nothing.
+pub trait InjectionPolicy: Send {
     /// Stable short name recorded in `ProbeEvent::PolicyDecision` and
     /// accepted by [`PolicyConfig::named`].
     fn name(&self) -> &'static str;

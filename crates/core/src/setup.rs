@@ -7,7 +7,7 @@ use sharqfec_netsim::{ChannelId, Engine, EngineBuilder, NodeId, SimTime};
 use sharqfec_scoping::{ZoneHierarchy, ZoneHierarchyBuilder};
 use sharqfec_session::core::{SessionCore, ZcrSeeding};
 use sharqfec_topology::BuiltTopology;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Assembles a fully-populated [`EngineBuilder`] for a SHARQFEC scenario:
 /// one channel per zone (zone order, so the root zone's channel is also
@@ -33,7 +33,7 @@ pub fn setup_sharqfec_builder(
             vec![built.source],
         )
     };
-    let hier = Rc::new(hierarchy);
+    let hier = Arc::new(hierarchy);
 
     let mut builder: EngineBuilder<SfMsg> = EngineBuilder::new(built.topology.clone(), seed);
     let channels: Vec<ChannelId> = hier
@@ -41,7 +41,7 @@ pub fn setup_sharqfec_builder(
         .iter()
         .map(|z| builder.add_channel(&z.members))
         .collect();
-    let channels = Rc::new(channels);
+    let channels = Arc::new(channels);
     let seeding = ZcrSeeding::Designed(zcrs);
 
     for member in built.members() {
@@ -50,13 +50,13 @@ pub fn setup_sharqfec_builder(
         } else {
             Role::Receiver
         };
-        let session = SessionCore::new(member, Rc::clone(&hier), cfg.session.clone(), &seeding);
+        let session = SessionCore::new(member, Arc::clone(&hier), cfg.session.clone(), &seeding);
         let agent = SfAgent::new(
             cfg.clone(),
             role,
             session,
-            Rc::clone(&hier),
-            Rc::clone(&channels),
+            Arc::clone(&hier),
+            Arc::clone(&channels),
             built.source,
         );
         builder.add_agent_at(member, Box::new(agent), join_at);
@@ -86,6 +86,7 @@ pub fn setup_sharqfec_sim(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sharqfec_netsim::RunSpec;
     use sharqfec_netsim::TrafficClass;
     use sharqfec_topology::{chain, figure10, Figure10Params};
 
@@ -99,7 +100,7 @@ mod tests {
         let built = chain(4);
         let cfg = small_cfg(SharqfecConfig::full());
         let mut engine = setup_sharqfec_sim(&built, 1, cfg, SimTime::from_secs(1));
-        engine.run_until(SimTime::from_secs(60));
+        engine.advance(RunSpec::to(SimTime::from_secs(60)));
         for &r in &built.receivers {
             let a = engine.agent::<SfAgent>(r).unwrap();
             assert!(
@@ -122,7 +123,7 @@ mod tests {
         let built = figure10(&Figure10Params::default());
         let cfg = small_cfg(SharqfecConfig::full());
         let mut engine = setup_sharqfec_sim(&built, 42, cfg, SimTime::from_secs(1));
-        engine.run_until(SimTime::from_secs(120));
+        engine.advance(RunSpec::to(SimTime::from_secs(120)));
         let mut missing = 0u32;
         for &r in &built.receivers {
             missing += engine.agent::<SfAgent>(r).unwrap().missing();
@@ -149,7 +150,7 @@ mod tests {
         ] {
             let cfg = small_cfg(SharqfecConfig::variant(v));
             let mut engine = setup_sharqfec_sim(&built, 7, cfg, SimTime::from_secs(1));
-            engine.run_until(SimTime::from_secs(180));
+            engine.advance(RunSpec::to(SimTime::from_secs(180)));
             let missing: u32 = built
                 .receivers
                 .iter()
@@ -179,7 +180,7 @@ mod tests {
                 SharqfecConfig::ns()
             });
             let mut engine = setup_sharqfec_sim(&built, 11, cfg, SimTime::from_secs(1));
-            engine.run_until(SimTime::from_secs(120));
+            engine.advance(RunSpec::to(SimTime::from_secs(120)));
             let missing: u32 = built
                 .receivers
                 .iter()
@@ -253,7 +254,7 @@ mod tests {
         let mut builder = setup_sharqfec_builder(&built, 3, cfg, SimTime::ZERO);
         builder.fault_plan(plan);
         let mut engine = builder.build();
-        engine.run_until(SimTime::from_secs(30));
+        engine.advance(RunSpec::to(SimTime::from_secs(30)));
         let src = engine.agent::<SfAgent>(built.source).unwrap();
         // The root-level prediction must reflect the NACKed demand (many
         // lost packets folded at gain 0.25 from an initial 1.0), not the
@@ -281,7 +282,7 @@ mod tests {
                 builder.audit(AuditConfig::default());
             }
             let mut engine = builder.build();
-            engine.run_until(SimTime::from_secs(60));
+            engine.advance(RunSpec::to(SimTime::from_secs(60)));
             (
                 engine.recorder().transmissions.clone(),
                 engine.recorder().deliveries.clone(),
@@ -303,7 +304,7 @@ mod tests {
         let mut builder = setup_sharqfec_builder(&built, 42, cfg, SimTime::from_secs(1));
         builder.audit(AuditConfig::default());
         let mut engine = builder.build();
-        engine.run_until(SimTime::from_secs(120));
+        engine.advance(RunSpec::to(SimTime::from_secs(120)));
         assert!(
             !engine.probe_records().is_empty(),
             "an audited run must record probe events"
@@ -322,7 +323,7 @@ mod tests {
         let run = |seed: u64| {
             let cfg = small_cfg(SharqfecConfig::full());
             let mut engine = setup_sharqfec_sim(&built, seed, cfg, SimTime::from_secs(1));
-            engine.run_until(SimTime::from_secs(60));
+            engine.advance(RunSpec::to(SimTime::from_secs(60)));
             (
                 engine.recorder().transmissions.len(),
                 engine.recorder().deliveries.len(),

@@ -16,8 +16,43 @@ use crate::time::{SimDuration, SimTime};
 use std::any::Any;
 
 /// Handle to a pending timer, used for cancellation.
+///
+/// Engine-issued ids encode `(node + 1, per-node sequence)` so a timer's
+/// owning node can be recovered without a lookup — the sharded driver
+/// partitions pending-timer state by that node.  Ids constructed directly
+/// from raw values (e.g. in test harnesses that never hand them to an
+/// engine) are unaffected.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TimerId(pub u64);
+
+/// Bits reserved for the per-node sequence in an engine-issued id.
+const TIMER_SEQ_BITS: u32 = 40;
+
+impl TimerId {
+    /// Packs an engine-issued id from the owning node and its per-node
+    /// scheduling sequence number.
+    pub(crate) fn encode(node: NodeId, seq: u64) -> TimerId {
+        debug_assert!(seq < 1 << TIMER_SEQ_BITS, "per-node timer seq overflow");
+        debug_assert!(
+            u64::from(node.0) < (1 << (64 - TIMER_SEQ_BITS)) - 1,
+            "node id too large to encode in a TimerId"
+        );
+        TimerId(((u64::from(node.0) + 1) << TIMER_SEQ_BITS) | seq)
+    }
+
+    /// The owning node of an engine-issued id (`None` for raw ids that
+    /// never went through [`TimerId::encode`]).
+    pub(crate) fn node(self) -> Option<NodeId> {
+        (self.0 >> TIMER_SEQ_BITS)
+            .checked_sub(1)
+            .map(|n| NodeId(n as u32))
+    }
+
+    /// The per-node sequence number of an engine-issued id.
+    pub(crate) fn seq(self) -> u64 {
+        self.0 & ((1 << TIMER_SEQ_BITS) - 1)
+    }
+}
 
 /// Deferred effects queued by an agent during a callback.
 #[derive(Debug)]
@@ -96,8 +131,9 @@ impl<'a, M> Ctx<'a, M> {
     /// Arms a timer at an absolute instant (must not be in the past).
     pub fn set_timer_at(&mut self, at: SimTime, token: u64) -> TimerId {
         assert!(at >= self.now, "timer scheduled in the past");
-        let id = TimerId(*self.next_timer);
+        let seq = *self.next_timer;
         *self.next_timer += 1;
+        let id = TimerId::encode(self.node, seq);
         self.actions.push(Action::SetTimer { id, at, token });
         id
     }
@@ -122,8 +158,11 @@ impl<'a, M> Ctx<'a, M> {
 ///
 /// `Any` is a supertrait so callers can downcast agents back to their
 /// concrete type after a run to read out final state (delivery status,
-/// counters) — see [`crate::engine::Engine::agent`].
-pub trait Agent<M>: Any {
+/// counters) — see [`crate::engine::Engine::agent`].  `Send` is a
+/// supertrait so the sharded driver can move each agent to the worker
+/// thread that owns its node's zone subtree; agents are protocol state
+/// machines over plain data, so this costs implementations nothing.
+pub trait Agent<M>: Any + Send {
     /// Called once when the agent's start event fires.
     fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
         let _ = ctx;

@@ -2,12 +2,17 @@
 //!
 //! Owns the topology, routing trees, link queues, channels, agents, fault
 //! schedule, and the event queue.  A run is fully determined by (topology,
-//! agents, fault plan, seed): the event queue breaks time ties by insertion
-//! sequence number, agents draw from per-node RNG streams split off the
-//! root seed, and link-loss sampling uses its own stream.
+//! agents, fault plan, seed): events are totally ordered by an
+//! [`EventKey`] that is a pure function of simulation history (fire time,
+//! push time, pushing node, per-node sequence), agents draw from per-node
+//! RNG streams split off the root seed, and link-loss sampling draws from
+//! per-(link, direction) streams.  Because none of those inputs depend on
+//! which queue or thread carries an event, a run is bit-identical whether
+//! it executes serially or partitioned across shards (see `shard.rs` and
+//! [`Engine::advance`]).
 //!
 //! Two allocation-conscious structures back the hot path: the slab-backed
-//! [`crate::queue::EventQueue`], whose heap moves 24-byte keys
+//! [`crate::queue::EventQueue`], whose heap moves small `Copy` keys
 //! instead of whole events, and the private packet arena (`arena.rs`),
 //! which interns each transmitted packet once and forwards lightweight
 //! handles hop-by-hop instead of cloning an `Rc` per hop.  Both recycle
@@ -38,17 +43,19 @@ use crate::link::LinkState;
 use crate::metrics::{DropRecord, Record, Recorder, RecorderMode};
 use crate::packet::{Classify, Packet};
 use crate::probe::{AuditConfig, AuditReport, Auditor, ProbeRecord, ProbeSink};
-use crate::queue::EventQueue;
+use crate::queue::{EventKey, EventQueue};
 use crate::rng::SimRng;
 use crate::routing::{DistanceOracle, Spt};
+use crate::shard::{OutMsg, ShardCtx, ShardPlan};
 use crate::time::{SimDuration, SimTime};
 use std::any::Any;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// One scheduled event.  Payload-free: packets in flight live in the
 /// engine's arena and events carry only a `Copy` handle, so the whole
 /// enum is small and `M`-independent.
-enum EventKind {
+pub(crate) enum EventKind {
     Start(NodeId),
     /// Packet arriving at `node`, to be delivered and forwarded onward.
     Arrive {
@@ -69,48 +76,69 @@ enum EventKind {
 
 /// The simulator.  `M` is the protocol payload type.
 pub struct Engine<M> {
-    topo: Topology,
-    oracle: DistanceOracle,
+    pub(crate) topo: Topology,
+    pub(crate) oracle: DistanceOracle,
     /// Lazily-computed shortest-path trees against the current `link_up`
     /// mask; `None` means "invalidated or never needed yet".  Stays a
     /// zero-length vec until a tree is first requested, so tree-forwarded
     /// runs never pay the `O(nodes)` table (let alone the `O(n²)` trees).
-    spts: Vec<Option<Spt>>,
+    pub(crate) spts: Vec<Option<Spt>>,
     /// Whether forwarding may use the `O(depth)`-per-hop tree fast path
     /// instead of per-source SPTs.  True only when the topology is a tree
     /// *and* no link fault can change routing mid-run; the two paths
     /// produce bit-identical schedules where both apply.
-    tree_forwarding: bool,
-    link_state: Vec<LinkState>,
+    pub(crate) tree_forwarding: bool,
+    pub(crate) link_state: Vec<LinkState>,
     /// Whether each link currently carries traffic (fault injection).
-    link_up: Vec<bool>,
+    pub(crate) link_up: Vec<bool>,
     /// Whether each node's *agent* is running; a crashed node still
     /// forwards (the router outlives the application process).
-    node_up: Vec<bool>,
+    pub(crate) node_up: Vec<bool>,
     /// Per-node crash epoch; bumped on `NodeCrash` so timers armed before
     /// the crash never fire after a restart.
-    epoch: Vec<u32>,
-    channels: Vec<Channel>,
-    agents: Vec<Option<Box<dyn Agent<M>>>>,
-    agent_rngs: Vec<SimRng>,
-    loss_rng: SimRng,
-    queue: EventQueue<EventKind>,
+    pub(crate) epoch: Vec<u32>,
+    pub(crate) channels: Vec<Channel>,
+    pub(crate) agents: Vec<Option<Box<dyn Agent<M>>>>,
+    pub(crate) agent_rngs: Vec<SimRng>,
+    /// Frozen base stream for link-loss sampling; never drawn from
+    /// directly — per-(link, direction) streams split off lazily (below),
+    /// so loss draws depend only on that link direction's own history and
+    /// are identical at any shard count.
+    pub(crate) loss_base: SimRng,
+    /// Lazily-initialized loss streams per link: `[from-a, from-b]`.
+    pub(crate) loss_streams: Vec<Option<Box<[SimRng; 2]>>>,
+    pub(crate) queue: EventQueue<EventKind>,
     /// In-flight packets, interned once per multicast; `Arrive` events
     /// hold [`PacketRef`] handles into it.
-    arena: PacketArena<M>,
-    now: SimTime,
+    pub(crate) arena: PacketArena<M>,
+    pub(crate) now: SimTime,
     /// Timer events scheduled but not yet fired.  Keyed by id (ids are
     /// never reused), removed when the event is popped, so both this set
     /// and `cancelled` stay bounded by the number of in-flight timers.
-    pending_timers: HashSet<TimerId>,
+    pub(crate) pending_timers: HashSet<TimerId>,
     /// Cancellations whose timer event is still in the queue.  Invariant:
     /// `cancelled ⊆ pending_timers` — cancelling an already-fired (or
     /// never-armed) timer must not leak an entry forever.
-    cancelled: HashSet<TimerId>,
-    next_timer: u64,
-    next_uid: u64,
-    recorder: Recorder,
-    probes: ProbeSink,
+    pub(crate) cancelled: HashSet<TimerId>,
+    /// Per-node monotone counter feeding timer ids, packet uids, and
+    /// event-key sequence numbers.  Only drawn while processing events at
+    /// the owning node, so the draw sequence — and with it every
+    /// [`EventKey`] — is a pure function of simulation history, identical
+    /// at any shard count.
+    pub(crate) node_seq: Vec<u64>,
+    /// Sequence for origin-0 (build/external) event keys.
+    pub(crate) build_seq: u64,
+    pub(crate) recorder: Recorder,
+    pub(crate) probes: ProbeSink,
+    /// `Some` while this engine is a shard of a partitioned run; `hop`
+    /// diverts arrivals owned by other shards into `outbox`.
+    pub(crate) shard: Option<ShardCtx>,
+    /// Cross-shard arrivals generated during the current window.
+    pub(crate) outbox: Vec<OutMsg<M>>,
+    /// Builder-supplied defaults consulted by [`Engine::advance`] when the
+    /// [`RunSpec`] leaves them unset.
+    pub(crate) default_plan: Option<Arc<ShardPlan>>,
+    pub(crate) default_threads: Option<usize>,
 }
 
 impl<M: Classify + Clone + 'static> Engine<M> {
@@ -128,7 +156,7 @@ impl<M: Classify + Clone + 'static> Engine<M> {
     pub fn new(topo: Topology, seed: u64) -> Engine<M> {
         let n = topo.node_count();
         let mut root = SimRng::new(seed);
-        let loss_rng = root.split(u64::MAX);
+        let loss_base = root.split(u64::MAX);
         let agent_rngs = (0..n as u64).map(|i| root.split(i)).collect();
         let oracle = DistanceOracle::compute(&topo);
         let tree_forwarding = oracle.is_tree();
@@ -143,16 +171,21 @@ impl<M: Classify + Clone + 'static> Engine<M> {
             channels: Vec::new(),
             agents: (0..n).map(|_| None).collect(),
             agent_rngs,
-            loss_rng,
+            loss_base,
+            loss_streams: (0..topo.link_count()).map(|_| None).collect(),
             queue: EventQueue::new(),
             arena: PacketArena::new(),
             now: SimTime::ZERO,
             pending_timers: HashSet::new(),
             cancelled: HashSet::new(),
-            next_timer: 0,
-            next_uid: 0,
+            node_seq: vec![0; n],
+            build_seq: 0,
             recorder: Recorder::default(),
             probes: ProbeSink::default(),
+            shard: None,
+            outbox: Vec::new(),
+            default_plan: None,
+            default_threads: None,
             topo,
         }
     }
@@ -335,15 +368,30 @@ impl<M: Classify + Clone + 'static> Engine<M> {
     /// events processed.  The clock is left at `t_end` even if the queue
     /// drained earlier, so relative scheduling after the call starts from
     /// the horizon.
+    #[deprecated(note = "use `advance(RunSpec::to(t_end))`")]
     pub fn run_until(&mut self, t_end: SimTime) -> u64 {
+        self.run_serial_until(t_end)
+    }
+
+    /// Runs until the event queue is completely drained.  The clock is
+    /// left at the *last processed event* (not some far-future horizon),
+    /// so `set_agent`/`multicast_from` stay usable after a drained run —
+    /// scheduling "now" after a drain must never be "in the past".
+    #[deprecated(note = "use `advance(RunSpec::drain())`")]
+    pub fn run(&mut self) -> u64 {
+        self.run_serial_drain()
+    }
+
+    /// Serial horizon run (the single-shard path of [`Engine::advance`]).
+    pub(crate) fn run_serial_until(&mut self, t_end: SimTime) -> u64 {
         let mut processed = 0;
-        while let Some(time) = self.queue.peek_time() {
-            if time > t_end {
+        while let Some(key) = self.queue.peek_key() {
+            if key.time > t_end {
                 break;
             }
-            let (time, kind) = self.queue.pop().expect("peeked");
-            debug_assert!(time >= self.now, "time went backwards");
-            self.now = time;
+            let (key, kind) = self.queue.pop_keyed().expect("peeked");
+            debug_assert!(key.time >= self.now, "time went backwards");
+            self.now = key.time;
             self.dispatch(kind);
             processed += 1;
         }
@@ -353,23 +401,95 @@ impl<M: Classify + Clone + 'static> Engine<M> {
         processed
     }
 
-    /// Runs until the event queue is completely drained.  The clock is
-    /// left at the *last processed event* (not some far-future horizon),
-    /// so `set_agent`/`multicast_from` stay usable after a drained run —
-    /// scheduling "now" after `run()` must never be "in the past".
-    pub fn run(&mut self) -> u64 {
+    /// Serial drain run (the single-shard path of [`Engine::advance`]).
+    pub(crate) fn run_serial_drain(&mut self) -> u64 {
         let mut processed = 0;
-        while let Some((time, kind)) = self.queue.pop() {
-            debug_assert!(time >= self.now, "time went backwards");
-            self.now = time;
+        while let Some((key, kind)) = self.queue.pop_keyed() {
+            debug_assert!(key.time >= self.now, "time went backwards");
+            self.now = key.time;
             self.dispatch(kind);
             processed += 1;
         }
         processed
     }
 
+    /// Processes every queued event with key time ≤ `bound` (one
+    /// conservative window of a sharded run), stamping each event's key
+    /// into the recorder and probe sink so per-shard outputs can be merged
+    /// back into the serial timeline.  Returns `(events processed, fault
+    /// events processed)` — faults are replicated to every shard, so the
+    /// sharded driver subtracts the duplicates from its event total.
+    pub(crate) fn run_window(&mut self, bound: SimTime) -> (u64, u64) {
+        let mut processed = 0;
+        let mut faults = 0;
+        while let Some(key) = self.queue.peek_key() {
+            if key.time > bound {
+                break;
+            }
+            let (key, kind) = self.queue.pop_keyed().expect("peeked");
+            debug_assert!(key.time >= self.now, "time went backwards");
+            self.now = key.time;
+            if matches!(kind, EventKind::Fault(_)) {
+                faults += 1;
+            }
+            self.recorder.set_tag(key);
+            self.probes.set_tag(key);
+            self.dispatch(kind);
+            processed += 1;
+        }
+        (processed, faults)
+    }
+
+    /// Enqueues cross-shard arrivals received from peer shards.  Keys are
+    /// the exact keys the sending shard would have used locally, so the
+    /// destination queue orders them exactly as the serial engine would.
+    pub(crate) fn ingest(&mut self, mut msgs: Vec<OutMsg<M>>) {
+        msgs.sort_by_key(|m| m.key);
+        for m in msgs {
+            let pref = self.arena.insert(m.pkt, m.class);
+            self.arena.add_ref(pref);
+            self.queue.push_keyed(
+                m.key,
+                EventKind::Arrive {
+                    node: m.node,
+                    pkt: pref,
+                },
+            );
+        }
+    }
+
+    /// Schedules a build-time / external event: origin 0, sequenced by the
+    /// master-only `build_seq` counter.
     fn push(&mut self, time: SimTime, kind: EventKind) {
-        self.queue.push(time, kind);
+        let key = EventKey {
+            time,
+            push_time: self.now,
+            origin: 0,
+            oseq: self.build_seq,
+        };
+        self.build_seq += 1;
+        self.queue.push_keyed(key, kind);
+    }
+
+    /// Schedules an event generated while processing node `node`: origin
+    /// `node + 1`, sequenced by that node's own counter, so the key is
+    /// identical no matter which shard carries the event.
+    fn push_from(&mut self, node: NodeId, time: SimTime, oseq: u64, kind: EventKind) {
+        let key = EventKey {
+            time,
+            push_time: self.now,
+            origin: node.0 + 1,
+            oseq,
+        };
+        self.queue.push_keyed(key, kind);
+    }
+
+    /// Draws the next value of `node`'s monotone sequence counter.
+    #[inline]
+    fn next_seq(&mut self, node: NodeId) -> u64 {
+        let seq = self.node_seq[node.idx()];
+        self.node_seq[node.idx()] += 1;
+        seq
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -473,8 +593,13 @@ impl<M: Classify + Clone + 'static> Engine<M> {
                 self.node_up[node.idx()] = true;
                 if self.agents[node.idx()].is_some() {
                     // Warm restart: agent state persisted, its start hook
-                    // runs again to re-arm timers and re-announce.
-                    self.push(self.now, EventKind::Start(node));
+                    // runs again to re-arm timers and re-announce.  Keyed
+                    // by the node's own counter (origin `node + 1`): in a
+                    // sharded run only the shard owning `node` holds its
+                    // agent, so exactly one shard schedules this, with the
+                    // same key the serial engine would.
+                    let seq = self.next_seq(node);
+                    self.push_from(node, self.now, seq, EventKind::Start(node));
                 }
             }
         }
@@ -495,7 +620,7 @@ impl<M: Classify + Clone + 'static> Engine<M> {
             rng: &mut self.agent_rngs[node.idx()],
             oracle: &self.oracle,
             actions: Vec::new(),
-            next_timer: &mut self.next_timer,
+            next_timer: &mut self.node_seq[node.idx()],
             probes: &mut self.probes,
         };
         f(agent.as_mut(), &mut ctx);
@@ -511,8 +636,12 @@ impl<M: Classify + Clone + 'static> Engine<M> {
             Action::SetTimer { id, at, token } => {
                 self.pending_timers.insert(id);
                 let epoch = self.epoch[node.idx()];
-                self.push(
+                // The timer id's per-node sequence doubles as the event
+                // key sequence — both come from the same counter.
+                self.push_from(
+                    node,
                     at,
+                    id.seq(),
                     EventKind::Timer {
                         node,
                         id,
@@ -547,14 +676,13 @@ impl<M: Classify + Clone + 'static> Engine<M> {
             "{node:?} is not a member of {channel:?}"
         );
         let pkt = Packet {
-            uid: self.next_uid,
+            uid: self.next_seq(node),
             src: node,
             channel,
             sent_at: self.now,
             bytes,
             payload,
         };
-        self.next_uid += 1;
         let class = pkt.class();
         self.recorder.record_transmission(Record {
             time: self.now,
@@ -617,6 +745,13 @@ impl<M: Classify + Clone + 'static> Engine<M> {
 
     /// One forwarding hop: link-mask and scope checks, loss sampling for
     /// lossy classes, then the queued arrival.
+    ///
+    /// Loss draws come from the link *direction*'s own lazily-split RNG
+    /// stream, and the arrival's event key from `at`'s own counter — both
+    /// are pure functions of this hop's local history, so the schedule is
+    /// bit-identical at any shard count.  In a sharded run, an arrival at
+    /// a node owned by another shard is diverted into the outbox instead
+    /// of this shard's queue.
     fn hop(&mut self, at: NodeId, child: NodeId, link: LinkId, pkt: PacketRef, hdr: PacketHeader) {
         if !self.link_up[link.idx()] {
             // A link that died after this packet entered the subtree: the
@@ -629,10 +764,19 @@ impl<M: Classify + Clone + 'static> Engine<M> {
         }
         let spec = self.topo.link(link);
         if hdr.class.lossy() {
+            if self.loss_streams[link.idx()].is_none() {
+                let l = link.idx() as u64;
+                self.loss_streams[link.idx()] = Some(Box::new([
+                    self.loss_base.clone().split(2 * l),
+                    self.loss_base.clone().split(2 * l + 1),
+                ]));
+            }
+            let dir = usize::from(spec.a != at);
+            let streams = self.loss_streams[link.idx()].as_mut().expect("just set");
             let state = &mut self.link_state[link.idx()];
             let dropped = {
                 let bad = state.chain_state_mut(spec, at);
-                spec.params.loss.sample(bad, &mut self.loss_rng)
+                spec.params.loss.sample(bad, &mut streams[dir])
             };
             if dropped {
                 self.recorder.record_drop(DropRecord {
@@ -645,8 +789,32 @@ impl<M: Classify + Clone + 'static> Engine<M> {
             }
         }
         let arrive = self.link_state[link.idx()].transmit(spec, at, self.now, hdr.bytes);
+        let oseq = self.next_seq(at);
+        if let Some(sh) = &self.shard {
+            let dst = sh.plan.owner(child);
+            if dst != sh.me {
+                // Cross-shard hop: the packet leaves this shard's arena as
+                // a timestamped message; the receiver re-interns it.
+                let owned = self.arena.take(pkt);
+                let copy = owned.clone();
+                self.arena.restore(pkt, owned);
+                self.outbox.push(OutMsg {
+                    dst,
+                    key: EventKey {
+                        time: arrive,
+                        push_time: self.now,
+                        origin: at.0 + 1,
+                        oseq,
+                    },
+                    node: child,
+                    class: hdr.class,
+                    pkt: copy,
+                });
+                return;
+            }
+        }
         self.arena.add_ref(pkt);
-        self.push(arrive, EventKind::Arrive { node: child, pkt });
+        self.push_from(at, arrive, oseq, EventKind::Arrive { node: child, pkt });
     }
 
     /// Total approximate resident bytes of protocol state across every
@@ -695,7 +863,7 @@ impl<M: Classify + Clone + 'static> Engine<M> {
 ///     ));
 /// let chan = builder.add_channel(&[a, b]);
 /// let mut engine = builder.build();
-/// engine.run_until(SimTime::from_secs(5));
+/// engine.advance(RunSpec::to(SimTime::from_secs(5)));
 /// # let _ = chan;
 /// ```
 pub struct EngineBuilder<M> {
@@ -708,6 +876,8 @@ pub struct EngineBuilder<M> {
     plan: FaultPlan,
     record_probes: bool,
     audit: Option<AuditConfig>,
+    shard_plan: Option<Arc<ShardPlan>>,
+    threads: Option<usize>,
 }
 
 impl<M: Classify + Clone + 'static> EngineBuilder<M> {
@@ -723,7 +893,23 @@ impl<M: Classify + Clone + 'static> EngineBuilder<M> {
             plan: FaultPlan::new(),
             record_probes: false,
             audit: None,
+            shard_plan: None,
+            threads: None,
         }
+    }
+
+    /// Default shard plan for [`Engine::advance`] calls whose [`RunSpec`](crate::shard::RunSpec)
+    /// leaves the plan unset (default: serial).
+    pub fn shard_plan(&mut self, plan: Arc<ShardPlan>) -> &mut Self {
+        self.shard_plan = Some(plan);
+        self
+    }
+
+    /// Default worker-thread count for sharded [`Engine::advance`] calls
+    /// (default: one thread per shard).
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.threads = Some(threads);
+        self
     }
 
     /// How observations are stored (default [`RecorderMode::Raw`]).
@@ -822,6 +1008,8 @@ impl<M: Classify + Clone + 'static> EngineBuilder<M> {
             engine.attach_agent(node, agent, at);
         }
         engine.schedule_faults(&self.plan);
+        engine.default_plan = self.shard_plan;
+        engine.default_threads = self.threads;
         engine
     }
 }
@@ -831,6 +1019,7 @@ mod tests {
     use super::*;
     use crate::graph::{LinkParams, TopologyBuilder};
     use crate::metrics::TrafficClass;
+    use crate::shard::RunSpec;
     use crate::time::SimDuration;
 
     #[derive(Clone, Debug, PartialEq)]
@@ -895,7 +1084,7 @@ mod tests {
         e.set_agent(n0, Box::new(Burst { chan, count: 1 }));
         e.set_agent(n1, Box::new(Sniffer::default()));
         e.set_agent(n2, Box::new(Sniffer::default()));
-        e.run();
+        e.advance(RunSpec::drain());
         // hop1: tx 10ms + lat 10ms = 20ms; hop2 arrives at 40ms.
         let s1 = e.agent::<Sniffer>(n1).unwrap();
         let s2 = e.agent::<Sniffer>(n2).unwrap();
@@ -912,7 +1101,7 @@ mod tests {
         e.set_agent(n0, Box::new(Burst { chan, count: 1 }));
         e.set_agent(n1, Box::new(Sniffer::default()));
         e.set_agent(n2, Box::new(Sniffer::default()));
-        e.run();
+        e.advance(RunSpec::drain());
         assert_eq!(e.agent::<Sniffer>(n1).unwrap().heard.len(), 1);
         assert!(e.agent::<Sniffer>(n2).unwrap().heard.is_empty());
     }
@@ -926,7 +1115,7 @@ mod tests {
         let chan = e.add_channel(&[n0, n2]);
         e.set_agent(n0, Box::new(Burst { chan, count: 1 }));
         e.set_agent(n2, Box::new(Sniffer::default()));
-        e.run();
+        e.advance(RunSpec::drain());
         assert!(e.agent::<Sniffer>(n2).unwrap().heard.is_empty());
     }
 
@@ -937,7 +1126,7 @@ mod tests {
         let chan = e.add_channel(&[n0, n1]);
         e.set_agent(n0, Box::new(Burst { chan, count: 3 }));
         e.set_agent(n1, Box::new(Sniffer::default()));
-        e.run();
+        e.advance(RunSpec::drain());
         let times: Vec<SimTime> = e
             .agent::<Sniffer>(n1)
             .unwrap()
@@ -974,7 +1163,7 @@ mod tests {
         }
         e.set_agent(n0, Box::new(Both { chan }));
         e.set_agent(n2, Box::new(Sniffer::default()));
-        e.run();
+        e.advance(RunSpec::drain());
         let heard = &e.agent::<Sniffer>(n2).unwrap().heard;
         assert_eq!(heard.len(), 1, "only the NACK should survive");
         assert_eq!(heard[0].1, Msg::Nack);
@@ -998,7 +1187,7 @@ mod tests {
         e.set_agent(n0, Box::new(Burst { chan, count: 1 }));
         e.set_agent(n2, Box::new(Sniffer::default()));
         e.set_agent(n3, Box::new(Sniffer::default()));
-        e.run();
+        e.advance(RunSpec::drain());
         assert!(e.agent::<Sniffer>(n2).unwrap().heard.is_empty());
         assert!(e.agent::<Sniffer>(n3).unwrap().heard.is_empty());
         assert_eq!(e.recorder().deliveries.len(), 0);
@@ -1024,7 +1213,7 @@ mod tests {
         let (t, [n0, ..]) = chain3(0.0);
         let mut e: Engine<Msg> = Engine::new(t, 1);
         e.set_agent(n0, Box::new(Timers { fired: vec![] }));
-        e.run();
+        e.advance(RunSpec::drain());
         assert_eq!(e.agent::<Timers>(n0).unwrap().fired, vec![1, 3]);
     }
 
@@ -1035,10 +1224,10 @@ mod tests {
         let chan = e.add_channel(&[n0, n1]);
         e.set_agent(n0, Box::new(Burst { chan, count: 1 }));
         e.set_agent(n1, Box::new(Sniffer::default()));
-        e.run_until(SimTime::from_millis(5));
+        e.advance(RunSpec::to(SimTime::from_millis(5)));
         assert_eq!(e.now(), SimTime::from_millis(5));
         assert!(e.agent::<Sniffer>(n1).unwrap().heard.is_empty());
-        e.run_until(SimTime::from_secs(1));
+        e.advance(RunSpec::to(SimTime::from_secs(1)));
         assert_eq!(e.agent::<Sniffer>(n1).unwrap().heard.len(), 1);
         assert_eq!(e.now(), SimTime::from_secs(1));
     }
@@ -1051,7 +1240,7 @@ mod tests {
             let chan = e.add_channel(&[n0, n1, n2]);
             e.set_agent(n0, Box::new(Burst { chan, count: 50 }));
             e.set_agent(n2, Box::new(Sniffer::default()));
-            e.run();
+            e.advance(RunSpec::drain());
             e.agent::<Sniffer>(n2)
                 .unwrap()
                 .heard
@@ -1081,7 +1270,7 @@ mod tests {
         let mut e: Engine<Msg> = Engine::new(t, 1);
         let chan = e.add_channel(&[n0, n1, n2]);
         e.set_agent(n0, Box::new(Burst { chan, count: 2 }));
-        e.run();
+        e.advance(RunSpec::drain());
         assert_eq!(e.recorder().sent_count(n0, TrafficClass::Data), 2);
         // Two deliveries at n1, two at n2 (agents not required to record).
         assert_eq!(e.recorder().delivered_count(n1, TrafficClass::Data), 2);
@@ -1131,7 +1320,7 @@ mod tests {
             SimTime::from_secs(1),
         );
         let mut e = b.build();
-        e.run();
+        e.advance(RunSpec::drain());
         assert_eq!(e.recorder().mode(), RecorderMode::Streaming);
         assert_eq!(
             e.agent::<StartClock>(n0).unwrap().started_at,
@@ -1152,7 +1341,7 @@ mod tests {
         e.set_agent(n2, Box::new(Sniffer::default()));
         e.multicast_from(n0, scoped, Msg::Data(0), 1000);
         assert_eq!(e.packets_in_flight(), 0, "orphan reclaimed immediately");
-        e.run();
+        e.advance(RunSpec::drain());
         assert!(!e.agent::<Sniffer>(n2).unwrap().heard.is_empty());
         assert_eq!(e.packets_in_flight(), 0);
     }
@@ -1169,7 +1358,7 @@ mod tests {
             SimTime::from_secs(1),
         );
         let mut e = b.build();
-        e.run();
+        e.advance(RunSpec::drain());
         assert_eq!(
             e.agent::<StartClock>(n0).unwrap().started_at,
             vec![SimTime::from_secs(1)]
@@ -1184,7 +1373,7 @@ mod tests {
             let chan = e.add_channel(&[n0, _n1, n2]);
             e.set_agent(n0, Box::new(Burst { chan, count: 50 }));
             e.set_agent(n2, Box::new(Sniffer::default()));
-            e.run();
+            e.advance(RunSpec::drain());
             e.agent::<Sniffer>(n2).unwrap().heard.clone()
         };
         let built = || -> Vec<(SimTime, Msg)> {
@@ -1194,7 +1383,7 @@ mod tests {
             b.add_agent(n0, Box::new(Burst { chan, count: 50 }));
             b.add_agent(n2, Box::new(Sniffer::default()));
             let mut e = b.build();
-            e.run();
+            e.advance(RunSpec::drain());
             e.agent::<Sniffer>(n2).unwrap().heard.clone()
         };
         assert_eq!(imperative(), built());
@@ -1224,16 +1413,16 @@ mod tests {
         ));
         let mut e = b.build();
         // While down, even a NACK (lossless class) cannot cross.
-        e.run_until(SimTime::from_millis(150));
+        e.advance(RunSpec::to(SimTime::from_millis(150)));
         e.multicast_from(n0, chan, Msg::Nack, 40);
-        e.run_until(SimTime::from_millis(199));
+        e.advance(RunSpec::to(SimTime::from_millis(199)));
         assert!(e.agent::<Sniffer>(n2).unwrap().heard.is_empty());
         assert!(!e.link_is_up(mid));
         // After the flap heals, traffic flows again.
-        e.run_until(SimTime::from_millis(250));
+        e.advance(RunSpec::to(SimTime::from_millis(250)));
         assert!(e.link_is_up(mid));
         e.multicast_from(n0, chan, Msg::Data(1), 1000);
-        e.run();
+        e.advance(RunSpec::drain());
         assert_eq!(e.agent::<Sniffer>(n2).unwrap().heard.len(), 1);
     }
 
@@ -1256,16 +1445,16 @@ mod tests {
         eb.add_agent(n3, Box::new(Sniffer::default()));
         eb.fault_plan(FaultPlan::new().at(SimTime::from_millis(100), FaultEvent::LinkDown(l01)));
         let mut e = eb.build();
-        e.run_until(SimTime::from_millis(10));
+        e.advance(RunSpec::to(SimTime::from_millis(10)));
         e.multicast_from(n0, chan, Msg::Data(0), 100);
-        e.run_until(SimTime::from_millis(150));
+        e.advance(RunSpec::to(SimTime::from_millis(150)));
         // Before the fault: n3 via n1 at 2ms.
         assert_eq!(
             e.agent::<Sniffer>(n3).unwrap().heard,
             vec![(SimTime::from_millis(12), Msg::Data(0))]
         );
         e.multicast_from(n0, chan, Msg::Data(1), 100);
-        e.run();
+        e.advance(RunSpec::drain());
         // After: n3 via n2 (6ms), and the cut-off n1 now via n2-n3 (7ms).
         let n3_heard = &e.agent::<Sniffer>(n3).unwrap().heard;
         assert_eq!(n3_heard[1], (SimTime::from_millis(156), Msg::Data(1)));
@@ -1287,18 +1476,18 @@ mod tests {
                 .at(SimTime::from_millis(300), FaultEvent::NodeRestart(n1)),
         );
         let mut e = b.build();
-        e.run_until(SimTime::from_millis(100));
+        e.advance(RunSpec::to(SimTime::from_millis(100)));
         assert!(!e.node_is_up(n1));
         e.multicast_from(n0, chan, Msg::Data(0), 1000);
-        e.run_until(SimTime::from_millis(250));
+        e.advance(RunSpec::to(SimTime::from_millis(250)));
         // The crashed middle hop still forwarded to n2 …
         assert_eq!(e.agent::<Sniffer>(n2).unwrap().heard.len(), 1);
         // … but its own agent heard nothing.
         assert!(e.agent::<Sniffer>(n1).unwrap().heard.is_empty());
-        e.run_until(SimTime::from_millis(350));
+        e.advance(RunSpec::to(SimTime::from_millis(350)));
         assert!(e.node_is_up(n1));
         e.multicast_from(n0, chan, Msg::Data(1), 1000);
-        e.run();
+        e.advance(RunSpec::drain());
         assert_eq!(e.agent::<Sniffer>(n1).unwrap().heard.len(), 1);
     }
 
@@ -1334,7 +1523,7 @@ mod tests {
                 .at(SimTime::from_millis(600), FaultEvent::NodeRestart(n0)),
         );
         let mut e = b.build();
-        e.run_until(SimTime::from_millis(1000));
+        e.advance(RunSpec::to(SimTime::from_millis(1000)));
         let agent = e.agent::<Ticker>(n0).unwrap();
         assert_eq!(agent.starts, 2, "restart re-runs on_start");
         // Ticks at 100, 200 (pre-crash), then 700, 800, 900, 1000 — the
@@ -1365,12 +1554,12 @@ mod tests {
             FaultEvent::SetLoss(mid, crate::faults::LossModel::bernoulli(1.0)),
         ));
         let mut e = b.build();
-        e.run_until(SimTime::from_secs(1));
+        e.advance(RunSpec::to(SimTime::from_secs(1)));
         e.multicast_from(n0, chan, Msg::Data(0), 1000);
-        e.run_until(SimTime::from_secs(20));
+        e.advance(RunSpec::to(SimTime::from_secs(20)));
         assert_eq!(e.agent::<Sniffer>(n2).unwrap().heard.len(), 1);
         e.multicast_from(n0, chan, Msg::Data(1), 1000);
-        e.run();
+        e.advance(RunSpec::drain());
         // The swapped-in always-lose model drops everything on that link.
         assert_eq!(e.agent::<Sniffer>(n2).unwrap().heard.len(), 1);
         assert_eq!(e.recorder().drops.len(), 1);
@@ -1385,12 +1574,12 @@ mod tests {
         let chan = e.add_channel(&[n0, n1, n2]);
         e.set_agent(n0, Box::new(Burst { chan, count: 1 }));
         e.set_agent(n2, Box::new(Sniffer::default()));
-        e.run();
+        e.advance(RunSpec::drain());
         // Last event is the delivery at n2: 10ms tx + 10ms latency per hop.
         assert_eq!(e.now(), SimTime::from_millis(40));
         // The engine must remain usable: schedule more work and run again.
         e.multicast_from(n0, chan, Msg::Data(99), 1000);
-        let processed = e.run();
+        let processed = e.advance(RunSpec::drain());
         assert!(processed > 0);
         assert_eq!(e.now(), SimTime::from_millis(80));
         let heard = &e.agent::<Sniffer>(n2).unwrap().heard;
@@ -1433,7 +1622,7 @@ mod tests {
                 rounds: 1000,
             }),
         );
-        e.run();
+        e.advance(RunSpec::drain());
         assert_eq!(e.pending_timer_count(), 0);
         assert_eq!(e.cancelled_timer_count(), 0, "cancelled set must not leak");
     }
@@ -1454,7 +1643,7 @@ mod tests {
         let (t, [n0, ..]) = chain3(0.0);
         let mut e: Engine<Msg> = Engine::new(t, 1);
         e.set_agent(n0, Box::new(SetAndCancel));
-        e.run();
+        e.advance(RunSpec::drain());
         // Once the cancelled deadline is processed, both sets are empty.
         assert_eq!(e.pending_timer_count(), 0);
         assert_eq!(e.cancelled_timer_count(), 0);
@@ -1480,7 +1669,7 @@ mod tests {
                 );
             }
             let mut e = b.build();
-            e.run_until(SimTime::from_secs(100));
+            e.advance(RunSpec::to(SimTime::from_secs(100)));
             (
                 e.agent::<Sniffer>(n2).unwrap().heard.clone(),
                 e.cached_spt_count(),
@@ -1514,7 +1703,7 @@ mod tests {
         b.audit_streaming(AuditConfig::default());
         b.add_agent(n0, Box::new(CloseProbe));
         let mut e = b.build();
-        e.run();
+        e.advance(RunSpec::drain());
         assert!(e.probe_records().is_empty(), "no O(events) record log");
         let report = e.audit_report().expect("auditor attached");
         assert_eq!(report.events, 1, "the probe still reached the auditor");
@@ -1561,14 +1750,14 @@ mod tests {
             b.build()
         };
         let mut full = build();
-        full.run();
+        full.advance(RunSpec::drain());
         // 105ms falls between events (everything lands on 10ms ticks).
         let mid = SimTime::from_millis(105);
 
         let mut halved = build();
-        halved.run_until(mid);
+        halved.advance(RunSpec::to(mid));
         halved.recorder_mut().clear();
-        halved.run();
+        halved.advance(RunSpec::drain());
 
         let f = full.recorder();
         let h = halved.recorder();
@@ -1581,5 +1770,34 @@ mod tests {
             h.total_delivered(TrafficClass::Data),
             tail(&f.deliveries, mid, |r| r.time).len()
         );
+    }
+
+    /// Pins the one-PR deprecation shims: `run_until`/`run` must behave
+    /// exactly like serial `advance` until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_shims_match_advance() {
+        let build = || {
+            let (t, [n0, n1, n2]) = chain3(0.3);
+            let mut e: Engine<Msg> = Engine::new(t, 11);
+            let chan = e.add_channel(&[n0, n1, n2]);
+            e.set_agent(n0, Box::new(Burst { chan, count: 8 }));
+            e.set_agent(n2, Box::new(Sniffer::default()));
+            e
+        };
+        let mid = SimTime::from_millis(25);
+
+        let mut old = build();
+        let old_head = old.run_until(mid);
+        let old_tail = old.run();
+
+        let mut new = build();
+        let new_head = new.advance(RunSpec::to(mid));
+        let new_tail = new.advance(RunSpec::drain());
+
+        assert_eq!((old_head, old_tail), (new_head, new_tail));
+        assert_eq!(old.now(), new.now());
+        assert_eq!(old.recorder().deliveries, new.recorder().deliveries);
+        assert_eq!(old.recorder().drops, new.recorder().drops);
     }
 }

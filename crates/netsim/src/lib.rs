@@ -72,7 +72,7 @@
 //! builder.add_agent(a, Box::new(Sender { chan }));
 //! builder.add_agent(b, Box::new(Sink { got: 0 }));
 //! let mut engine = builder.build();
-//! engine.run_until(SimTime::from_secs(1));
+//! engine.advance(RunSpec::to(SimTime::from_secs(1)));
 //! assert_eq!(engine.recorder().deliveries.len(), 1);
 //! ```
 
@@ -94,6 +94,7 @@ pub mod queue;
 pub mod rng;
 pub mod routing;
 pub mod runner;
+pub mod shard;
 pub mod time;
 pub mod trace;
 
@@ -111,6 +112,7 @@ pub mod prelude {
         ZcrAction,
     };
     pub use crate::rng::SimRng;
+    pub use crate::shard::{RunSpec, ShardPlan};
     pub use crate::time::{SimDuration, SimTime};
 }
 

@@ -25,6 +25,7 @@
 
 use crate::channel::ChannelId;
 use crate::graph::NodeId;
+use crate::queue::EventKey;
 use crate::time::{SimDuration, SimTime};
 
 /// Coarse protocol-independent classification of a packet.
@@ -148,6 +149,24 @@ impl Tally {
         self.packets += 1;
         self.bytes += bytes as u64;
     }
+
+    fn absorb(&mut self, other: Tally) {
+        self.packets += other.packets;
+        self.bytes += other.bytes;
+    }
+}
+
+/// Per-record [`EventKey`] tags, kept only by per-shard recorders in
+/// [`RecorderMode::Raw`].  Each raw vector gets a parallel tag vector
+/// stamping which engine event produced the record, so shard outputs can
+/// be k-way merged back into the exact serial timeline regardless of
+/// shard completion order (see `shard.rs`).
+#[derive(Debug, Default)]
+struct RecorderTags {
+    current: EventKey,
+    deliveries: Vec<EventKey>,
+    transmissions: Vec<EventKey>,
+    drops: Vec<EventKey>,
 }
 
 /// Per-node aggregate state: totals per class, and (streaming mode only)
@@ -179,6 +198,9 @@ pub struct Recorder {
     /// Session-global time bins, maintained in [`RecorderMode::Aggregate`].
     delivered_bins_total: [Vec<Tally>; CLASS_COUNT],
     sent_bins_total: [Vec<Tally>; CLASS_COUNT],
+    /// Event-key tags parallel to the raw vectors; `Some` only on
+    /// per-shard recorders (see [`Recorder::enable_tagging`]).
+    tags: Option<Box<RecorderTags>>,
 }
 
 impl Default for Recorder {
@@ -196,6 +218,7 @@ impl Default for Recorder {
             drop_total: [0; CLASS_COUNT],
             delivered_bins_total: Default::default(),
             sent_bins_total: Default::default(),
+            tags: None,
         }
     }
 }
@@ -248,6 +271,27 @@ impl Recorder {
         self.bin_width = width;
     }
 
+    /// Starts stamping every raw record with the [`EventKey`] set by
+    /// [`Recorder::set_tag`].  Only meaningful in [`RecorderMode::Raw`];
+    /// the sharded driver enables this on per-shard recorders so
+    /// [`Recorder::merge_raw_parts`] can reconstruct the serial timeline.
+    pub(crate) fn enable_tagging(&mut self) {
+        assert!(
+            self.is_empty(),
+            "tagging must be enabled before any event is recorded"
+        );
+        self.tags = Some(Box::default());
+    }
+
+    /// Sets the event key stamped onto subsequently recorded raw events.
+    /// No-op when tagging is disabled.
+    #[inline]
+    pub(crate) fn set_tag(&mut self, key: EventKey) {
+        if let Some(tags) = &mut self.tags {
+            tags.current = key;
+        }
+    }
+
     fn is_empty(&self) -> bool {
         self.nodes.is_empty()
             && self.deliveries.is_empty()
@@ -292,6 +336,9 @@ impl Recorder {
             }
             RecorderMode::Raw => {
                 self.node_mut(r.node).delivered[r.class.index()].add(r.bytes);
+                if let Some(tags) = &mut self.tags {
+                    tags.deliveries.push(tags.current);
+                }
                 self.deliveries.push(r);
             }
         }
@@ -320,6 +367,9 @@ impl Recorder {
             }
             RecorderMode::Raw => {
                 self.node_mut(r.node).sent[r.class.index()].add(r.bytes);
+                if let Some(tags) = &mut self.tags {
+                    tags.transmissions.push(tags.current);
+                }
                 self.transmissions.push(r);
             }
         }
@@ -329,6 +379,9 @@ impl Recorder {
     pub fn record_drop(&mut self, d: DropRecord) {
         self.drop_total[d.class.index()] += 1;
         if self.mode == RecorderMode::Raw {
+            if let Some(tags) = &mut self.tags {
+                tags.drops.push(tags.current);
+            }
             self.drops.push(d);
         }
     }
@@ -339,6 +392,11 @@ impl Recorder {
         self.deliveries.clear();
         self.transmissions.clear();
         self.drops.clear();
+        if let Some(tags) = &mut self.tags {
+            tags.deliveries.clear();
+            tags.transmissions.clear();
+            tags.drops.clear();
+        }
         self.nodes.clear();
         self.delivered_total = [Tally::default(); CLASS_COUNT];
         self.sent_total = [Tally::default(); CLASS_COUNT];
@@ -439,6 +497,98 @@ impl Recorder {
                 * tally;
         }
         total
+    }
+
+    /// Sums another recorder's aggregate tables into this one: global
+    /// per-class totals, drop counts, global bins, and (when present)
+    /// per-node stats and bins.  Used to reassemble
+    /// [`RecorderMode::Streaming`] / [`RecorderMode::Aggregate`] shard
+    /// recorders, whose tables are commutative sums — per-node rows are
+    /// node-disjoint across shards, so ordering cannot matter.
+    pub(crate) fn absorb_totals(&mut self, other: &Recorder) {
+        debug_assert_eq!(self.mode, other.mode, "shard recorders share one mode");
+        debug_assert_eq!(self.bin_width, other.bin_width);
+        for c in 0..CLASS_COUNT {
+            self.delivered_total[c].absorb(other.delivered_total[c]);
+            self.sent_total[c].absorb(other.sent_total[c]);
+            self.drop_total[c] += other.drop_total[c];
+            absorb_bins(
+                &mut self.delivered_bins_total[c],
+                &other.delivered_bins_total[c],
+            );
+            absorb_bins(&mut self.sent_bins_total[c], &other.sent_bins_total[c]);
+        }
+        if self.nodes.len() < other.nodes.len() {
+            self.nodes
+                .resize_with(other.nodes.len(), NodeStats::default);
+        }
+        for (mine, theirs) in self.nodes.iter_mut().zip(&other.nodes) {
+            for c in 0..CLASS_COUNT {
+                mine.delivered[c].absorb(theirs.delivered[c]);
+                mine.sent[c].absorb(theirs.sent[c]);
+                absorb_bins(&mut mine.delivered_bins[c], &theirs.delivered_bins[c]);
+                absorb_bins(&mut mine.sent_bins[c], &theirs.sent_bins[c]);
+            }
+        }
+    }
+
+    /// Reassembles tagged [`RecorderMode::Raw`] shard recorders into this
+    /// recorder, replaying every record in global [`EventKey`] order so the
+    /// result is bit-identical to the serial run's recorder: raw vectors in
+    /// serial order, totals and per-node tables rebuilt by the same
+    /// `record_*` paths.  Records the target already holds (from earlier
+    /// `advance` calls or external sends) stay in place; the merged batch
+    /// appends after them, matching the serial timeline because a sharded
+    /// window's events all postdate anything recorded before it.
+    ///
+    /// Each engine event is processed by exactly one shard, so no key
+    /// appears in two parts; a stable sort keeps same-key records (several
+    /// records from one event) in their original within-shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a part is untagged.
+    pub(crate) fn merge_raw_parts(&mut self, parts: Vec<Recorder>) {
+        assert_eq!(self.mode, RecorderMode::Raw);
+        let mut deliveries: Vec<(EventKey, Record)> = Vec::new();
+        let mut transmissions: Vec<(EventKey, Record)> = Vec::new();
+        let mut drops: Vec<(EventKey, DropRecord)> = Vec::new();
+        for mut part in parts {
+            let tags = *part.tags.take().expect("shard recorder parts are tagged");
+            assert_eq!(tags.deliveries.len(), part.deliveries.len());
+            assert_eq!(tags.transmissions.len(), part.transmissions.len());
+            assert_eq!(tags.drops.len(), part.drops.len());
+            deliveries.extend(tags.deliveries.into_iter().zip(part.deliveries.drain(..)));
+            transmissions.extend(
+                tags.transmissions
+                    .into_iter()
+                    .zip(part.transmissions.drain(..)),
+            );
+            drops.extend(tags.drops.into_iter().zip(part.drops.drain(..)));
+        }
+        // Stable: same-key runs (all from one shard) keep their order.
+        deliveries.sort_by_key(|(k, _)| *k);
+        transmissions.sort_by_key(|(k, _)| *k);
+        drops.sort_by_key(|(k, _)| *k);
+        for (_, r) in deliveries {
+            self.record_delivery(r);
+        }
+        for (_, r) in transmissions {
+            self.record_transmission(r);
+        }
+        for (_, d) in drops {
+            self.record_drop(d);
+        }
+    }
+}
+
+/// Elementwise `Tally` sum, growing `dst` to cover `src`.
+fn absorb_bins(dst: &mut Vec<Tally>, src: &[Tally]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), Tally::default());
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.absorb(*s);
     }
 }
 
@@ -641,5 +791,114 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(TrafficClass::Repair.label(), "repair");
         assert_eq!(TrafficClass::Session.label(), "session");
+    }
+
+    fn key(time_ms: u64, origin: u32, oseq: u64) -> EventKey {
+        EventKey {
+            time: SimTime::from_millis(time_ms),
+            push_time: SimTime::ZERO,
+            origin,
+            oseq,
+        }
+    }
+
+    #[test]
+    fn merge_raw_parts_rebuilds_serial_order_regardless_of_part_order() {
+        // Serial reference: events at keys k1 < k2 < k3, each producing
+        // one record.
+        let mut serial = Recorder::default();
+        serial.record_delivery(rec_at(10, 1, TrafficClass::Data));
+        serial.record_transmission(rec_at(15, 2, TrafficClass::Repair));
+        serial.record_delivery(rec_at(20, 3, TrafficClass::Data));
+
+        let build_parts = || {
+            let mut a = Recorder::default();
+            a.enable_tagging();
+            a.set_tag(key(10, 1, 0));
+            a.record_delivery(rec_at(10, 1, TrafficClass::Data));
+            let mut b = Recorder::default();
+            b.enable_tagging();
+            b.set_tag(key(15, 2, 0));
+            b.record_transmission(rec_at(15, 2, TrafficClass::Repair));
+            b.set_tag(key(20, 2, 1));
+            b.record_delivery(rec_at(20, 3, TrafficClass::Data));
+            (a, b)
+        };
+
+        for swap in [false, true] {
+            let (a, b) = build_parts();
+            let parts = if swap { vec![b, a] } else { vec![a, b] };
+            let mut merged = Recorder::default();
+            merged.merge_raw_parts(parts);
+            assert_eq!(merged.deliveries, serial.deliveries);
+            assert_eq!(merged.transmissions, serial.transmissions);
+            assert_eq!(
+                merged.delivered_count(NodeId(1), TrafficClass::Data),
+                serial.delivered_count(NodeId(1), TrafficClass::Data)
+            );
+            assert_eq!(
+                merged.total_sent(TrafficClass::Repair),
+                serial.total_sent(TrafficClass::Repair)
+            );
+        }
+    }
+
+    #[test]
+    fn merge_raw_parts_keeps_same_event_records_in_shard_order() {
+        // One event emits two transmissions; they share a tag and must
+        // stay in emission order after the stable merge.
+        let mut part = Recorder::default();
+        part.enable_tagging();
+        part.set_tag(key(5, 3, 7));
+        part.record_transmission(rec_at(5, 3, TrafficClass::Data));
+        part.record_transmission(rec_at(5, 3, TrafficClass::Repair));
+        let mut merged = Recorder::default();
+        merged.merge_raw_parts(vec![part]);
+        assert_eq!(merged.transmissions[0].class, TrafficClass::Data);
+        assert_eq!(merged.transmissions[1].class, TrafficClass::Repair);
+    }
+
+    #[test]
+    fn absorb_totals_sums_streaming_tables() {
+        let mut a = Recorder::new(RecorderMode::Streaming);
+        a.record_delivery(rec_at(10, 1, TrafficClass::Data));
+        a.record_drop(DropRecord {
+            time: SimTime::from_millis(5),
+            from: NodeId(0),
+            to: NodeId(1),
+            class: TrafficClass::Data,
+        });
+        let mut b = Recorder::new(RecorderMode::Streaming);
+        b.record_delivery(rec_at(350, 2, TrafficClass::Data));
+        b.record_transmission(rec_at(120, 2, TrafficClass::Nack));
+
+        let mut merged = Recorder::new(RecorderMode::Streaming);
+        merged.absorb_totals(&a);
+        merged.absorb_totals(&b);
+        assert_eq!(merged.total_delivered(TrafficClass::Data), 2);
+        assert_eq!(merged.total_dropped(TrafficClass::Data), 1);
+        assert_eq!(merged.total_sent(TrafficClass::Nack), 1);
+        assert_eq!(merged.delivered_count(NodeId(1), TrafficClass::Data), 1);
+        assert_eq!(merged.delivered_count(NodeId(2), TrafficClass::Data), 1);
+        let bins = merged.delivered_bins(NodeId(2), TrafficClass::Data);
+        assert_eq!(bins.len(), 4);
+        assert_eq!(bins[3].packets, 1);
+    }
+
+    #[test]
+    fn absorb_totals_sums_aggregate_bins() {
+        let mut a = Recorder::new(RecorderMode::Aggregate);
+        a.record_delivery(rec_at(10, 1, TrafficClass::Data));
+        let mut b = Recorder::new(RecorderMode::Aggregate);
+        b.record_delivery(rec_at(50, 2, TrafficClass::Data));
+        b.record_delivery(rec_at(350, 3, TrafficClass::Data));
+        let mut merged = Recorder::new(RecorderMode::Aggregate);
+        merged.absorb_totals(&a);
+        merged.absorb_totals(&b);
+        let bins = merged.total_delivered_bins(TrafficClass::Data);
+        assert_eq!(bins.len(), 4);
+        assert_eq!(bins[0].packets, 2);
+        assert_eq!(bins[3].packets, 1);
+        assert_eq!(merged.node_count(), 0);
     }
 }

@@ -597,6 +597,10 @@ pub struct ProbeSink {
     keep: bool,
     records: Vec<ProbeRecord>,
     auditor: Option<Auditor>,
+    /// Event-key tags parallel to `records`; `Some` only on per-shard
+    /// sinks (see [`ProbeSink::shard_sink`]).
+    tags: Option<Vec<crate::queue::EventKey>>,
+    current_tag: crate::queue::EventKey,
 }
 
 impl ProbeSink {
@@ -631,6 +635,54 @@ impl ProbeSink {
             return;
         }
         let r = ProbeRecord { time, node, event };
+        if let Some(a) = &mut self.auditor {
+            a.ingest(&r);
+        }
+        if self.keep {
+            if let Some(tags) = &mut self.tags {
+                tags.push(self.current_tag);
+            }
+            self.records.push(r);
+        }
+    }
+
+    /// A per-shard sink derived from this (master) sink: disabled when
+    /// the master observes nothing; otherwise it records every emission
+    /// with an [`crate::queue::EventKey`] tag and defers auditing to the
+    /// master, which ingests the merged stream in global key order (the
+    /// auditor is order-sensitive, so shards must not feed it locally).
+    pub(crate) fn shard_sink(&self) -> ProbeSink {
+        if !self.enabled() {
+            return ProbeSink::default();
+        }
+        ProbeSink {
+            keep: true,
+            tags: Some(Vec::new()),
+            ..ProbeSink::default()
+        }
+    }
+
+    /// Sets the event key stamped onto subsequent emissions.  No-op on
+    /// untagged sinks.
+    #[inline]
+    pub(crate) fn set_tag(&mut self, key: crate::queue::EventKey) {
+        if self.tags.is_some() {
+            self.current_tag = key;
+        }
+    }
+
+    /// Drains everything recorded since the last drain, paired with its
+    /// tag.  Only meaningful on tagged shard sinks.
+    pub(crate) fn drain_tagged(&mut self) -> Vec<(crate::queue::EventKey, ProbeRecord)> {
+        let tags = self.tags.as_mut().map(std::mem::take).unwrap_or_default();
+        debug_assert_eq!(tags.len(), self.records.len());
+        tags.into_iter().zip(self.records.drain(..)).collect()
+    }
+
+    /// Ingests one record of the globally merged shard stream: feeds the
+    /// auditor (in-order, as it requires) and stores the record iff this
+    /// master sink is keeping records.
+    pub(crate) fn ingest_merged(&mut self, r: ProbeRecord) {
         if let Some(a) = &mut self.auditor {
             a.ingest(&r);
         }

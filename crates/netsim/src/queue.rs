@@ -4,37 +4,69 @@
 //! events, so the queue's memory behaviour is a first-order performance
 //! concern.  This queue separates *ordering* from *storage*:
 //!
-//! * the binary min-heap holds only small `Copy` keys — `(time, seq, slot)`,
-//!   24 bytes — so every sift moves three words instead of a whole event
-//!   payload;
+//! * the binary min-heap holds only small `Copy` keys — an [`EventKey`]
+//!   plus the slab slot — so every sift moves a few words instead of a
+//!   whole event payload;
 //! * event payloads live in a slab (`Vec<Option<T>>`) addressed by the
 //!   key's slot index, with a free list recycling slots, so steady-state
 //!   scheduling touches no allocator at all once the simulation's
 //!   high-water mark is reached.
 //!
-//! Ordering is the lexicographic minimum of `(time, seq)` where `seq` is a
-//! monotonically increasing push counter: events at the same timestamp pop
-//! in insertion (FIFO) order.  This is exactly the tie-breaking contract of
-//! the `BinaryHeap<QItem>` it replaced (reverse-ordered on `(time, seq)`),
-//! so event order — and therefore every seeded reference number — is
-//! bit-identical across the swap.  A property test in
-//! `tests/proptests.rs` pins the equivalence against a `BinaryHeap` model
-//! over random push/pop/cancel interleavings.
+//! Ordering is the lexicographic minimum of an [`EventKey`] — `(time,
+//! push_time, origin, oseq)`.  The legacy [`EventQueue::push`] entry point
+//! assigns keys from a monotone per-queue counter, which reproduces the
+//! old global-FIFO tie-break exactly: events at the same timestamp pop in
+//! insertion order.  A property test in `tests/proptests.rs` pins that
+//! equivalence against a `BinaryHeap` model over random push/pop
+//! interleavings.
+//!
+//! The richer keyed entry points ([`EventQueue::push_keyed`],
+//! [`EventQueue::pop_keyed`]) exist for the sharded engine: a key that is
+//! a pure function of *which node pushed the event and when* (rather than
+//! a global push counter) totally orders events the same way no matter
+//! which shard queue they pass through, so per-shard runs merge
+//! bit-identically into the serial schedule (see `shard.rs`).
 
 use crate::time::SimTime;
+
+/// Total event order for deterministic scheduling, shard-invariant.
+///
+/// Lexicographic: `(time, push_time, origin, oseq)`.
+///
+/// * `time` — when the event fires;
+/// * `push_time` — the simulation instant it was scheduled;
+/// * `origin` — 0 for events scheduled outside any node's event
+///   processing (agent attachment, fault plans), `node + 1` for events a
+///   node scheduled while being processed (timers, forwarded arrivals);
+/// * `oseq` — a per-origin monotone sequence number.
+///
+/// Because an origin's pushes are sequential, `(origin, oseq)` is unique,
+/// and because the tuple depends only on simulation-visible history (not
+/// on which queue or thread carried the event), the order is identical
+/// at any shard count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EventKey {
+    /// When the event fires.
+    pub time: SimTime,
+    /// When the event was scheduled.
+    pub push_time: SimTime,
+    /// Scheduling origin: 0 = external/build, `n + 1` = node `n`.
+    pub origin: u32,
+    /// Per-origin monotone sequence number.
+    pub oseq: u64,
+}
 
 /// Heap entry: the ordering key plus the slab slot holding the payload.
 #[derive(Clone, Copy, Debug)]
 struct Key {
-    time: SimTime,
-    seq: u64,
+    key: EventKey,
     slot: u32,
 }
 
 impl Key {
     #[inline]
-    fn rank(&self) -> (SimTime, u64) {
-        (self.time, self.seq)
+    fn rank(&self) -> EventKey {
+        self.key
     }
 }
 
@@ -85,10 +117,27 @@ impl<T> EventQueue<T> {
     }
 
     /// Schedules `item` at `time` and returns its insertion sequence
-    /// number.  Events pushed at the same `time` pop in push order.
+    /// number.  Events pushed at the same `time` pop in push order (the
+    /// key is derived from a per-queue monotone counter).
     pub fn push(&mut self, time: SimTime, item: T) -> u64 {
         let seq = self.seq;
         self.seq += 1;
+        self.push_keyed(
+            EventKey {
+                time,
+                push_time: SimTime::ZERO,
+                origin: 0,
+                oseq: seq,
+            },
+            item,
+        );
+        seq
+    }
+
+    /// Schedules `item` under an explicit ordering key.  Keys must be
+    /// unique per queue lifetime (the engine guarantees this via per-origin
+    /// sequence numbers).
+    pub fn push_keyed(&mut self, key: EventKey, item: T) {
         let slot = match self.free.pop() {
             Some(s) => {
                 debug_assert!(self.slots[s as usize].is_none());
@@ -101,18 +150,27 @@ impl<T> EventQueue<T> {
                 s
             }
         };
-        self.heap.push(Key { time, seq, slot });
+        self.heap.push(Key { key, slot });
         self.sift_up(self.heap.len() - 1);
-        seq
     }
 
     /// Timestamp of the earliest event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.first().map(|k| k.time)
+        self.heap.first().map(|k| k.key.time)
+    }
+
+    /// Full ordering key of the earliest event, if any.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.first().map(|k| k.key)
     }
 
     /// Removes and returns the earliest event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.pop_keyed().map(|(k, item)| (k.time, item))
+    }
+
+    /// Removes and returns the earliest event with its full key.
+    pub fn pop_keyed(&mut self) -> Option<(EventKey, T)> {
         let top = *self.heap.first()?;
         let last = self.heap.pop().expect("non-empty");
         if !self.heap.is_empty() {
@@ -123,7 +181,7 @@ impl<T> EventQueue<T> {
             .take()
             .expect("heap key points at a filled slot");
         self.free.push(top.slot);
-        Some((top.time, item))
+        Some((top.key, item))
     }
 
     fn sift_up(&mut self, mut i: usize) {
@@ -224,6 +282,48 @@ mod tests {
         assert_eq!(q.slot_capacity(), 8);
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn keyed_pushes_order_by_full_key_not_insertion() {
+        let key = |time_ms: u64, push_ms: u64, origin: u32, oseq: u64| EventKey {
+            time: t(time_ms),
+            push_time: t(push_ms),
+            origin,
+            oseq,
+        };
+        let mut q = EventQueue::new();
+        // Same fire time, inserted out of key order: pops sort by
+        // (push_time, origin, oseq), not insertion order.
+        q.push_keyed(key(5, 2, 3, 0), "late-push");
+        q.push_keyed(key(5, 1, 7, 9), "early-push");
+        q.push_keyed(key(5, 2, 1, 4), "low-origin");
+        q.push_keyed(key(4, 3, 9, 9), "earlier-time");
+        assert_eq!(q.peek_key(), Some(key(4, 3, 9, 9)));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop_keyed().map(|(_, v)| v)).collect();
+        assert_eq!(
+            order,
+            vec!["earlier-time", "early-push", "low-origin", "late-push"]
+        );
+    }
+
+    #[test]
+    fn legacy_and_keyed_pushes_share_one_heap() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 1u32);
+        q.push_keyed(
+            EventKey {
+                time: t(10),
+                push_time: t(2),
+                origin: 4,
+                oseq: 0,
+            },
+            2,
+        );
+        // Legacy keys carry push_time ZERO, so they sort ahead of any
+        // runtime-keyed event at the same fire time.
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(10), 2)));
     }
 
     #[test]

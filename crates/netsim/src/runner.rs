@@ -383,6 +383,7 @@ mod tests {
         use crate::engine::Engine;
         use crate::graph::{LinkParams, TopologyBuilder};
         use crate::packet::Classify;
+        use crate::shard::RunSpec;
         use crate::time::SimDuration;
 
         #[derive(Clone)]
@@ -408,7 +409,7 @@ mod tests {
             for _ in 0..64 {
                 e.multicast_from(n0, chan, P, 100);
             }
-            e.run();
+            e.advance(RunSpec::drain());
             e.recorder()
                 .delivered_count(n1, crate::metrics::TrafficClass::Data)
         });
@@ -429,7 +430,7 @@ mod tests {
             for _ in 0..64 {
                 e.multicast_from(n0, chan, P, 100);
             }
-            e.run();
+            e.advance(RunSpec::drain());
             e.recorder()
                 .delivered_count(n1, crate::metrics::TrafficClass::Data)
         });

@@ -40,6 +40,23 @@ fn random_topo() -> impl Strategy<Value = RandomTopo> {
     })
 }
 
+/// A random tree only (no extra edges): exactly the shape
+/// `ShardPlan::by_subtrees` partitions, so sharded runs actually shard.
+fn random_tree_topo() -> impl Strategy<Value = RandomTopo> {
+    (4usize..12).prop_flat_map(|n| {
+        let tree = proptest::collection::vec(1u64..50, n - 1);
+        let parents: Vec<_> = (1..n).map(|i| 0..i).collect();
+        (tree, parents).prop_map(move |(lats, parents)| {
+            let edges = parents
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| (p, i + 1, lats[i]))
+                .collect();
+            RandomTopo { n, edges }
+        })
+    })
+}
+
 fn build(t: &RandomTopo) -> Topology {
     let mut b = TopologyBuilder::new();
     let ids = b.add_nodes("n", t.n);
@@ -104,6 +121,67 @@ impl Agent<Ping> for Once {
         ctx.multicast(self.chan, Ping, 100);
     }
     fn on_packet(&mut self, _: &mut Ctx<'_, Ping>, _: &Packet<Ping>) {}
+}
+
+/// Two-class traffic for the shard-equivalence test: ticks fan out from
+/// the root, echoes fan back in.  Echoes are never themselves echoed, so
+/// traffic is bounded.
+#[derive(Clone, Debug)]
+enum Beat {
+    Tick(u32),
+    Echo,
+}
+impl Classify for Beat {
+    fn class(&self) -> TrafficClass {
+        match self {
+            Beat::Tick(_) => TrafficClass::Data,
+            Beat::Echo => TrafficClass::Nack,
+        }
+    }
+}
+
+/// Root source: one tick every 7 ms, `left` in total.
+struct Metronome {
+    chan: ChannelId,
+    next: u32,
+    left: u32,
+}
+impl Agent<Beat> for Metronome {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Beat>) {
+        ctx.set_timer(SimDuration::from_millis(1), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Beat>, _token: u64) {
+        ctx.multicast(self.chan, Beat::Tick(self.next), 200);
+        self.next += 1;
+        self.left -= 1;
+        if self.left > 0 {
+            ctx.set_timer(SimDuration::from_millis(7), 0);
+        }
+    }
+    fn on_packet(&mut self, _: &mut Ctx<'_, Beat>, _: &Packet<Beat>) {}
+}
+
+/// Receiver: echoes each tick with probability ½ after an RNG-jittered
+/// back-off — exercises per-agent RNG streams, timers, and cross-shard
+/// traffic in both directions.
+struct EchoBack {
+    chan: ChannelId,
+}
+impl Agent<Beat> for EchoBack {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Beat>, pkt: &Packet<Beat>) {
+        if let Beat::Tick(seq) = pkt.payload {
+            if ctx.rng().next_f64() < 0.5 {
+                let jitter = (ctx.rng().next_f64() * 5e6) as u64;
+                ctx.set_timer(
+                    SimDuration(SimDuration::from_millis(2).0 + jitter),
+                    u64::from(seq),
+                );
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Beat>, _token: u64) {
+        ctx.multicast(self.chan, Beat::Echo, 60);
+    }
 }
 
 proptest! {
@@ -204,7 +282,7 @@ proptest! {
         let chan = builder.add_channel(&members);
         builder.add_agent(members[0], Box::new(Once { chan }));
         let mut engine = builder.build();
-        engine.run();
+        engine.advance(RunSpec::drain());
         let rec = engine.recorder();
         for &m in &members[1..] {
             let hits: Vec<_> = rec
@@ -237,7 +315,7 @@ proptest! {
         let chan = builder.add_channel(&members);
         builder.add_agent(members[0], Box::new(Once { chan }));
         let mut engine = builder.build();
-        engine.run();
+        engine.advance(RunSpec::drain());
         for d in &engine.recorder().deliveries {
             prop_assert!(
                 members.contains(&d.node),
@@ -265,7 +343,7 @@ proptest! {
             let chan = builder.add_channel(&ids);
             builder.add_agent(ids[0], Box::new(Once { chan }));
             let mut engine = builder.build();
-            engine.run();
+            engine.advance(RunSpec::drain());
             engine
                 .recorder()
                 .deliveries
@@ -303,7 +381,7 @@ proptest! {
             let chan = builder.add_channel(&ids);
             builder.add_agent(ids[0], Box::new(Once { chan }));
             let mut engine = builder.build();
-            engine.run();
+            engine.advance(RunSpec::drain());
             engine
                 .recorder()
                 .deliveries
@@ -410,6 +488,77 @@ proptest! {
         }
     }
 
+    /// The sharded engine is bit-identical to serial on random small
+    /// trees, at shard counts 1/2/4, under random fault plans: same
+    /// processed-event count, same recorder logs (deliveries,
+    /// transmissions, drops), same final clock.  The drain also doubles
+    /// as a deadlock-freedom check — a stuck barrier would hang the test.
+    #[test]
+    fn sharded_runs_match_serial_on_random_trees(
+        t in random_tree_topo(),
+        seed in any::<u64>(),
+        flap_pick in any::<u16>(),
+        crash_pick in any::<u16>(),
+        do_flap in any::<bool>(),
+        do_crash in any::<bool>(),
+    ) {
+        use sharqfec_netsim::faults::{FaultEvent, FaultPlan};
+        use sharqfec_netsim::graph::LinkId;
+        use std::sync::Arc;
+
+        let mut fp = FaultPlan::new();
+        if do_flap {
+            let link = LinkId(flap_pick as u32 % (t.n as u32 - 1));
+            fp = fp.link_flap(link, SimTime::from_millis(20), SimTime::from_millis(50));
+        }
+        if do_crash {
+            let node = NodeId(1 + crash_pick as u32 % (t.n as u32 - 1));
+            fp = fp
+                .at(SimTime::from_millis(30), FaultEvent::NodeCrash(node))
+                .at(SimTime::from_millis(70), FaultEvent::NodeRestart(node));
+        }
+
+        let run = |shards: usize| {
+            let mut b = TopologyBuilder::new();
+            let ids = b.add_nodes("n", t.n);
+            for &(a, bb, w) in &t.edges {
+                b.add_link(
+                    ids[a],
+                    ids[bb],
+                    LinkParams::new(SimDuration::from_millis(w), 500_000, 0.25),
+                );
+            }
+            let topo = b.build();
+            let plan = Arc::new(ShardPlan::by_subtrees(&topo, ids[0], shards));
+            let mut builder: EngineBuilder<Beat> = EngineBuilder::new(topo, seed);
+            builder.fault_plan(fp.clone());
+            let chan = builder.add_channel(&ids);
+            builder.add_agent(ids[0], Box::new(Metronome { chan, next: 0, left: 5 }));
+            for &r in &ids[1..] {
+                builder.add_agent(r, Box::new(EchoBack { chan }));
+            }
+            let mut engine = builder.build();
+            // A mid-run horizon stop exercises the split/absorb round
+            // trip twice per run.
+            let mut processed =
+                engine.advance(RunSpec::to(SimTime::from_millis(45)).with_plan(plan.clone()));
+            processed += engine.advance(RunSpec::drain().with_plan(plan));
+            let rec = engine.recorder();
+            (
+                processed,
+                engine.now(),
+                rec.deliveries.clone(),
+                rec.transmissions.clone(),
+                rec.drops.clone(),
+            )
+        };
+
+        let serial = run(1);
+        for shards in [2usize, 4] {
+            prop_assert_eq!(&serial, &run(shards), "shards = {}", shards);
+        }
+    }
+
     /// The streaming recorder's O(1) aggregates agree with raw-mode counts
     /// for the same seeded run.
     #[test]
@@ -431,7 +580,7 @@ proptest! {
             let chan = builder.add_channel(&ids);
             builder.add_agent(ids[0], Box::new(Once { chan }));
             let mut engine = builder.build();
-            engine.run();
+            engine.advance(RunSpec::drain());
             let rec = engine.recorder();
             let counts: Vec<usize> = (0..t.n as u32)
                 .map(|n| rec.delivered_count(NodeId(n), TrafficClass::Data))

@@ -11,7 +11,7 @@ use crate::msg::SessionMsg;
 use crate::SessionConfig;
 use sharqfec_netsim::prelude::*;
 use sharqfec_scoping::ZoneId;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Wire payload for session-only simulations.
 #[derive(Clone, Debug)]
@@ -71,7 +71,7 @@ const PROBE_TOKEN_BASE: u64 = 1 << 20;
 pub struct SessionAgent {
     core: SessionCore,
     /// Channel of each zone, indexed by `ZoneId`.
-    channels: Rc<Vec<ChannelId>>,
+    channels: Arc<Vec<ChannelId>>,
     /// Root-zone channel (probes go here).
     root_channel: ChannelId,
     probe_plan: ProbePlan,
@@ -84,7 +84,7 @@ impl SessionAgent {
     /// channel carrying that zone's session traffic.
     pub fn new(
         core: SessionCore,
-        channels: Rc<Vec<ChannelId>>,
+        channels: Arc<Vec<ChannelId>>,
         root_channel: ChannelId,
         probe_plan: ProbePlan,
     ) -> SessionAgent {
@@ -134,7 +134,7 @@ impl SessionCtx for Bridge<'_, '_> {
 impl Agent<SessionWire> for SessionAgent {
     fn state_bytes(&self) -> usize {
         use std::mem::size_of;
-        // The channel table is behind a shared `Rc` (one copy per run).
+        // The channel table is behind a shared `Arc` (one copy per run).
         size_of::<SessionAgent>()
             + self.core.state_bytes()
             + self.probe_plan.times.capacity() * size_of::<SimTime>()
@@ -214,25 +214,25 @@ pub fn setup_session_sim(
     cfg: SessionConfig,
     start_at: SimTime,
     probes: &[(NodeId, ProbePlan)],
-) -> (Engine<SessionWire>, Rc<Vec<ChannelId>>) {
-    let hier = Rc::new(built.hierarchy.clone());
+) -> (Engine<SessionWire>, Arc<Vec<ChannelId>>) {
+    let hier = Arc::new(built.hierarchy.clone());
     let mut builder: EngineBuilder<SessionWire> = EngineBuilder::new(built.topology.clone(), seed);
     let channels: Vec<ChannelId> = hier
         .zones()
         .iter()
         .map(|z| builder.add_channel(&z.members))
         .collect();
-    let channels = Rc::new(channels);
+    let channels = Arc::new(channels);
     let root_channel = channels[ZoneId::ROOT.idx()];
 
     for member in built.members() {
-        let core = SessionCore::new(member, Rc::clone(&hier), cfg.clone(), &seeding);
+        let core = SessionCore::new(member, Arc::clone(&hier), cfg.clone(), &seeding);
         let plan = probes
             .iter()
             .find(|(n, _)| *n == member)
             .map(|(_, p)| p.clone())
             .unwrap_or_default();
-        let agent = SessionAgent::new(core, Rc::clone(&channels), root_channel, plan);
+        let agent = SessionAgent::new(core, Arc::clone(&channels), root_channel, plan);
         builder.add_agent_at(member, Box::new(agent), start_at);
     }
     (builder.build(), channels)
@@ -252,7 +252,7 @@ mod tests {
             SimTime::from_secs(1),
             &[],
         );
-        engine.run_until(SimTime::from_secs(seconds));
+        engine.advance(RunSpec::to(SimTime::from_secs(seconds)));
         engine
     }
 
@@ -327,7 +327,7 @@ mod tests {
             SimTime::from_secs(1),
             &probes,
         );
-        engine.run_until(SimTime::from_secs(21));
+        engine.advance(RunSpec::to(SimTime::from_secs(21)));
 
         let mut with_estimate = 0usize;
         let mut within_few_percent = 0usize;
@@ -395,7 +395,7 @@ mod tests {
             SimTime::from_secs(1),
             &[],
         );
-        engine.run_until(SimTime::from_secs(10));
+        engine.advance(RunSpec::to(SimTime::from_secs(10)));
         let root_chan = channels[0];
         let rec = engine.recorder();
         // Transmissions into the root channel: only the source and the 7

@@ -28,7 +28,7 @@ use sharqfec_netsim::probe::{ProbeEvent, ZcrAction};
 use sharqfec_netsim::{NodeId, SimDuration, SimRng, SimTime};
 use sharqfec_scoping::{ZoneHierarchy, ZoneId};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Top bit marks timer tokens owned by the session layer.
 pub const SESSION_TOKEN_BIT: u64 = 1 << 63;
@@ -134,7 +134,7 @@ struct Pending {
 /// The session state machine for one node.
 pub struct SessionCore {
     node: NodeId,
-    hier: Rc<ZoneHierarchy>,
+    hier: Arc<ZoneHierarchy>,
     cfg: SessionConfig,
     /// Zone chain, smallest zone first, ending at the root.
     chain: Vec<ZoneId>,
@@ -160,7 +160,7 @@ impl SessionCore {
     /// Creates the state machine for `node`.
     pub fn new(
         node: NodeId,
-        hier: Rc<ZoneHierarchy>,
+        hier: Arc<ZoneHierarchy>,
         cfg: SessionConfig,
         seeding: &ZcrSeeding,
     ) -> SessionCore {
@@ -216,7 +216,7 @@ impl SessionCore {
     /// Everything here is bounded by the node's *zone chain* (depth of
     /// the hierarchy) and its *zone sizes*, never by total session
     /// membership — the property the scaling sweep measures.  The shared
-    /// `Rc<ZoneHierarchy>` is deliberately excluded: it is one structure
+    /// `Arc<ZoneHierarchy>` is deliberately excluded: it is one structure
     /// for the whole run, not per-receiver state.
     pub fn state_bytes(&self) -> usize {
         use std::mem::size_of;
@@ -1133,12 +1133,12 @@ mod tests {
     }
 
     /// 3-level hierarchy: Z0 {0..6}, Z1 {1,2,3,4,5,6}, Z2 {3,4,5,6}.
-    fn hier() -> Rc<ZoneHierarchy> {
+    fn hier() -> Arc<ZoneHierarchy> {
         let mut b = sharqfec_scoping::ZoneHierarchyBuilder::new(7);
         let z0 = b.root(&(0..7).map(n).collect::<Vec<_>>());
         let z1 = b.child(z0, &(1..7).map(n).collect::<Vec<_>>()).unwrap();
         b.child(z1, &(3..7).map(n).collect::<Vec<_>>()).unwrap();
-        Rc::new(b.build().unwrap())
+        Arc::new(b.build().unwrap())
     }
 
     fn designed() -> ZcrSeeding {

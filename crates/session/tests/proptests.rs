@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use sharqfec_netsim::routing::DistanceOracle;
-use sharqfec_netsim::{LinkParams, NodeId, SimDuration, SimTime, TopologyBuilder};
+use sharqfec_netsim::{LinkParams, NodeId, RunSpec, SimDuration, SimTime, TopologyBuilder};
 use sharqfec_scoping::ZoneHierarchyBuilder;
 use sharqfec_session::core::ZcrSeeding;
 use sharqfec_session::{setup_session_sim, ProbePlan, SessionAgent, SessionConfig};
@@ -107,7 +107,7 @@ proptest! {
             SimTime::from_secs(1),
             &[],
         );
-        engine.run_until(SimTime::from_secs(10));
+        engine.advance(RunSpec::to(SimTime::from_secs(10)));
         let oracle = DistanceOracle::compute(&built.topology);
         // Check within the left zone: every pair of members.
         let zone = built.hierarchy.zones().iter().find(|z| z.id.0 == 1).unwrap().clone();
@@ -142,7 +142,7 @@ proptest! {
             SimTime::from_secs(1),
             &probes,
         );
-        engine.run_until(SimTime::from_secs(11));
+        engine.advance(RunSpec::to(SimTime::from_secs(11)));
         for &r in &built.receivers {
             if r == prober { continue; }
             let agent = engine.agent::<SessionAgent>(r).expect("agent");

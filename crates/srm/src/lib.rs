@@ -102,6 +102,7 @@ pub fn setup_srm_sim(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sharqfec_netsim::RunSpec;
     use sharqfec_netsim::TrafficClass;
     use sharqfec_topology::{chain, figure10, Figure10Params};
 
@@ -113,7 +114,7 @@ mod tests {
             ..SrmConfig::default()
         };
         let mut engine = setup_srm_sim(&built, 1, cfg, SimTime::from_secs(1));
-        engine.run_until(SimTime::from_secs(40));
+        engine.advance(RunSpec::to(SimTime::from_secs(40)));
         for &r in &built.receivers {
             let agent = engine.agent::<SrmReceiver>(r).unwrap();
             assert!(agent.complete(), "receiver {r} incomplete");
@@ -143,7 +144,7 @@ mod tests {
             ..SrmConfig::default()
         };
         let mut engine = setup_srm_sim(&built, 42, cfg, SimTime::from_secs(1));
-        engine.run_until(SimTime::from_secs(120));
+        engine.advance(RunSpec::to(SimTime::from_secs(120)));
         let mut incomplete = 0;
         for &r in &built.receivers {
             let agent = engine.agent::<SrmReceiver>(r).unwrap();
@@ -180,7 +181,7 @@ mod tests {
                 ..SrmConfig::default()
             };
             let mut engine = setup_srm_sim(&built, 21, cfg, SimTime::from_secs(1));
-            engine.run_until(SimTime::from_secs(150));
+            engine.advance(RunSpec::to(SimTime::from_secs(150)));
             let missing: u32 = built
                 .receivers
                 .iter()
@@ -216,7 +217,7 @@ mod tests {
                 ..SrmConfig::default()
             };
             let mut engine = setup_srm_sim(&built, 3, cfg, SimTime::from_secs(1));
-            engine.run_until(SimTime::from_secs(40));
+            engine.advance(RunSpec::to(SimTime::from_secs(40)));
             let session_tx = engine
                 .recorder()
                 .transmissions
@@ -291,7 +292,7 @@ mod tests {
             );
         }
         let mut engine = builder.build();
-        engine.run_until(SimTime::from_secs(120));
+        engine.advance(RunSpec::to(SimTime::from_secs(120)));
         for &r in &ids[1..] {
             assert!(engine.agent::<SrmReceiver>(r).unwrap().complete());
         }

@@ -33,7 +33,7 @@ pub use random::{random_tree, RandomTreeParams};
 pub use scaled::{scaled_tree, ScaledTopology, ScaledTreeParams};
 pub use simple::{balanced_tree, chain, star};
 
-use sharqfec_netsim::{NodeId, Topology};
+use sharqfec_netsim::{NodeId, ShardPlan, Topology};
 use sharqfec_scoping::{ZoneHierarchy, ZoneId};
 
 /// A topology bundled with everything a protocol run needs.
@@ -64,6 +64,15 @@ impl BuiltTopology {
     /// The by-design ZCR of a zone.
     pub fn zcr(&self, zone: ZoneId) -> NodeId {
         self.designed_zcrs[zone.idx()]
+    }
+
+    /// A deterministic [`ShardPlan`] for the sharded engine: the
+    /// source-rooted subtrees of this (tree) topology are packed into at
+    /// most `shards` shards, so no zone straddles a shard boundary and
+    /// every inter-shard edge is one of the source's uplinks.  Non-tree
+    /// topologies fall back to a single shard (serial execution).
+    pub fn shard_plan(&self, shards: usize) -> ShardPlan {
+        ShardPlan::by_subtrees(&self.topology, self.source, shards)
     }
 }
 

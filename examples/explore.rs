@@ -11,7 +11,7 @@
 //!   seed     : RNG seed                                (default 42)
 
 use sharqfec_repro::netsim::trace::{Timeline, TraceFilter};
-use sharqfec_repro::netsim::{SimDuration, SimTime, TrafficClass};
+use sharqfec_repro::netsim::{RunSpec, SimDuration, SimTime, TrafficClass};
 use sharqfec_repro::protocol::{setup_sharqfec_sim, SfAgent, SharqfecConfig};
 use sharqfec_repro::topology::{
     chain, figure10, national, random_tree, BuiltTopology, Figure10Params, NationalParams,
@@ -54,7 +54,9 @@ fn main() {
     );
 
     let mut engine = setup_sharqfec_sim(&built, seed, cfg, SimTime::from_secs(1));
-    engine.run_until(SimTime::from_secs(6 + packets as u64 / 100 + 60));
+    engine.advance(RunSpec::to(SimTime::from_secs(
+        6 + packets as u64 / 100 + 60,
+    )));
 
     // Summary.
     let missing: u32 = built

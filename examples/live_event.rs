@@ -12,7 +12,7 @@
 //! Run: `cargo run --release --example live_event`
 
 use sharqfec_repro::analysis::national::NationalAnalysis;
-use sharqfec_repro::netsim::SimTime;
+use sharqfec_repro::netsim::{RunSpec, SimTime};
 use sharqfec_repro::protocol::{setup_sharqfec_sim, SfAgent, SharqfecConfig};
 use sharqfec_repro::topology::{national, NationalParams};
 
@@ -38,7 +38,7 @@ fn main() {
         ..SharqfecConfig::full()
     };
     let mut engine = setup_sharqfec_sim(&built, 99, cfg, SimTime::from_secs(1));
-    engine.run_until(SimTime::from_secs(60));
+    engine.advance(RunSpec::to(SimTime::from_secs(60)));
 
     // Reliability.
     let missing: u32 = built

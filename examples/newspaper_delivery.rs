@@ -15,7 +15,7 @@
 //! Run: `cargo run --release --example newspaper_delivery`
 
 use sharqfec_repro::fec::group::{GroupDecoder, GroupEncoder};
-use sharqfec_repro::netsim::SimTime;
+use sharqfec_repro::netsim::{RunSpec, SimTime};
 use sharqfec_repro::protocol::{setup_sharqfec_sim, SfAgent, SharqfecConfig};
 use sharqfec_repro::topology::{figure10, Figure10Params};
 
@@ -50,7 +50,7 @@ fn main() {
     };
     let stream_secs = (total_packets as u64) / 100 + 1;
     let mut engine = setup_sharqfec_sim(&built, 2026, cfg, SimTime::from_secs(1));
-    engine.run_until(SimTime::from_secs(6 + stream_secs + 60));
+    engine.advance(RunSpec::to(SimTime::from_secs(6 + stream_secs + 60)));
 
     // --- reassembly at every receiver -------------------------------------
     let mut reconstructed = 0usize;

@@ -8,7 +8,7 @@
 //! Run: `cargo run --release --example quickstart`
 
 use sharqfec_repro::fec::codec::{DecodeScratch, GroupCodec};
-use sharqfec_repro::netsim::{SimTime, TrafficClass};
+use sharqfec_repro::netsim::{RunSpec, SimTime, TrafficClass};
 use sharqfec_repro::protocol::{setup_sharqfec_sim, SfAgent, SharqfecConfig};
 use sharqfec_repro::topology::{figure10, Figure10Params};
 
@@ -62,7 +62,7 @@ fn protocol_demo() {
         ..SharqfecConfig::full()
     };
     let mut engine = setup_sharqfec_sim(&built, 7, cfg, SimTime::from_secs(1));
-    engine.run_until(SimTime::from_secs(60));
+    engine.advance(RunSpec::to(SimTime::from_secs(60)));
 
     let missing: u32 = built
         .receivers

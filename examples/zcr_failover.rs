@@ -18,7 +18,7 @@ use sharqfec_repro::scoping::ZoneHierarchyBuilder;
 use sharqfec_repro::session::{
     ProbePlan, SessionAgent, SessionConfig, SessionCore, SessionWire, ZcrSeeding,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     // Chain src - r1 - r2 - r3 - r4 plus a slow src - r2 bypass.  r1 is
@@ -45,13 +45,13 @@ fn main() {
     let mut h = ZoneHierarchyBuilder::new(members.len());
     let root = h.root(&members);
     let zone = h.child(root, &receivers).expect("receiver zone nests");
-    let hier = Rc::new(h.build().expect("valid hierarchy"));
+    let hier = Arc::new(h.build().expect("valid hierarchy"));
 
     let down_at = SimTime::from_secs(8);
     let up_at = SimTime::from_secs(30);
     let mut builder: EngineBuilder<SessionWire> = EngineBuilder::new(topo, 5);
     builder.fault_plan(FaultPlan::new().link_flap(flappy, down_at, up_at));
-    let channels: Rc<Vec<ChannelId>> = Rc::new(
+    let channels: Arc<Vec<ChannelId>> = Arc::new(
         hier.zones()
             .iter()
             .map(|z| builder.add_channel(&z.members))
@@ -60,12 +60,17 @@ fn main() {
     let root_channel = channels[root.idx()];
     let seeding = ZcrSeeding::Designed(vec![src, r1]);
     for member in members {
-        let core = SessionCore::new(member, Rc::clone(&hier), SessionConfig::default(), &seeding);
+        let core = SessionCore::new(
+            member,
+            Arc::clone(&hier),
+            SessionConfig::default(),
+            &seeding,
+        );
         builder.add_agent_at(
             member,
             Box::new(SessionAgent::new(
                 core,
-                Rc::clone(&channels),
+                Arc::clone(&channels),
                 root_channel,
                 ProbePlan::default(),
             )),
@@ -82,7 +87,7 @@ fn main() {
             .zcr_of(zone)
     };
 
-    engine.run_until(SimTime::from_secs(7));
+    engine.advance(RunSpec::to(SimTime::from_secs(7)));
     println!(
         "t=7s   (link up): zone members see ZCR = {:?}",
         view(&engine, r2)
@@ -92,7 +97,7 @@ fn main() {
     }
 
     println!("t=8s   link r1-r2 goes down: r1 is cut off from its zone");
-    engine.run_until(SimTime::from_secs(29));
+    engine.advance(RunSpec::to(SimTime::from_secs(29)));
     println!(
         "t=29s  (partitioned): orphaned members see ZCR = {:?}, r1 still sees {:?}",
         view(&engine, r3),
@@ -112,7 +117,7 @@ fn main() {
     );
 
     println!("t=30s  link r1-r2 heals: two sitting ZCRs must reconcile");
-    engine.run_until(SimTime::from_secs(60));
+    engine.advance(RunSpec::to(SimTime::from_secs(60)));
     println!(
         "t=60s  (healed): zone members see ZCR = {:?}",
         view(&engine, r2)

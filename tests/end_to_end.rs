@@ -3,7 +3,7 @@
 //! object-level byte fidelity through the real codec.
 
 use sharqfec_repro::fec::group::{GroupDecoder, GroupEncoder};
-use sharqfec_repro::netsim::{SimTime, TrafficClass};
+use sharqfec_repro::netsim::{RunSpec, SimTime, TrafficClass};
 use sharqfec_repro::protocol::{setup_sharqfec_sim, SfAgent, SharqfecConfig, Variant};
 use sharqfec_repro::topology::{figure10, national, Figure10Params, NationalParams};
 
@@ -33,7 +33,7 @@ fn all_variants_deliver_reliably_on_figure10() {
             ..SharqfecConfig::variant(v)
         };
         let mut engine = setup_sharqfec_sim(&built, 17, cfg, SimTime::from_secs(1));
-        engine.run_until(SimTime::from_secs(120));
+        engine.advance(RunSpec::to(SimTime::from_secs(120)));
         assert_eq!(
             missing_total(&engine, &built),
             0,
@@ -51,7 +51,7 @@ fn national_hierarchy_delivers_reliably() {
         ..SharqfecConfig::full()
     };
     let mut engine = setup_sharqfec_sim(&built, 23, cfg, SimTime::from_secs(1));
-    engine.run_until(SimTime::from_secs(120));
+    engine.advance(RunSpec::to(SimTime::from_secs(120)));
     assert_eq!(missing_total(&engine, &built), 0);
 }
 
@@ -102,7 +102,7 @@ fn object_bytes_survive_the_network() {
         ..SharqfecConfig::full()
     };
     let mut engine = setup_sharqfec_sim(&built, 5, cfg, SimTime::from_secs(1));
-    engine.run_until(SimTime::from_secs(120));
+    engine.advance(RunSpec::to(SimTime::from_secs(120)));
 
     for &r in &built.receivers {
         let agent = engine.agent::<SfAgent>(r).expect("receiver");
@@ -138,7 +138,7 @@ fn runs_are_deterministic_per_seed_and_differ_across_seeds() {
             ..SharqfecConfig::full()
         };
         let mut engine = setup_sharqfec_sim(&built, seed, cfg, SimTime::from_secs(1));
-        engine.run_until(SimTime::from_secs(60));
+        engine.advance(RunSpec::to(SimTime::from_secs(60)));
         let rec = engine.recorder();
         (
             rec.transmissions.len(),
@@ -159,7 +159,7 @@ fn lossless_network_never_nacks_or_repairs_reactively() {
         ..SharqfecConfig::full()
     };
     let mut engine = setup_sharqfec_sim(&built, 3, cfg, SimTime::from_secs(1));
-    engine.run_until(SimTime::from_secs(60));
+    engine.advance(RunSpec::to(SimTime::from_secs(60)));
     assert_eq!(missing_total(&engine, &built), 0);
     let nacks = engine
         .recorder()

@@ -19,7 +19,7 @@ use sharqfec_repro::session::{
 };
 use sharqfec_repro::topology::{figure10, Figure10Params};
 use std::num::NonZeroUsize;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The Figure 10 backbone link feeding tree 3.  Link ids depend only on
 /// construction order, so a throwaway build identifies the link for
@@ -94,7 +94,7 @@ fn zcr_election_reconverges_after_partition_heals() {
     let mut h = ZoneHierarchyBuilder::new(members.len());
     let root = h.root(&members);
     let zone = h.child(root, &receivers).expect("receiver zone nests");
-    let hier = Rc::new(h.build().expect("valid hierarchy"));
+    let hier = Arc::new(h.build().expect("valid hierarchy"));
 
     let mut builder: EngineBuilder<SessionWire> = EngineBuilder::new(topo, 5);
     builder.fault_plan(FaultPlan::new().link_flap(
@@ -102,7 +102,7 @@ fn zcr_election_reconverges_after_partition_heals() {
         SimTime::from_secs(8),
         SimTime::from_secs(30),
     ));
-    let channels: Rc<Vec<ChannelId>> = Rc::new(
+    let channels: Arc<Vec<ChannelId>> = Arc::new(
         hier.zones()
             .iter()
             .map(|z| builder.add_channel(&z.members))
@@ -111,12 +111,17 @@ fn zcr_election_reconverges_after_partition_heals() {
     let root_channel = channels[root.idx()];
     let seeding = ZcrSeeding::Designed(vec![src, r1]);
     for member in members {
-        let core = SessionCore::new(member, Rc::clone(&hier), SessionConfig::default(), &seeding);
+        let core = SessionCore::new(
+            member,
+            Arc::clone(&hier),
+            SessionConfig::default(),
+            &seeding,
+        );
         builder.add_agent_at(
             member,
             Box::new(SessionAgent::new(
                 core,
-                Rc::clone(&channels),
+                Arc::clone(&channels),
                 root_channel,
                 ProbePlan::default(),
             )),
@@ -133,14 +138,14 @@ fn zcr_election_reconverges_after_partition_heals() {
     };
 
     // Before the fault everyone agrees on the designed ZCR.
-    engine.run_until(SimTime::from_secs(7));
+    engine.advance(RunSpec::to(SimTime::from_secs(7)));
     for r in receivers {
         assert_eq!(view(&engine, r), Some(r1), "designed ZCR before the fault");
     }
 
     // Mid-partition: the orphaned side elects the bypass owner; r1 keeps
     // serving its own side (no split-brain oscillation).
-    engine.run_until(SimTime::from_secs(29));
+    engine.advance(RunSpec::to(SimTime::from_secs(29)));
     for r in [r2, r3, r4] {
         assert_eq!(view(&engine, r), Some(r2), "orphans elect a stand-in");
     }
@@ -148,7 +153,7 @@ fn zcr_election_reconverges_after_partition_heals() {
 
     // After the heal the closer original reasserts and the stand-in
     // concedes — every member converges back to r1.
-    engine.run_until(SimTime::from_secs(60));
+    engine.advance(RunSpec::to(SimTime::from_secs(60)));
     for r in receivers {
         assert_eq!(view(&engine, r), Some(r1), "re-convergence after heal");
     }

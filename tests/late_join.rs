@@ -6,11 +6,11 @@
 //! zone outward, so recovery of the missed history is served locally
 //! where possible.
 
-use sharqfec_repro::netsim::{NodeId, SimTime, TrafficClass};
+use sharqfec_repro::netsim::{NodeId, RunSpec, SimTime, TrafficClass};
 use sharqfec_repro::protocol::{Role, SfAgent, SharqfecConfig};
 use sharqfec_repro::session::core::{SessionCore, ZcrSeeding};
 use sharqfec_repro::topology::{figure10, Figure10Params};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Build the standard simulation but with one receiver joining late.
 fn sim_with_late_joiner(
@@ -26,10 +26,10 @@ fn sim_with_late_joiner(
         ..SharqfecConfig::full()
     };
     // Mirror setup_sharqfec_sim, but stagger one member's start.
-    let hier = Rc::new(built.hierarchy.clone());
+    let hier = Arc::new(built.hierarchy.clone());
     let mut builder: sharqfec_repro::netsim::EngineBuilder<sharqfec_repro::protocol::SfMsg> =
         sharqfec_repro::netsim::EngineBuilder::new(built.topology.clone(), 31);
-    let channels: Rc<Vec<sharqfec_repro::netsim::ChannelId>> = Rc::new(
+    let channels: Arc<Vec<sharqfec_repro::netsim::ChannelId>> = Arc::new(
         hier.zones()
             .iter()
             .map(|z| builder.add_channel(&z.members))
@@ -42,13 +42,13 @@ fn sim_with_late_joiner(
         } else {
             Role::Receiver
         };
-        let session = SessionCore::new(member, Rc::clone(&hier), cfg.session.clone(), &seeding);
+        let session = SessionCore::new(member, Arc::clone(&hier), cfg.session.clone(), &seeding);
         let agent = SfAgent::new(
             cfg.clone(),
             role,
             session,
-            Rc::clone(&hier),
-            Rc::clone(&channels),
+            Arc::clone(&hier),
+            Arc::clone(&channels),
             built.source,
         );
         let start = if member == late {
@@ -67,7 +67,7 @@ fn late_joiner_recovers_the_full_history() {
     // four seconds into the 9.6-second stream, having missed ~40 packets.
     let late = NodeId(58);
     let (mut engine, built) = sim_with_late_joiner(late, SimTime::from_secs(10));
-    engine.run_until(SimTime::from_secs(150));
+    engine.advance(RunSpec::to(SimTime::from_secs(150)));
 
     for &r in &built.receivers {
         let agent = engine.agent::<SfAgent>(r).expect("receiver");
@@ -87,7 +87,7 @@ fn late_join_recovery_is_scoped() {
     // traffic never reaches the source.
     let late = NodeId(58);
     let (mut engine, _built) = sim_with_late_joiner(late, SimTime::from_secs(10));
-    engine.run_until(SimTime::from_secs(150));
+    engine.advance(RunSpec::to(SimTime::from_secs(150)));
 
     let rec = engine.recorder();
     // NACKs transmitted by the late joiner, by channel.

@@ -3,7 +3,7 @@
 //! and variants — not just the hand-picked configurations.
 
 use proptest::prelude::*;
-use sharqfec_repro::netsim::{SimTime, TrafficClass};
+use sharqfec_repro::netsim::{RunSpec, SimTime, TrafficClass};
 use sharqfec_repro::protocol::{setup_sharqfec_sim, SfAgent, SharqfecConfig, Variant};
 use sharqfec_repro::topology::{figure10, random_tree, Figure10Params, RandomTreeParams};
 
@@ -39,7 +39,7 @@ proptest! {
             ..SharqfecConfig::variant(variant)
         };
         let mut engine = setup_sharqfec_sim(&built, seed, cfg, SimTime::from_secs(1));
-        engine.run_until(SimTime::from_secs(150));
+        engine.advance(RunSpec::to(SimTime::from_secs(150)));
         for &r in &built.receivers {
             let agent = engine.agent::<SfAgent>(r).expect("receiver");
             prop_assert_eq!(
@@ -71,7 +71,7 @@ proptest! {
             ..SharqfecConfig::full()
         };
         let mut engine = setup_sharqfec_sim(&built, run_seed, cfg, SimTime::from_secs(1));
-        engine.run_until(SimTime::from_secs(120));
+        engine.advance(RunSpec::to(SimTime::from_secs(120)));
         for &r in &built.receivers {
             let agent = engine.agent::<SfAgent>(r).expect("receiver");
             prop_assert_eq!(
@@ -93,7 +93,7 @@ proptest! {
             ..SharqfecConfig::full()
         };
         let mut engine = setup_sharqfec_sim(&built, seed, cfg, SimTime::from_secs(1));
-        engine.run_until(SimTime::from_secs(60));
+        engine.advance(RunSpec::to(SimTime::from_secs(60)));
         let rec = engine.recorder();
         for class in [TrafficClass::Data, TrafficClass::Repair, TrafficClass::Nack] {
             let sent = rec.transmissions.iter().filter(|t| t.class == class).count();

@@ -3,7 +3,7 @@
 //! decay, and scope escalation under unrepairable zones.
 
 use sharqfec_repro::netsim::{
-    Engine, LinkParams, NodeId, SimDuration, SimTime, TopologyBuilder, TrafficClass,
+    Engine, LinkParams, NodeId, RunSpec, SimDuration, SimTime, TopologyBuilder, TrafficClass,
 };
 use sharqfec_repro::protocol::{setup_sharqfec_sim, PolicyKind, SfAgent, SfMsg, SharqfecConfig};
 use sharqfec_repro::scoping::ZoneHierarchyBuilder;
@@ -47,7 +47,7 @@ fn shared_loss_topology(loss: f64) -> BuiltTopology {
 
 fn run(built: &BuiltTopology, cfg: SharqfecConfig, seed: u64, until: u64) -> Engine<SfMsg> {
     let mut engine = setup_sharqfec_sim(built, seed, cfg, SimTime::from_secs(1));
-    engine.run_until(SimTime::from_secs(until));
+    engine.advance(RunSpec::to(SimTime::from_secs(until)));
     engine
 }
 
@@ -61,7 +61,7 @@ fn shared_losses_produce_one_nack_stream() {
         total_packets: 128,
         ..SharqfecConfig::full()
     };
-    let engine = run(&built, cfg, 8, 60);
+    let engine = run(&built, cfg, 13, 60);
     let gw = built.receivers[0];
 
     for &r in &built.receivers {

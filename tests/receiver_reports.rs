@@ -3,7 +3,7 @@
 //! hierarchy, and the source's aggregate converges to the session-wide
 //! truth without any receiver announcing beyond its own zone.
 
-use sharqfec_repro::netsim::{SimTime, TrafficClass};
+use sharqfec_repro::netsim::{RunSpec, SimTime, TrafficClass};
 use sharqfec_repro::protocol::{setup_sharqfec_sim, SfAgent, SharqfecConfig};
 use sharqfec_repro::scoping::ZoneId;
 use sharqfec_repro::topology::{figure10, Figure10Params};
@@ -16,7 +16,7 @@ fn source_learns_session_quality_from_zone_summaries() {
         ..SharqfecConfig::full()
     };
     let mut engine = setup_sharqfec_sim(&built, 77, cfg, SimTime::from_secs(1));
-    engine.run_until(SimTime::from_secs(60));
+    engine.advance(RunSpec::to(SimTime::from_secs(60)));
 
     let source_agent = engine.agent::<SfAgent>(built.source).expect("source");
     let report = source_agent
@@ -73,7 +73,7 @@ fn zcr_summaries_reflect_their_zones() {
         ..SharqfecConfig::full()
     };
     let mut engine = setup_sharqfec_sim(&built, 78, cfg, SimTime::from_secs(1));
-    engine.run_until(SimTime::from_secs(60));
+    engine.advance(RunSpec::to(SimTime::from_secs(60)));
 
     // Tree 3 (worst backbone) vs tree 5 (best): their mesh-node ZCRs'
     // zone aggregates must order accordingly.
