@@ -54,6 +54,15 @@ echo "==> scaling sweep smoke (10^2/10^3) + crossover check"
 ./target/release/scale_sweep --check target/tmp/bench_ci/BENCH_scale_sweep.json
 ./target/release/scale_sweep --check results/BENCH_scale_sweep.json
 
+echo "==> workload-scenario sweep smoke + committed-grid check"
+# Flash crowds, churn, and regional outages compiled through the
+# scenario DSL, every cell audited: the smoke grid runs fresh, the
+# committed full grid (with the 10^4-receiver flash-crowd cell) is
+# schema- and invariant-checked.
+./target/release/scenario_sweep --smoke --out target/tmp/bench_ci > /dev/null
+./target/release/scenario_sweep --check target/tmp/bench_ci/BENCH_scenario_sweep.json
+./target/release/scenario_sweep --check results/BENCH_scenario_sweep.json
+
 echo "==> sharded engine determinism gate (--shards 4 vs serial)"
 # The conservative-PDES shard path must be bit-identical to the serial
 # engine: rerun the smoke grid at 4 shards and diff the summaries after
@@ -61,10 +70,13 @@ echo "==> sharded engine determinism gate (--shards 4 vs serial)"
 # shard counts, machine-dependent throughput).
 mkdir -p target/tmp/bench_ci_sharded
 ./target/release/scale_sweep --smoke --shards 4 --out target/tmp/bench_ci_sharded > /dev/null
+./target/release/scenario_sweep --smoke --shards 4 --out target/tmp/bench_ci_sharded > /dev/null
 strip_timing() {
   sed -E 's/"(wall_ms|threads|shards|events_per_sec)": [0-9.eE+-]+/"\1": _/g' "$1"
 }
 diff <(strip_timing target/tmp/bench_ci/BENCH_scale_sweep.json) \
      <(strip_timing target/tmp/bench_ci_sharded/BENCH_scale_sweep.json)
+diff <(strip_timing target/tmp/bench_ci/BENCH_scenario_sweep.json) \
+     <(strip_timing target/tmp/bench_ci_sharded/BENCH_scenario_sweep.json)
 
 echo "CI OK"

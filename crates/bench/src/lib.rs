@@ -26,6 +26,7 @@ pub mod cli;
 pub mod microbench;
 pub mod policy;
 pub mod scale;
+pub mod scenario;
 
 use sharqfec::{setup_sharqfec_builder, PolicyConfig, SfAgent, SharqfecConfig, Variant};
 use sharqfec_analysis::series::{bin_deliveries, BinSpec};
@@ -525,19 +526,6 @@ fn extract_run<M: sharqfec_netsim::Classify + Clone + 'static>(
     }
 }
 
-/// Runs SRM (adaptive timers, as the paper's comparison does) on the
-/// Figure 10 network.
-#[deprecated(note = "use Scenario::srm_baseline(w).run_traffic(w.seed)")]
-pub fn run_srm(w: Workload) -> TrafficRun {
-    Scenario::srm_baseline(w).run_traffic(w.seed)
-}
-
-/// Runs a SHARQFEC variant on the Figure 10 network.
-#[deprecated(note = "use Scenario::variant(v, w).run_traffic(w.seed)")]
-pub fn run_sharqfec(variant: Variant, w: Workload) -> TrafficRun {
-    Scenario::variant(variant, w).run_traffic(w.seed)
-}
-
 /// One receiver's estimated/actual RTT ratios for successive probes from
 /// one prober (Figures 11–13 plot these per receiver).
 #[derive(Clone, Debug, PartialEq)]
@@ -636,21 +624,6 @@ impl RttExperiment {
     }
 }
 
-/// Runs the §6.1 RTT-estimation experiment.
-#[deprecated(note = "use RttExperiment::new(probers, times) [+ .elected()] .run(seed)")]
-pub fn run_rtt_probes(
-    probers: &[NodeId],
-    probe_times: &[SimTime],
-    seed: u64,
-    elect: bool,
-) -> Vec<RttRatioResult> {
-    let mut exp = RttExperiment::new(probers, probe_times);
-    if elect {
-        exp = exp.elected();
-    }
-    exp.run(seed)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -682,21 +655,24 @@ mod tests {
         );
     }
 
-    /// The deprecated free-function entry points must keep producing the
-    /// numbers the builder surface produces (seed-42 pin).
+    /// The builder entry points are pure functions of (shape, seed): the
+    /// seed-42 pin that used to guard the deprecated free-function shims
+    /// now guards the builders directly.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_bench_entry_points_match_builders() {
+    fn builder_entry_points_are_deterministic() {
         let w = Workload::small(42);
-        assert_eq!(run_srm(w), Scenario::srm_baseline(w).run_traffic(w.seed));
         assert_eq!(
-            run_sharqfec(Variant::Ecsrm, w),
+            Scenario::srm_baseline(w).run_traffic(w.seed),
+            Scenario::srm_baseline(w).run_traffic(w.seed)
+        );
+        assert_eq!(
+            Scenario::variant(Variant::Ecsrm, w).run_traffic(w.seed),
             Scenario::variant(Variant::Ecsrm, w).run_traffic(w.seed)
         );
         let probers = [NodeId(3)];
         let times = [SimTime::from_secs(4), SimTime::from_secs(8)];
         assert_eq!(
-            run_rtt_probes(&probers, &times, 42, true),
+            RttExperiment::new(&probers, &times).elected().run(42),
             RttExperiment::new(&probers, &times).elected().run(42)
         );
     }

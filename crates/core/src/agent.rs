@@ -151,6 +151,7 @@ impl SfAgent {
         let pcfg = cfg.policy.clone();
         let policy = pcfg.build(chain.len());
         let window = AdaptiveWindow::new(cfg.c1, cfg.c2, cfg.adaptive_timers);
+        let cfg_first_seq = cfg.first_seq;
         SfAgent {
             cfg,
             role,
@@ -164,7 +165,7 @@ impl SfAgent {
             policy,
             injection_on: pcfg.enabled,
             measure_rtt_factor: pcfg.measure_rtt_factor,
-            next_seq: 0,
+            next_seq: cfg_first_seq,
             window,
             observed_loss: 0.0,
             nacks_sent: 0,
@@ -289,7 +290,10 @@ impl SfAgent {
         if st.request_timer.is_some() || st.complete() || st.deficit() == 0 {
             return;
         }
-        let covered_by = st.zlc.iter().copied().max().unwrap_or(0);
+        // Only scopes our next request would ask at (or wider) can cover
+        // us — narrower ones already failed to produce a repair if the
+        // request escalated past them.
+        let covered_by = st.zlc[st.scope_idx..].iter().copied().max().unwrap_or(0);
         if st.llc() > covered_by {
             self.arm_request(ctx, g);
         }
@@ -708,19 +712,26 @@ impl SfAgent {
             st.zone_needed[level] = st.zone_needed[level].max(needed);
             st.last_nack_dist[level] = Some(dist);
 
-            // Requester-side suppression.
+            // Requester-side suppression — but only by NACKs at or above
+            // the scope our own next request will use.  A request that
+            // escalated to `scope_idx` did so because every narrower
+            // scope failed to produce a repair (correlated zone loss
+            // leaves nobody there able to serve); chatter at those
+            // proven-futile scopes must not postpone the wider ask, or a
+            // zone that lost the same packets everywhere livelocks on
+            // its own retries.
             let mut outcome = None;
-            if st.request_timer.is_some() && !st.complete() {
+            if st.request_timer.is_some() && !st.complete() && level >= st.scope_idx {
                 if !zlc_increased {
                     // Duplicate pressure: back off (paper §4's `i` rule)
                     // and, with §7 adaptive timers, widen the window.
                     st.i = (st.i + 1).min(max_backoff);
                     self.window.saw_duplicate();
                     outcome = Some(NackOutcome::SuppressedDuplicate);
-                } else if st.llc() <= st.zlc.iter().copied().max().unwrap_or(0) {
-                    // Someone worse off spoke for us at some enclosing
-                    // scope: the repairs it provokes reach every nested
-                    // member, so push our NACK out.
+                } else if st.llc() <= st.zlc[st.scope_idx..].iter().copied().max().unwrap_or(0) {
+                    // Someone worse off spoke for us at a scope enclosing
+                    // our next request: the repairs it provokes reach
+                    // every nested member, so push our NACK out.
                     outcome = Some(NackOutcome::SuppressedCovered);
                 }
             }
@@ -829,6 +840,7 @@ impl SfAgent {
         let idx = seq % self.cfg.group_size;
         let k = self.cfg.packets_in_group(g);
         self.group_entry(g);
+        ctx.probe(ProbeEvent::Sender { seq });
         ctx.multicast(
             self.root_channel,
             SfMsg::Data { group: g, idx, k },
@@ -894,6 +906,34 @@ impl Agent<SfMsg> for SfAgent {
             self.session.start(&mut b);
         }
         self.drain_seat_events();
+        // On a warm restart (NodeRestart after a crash) every timer this
+        // agent had pending died with the crash epoch, but the per-group
+        // state still holds the handles.  A handle that *looks* armed
+        // suppresses both `maybe_request` and the completeness watchdog's
+        // re-arm, so a group mid-recovery at crash time would never ask
+        // again.  Forget the dead timers and restart recovery: LDP cannot
+        // resume (the group's burst is long gone from the wire), repair
+        // pacing chains are broken, and the speculative repair queues
+        // died with their reply timers.  On a cold start the group map is
+        // empty and this is a no-op.  Group order matters: every armed
+        // request consumes an RNG draw, so reconcile in group order, not
+        // hash order.
+        let mut groups: Vec<u32> = self.groups.keys().copied().collect();
+        groups.sort_unstable();
+        for g in groups {
+            let st = self.groups.get_mut(&g).expect("exists");
+            st.ldp_timer = None;
+            st.request_timer = None;
+            if st.phase == Phase::Ldp {
+                st.phase = Phase::Repair;
+            }
+            for l in 0..st.reply_timer.len() {
+                st.reply_timer[l] = None;
+                st.pacing[l] = false;
+                st.outstanding[l] = 0;
+            }
+            self.maybe_request(ctx, g);
+        }
         match self.role {
             Role::Source => {
                 let delay = self.cfg.data_start.saturating_since(ctx.now());

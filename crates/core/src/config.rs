@@ -51,6 +51,12 @@ pub struct SharqfecConfig {
     pub data_start: SimTime,
     /// Data packets per group (paper: 16).
     pub group_size: u32,
+    /// First sequence this source sends fresh (default 0).  A standby
+    /// source taking over mid-stream (scenario sender handoff) is seeded
+    /// with the count of sequences the retired sender already put on the
+    /// wire, so the stream continues without gap or overlap; it can still
+    /// *repair* any earlier sequence from its warm-replica history.
+    pub first_seq: u32,
 
     // ---- feature switches (ablations) ----
     /// Administrative scoping (`false` ⇒ the `ns` variants: one global
@@ -99,6 +105,7 @@ impl Default for SharqfecConfig {
             send_interval: SimDuration::from_millis(10),
             data_start: SimTime::from_secs(6),
             group_size: 16,
+            first_seq: 0,
             scoping: true,
             receiver_repairs: true,
             c1: 2.0,
@@ -176,6 +183,18 @@ impl SharqfecConfig {
         (self.total_packets - start).min(self.group_size)
     }
 
+    /// Number of fresh sequences a source on this schedule has sent
+    /// strictly before `t` — sends happen at `data_start + s·interval`,
+    /// and a send scheduled exactly at `t` has not yet fired.  This is
+    /// the `first_seq` to give a standby taking over at `t`: the retiring
+    /// sender's send timer at the handoff instant dies with its crash
+    /// epoch, so the standby's first send replaces it seamlessly.
+    pub fn seqs_sent_before(&self, t: SimTime) -> u32 {
+        let dt = t.saturating_since(self.data_start);
+        let sent = dt.0.div_ceil(self.send_interval.0);
+        sent.min(self.total_packets as u64) as u32
+    }
+
     /// Validates invariants.
     ///
     /// # Panics
@@ -200,6 +219,10 @@ impl SharqfecConfig {
         assert!(
             self.send_interval > SimDuration::ZERO,
             "CBR interval must be positive"
+        );
+        assert!(
+            self.first_seq <= self.total_packets,
+            "first_seq must not pass the end of the stream"
         );
         self.policy.validate();
         self.session.validate();
@@ -280,6 +303,25 @@ mod tests {
         assert_eq!(c.group_count(), 2);
         assert_eq!(c.packets_in_group(0), 16);
         assert_eq!(c.packets_in_group(1), 4);
+    }
+
+    #[test]
+    fn handoff_seq_arithmetic() {
+        let c = SharqfecConfig::default(); // data_start 6 s, 10 ms interval
+        assert_eq!(c.first_seq, 0, "plain sources start at the beginning");
+        assert_eq!(c.seqs_sent_before(SimTime::from_secs(6)), 0);
+        // At exactly 6 s + 40 ms the send of seq 4 has not fired yet.
+        assert_eq!(c.seqs_sent_before(SimTime::from_millis(6040)), 4);
+        assert_eq!(c.seqs_sent_before(SimTime::from_millis(6045)), 5);
+        assert_eq!(c.seqs_sent_before(SimTime::from_secs(3)), 0, "before start");
+        // Past the stream end the count saturates at the stream length.
+        assert_eq!(c.seqs_sent_before(SimTime::from_secs(1000)), 1024);
+        let bad = SharqfecConfig {
+            first_seq: 2000,
+            ..SharqfecConfig::default()
+        };
+        let err = std::panic::catch_unwind(move || bad.validate());
+        assert!(err.is_err(), "first_seq past the stream is rejected");
     }
 
     #[test]

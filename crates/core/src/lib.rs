@@ -46,4 +46,6 @@ pub use msg::SfMsg;
 pub use policy::{
     EwmaPolicy, InjectionPolicy, OptimizingPolicy, PercentilePolicy, PolicyConfig, PolicyKind,
 };
-pub use setup::{setup_sharqfec_builder, setup_sharqfec_sim};
+pub use setup::{
+    member_channels, setup_sharqfec_builder, setup_sharqfec_scenario_builder, setup_sharqfec_sim,
+};

@@ -3,11 +3,28 @@
 use crate::agent::{Role, SfAgent};
 use crate::config::SharqfecConfig;
 use crate::msg::SfMsg;
-use sharqfec_netsim::{ChannelId, Engine, EngineBuilder, NodeId, SimTime};
+use sharqfec_netsim::{ChannelId, Engine, EngineBuilder, NodeId, ScenarioPlan, SimTime};
 use sharqfec_scoping::{ZoneHierarchy, ZoneHierarchyBuilder};
 use sharqfec_session::core::{SessionCore, ZcrSeeding};
 use sharqfec_topology::BuiltTopology;
 use std::sync::Arc;
+
+/// The engine channels `node` belongs to, smallest zone first, ending at
+/// the root/data channel.
+///
+/// [`setup_sharqfec_builder`] registers one channel per zone *in zone
+/// order*, so `ChannelId(i)` is exactly zone `i`'s channel.  Scenario
+/// plans (joins, leaves, flash crowds) need that mapping to name the
+/// channels a node enters or exits; this helper is the one place that
+/// encodes it.  Pass the same hierarchy the setup used — for scoped
+/// configs that is `built.hierarchy`; the `ns` variants collapse to a
+/// single root zone whose channel is `ChannelId(0)`.
+pub fn member_channels(hier: &ZoneHierarchy, node: NodeId) -> Vec<ChannelId> {
+    hier.zone_chain(node)
+        .into_iter()
+        .map(|z| ChannelId(z.idx() as u32))
+        .collect()
+}
 
 /// Assembles a fully-populated [`EngineBuilder`] for a SHARQFEC scenario:
 /// one channel per zone (zone order, so the root zone's channel is also
@@ -22,7 +39,55 @@ pub fn setup_sharqfec_builder(
     cfg: SharqfecConfig,
     join_at: SimTime,
 ) -> EngineBuilder<SfMsg> {
+    setup_sharqfec_scenario_builder(built, seed, cfg, join_at, ScenarioPlan::new(), None)
+}
+
+/// [`setup_sharqfec_builder`] plus a declarative workload scenario.
+///
+/// The `plan` is handed to the engine builder verbatim: members the plan
+/// joins later are stripped from the initial channel lists, leaves/rejoins
+/// become crash/restart faults, and start overrides replace `join_at` for
+/// the named nodes (see `sharqfec_netsim::scenario`).
+///
+/// `standby` names a node that takes over the stream at a sender handoff
+/// (the plan must contain a matching [`ScenarioPlan::handoff`], whose
+/// start override tells us the handoff instant).  That node's agent is
+/// built as a *warm-replica source*: `Role::Source` with
+/// [`SharqfecConfig::first_seq`] set to the count of sequences the
+/// retiring sender has already put on the wire, and the original
+/// `data_start` kept so its first send lands exactly on the handoff
+/// instant — replacing the send the retiring sender's crash cancelled.
+/// A warm standby is already a member of its zone channels, so the
+/// handoff should be declared with empty `to_channels` (re-joining a
+/// node that forwards for a subtree would strip it from the initial
+/// membership and sever the subtree until the handoff).
+///
+/// # Panics
+///
+/// Panics if `standby` names the configured source, a node outside the
+/// session, or a node the plan gives no start override.
+pub fn setup_sharqfec_scenario_builder(
+    built: &BuiltTopology,
+    seed: u64,
+    cfg: SharqfecConfig,
+    join_at: SimTime,
+    plan: ScenarioPlan,
+    standby: Option<NodeId>,
+) -> EngineBuilder<SfMsg> {
     cfg.validate();
+    let standby_cfg = standby.map(|n| {
+        assert_ne!(n, built.source, "standby must differ from the source");
+        assert!(
+            built.members().contains(&n),
+            "standby {n} is not a session member"
+        );
+        let t = plan
+            .start_override(n)
+            .expect("standby needs a scenario start override (ScenarioPlan::handoff)");
+        let mut c = cfg.clone();
+        c.first_seq = cfg.seqs_sent_before(t);
+        (n, c)
+    });
     let (hierarchy, zcrs): (ZoneHierarchy, Vec<NodeId>) = if cfg.scoping {
         (built.hierarchy.clone(), built.designed_zcrs.clone())
     } else {
@@ -45,14 +110,17 @@ pub fn setup_sharqfec_builder(
     let seeding = ZcrSeeding::Designed(zcrs);
 
     for member in built.members() {
-        let role = if member == built.source {
-            Role::Source
+        let (role, agent_cfg) = if member == built.source {
+            (Role::Source, cfg.clone())
         } else {
-            Role::Receiver
+            match &standby_cfg {
+                Some((n, c)) if *n == member => (Role::Source, c.clone()),
+                _ => (Role::Receiver, cfg.clone()),
+            }
         };
         let session = SessionCore::new(member, Arc::clone(&hier), cfg.session.clone(), &seeding);
         let agent = SfAgent::new(
-            cfg.clone(),
+            agent_cfg,
             role,
             session,
             Arc::clone(&hier),
@@ -61,6 +129,7 @@ pub fn setup_sharqfec_builder(
         );
         builder.add_agent_at(member, Box::new(agent), join_at);
     }
+    builder.scenario(plan);
     builder
 }
 
@@ -315,6 +384,121 @@ mod tests {
             "invariant violations in a healthy run: {}",
             report.summary()
         );
+    }
+
+    #[test]
+    fn member_channels_match_setup_registration_order() {
+        let built = figure10(&Figure10Params::default());
+        let hier = &built.hierarchy;
+        for member in built.members() {
+            let chans = member_channels(hier, member);
+            assert!(!chans.is_empty(), "{member} belongs to no channel");
+            // Smallest zone first, root (the data channel) last.
+            assert_eq!(
+                chans.first().copied().unwrap(),
+                ChannelId(hier.smallest_zone(member).idx() as u32)
+            );
+            for &c in &chans {
+                assert!(
+                    hier.zones()[c.idx()].members.contains(&member),
+                    "{member} mapped to channel {c:?} of a zone it is not in"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sender_handoff_completes_the_stream_with_one_active_sender() {
+        // The retiring sender crashes at the handoff instant; the warm
+        // standby — built as a Role::Source with `first_seq` — takes over
+        // on the very send slot the crash cancelled.  Receivers must
+        // complete and the single-sender audit must stay clean.
+        use sharqfec_netsim::prelude::AuditConfig;
+        use sharqfec_netsim::TrafficClass;
+        let built = chain(4);
+        let standby = built.receivers[2]; // leaf: never forwards for others
+        let mut cfg = small_cfg(SharqfecConfig::full());
+        cfg.total_packets = 64;
+        // 6 s data start + 10 ms interval: handoff lands exactly on the
+        // send slot of seq 20.
+        let handoff_at = SimTime::from_millis(6200);
+        assert_eq!(cfg.seqs_sent_before(handoff_at), 20);
+        let plan = ScenarioPlan::new().handoff(handoff_at, built.source, standby, &[]);
+        let mut builder = setup_sharqfec_scenario_builder(
+            &built,
+            9,
+            cfg,
+            SimTime::from_secs(1),
+            plan,
+            Some(standby),
+        );
+        builder.audit(AuditConfig::default());
+        let mut engine = builder.build();
+        engine.advance(sharqfec_netsim::RunSpec::to(SimTime::from_secs(120)));
+
+        for &r in &built.receivers {
+            if r == standby {
+                continue;
+            }
+            let a = engine.agent::<SfAgent>(r).unwrap();
+            assert!(a.complete(), "receiver {r} missing {} packets", a.missing());
+        }
+        // Both halves of the stream made it onto the wire exactly once as
+        // fresh data: 20 sequences from the retiring sender, 44 from the
+        // standby.
+        let fresh_by = |n: NodeId| {
+            engine
+                .recorder()
+                .transmissions
+                .iter()
+                .filter(|t| t.node == n && t.class == TrafficClass::Data)
+                .count()
+        };
+        assert_eq!(fresh_by(built.source), 20, "retiring sender overran");
+        assert_eq!(fresh_by(standby), 44, "standby sent the wrong tail");
+        let report = engine.audit_report().expect("auditor attached");
+        assert!(report.ok(), "handoff run not clean: {}", report.summary());
+    }
+
+    /// Scenario-fuzzing regression (churn cells of the scenario sweep):
+    /// a receiver that crashes *while request timers are armed* used to
+    /// wedge — the crash epoch killed its pending timers but the group
+    /// state kept the handles, so `maybe_request` and the completeness
+    /// watchdog both saw "a request is already pending" forever and the
+    /// node never asked again.  Churn it twice: once mid-stream (to
+    /// leave groups incomplete) and once mid-recovery (to orphan the
+    /// armed timers).  It must still finish the stream.
+    #[test]
+    fn restart_mid_recovery_forgets_dead_request_timers() {
+        use sharqfec_netsim::prelude::AuditConfig;
+        let built = chain(4);
+        // The chain's last receiver: the only member that forwards for
+        // nobody, so its leaves cannot sever anyone else.
+        let victim = *built.receivers.last().unwrap();
+        let chans = member_channels(&built.hierarchy, victim);
+        let cfg = small_cfg(SharqfecConfig::full());
+        // Stream spans 6.0-6.64 s; the completeness watchdog first fires
+        // at 7.14 s and arms request timers for whatever is missing.
+        let plan = ScenarioPlan::new()
+            .leave_at(SimTime::from_millis(6_250), victim, &chans)
+            .rejoin_at(SimTime::from_millis(6_450), victim, &chans)
+            .leave_at(SimTime::from_millis(7_180), victim, &chans)
+            .rejoin_at(SimTime::from_millis(7_500), victim, &chans);
+        let mut builder =
+            setup_sharqfec_scenario_builder(&built, 13, cfg, SimTime::from_secs(1), plan, None);
+        builder.audit(AuditConfig::default());
+        let mut engine = builder.build();
+        engine.advance(RunSpec::to(SimTime::from_secs(60)));
+        for &r in &built.receivers {
+            let a = engine.agent::<SfAgent>(r).unwrap();
+            assert!(
+                a.complete(),
+                "receiver {r} never recovered after churn: {} missing",
+                a.missing()
+            );
+        }
+        let report = engine.audit_report().expect("auditor attached");
+        assert!(report.ok(), "churn run not clean: {}", report.summary());
     }
 
     #[test]

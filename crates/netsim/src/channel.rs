@@ -65,6 +65,42 @@ impl Channel {
         Channel { ranges, members }
     }
 
+    /// Adds a member mid-run (dynamic membership — see
+    /// `sharqfec_netsim::scenario`).  Idempotent: inserting an existing
+    /// member is a no-op, so replicated membership events converge to the
+    /// same set on every shard.
+    pub fn insert(&mut self, node: NodeId) {
+        let i = self.members.partition_point(|&m| m < node);
+        if self.members.get(i) == Some(&node) {
+            return;
+        }
+        self.members.insert(i, node);
+        self.rebuild_ranges();
+    }
+
+    /// Removes a member mid-run.  Idempotent like [`Channel::insert`].
+    pub fn remove(&mut self, node: NodeId) {
+        let i = self.members.partition_point(|&m| m < node);
+        if self.members.get(i) != Some(&node) {
+            return;
+        }
+        self.members.remove(i);
+        self.rebuild_ranges();
+    }
+
+    /// Recomputes the range encoding from the sorted member list.  O(m),
+    /// only paid on membership *changes* — the hot `contains` path stays
+    /// a binary search over the ranges.
+    fn rebuild_ranges(&mut self) {
+        self.ranges.clear();
+        for &m in &self.members {
+            match self.ranges.last_mut() {
+                Some((_, end)) if *end == m.0 => *end += 1,
+                _ => self.ranges.push((m.0, m.0 + 1)),
+            }
+        }
+    }
+
     /// Whether `node` belongs to the channel.
     #[inline]
     pub fn contains(&self, node: NodeId) -> bool {
@@ -159,6 +195,53 @@ mod tests {
             let expect = matches!(i, 0 | 5 | 6 | 7 | 99);
             assert_eq!(c.contains(NodeId(i)), expect, "node {i}");
         }
+    }
+
+    #[test]
+    fn insert_and_remove_are_idempotent_and_keep_ranges_exact() {
+        let mut c = Channel::new(100, &[NodeId(10), NodeId(11), NodeId(12)]);
+        // Extend the contiguous run: still one range.
+        c.insert(NodeId(13));
+        c.insert(NodeId(13));
+        assert_eq!(
+            c.members(),
+            &[NodeId(10), NodeId(11), NodeId(12), NodeId(13)]
+        );
+        assert!(c.contains(NodeId(13)));
+        // Punch a hole in the middle.
+        c.remove(NodeId(11));
+        c.remove(NodeId(11));
+        assert!(!c.contains(NodeId(11)));
+        assert!(c.contains(NodeId(10)) && c.contains(NodeId(12)));
+        // A disjoint member far away.
+        c.insert(NodeId(50));
+        for i in 0..100u32 {
+            let expect = matches!(i, 10 | 12 | 13 | 50);
+            assert_eq!(c.contains(NodeId(i)), expect, "node {i}");
+        }
+        // Draining everything leaves an empty, still-queryable channel.
+        for m in [10u32, 12, 13, 50] {
+            c.remove(NodeId(m));
+        }
+        assert!(c.is_empty());
+        assert!(!c.contains(NodeId(10)));
+    }
+
+    #[test]
+    fn mutated_channel_matches_freshly_built_channel() {
+        // insert/remove must land on exactly the encoding Channel::new
+        // produces, so replicated membership events keep shards identical.
+        let mut mutated = Channel::new(64, &(0..32).map(NodeId).collect::<Vec<_>>());
+        mutated.remove(NodeId(7));
+        mutated.insert(NodeId(40));
+        let rebuilt: Vec<NodeId> = (0..32)
+            .filter(|&i| i != 7)
+            .chain(std::iter::once(40))
+            .map(NodeId)
+            .collect();
+        let fresh = Channel::new(64, &rebuilt);
+        assert_eq!(mutated.members(), fresh.members());
+        assert_eq!(mutated.ranges, fresh.ranges);
     }
 
     #[test]

@@ -46,6 +46,7 @@ use crate::probe::{AuditConfig, AuditReport, Auditor, ProbeRecord, ProbeSink};
 use crate::queue::{EventKey, EventQueue};
 use crate::rng::SimRng;
 use crate::routing::{DistanceOracle, Spt};
+use crate::scenario::{MembershipEvent, ScenarioPlan};
 use crate::shard::{OutMsg, ShardCtx, ShardPlan};
 use crate::time::{SimDuration, SimTime};
 use std::any::Any;
@@ -72,6 +73,9 @@ pub(crate) enum EventKind {
     },
     /// A scheduled fault takes effect.
     Fault(FaultEvent),
+    /// A scheduled channel-membership change takes effect.  Replicated to
+    /// every shard, like faults: channel membership is replicated state.
+    Membership(MembershipEvent),
 }
 
 /// The simulator.  `M` is the protocol payload type.
@@ -356,30 +360,30 @@ impl<M: Classify + Clone + 'static> Engine<M> {
         }
     }
 
+    /// Schedules one channel-membership change.  Unlike link faults this
+    /// never disables the tree-forwarding fast path and invalidates no
+    /// routing tree: scope pruning consults live membership per hop, so
+    /// the membership flip is visible to the very next packet.
+    pub fn schedule_membership(&mut self, when: SimTime, ev: MembershipEvent) {
+        assert!(
+            when >= self.now,
+            "membership event at {when:?} is in the past (now = {:?})",
+            self.now
+        );
+        let (channel, node) = (ev.channel(), ev.node());
+        assert!(
+            channel.idx() < self.channels.len(),
+            "unknown channel {channel:?}"
+        );
+        assert!(node.idx() < self.topo.node_count(), "unknown node {node:?}");
+        self.push(when, EventKind::Membership(ev));
+    }
+
     /// Immutable, downcast access to an agent's concrete type — used after
     /// a run to read out protocol state (requires Rust trait upcasting).
     pub fn agent<T: 'static>(&self, node: NodeId) -> Option<&T> {
         let a = self.agents[node.idx()].as_deref()?;
         (a as &dyn Any).downcast_ref::<T>()
-    }
-
-    /// Runs until the event queue drains or the clock passes `t_end`.
-    /// Events at exactly `t_end` are processed.  Returns the number of
-    /// events processed.  The clock is left at `t_end` even if the queue
-    /// drained earlier, so relative scheduling after the call starts from
-    /// the horizon.
-    #[deprecated(note = "use `advance(RunSpec::to(t_end))`")]
-    pub fn run_until(&mut self, t_end: SimTime) -> u64 {
-        self.run_serial_until(t_end)
-    }
-
-    /// Runs until the event queue is completely drained.  The clock is
-    /// left at the *last processed event* (not some far-future horizon),
-    /// so `set_agent`/`multicast_from` stay usable after a drained run —
-    /// scheduling "now" after a drain must never be "in the past".
-    #[deprecated(note = "use `advance(RunSpec::drain())`")]
-    pub fn run(&mut self) -> u64 {
-        self.run_serial_drain()
     }
 
     /// Serial horizon run (the single-shard path of [`Engine::advance`]).
@@ -416,9 +420,10 @@ impl<M: Classify + Clone + 'static> Engine<M> {
     /// Processes every queued event with key time ≤ `bound` (one
     /// conservative window of a sharded run), stamping each event's key
     /// into the recorder and probe sink so per-shard outputs can be merged
-    /// back into the serial timeline.  Returns `(events processed, fault
-    /// events processed)` — faults are replicated to every shard, so the
-    /// sharded driver subtracts the duplicates from its event total.
+    /// back into the serial timeline.  Returns `(events processed,
+    /// replicated events processed)` — fault and membership events are
+    /// replicated to every shard, so the sharded driver subtracts the
+    /// duplicates from its event total.
     pub(crate) fn run_window(&mut self, bound: SimTime) -> (u64, u64) {
         let mut processed = 0;
         let mut faults = 0;
@@ -429,7 +434,7 @@ impl<M: Classify + Clone + 'static> Engine<M> {
             let (key, kind) = self.queue.pop_keyed().expect("peeked");
             debug_assert!(key.time >= self.now, "time went backwards");
             self.now = key.time;
-            if matches!(kind, EventKind::Fault(_)) {
+            if matches!(kind, EventKind::Fault(_) | EventKind::Membership(_)) {
                 faults += 1;
             }
             self.recorder.set_tag(key);
@@ -547,6 +552,20 @@ impl<M: Classify + Clone + 'static> Engine<M> {
                 }
             }
             EventKind::Fault(ev) => self.apply_fault(ev),
+            EventKind::Membership(ev) => self.apply_membership(ev),
+        }
+    }
+
+    /// Applies one membership change.  Idempotent (like fault
+    /// application), so a replicated event converges on every shard.
+    fn apply_membership(&mut self, ev: MembershipEvent) {
+        match ev {
+            MembershipEvent::Join { channel, node } => {
+                self.channels[channel.idx()].insert(node);
+            }
+            MembershipEvent::Leave { channel, node } => {
+                self.channels[channel.idx()].remove(node);
+            }
         }
     }
 
@@ -874,6 +893,7 @@ pub struct EngineBuilder<M> {
     channels: Vec<Vec<NodeId>>,
     agents: Vec<(NodeId, Box<dyn Agent<M>>, SimTime)>,
     plan: FaultPlan,
+    scenario: ScenarioPlan,
     record_probes: bool,
     audit: Option<AuditConfig>,
     shard_plan: Option<Arc<ShardPlan>>,
@@ -891,6 +911,7 @@ impl<M: Classify + Clone + 'static> EngineBuilder<M> {
             channels: Vec::new(),
             agents: Vec::new(),
             plan: FaultPlan::new(),
+            scenario: ScenarioPlan::new(),
             record_probes: false,
             audit: None,
             shard_plan: None,
@@ -953,6 +974,25 @@ impl<M: Classify + Clone + 'static> EngineBuilder<M> {
         self
     }
 
+    /// Installs a workload scenario (replaces any previously set one).
+    /// At build time the plan compiles to ordinary DES events:
+    ///
+    /// * membership events are scheduled *before* any agent start, so a
+    ///   join at `t` orders ahead of the joining agent's start at `t`;
+    /// * a node whose earliest event on a channel is a `Join` is stripped
+    ///   from that channel's initial member list;
+    /// * [`ScenarioPlan::starts`] override the start times passed to
+    ///   [`EngineBuilder::add_agent_at`];
+    /// * stops and restarts become [`FaultEvent::NodeCrash`] /
+    ///   [`FaultEvent::NodeRestart`] events appended to the fault plan.
+    ///
+    /// If an auditor is attached, the scenario's disruption instants are
+    /// excused ([`AuditConfig::excuse_scenario`]).
+    pub fn scenario(&mut self, plan: ScenarioPlan) -> &mut Self {
+        self.scenario = plan;
+        self
+    }
+
     /// Keeps the probe events agents emit (default: discard them).  Probe
     /// emission is a single branch when disabled, so enabling this never
     /// changes simulated behaviour — only what is retained.
@@ -995,19 +1035,49 @@ impl<M: Classify + Clone + 'static> EngineBuilder<M> {
         }
         if let Some(mut cfg) = self.audit {
             cfg.excuse_faults(&self.plan);
+            cfg.excuse_scenario(&self.scenario);
             engine.probes.set_auditor(Auditor::new(cfg));
         }
         engine.recorder.set_mode(self.mode);
         if let Some(w) = self.bin_width {
             engine.recorder.set_bin_width(w);
         }
-        for members in &self.channels {
-            engine.add_channel(members);
+        for (i, members) in self.channels.iter().enumerate() {
+            if self.scenario.is_empty() {
+                engine.add_channel(members);
+                continue;
+            }
+            // Future joiners start outside their channels: strip them
+            // from the initial member list (keeps setup layers free to
+            // register full zone rosters).
+            let id = ChannelId(i as u32);
+            let initial: Vec<NodeId> = members
+                .iter()
+                .copied()
+                .filter(|&m| !self.scenario.initially_out(id, m))
+                .collect();
+            engine.add_channel(&initial);
+        }
+        // Membership events go in before any agent start, so a join at
+        // time t orders ahead of an agent start at the same t (both are
+        // origin-0 keys sequenced by push order).
+        for &(when, ev) in self.scenario.events() {
+            engine.schedule_membership(when, ev);
         }
         for (node, agent, at) in self.agents {
+            let at = self.scenario.start_override(node).unwrap_or(at);
             engine.attach_agent(node, agent, at);
         }
-        engine.schedule_faults(&self.plan);
+        // Agent stops/restarts ride the fault machinery: a stop is a node
+        // crash (timers die, state freezes), a rejoin a warm restart.
+        let mut plan = self.plan;
+        for &(when, node) in self.scenario.stops() {
+            plan.push(when, FaultEvent::NodeCrash(node));
+        }
+        for &(when, node) in self.scenario.restarts() {
+            plan.push(when, FaultEvent::NodeRestart(node));
+        }
+        engine.schedule_faults(&plan);
         engine.default_plan = self.shard_plan;
         engine.default_threads = self.threads;
         engine
@@ -1772,11 +1842,11 @@ mod tests {
         );
     }
 
-    /// Pins the one-PR deprecation shims: `run_until`/`run` must behave
-    /// exactly like serial `advance` until they are removed.
+    /// Ported pin from the PR 9 deprecation shims (`run_until`/`run`, now
+    /// removed): a horizon-then-drain `advance` pair must be bit-identical
+    /// to one uninterrupted drain.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_shims_match_advance() {
+    fn split_advance_matches_single_drain() {
         let build = || {
             let (t, [n0, n1, n2]) = chain3(0.3);
             let mut e: Engine<Msg> = Engine::new(t, 11);
@@ -1787,17 +1857,106 @@ mod tests {
         };
         let mid = SimTime::from_millis(25);
 
-        let mut old = build();
-        let old_head = old.run_until(mid);
-        let old_tail = old.run();
+        let mut whole = build();
+        let whole_events = whole.advance(RunSpec::drain());
 
-        let mut new = build();
-        let new_head = new.advance(RunSpec::to(mid));
-        let new_tail = new.advance(RunSpec::drain());
+        let mut split = build();
+        let head = split.advance(RunSpec::to(mid));
+        assert_eq!(split.now(), mid, "horizon run parks the clock at t_end");
+        let tail = split.advance(RunSpec::drain());
 
-        assert_eq!((old_head, old_tail), (new_head, new_tail));
-        assert_eq!(old.now(), new.now());
-        assert_eq!(old.recorder().deliveries, new.recorder().deliveries);
-        assert_eq!(old.recorder().drops, new.recorder().drops);
+        assert_eq!(head + tail, whole_events);
+        assert_eq!(split.now(), whole.now());
+        assert_eq!(split.recorder().deliveries, whole.recorder().deliveries);
+        assert_eq!(split.recorder().drops, whole.recorder().drops);
+    }
+
+    #[test]
+    fn membership_events_flip_delivery_midrun() {
+        // n2 leaves the channel at 15 ms and rejoins at 35 ms.  Scope is
+        // checked when the parent forwards (n1's hop toward n2), so sends
+        // whose n1→n2 hop lands in the gap are pruned, the rest delivered.
+        struct Ticker {
+            chan: ChannelId,
+            left: u32,
+        }
+        impl Agent<Msg> for Ticker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.set_timer(SimDuration::from_millis(10), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _: u64) {
+                ctx.multicast(self.chan, Msg::Data(0), 100);
+                self.left -= 1;
+                if self.left > 0 {
+                    ctx.set_timer(SimDuration::from_millis(10), 0);
+                }
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, Msg>, _: &Packet<Msg>) {}
+        }
+        let (t, [n0, n1, n2]) = chain3(0.0);
+        let mut e: Engine<Msg> = Engine::new(t, 5);
+        let chan = e.add_channel(&[n0, n1, n2]);
+        e.set_agent(n0, Box::new(Ticker { chan, left: 5 }));
+        e.set_agent(n2, Box::new(Sniffer::default()));
+        // Sends at 10/20/30/40/50 ms; the n1→n2 hop happens ~11 ms after
+        // each send, so hops at ~21 and ~31 ms fall inside the gap.
+        e.schedule_membership(
+            SimTime::from_millis(15),
+            MembershipEvent::Leave {
+                channel: chan,
+                node: n2,
+            },
+        );
+        e.schedule_membership(
+            SimTime::from_millis(35),
+            MembershipEvent::Join {
+                channel: chan,
+                node: n2,
+            },
+        );
+        e.advance(RunSpec::drain());
+        let got = &e.agent::<Sniffer>(n2).unwrap().heard;
+        assert_eq!(got.len(), 3, "got {got:?}");
+        assert!(e.channel(chan).contains(n2), "rejoin applied");
+    }
+
+    #[test]
+    fn scenario_plan_strips_initial_membership_and_joins_on_time() {
+        // A joiner declared via ScenarioPlan must start outside the
+        // channel even though the builder listed it as a member, then
+        // hear everything from its join time onward.
+        struct Ticker {
+            chan: ChannelId,
+            left: u32,
+        }
+        impl Agent<Msg> for Ticker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.set_timer(SimDuration::from_millis(10), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _: u64) {
+                ctx.multicast(self.chan, Msg::Data(0), 100);
+                self.left -= 1;
+                if self.left > 0 {
+                    ctx.set_timer(SimDuration::from_millis(10), 0);
+                }
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, Msg>, _: &Packet<Msg>) {}
+        }
+        let (t, [n0, n1, n2]) = chain3(0.0);
+        let mut b: EngineBuilder<Msg> = EngineBuilder::new(t, 5);
+        let chan = b.add_channel(&[n0, n1, n2]);
+        b.add_agent(n0, Box::new(Ticker { chan, left: 4 }));
+        b.add_agent(n2, Box::new(Sniffer::default()));
+        b.scenario(ScenarioPlan::new().join_at(SimTime::from_millis(35), n2, &[chan]));
+        let mut e = b.build();
+        assert!(
+            !e.channel(chan).contains(n2),
+            "scenario join strips initial membership"
+        );
+        e.advance(RunSpec::drain());
+        // Sends at 10/20/30/40 ms forward over the n1→n2 hop at ~21/31/
+        // 41/51 ms; only the two hops after the 35 ms join get through.
+        assert_eq!(e.agent::<Sniffer>(n2).unwrap().heard.len(), 2);
+        assert!(e.channel(chan).contains(n2));
     }
 }

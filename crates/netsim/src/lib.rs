@@ -16,6 +16,10 @@
 //! * **Fault injection** — a declarative [`faults::FaultPlan`] schedules
 //!   link flaps, loss changes, and node churn as ordinary DES events
 //!   ([`faults`]).
+//! * **Workload scenarios** — a declarative [`scenario::ScenarioPlan`]
+//!   schedules dynamic membership the same way: late joins, flash crowds,
+//!   leave/rejoin churn, and sender handoff compile to membership and
+//!   agent start/stop events at build time ([`scenario`]).
 //! * **Multicast channels** — named groups of member nodes.  A packet sent
 //!   on a channel is forwarded hop-by-hop down the sender-rooted tree,
 //!   store-and-forward, with per-directed-link FIFO serialization and
@@ -94,6 +98,7 @@ pub mod queue;
 pub mod rng;
 pub mod routing;
 pub mod runner;
+pub mod scenario;
 pub mod shard;
 pub mod time;
 pub mod trace;
@@ -112,6 +117,7 @@ pub mod prelude {
         ZcrAction,
     };
     pub use crate::rng::SimRng;
+    pub use crate::scenario::{MembershipEvent, ScenarioPlan};
     pub use crate::shard::{RunSpec, ShardPlan};
     pub use crate::time::{SimDuration, SimTime};
 }

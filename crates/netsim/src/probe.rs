@@ -17,8 +17,12 @@
 //!   stable ZCR outside fault/heal windows, (2) the injection chosen by
 //!   *any* policy (EWMA, percentile, optimizing) never exceeds the group
 //!   size and fires once per (node, group, level), (3) ZLC predictions
-//!   stay finite and non-negative, and (4) every receiver's delivered set
-//!   is complete at group close.
+//!   stay finite and non-negative, (4) every receiver's delivered set
+//!   is complete at group close, (5) fresh data sequences come from
+//!   exactly one sender with non-interleaved sender eras (handoff
+//!   correctness), and (6) — opt-in via
+//!   [`AuditConfig::nack_sent_cap`] — sent NACKs per (group, level)
+//!   stay under a storm cap even across batch joins.
 //!
 //! Enable recording with [`crate::engine::EngineBuilder::record_probes`]
 //! and auditing with [`crate::engine::EngineBuilder::audit`]; read the
@@ -27,6 +31,7 @@
 
 use crate::faults::FaultPlan;
 use crate::graph::NodeId;
+use crate::scenario::ScenarioPlan;
 use crate::time::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::fmt;
@@ -163,6 +168,15 @@ pub enum ProbeEvent {
         /// Who holds the seat after the transition, in the emitter's view.
         holder: NodeId,
     },
+    /// A source put a *fresh* data sequence on the wire (first
+    /// transmission, not a repair).  Drives the single-active-sender
+    /// invariant across sender handoffs: the standby must pick up exactly
+    /// where the retired sender stopped, with no interleaving and no
+    /// sequence sent fresh twice.
+    Sender {
+        /// The fresh sequence number.
+        seq: u32,
+    },
     /// A packet group closed at one member (completion, or the stream-end
     /// audit finding it still open).  The auditor keeps the *last* close
     /// per (node, group), so an audit-time `complete: false` is superseded
@@ -188,6 +202,7 @@ impl ProbeEvent {
             ProbeEvent::Nack { .. } => "nack",
             ProbeEvent::Window { .. } => "window",
             ProbeEvent::Zcr { .. } => "zcr",
+            ProbeEvent::Sender { .. } => "sender",
             ProbeEvent::GroupClose { .. } => "close",
         }
     }
@@ -240,6 +255,7 @@ impl fmt::Display for ProbeEvent {
                 action,
                 holder,
             } => write!(f, "zone{zone} {} -> n{}", action.label(), holder.0),
+            ProbeEvent::Sender { seq } => write!(f, "fresh seq {seq}"),
             ProbeEvent::GroupClose {
                 group,
                 complete,
@@ -277,6 +293,15 @@ pub enum Invariant {
     ZlcSane,
     /// Every receiver's delivered set is complete at group close.
     DeliveryComplete,
+    /// Fresh data sequences come from exactly one sender at a time:
+    /// no sequence is fresh-sent twice, and sender eras never interleave
+    /// (a retired sender must not resume, outside excused windows).
+    SingleSender,
+    /// Sent NACKs per (group, level) stay under the configured storm cap
+    /// ([`AuditConfig::nack_sent_cap`]; off when `None`).  Deliberately
+    /// *not* softened by excuse windows: its whole point is bounding the
+    /// NACK volume of membership transients like batch joins.
+    NackStorm,
 }
 
 impl Invariant {
@@ -287,6 +312,8 @@ impl Invariant {
             Invariant::InjectionBudget => "injection-budget",
             Invariant::ZlcSane => "zlc-sane",
             Invariant::DeliveryComplete => "delivery-complete",
+            Invariant::SingleSender => "single-sender",
+            Invariant::NackStorm => "nack-storm",
         }
     }
 }
@@ -337,6 +364,18 @@ pub struct AuditConfig {
     /// [`AuditConfig::excuse_faults`]): elections need a few challenge
     /// rounds to reconverge after heal.  Default 15 s.
     pub heal_grace: SimDuration,
+    /// Grace appended after each membership disruption (join, leave,
+    /// handoff, churn edge) when deriving excuse windows from a
+    /// [`ScenarioPlan`] (see [`AuditConfig::excuse_scenario`]).  Shorter
+    /// than `heal_grace`: membership flips touch no routing, only seats
+    /// and audit paths.  Default 10 s.
+    pub membership_grace: SimDuration,
+    /// Opt-in NACK-storm cap: the maximum number of `Sent` NACK decisions
+    /// allowed per (group, level) over the whole run.  `None` (the
+    /// default) disables the check — static workloads tune suppression
+    /// elsewhere; scenario sweeps set this to a small multiple of the
+    /// scope ladder's zone fan-out.
+    pub nack_sent_cap: Option<u32>,
 }
 
 impl Default for AuditConfig {
@@ -345,6 +384,8 @@ impl Default for AuditConfig {
             excused: Vec::new(),
             seat_settle: SimDuration::from_secs(10),
             heal_grace: SimDuration::from_secs(15),
+            membership_grace: SimDuration::from_secs(10),
+            nack_sent_cap: None,
         }
     }
 }
@@ -359,6 +400,31 @@ impl AuditConfig {
             return;
         };
         self.excused.push((first, last + self.heal_grace));
+    }
+
+    /// Adds excuse windows for a scenario plan's membership disruptions:
+    /// one window `[t, t + membership_grace]` per disruption instant,
+    /// with overlapping windows coalesced so a steady churn process does
+    /// not degenerate into thousands of entries.  Unlike
+    /// [`AuditConfig::excuse_faults`] this deliberately does *not* blanket
+    /// the whole span — the quiet stretches between membership events must
+    /// still uphold every invariant.  No-op for an empty plan.
+    pub fn excuse_scenario(&mut self, plan: &ScenarioPlan) {
+        let mut open: Option<(SimTime, SimTime)> = None;
+        for t in plan.disruption_times() {
+            match &mut open {
+                Some((_, end)) if t <= *end => *end = t + self.membership_grace,
+                _ => {
+                    if let Some(w) = open.take() {
+                        self.excused.push(w);
+                    }
+                    open = Some((t, t + self.membership_grace));
+                }
+            }
+        }
+        if let Some(w) = open {
+            self.excused.push(w);
+        }
     }
 }
 
@@ -382,6 +448,16 @@ pub struct Auditor {
     injections: HashMap<(NodeId, u32, u32), u32>,
     /// Last close seen per (node, group).
     closes: HashMap<(NodeId, u32), (SimTime, bool, u32, u32)>,
+    /// The node currently in its fresh-send era, if any.
+    active_sender: Option<NodeId>,
+    /// Senders whose era ended (another node started sending fresh data),
+    /// with the time of the switch.
+    retired_senders: HashMap<NodeId, SimTime>,
+    /// First fresh sender seen per sequence number.
+    sent_seqs: HashMap<u32, NodeId>,
+    /// `Sent` NACK decisions per (group, level), kept only when
+    /// [`AuditConfig::nack_sent_cap`] is set.
+    nack_sent: HashMap<(u32, u32), u32>,
 }
 
 impl Auditor {
@@ -394,11 +470,22 @@ impl Auditor {
             seats: HashMap::new(),
             injections: HashMap::new(),
             closes: HashMap::new(),
+            active_sender: None,
+            retired_senders: HashMap::new(),
+            sent_seqs: HashMap::new(),
+            nack_sent: HashMap::new(),
         }
     }
 
     fn excused(&self, from: SimTime, to: SimTime) -> bool {
         self.cfg.excused.iter().any(|&(s, e)| from < e && to > s)
+    }
+
+    /// Whether the instant `t` falls in an excused window, inclusive of
+    /// the window start (a handoff's first standby send lands exactly on
+    /// the disruption instant that opened the window).
+    fn excused_at(&self, t: SimTime) -> bool {
+        self.cfg.excused.iter().any(|&(s, e)| s <= t && t <= e)
     }
 
     /// Closes a seat-overlap episode `[since, until)`, recording a
@@ -514,7 +601,71 @@ impl Auditor {
                 self.closes
                     .insert((r.node, group), (r.time, complete, held, k));
             }
+            ProbeEvent::Sender { seq } => self.ingest_sender(r, seq),
+            ProbeEvent::Nack {
+                group,
+                level,
+                outcome: NackOutcome::Sent,
+                ..
+            } => {
+                if let Some(cap) = self.cfg.nack_sent_cap {
+                    let n = self.nack_sent.entry((group, level)).or_insert(0);
+                    *n += 1;
+                    // Flag exactly once, when the cap is first crossed.
+                    if *n == cap + 1 {
+                        self.violations.push(Violation {
+                            time: r.time,
+                            node: r.node,
+                            invariant: Invariant::NackStorm,
+                            detail: format!("more than {cap} Sent NACKs for g{group} L{level}"),
+                        });
+                    }
+                }
+            }
             ProbeEvent::Nack { .. } | ProbeEvent::Window { .. } => {}
+        }
+    }
+
+    /// Single-sender bookkeeping for one fresh send.
+    fn ingest_sender(&mut self, r: &ProbeRecord, seq: u32) {
+        match self.sent_seqs.get(&seq) {
+            Some(&prev) if prev != r.node => self.violations.push(Violation {
+                time: r.time,
+                node: r.node,
+                invariant: Invariant::SingleSender,
+                detail: format!("seq {seq} fresh-sent by n{} and n{}", prev.0, r.node.0),
+            }),
+            Some(_) => self.violations.push(Violation {
+                time: r.time,
+                node: r.node,
+                invariant: Invariant::SingleSender,
+                detail: format!("seq {seq} fresh-sent twice by n{}", r.node.0),
+            }),
+            None => {
+                self.sent_seqs.insert(seq, r.node);
+            }
+        }
+        match self.active_sender {
+            None => self.active_sender = Some(r.node),
+            Some(a) if a == r.node => {}
+            Some(a) => {
+                // Era switch: `a` retires.  If the new sender was itself
+                // retired earlier, eras interleaved — two live senders —
+                // unless a membership/fault window excuses the transient.
+                self.retired_senders.insert(a, r.time);
+                if self.retired_senders.remove(&r.node).is_some() && !self.excused_at(r.time) {
+                    self.violations.push(Violation {
+                        time: r.time,
+                        node: r.node,
+                        invariant: Invariant::SingleSender,
+                        detail: format!(
+                            "retired sender n{} resumed fresh sends (seq {seq})",
+                            r.node.0
+                        ),
+                    });
+                }
+                self.active_sender = Some(r.node);
+            }
         }
     }
 
@@ -966,6 +1117,144 @@ mod tests {
         assert!(report.summary().contains("zlc-sane"));
         let clean = Auditor::new(AuditConfig::default()).report(at(2));
         assert!(clean.summary().contains("OK"));
+    }
+
+    #[test]
+    fn handoff_with_disjoint_eras_and_seqs_is_clean() {
+        let mut a = Auditor::new(AuditConfig::default());
+        for seq in 0..5 {
+            a.ingest(&rec(at(seq as u64 + 1), 1, ProbeEvent::Sender { seq }));
+        }
+        // Node 7 takes over exactly where node 1 stopped.
+        for seq in 5..10 {
+            a.ingest(&rec(at(seq as u64 + 1), 7, ProbeEvent::Sender { seq }));
+        }
+        assert!(a.report(at(20)).ok());
+    }
+
+    #[test]
+    fn duplicate_fresh_seq_is_a_single_sender_violation() {
+        let mut a = Auditor::new(AuditConfig::default());
+        a.ingest(&rec(at(1), 1, ProbeEvent::Sender { seq: 0 }));
+        a.ingest(&rec(at(2), 1, ProbeEvent::Sender { seq: 1 }));
+        // A mis-seeded standby resends seq 1.
+        a.ingest(&rec(at(3), 7, ProbeEvent::Sender { seq: 1 }));
+        let report = a.report(at(10));
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].invariant, Invariant::SingleSender);
+        assert!(report.violations[0].detail.contains("n1 and n7"));
+    }
+
+    #[test]
+    fn interleaved_sender_eras_are_a_violation_unless_excused() {
+        let run = |excuse: Option<(SimTime, SimTime)>| {
+            let mut cfg = AuditConfig::default();
+            cfg.excused.extend(excuse);
+            let mut a = Auditor::new(cfg);
+            a.ingest(&rec(at(1), 1, ProbeEvent::Sender { seq: 0 }));
+            a.ingest(&rec(at(2), 7, ProbeEvent::Sender { seq: 1 }));
+            // Node 1 was retired by node 7's takeover but speaks again.
+            a.ingest(&rec(at(3), 1, ProbeEvent::Sender { seq: 2 }));
+            a.report(at(10))
+        };
+        let bad = run(None);
+        assert_eq!(bad.violations.len(), 1);
+        assert_eq!(bad.violations[0].invariant, Invariant::SingleSender);
+        assert!(bad.violations[0].detail.contains("resumed"));
+        assert!(run(Some((at(3), at(5)))).ok(), "window start is inclusive");
+    }
+
+    #[test]
+    fn nack_storm_cap_is_opt_in_and_fires_once() {
+        let nack = |group| ProbeEvent::Nack {
+            group,
+            level: 0,
+            outcome: NackOutcome::Sent,
+            llc: 1,
+            zlc: 1,
+        };
+        // Default config: unlimited Sent NACKs.
+        let mut quiet = Auditor::new(AuditConfig::default());
+        for i in 0..100 {
+            quiet.ingest(&rec(at(i), 1, nack(0)));
+        }
+        assert!(quiet.report(at(200)).ok());
+
+        let cfg = AuditConfig {
+            nack_sent_cap: Some(3),
+            ..AuditConfig::default()
+        };
+        let mut a = Auditor::new(cfg);
+        for i in 0..10 {
+            a.ingest(&rec(at(i), 1, nack(0)));
+        }
+        // A different (group, level) key counts separately.
+        for i in 0..3 {
+            a.ingest(&rec(at(50 + i), 2, nack(1)));
+        }
+        let report = a.report(at(100));
+        assert_eq!(report.violations.len(), 1, "one violation per key crossing");
+        assert_eq!(report.violations[0].invariant, Invariant::NackStorm);
+        assert_eq!(report.violations[0].time, at(3), "flagged at the crossing");
+    }
+
+    #[test]
+    fn suppressed_nacks_do_not_count_toward_the_storm_cap() {
+        let cfg = AuditConfig {
+            nack_sent_cap: Some(1),
+            ..AuditConfig::default()
+        };
+        let mut a = Auditor::new(cfg);
+        for i in 0..20 {
+            a.ingest(&rec(
+                at(i),
+                1,
+                ProbeEvent::Nack {
+                    group: 0,
+                    level: 0,
+                    outcome: NackOutcome::SuppressedDuplicate,
+                    llc: 1,
+                    zlc: 2,
+                },
+            ));
+        }
+        a.ingest(&rec(
+            at(30),
+            1,
+            ProbeEvent::Nack {
+                group: 0,
+                level: 0,
+                outcome: NackOutcome::Sent,
+                llc: 1,
+                zlc: 1,
+            },
+        ));
+        assert!(a.report(at(40)).ok(), "suppression is the storm *remedy*");
+    }
+
+    #[test]
+    fn excuse_scenario_coalesces_overlapping_windows() {
+        use crate::channel::ChannelId;
+        use crate::scenario::MembershipEvent;
+        let mut plan = ScenarioPlan::new();
+        // Three disruptions at 1 s, 5 s, and 40 s with a 10 s grace:
+        // the first two windows overlap and must merge.
+        for (t, n) in [(1u64, 10u32), (5, 11), (40, 12)] {
+            plan.push(
+                at(t),
+                MembershipEvent::Join {
+                    channel: ChannelId(0),
+                    node: NodeId(n),
+                },
+            );
+        }
+        let mut cfg = AuditConfig::default();
+        cfg.excuse_scenario(&plan);
+        assert_eq!(cfg.excused, vec![(at(1), at(15)), (at(40), at(50))]);
+        // An empty plan adds nothing.
+        let mut empty = AuditConfig::default();
+        empty.excuse_scenario(&ScenarioPlan::new());
+        assert!(empty.excused.is_empty());
     }
 
     #[test]

@@ -40,10 +40,10 @@
 //!   per-(link, direction) streams, and per-node sequence counters are
 //!   only advanced while processing that node's events — all owned by
 //!   exactly one shard;
-//! * fault events are replicated to every shard with identical keys, so
-//!   replicated state (link masks, loss models, epochs) evolves
-//!   identically everywhere; the restart `Start` fires only in the shard
-//!   owning the node's agent;
+//! * fault and membership events are replicated to every shard with
+//!   identical keys, so replicated state (link masks, loss models,
+//!   epochs, channel member sets) evolves identically everywhere; the
+//!   restart `Start` fires only in the shard owning the node's agent;
 //! * recorder and probe records are tagged with their event key and
 //!   k-way merged back into the serial timeline regardless of shard
 //!   completion order.
@@ -475,13 +475,19 @@ impl<M: Classify + Clone + Send + 'static> Engine<M> {
                 .expect("engine-issued timer ids encode their node");
             shards[plan.owner(node) as usize].cancelled.insert(id);
         }
-        // Distribute queued events under their existing keys; faults
-        // replicate to every shard so replicated state stays identical.
+        // Distribute queued events under their existing keys; faults and
+        // membership changes replicate to every shard so replicated state
+        // (link masks, epochs, channel member sets) stays identical.
         while let Some((key, kind)) = self.queue.pop_keyed() {
             match kind {
                 EventKind::Fault(ev) => {
                     for s in &mut shards {
                         s.queue.push_keyed(key, EventKind::Fault(ev));
+                    }
+                }
+                EventKind::Membership(ev) => {
+                    for s in &mut shards {
+                        s.queue.push_keyed(key, EventKind::Membership(ev));
                     }
                 }
                 EventKind::Arrive { node, pkt } => {
@@ -505,7 +511,7 @@ impl<M: Classify + Clone + Send + 'static> Engine<M> {
                     let node = match &other {
                         EventKind::Start(node) => *node,
                         EventKind::Timer { node, .. } => *node,
-                        _ => unreachable!("faults and arrivals handled above"),
+                        _ => unreachable!("faults, membership, and arrivals handled above"),
                     };
                     shards[plan.owner(node) as usize]
                         .queue
@@ -534,6 +540,7 @@ impl<M: Classify + Clone + Send + 'static> Engine<M> {
         std::mem::swap(&mut self.link_up, &mut shards[0].link_up);
         std::mem::swap(&mut self.node_up, &mut shards[0].node_up);
         std::mem::swap(&mut self.epoch, &mut shards[0].epoch);
+        std::mem::swap(&mut self.channels, &mut shards[0].channels);
         self.tree_forwarding = shards[0].tree_forwarding;
         self.spts = Vec::new(); // recomputed lazily against the new mask
         for i in 0..n {
@@ -576,13 +583,19 @@ impl<M: Classify + Clone + Send + 'static> Engine<M> {
             self.cancelled.extend(s.cancelled.drain());
         }
         // Events still queued (horizon reached before drain) come back
-        // under their keys; replicated faults only from shard 0.
+        // under their keys; replicated faults and membership changes only
+        // from shard 0.
         for (si, s) in shards.iter_mut().enumerate() {
             while let Some((key, kind)) = s.queue.pop_keyed() {
                 match kind {
                     EventKind::Fault(ev) => {
                         if si == 0 {
                             self.queue.push_keyed(key, EventKind::Fault(ev));
+                        }
+                    }
+                    EventKind::Membership(ev) => {
+                        if si == 0 {
+                            self.queue.push_keyed(key, EventKind::Membership(ev));
                         }
                     }
                     EventKind::Arrive { node, pkt } => {
@@ -892,6 +905,83 @@ mod tests {
                 serial, sharded,
                 "divergence at shards={shards} threads={threads}"
             );
+        }
+    }
+
+    #[test]
+    fn membership_events_replicate_and_stay_bit_identical_across_shards() {
+        use crate::scenario::{MembershipEvent, ScenarioPlan};
+        // Leaf 4 leaves mid-stream and rejoins; leaf 9 joins late via a
+        // ScenarioPlan.  The run must match serial bit-for-bit, and the
+        // master's channel state after absorb must reflect the changes.
+        let run = |shards: usize| {
+            let (topo, nodes) = scenario_topology();
+            let plan = Arc::new(ShardPlan::by_subtrees(&topo, nodes[0], shards));
+            let mut builder: EngineBuilder<Msg> = EngineBuilder::new(topo, 42);
+            let chan = builder.add_channel(&nodes);
+            builder.add_agent(
+                nodes[0],
+                Box::new(Source {
+                    chan,
+                    next: 0,
+                    count: 12,
+                    repaired: Default::default(),
+                }),
+            );
+            let receivers: Vec<NodeId> = nodes[4..].to_vec();
+            for &r in &receivers {
+                builder.add_agent(
+                    r,
+                    Box::new(Receiver {
+                        chan: Some(chan),
+                        ..Default::default()
+                    }),
+                );
+            }
+            let scen = ScenarioPlan::new()
+                .at(
+                    SimTime::from_millis(30),
+                    MembershipEvent::Leave {
+                        channel: chan,
+                        node: nodes[4],
+                    },
+                )
+                .at(
+                    SimTime::from_millis(70),
+                    MembershipEvent::Join {
+                        channel: chan,
+                        node: nodes[4],
+                    },
+                )
+                .join_at(SimTime::from_millis(45), nodes[9], &[chan]);
+            builder.scenario(scen);
+            let mut e = builder.build();
+            assert!(!e.channel(chan).contains(nodes[9]), "initially stripped");
+            // Horizon stop mid-gap exercises replicated-membership requeue
+            // (shard-0-only) plus the channel-state swap at absorb.
+            let mut processed =
+                e.advance(RunSpec::to(SimTime::from_millis(50)).with_plan(Arc::clone(&plan)));
+            assert!(e.channel(chan).contains(nodes[9]), "join applied by 50ms");
+            assert!(!e.channel(chan).contains(nodes[4]), "leave applied");
+            processed += e.advance(RunSpec::drain().with_plan(plan));
+            assert!(e.channel(chan).contains(nodes[4]), "rejoin applied");
+            Observed {
+                processed,
+                now: e.now(),
+                deliveries: e.recorder().deliveries.clone(),
+                transmissions: e.recorder().transmissions.clone(),
+                drops: e.recorder().drops.clone(),
+                heard: receivers
+                    .iter()
+                    .map(|&r| e.agent::<Receiver>(r).unwrap().heard.clone())
+                    .collect(),
+                probes: Vec::new(),
+            }
+        };
+        let serial = run(1);
+        assert!(!serial.deliveries.is_empty());
+        for shards in [2, 3] {
+            assert_eq!(serial, run(shards), "divergence at shards={shards}");
         }
     }
 

@@ -461,22 +461,33 @@ impl SessionCore {
 
     /// Starts the protocol: arms the announcement timer and the per-zone
     /// election timers.
+    ///
+    /// Calling it again is a *warm restart* — the path a node takes when
+    /// it rejoins after a crash (scenario churn, `NodeRestart`): the
+    /// crash epoch killed every pending timer, so announcements and
+    /// election challenges are re-armed and the liveness clocks reset to
+    /// `now` (a returning node must not instantly depose every ZCR it
+    /// slept through).  Session state — learned ZCRs, distances, seat
+    /// tallies — persists; in particular the seeded-tenure probe and seat
+    /// credit are cold-start-only, so a flapping node cannot mint seat
+    /// gains by rejoining.
     pub fn start(&mut self, ctx: &mut dyn SessionCtx) {
-        assert!(!self.started, "SessionCore started twice");
-        self.started = true;
+        let warm = std::mem::replace(&mut self.started, true);
         let now = ctx.now();
         for level in &mut self.levels {
             level.zcr_heard_at = now;
         }
-        for l in 0..self.levels.len() {
-            if self.levels[l].zcr == Some(self.node) {
-                ctx.probe(ProbeEvent::Zcr {
-                    zone: self.chain[l].idx() as u64,
-                    action: ZcrAction::Seeded,
-                    holder: self.node,
-                });
-                // Seeded tenure counts as a seat gain for the host.
-                self.seat_events.push((l, true));
+        if !warm {
+            for l in 0..self.levels.len() {
+                if self.levels[l].zcr == Some(self.node) {
+                    ctx.probe(ProbeEvent::Zcr {
+                        zone: self.chain[l].idx() as u64,
+                        action: ZcrAction::Seeded,
+                        holder: self.node,
+                    });
+                    // Seeded tenure counts as a seat gain for the host.
+                    self.seat_events.push((l, true));
+                }
             }
         }
         self.arm_announce(ctx);
@@ -1185,6 +1196,36 @@ mod tests {
         // Warm-up stagger: first announce within [0.05, 0.25]s.
         let (d, _) = ctx.timers[0];
         assert!(d >= SimDuration::from_millis(50) && d <= SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn restart_rearms_timers_without_minting_seat_credit() {
+        // Regression (scenario churn): `NodeRestart` re-runs `on_start`,
+        // which calls `start` a second time.  This used to panic with
+        // "SessionCore started twice"; it must instead warm-restart —
+        // re-arm announce/challenge timers (the crash epoch killed the
+        // old ones), reset the ZCR liveness clocks, and NOT re-emit the
+        // seeded-tenure probe or seat gain.
+        let mut core = SessionCore::new(n(3), hier(), SessionConfig::default(), &designed());
+        let mut ctx = FakeCtx::new();
+        core.start(&mut ctx);
+        let cold_timers = ctx.timers.len();
+        let cold_probes = ctx.probes.len();
+        assert_eq!(cold_probes, 1, "node 3 is the seeded ZCR of Z2");
+        assert_eq!(core.take_seat_events(), vec![(0, true)]);
+
+        ctx.now = SimTime::from_secs(40); // well past every liveness window
+        core.start(&mut ctx);
+        assert_eq!(
+            ctx.timers.len(),
+            2 * cold_timers,
+            "warm restart must re-arm the same timer set"
+        );
+        assert_eq!(ctx.probes.len(), cold_probes, "no second Seeded probe");
+        assert!(
+            core.take_seat_events().is_empty(),
+            "rejoining must not mint another seat gain"
+        );
     }
 
     #[test]

@@ -24,7 +24,8 @@
 //! of thread count or build order.
 
 use crate::BuiltTopology;
-use sharqfec_netsim::{LinkParams, NodeId, SimDuration, SimRng, TopologyBuilder};
+use sharqfec_netsim::prelude::{FaultEvent, FaultPlan};
+use sharqfec_netsim::{LinkId, LinkParams, NodeId, SimDuration, SimRng, SimTime, TopologyBuilder};
 use sharqfec_scoping::{ZoneHierarchyBuilder, ZoneId, ZoneInterner, ZoneSym};
 
 /// Parameters for [`scaled_tree`].
@@ -115,6 +116,57 @@ impl ScaledTopology {
     /// Renders a zone's dotted hub path, e.g. `"0.2.7"` (root is `"0"`).
     pub fn zone_label(&self, zone: ZoneId) -> String {
         self.zone_names.path(self.zone_syms[zone.idx()])
+    }
+
+    /// The link bundle of a zone's region: every link internal to the
+    /// zone's contiguous preorder member range plus the uplink that
+    /// connects the zone's hub to its parent (the root zone has none).
+    /// Taking the bundle down at once models a correlated regional
+    /// outage — the paper-scale analogue of a metro backbone cut, not an
+    /// independent per-link fault.
+    ///
+    /// Walks the members' adjacency lists, so the cost is proportional to
+    /// the zone size, never the whole network.  In a tree a non-root
+    /// zone's bundle has exactly as many links as the zone has members.
+    pub fn zone_link_bundle(&self, zone: ZoneId) -> Vec<LinkId> {
+        let members = &self.built.hierarchy.zone(zone).members;
+        let (lo, hi) = (members[0], *members.last().unwrap());
+        let mut links = Vec::with_capacity(members.len());
+        for &m in members {
+            for &(peer, link) in self.built.topology.neighbors(m) {
+                // Internal links once (from the lower endpoint); the
+                // hub's one lower neighbour is the uplink.
+                if (peer > m && peer <= hi) || (m == lo && peer < lo) {
+                    links.push(link);
+                }
+            }
+        }
+        links.sort_by_key(|l| l.0);
+        links
+    }
+
+    /// Appends a correlated regional outage to `plan`: the whole
+    /// [`zone_link_bundle`](Self::zone_link_bundle) goes down at `down`
+    /// and comes back at `up`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `down < up`.
+    pub fn zone_outage(
+        &self,
+        plan: FaultPlan,
+        zone: ZoneId,
+        down: SimTime,
+        up: SimTime,
+    ) -> FaultPlan {
+        assert!(down < up, "outage must end after it starts");
+        let mut plan = plan;
+        for l in self.zone_link_bundle(zone) {
+            plan = plan
+                .at(down, FaultEvent::LinkDown(l))
+                .at(up, FaultEvent::LinkUp(l));
+        }
+        plan
     }
 }
 
@@ -461,6 +513,66 @@ mod tests {
             .map(|z| t.zone_label(z.id))
             .collect();
         assert_eq!(labels.len(), t.built.hierarchy.zone_count(), "unique");
+    }
+
+    #[test]
+    fn zone_link_bundles_cover_each_region_exactly() {
+        let t = scaled_tree(&ScaledTreeParams::default(), 4);
+        let b = &t.built;
+        for zone in b.hierarchy.zones() {
+            let bundle = t.zone_link_bundle(zone.id);
+            // In a tree: size-1 internal links, plus an uplink for every
+            // zone but the root.
+            let expect = if zone.id == ZoneId::ROOT {
+                zone.members.len() - 1
+            } else {
+                zone.members.len()
+            };
+            assert_eq!(bundle.len(), expect, "zone {}", zone.id);
+            // No duplicates, and every link touches the region.
+            let mut seen = bundle.clone();
+            seen.dedup();
+            assert_eq!(seen.len(), bundle.len(), "zone {} duplicates", zone.id);
+            let (lo, hi) = (zone.members[0], *zone.members.last().unwrap());
+            for l in bundle {
+                let spec = b.topology.link(l);
+                let touches = |n: NodeId| n >= lo && n <= hi;
+                assert!(
+                    touches(spec.a) || touches(spec.b),
+                    "zone {} pulled in a foreign link",
+                    zone.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zone_outage_schedules_symmetric_down_up_pairs() {
+        let t = scaled_tree(&ScaledTreeParams::default(), 4);
+        let zone = t.built.hierarchy.leaves()[0];
+        let down = SimTime::from_secs(10);
+        let up = SimTime::from_secs(20);
+        let plan = t.zone_outage(FaultPlan::new(), zone, down, up);
+        let bundle = t.zone_link_bundle(zone);
+        let mut downs = 0usize;
+        let mut ups = 0usize;
+        for (when, ev) in plan.events() {
+            match ev {
+                FaultEvent::LinkDown(l) => {
+                    assert_eq!(*when, down);
+                    assert!(bundle.contains(l));
+                    downs += 1;
+                }
+                FaultEvent::LinkUp(l) => {
+                    assert_eq!(*when, up);
+                    assert!(bundle.contains(l));
+                    ups += 1;
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(downs, bundle.len());
+        assert_eq!(ups, bundle.len());
     }
 
     #[test]

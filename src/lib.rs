@@ -23,7 +23,7 @@
 //!
 //! ```
 //! use sharqfec_repro::protocol::{setup_sharqfec_sim, SfAgent, SharqfecConfig};
-//! use sharqfec_repro::netsim::SimTime;
+//! use sharqfec_repro::netsim::{RunSpec, SimTime};
 //! use sharqfec_repro::topology::{figure10, Figure10Params};
 //!
 //! let built = figure10(&Figure10Params::default());
@@ -32,7 +32,7 @@
 //!     ..SharqfecConfig::full()
 //! };
 //! let mut engine = setup_sharqfec_sim(&built, 42, cfg, SimTime::from_secs(1));
-//! engine.run_until(SimTime::from_secs(60));
+//! engine.advance(RunSpec::to(SimTime::from_secs(60)));
 //! for &r in &built.receivers {
 //!     assert!(engine.agent::<SfAgent>(r).unwrap().complete());
 //! }

@@ -5,14 +5,21 @@
 //! detects them and its NACKs walk the scope ladder from its smallest
 //! zone outward, so recovery of the missed history is served locally
 //! where possible.
+//!
+//! The late joiner is declared with a [`ScenarioPlan`] join event: the
+//! setup strips it from its channels' initial membership, the plan's
+//! compiled Join events re-admit it mid-stream, and its agent start is
+//! overridden to the join instant — the same machinery the scenario
+//! sweep's flash crowds run through at 10⁴-receiver scale.
 
-use sharqfec_repro::netsim::{NodeId, RunSpec, SimTime, TrafficClass};
-use sharqfec_repro::protocol::{Role, SfAgent, SharqfecConfig};
-use sharqfec_repro::session::core::{SessionCore, ZcrSeeding};
+use sharqfec_repro::netsim::{NodeId, RunSpec, ScenarioPlan, SimTime, TrafficClass};
+use sharqfec_repro::protocol::{
+    member_channels, setup_sharqfec_scenario_builder, SfAgent, SharqfecConfig,
+};
 use sharqfec_repro::topology::{figure10, Figure10Params};
-use std::sync::Arc;
 
-/// Build the standard simulation but with one receiver joining late.
+/// Build the standard simulation with one receiver joining late, as a
+/// scenario-plan join event.
 fn sim_with_late_joiner(
     late: NodeId,
     join_at: SimTime,
@@ -25,39 +32,10 @@ fn sim_with_late_joiner(
         total_packets: 96,
         ..SharqfecConfig::full()
     };
-    // Mirror setup_sharqfec_sim, but stagger one member's start.
-    let hier = Arc::new(built.hierarchy.clone());
-    let mut builder: sharqfec_repro::netsim::EngineBuilder<sharqfec_repro::protocol::SfMsg> =
-        sharqfec_repro::netsim::EngineBuilder::new(built.topology.clone(), 31);
-    let channels: Arc<Vec<sharqfec_repro::netsim::ChannelId>> = Arc::new(
-        hier.zones()
-            .iter()
-            .map(|z| builder.add_channel(&z.members))
-            .collect(),
-    );
-    let seeding = ZcrSeeding::Designed(built.designed_zcrs.clone());
-    for member in built.members() {
-        let role = if member == built.source {
-            Role::Source
-        } else {
-            Role::Receiver
-        };
-        let session = SessionCore::new(member, Arc::clone(&hier), cfg.session.clone(), &seeding);
-        let agent = SfAgent::new(
-            cfg.clone(),
-            role,
-            session,
-            Arc::clone(&hier),
-            Arc::clone(&channels),
-            built.source,
-        );
-        let start = if member == late {
-            join_at
-        } else {
-            SimTime::from_secs(1)
-        };
-        builder.add_agent_at(member, Box::new(agent), start);
-    }
+    let chans = member_channels(&built.hierarchy, late);
+    let plan = ScenarioPlan::new().join_at(join_at, late, &chans);
+    let builder =
+        setup_sharqfec_scenario_builder(&built, 31, cfg, SimTime::from_secs(1), plan, None);
     (builder.build(), built)
 }
 

@@ -1,0 +1,114 @@
+//! Audited workload fuzzing over the scenario DSL: random flash crowds,
+//! churn, and regional outages compiled through [`ScenarioPlan`] must
+//! always end in full delivery with a clean invariant audit, and every
+//! cell must be bit-identical however the engine is sharded.
+//!
+//! The properties here are the generalization of the fixed grid in
+//! `sharqfec_bench::scenario` (`scenario_sweep`): the grid pins a dozen
+//! hand-picked cells, this file walks the surrounding space.  The two
+//! fuzzer-found protocol bugs this harness surfaced are pinned as named
+//! regression tests next to their fixes:
+//! `restart_mid_recovery_forgets_dead_request_timers` (crates/core) and
+//! `correlated_zone_outage_escalates_past_futile_local_nacks`
+//! (crates/bench).
+
+use proptest::prelude::*;
+use sharqfec_bench::scenario::{run_cell, ScenarioCell};
+use sharqfec_repro::netsim::prelude::AuditConfig;
+use sharqfec_repro::netsim::{RunSpec, ScenarioPlan, SimTime, TrafficClass};
+use sharqfec_repro::protocol::{setup_sharqfec_scenario_builder, SfAgent, SharqfecConfig};
+use sharqfec_repro::topology::chain;
+
+proptest! {
+    // Each case runs three full engines (shards 1, 2, 4); a handful of
+    // cases per CI run still sweeps fresh (cell, seed) points every time.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Any mix of flash crowd, churn, and regional outage on a scaled
+    /// tree delivers everything under a clean audit — and the run is a
+    /// pure function of (cell, seed): sharding the engine over zone
+    /// subtrees changes nothing but throughput.
+    #[test]
+    fn random_scenarios_deliver_audited_and_shard_identically(
+        seed in 0u64..10_000,
+        receivers in 150usize..400,
+        flash in 0usize..=16,
+        churn in any::<bool>(),
+        outage in any::<bool>(),
+    ) {
+        let cell = ScenarioCell { receivers, flash, churn, outage };
+        let serial = run_cell(cell, seed, 24, 1);
+        prop_assert_eq!(
+            serial.unrecovered, 0,
+            "{} seed {} left packets unrecovered", serial.label, seed
+        );
+        prop_assert_eq!(
+            serial.audit.violations, 0,
+            "{} seed {}: {}", serial.label, seed, serial.audit.summary
+        );
+        for shards in [2usize, 4] {
+            let sharded = run_cell(cell, seed, 24, shards);
+            prop_assert_eq!(&serial.label, &sharded.label);
+            prop_assert_eq!(serial.unrecovered, sharded.unrecovered);
+            prop_assert_eq!(serial.flash_repairs, sharded.flash_repairs);
+            prop_assert_eq!(serial.nacks, sharded.nacks, "shards={}", shards);
+            prop_assert_eq!(serial.repairs, sharded.repairs, "shards={}", shards);
+            prop_assert_eq!(serial.events, sharded.events, "shards={}", shards);
+            prop_assert_eq!(&serial.audit, &sharded.audit, "shards={}", shards);
+        }
+    }
+
+    /// Sender handoff at a random mid-stream instant: the stream always
+    /// completes, exactly the handed-over split of fresh data hits the
+    /// wire, and the single-sender invariant stays clean.
+    #[test]
+    fn random_handoff_instant_keeps_one_active_sender(
+        seed in 0u64..10_000,
+        // Handoff somewhere strictly inside the 6.0-6.64 s stream.
+        handoff_ms in 6_010u64..6_630,
+    ) {
+        let built = chain(4);
+        let standby = *built.receivers.last().unwrap();
+        let cfg = SharqfecConfig {
+            total_packets: 64,
+            ..SharqfecConfig::full()
+        };
+        let handoff_at = SimTime::from_millis(handoff_ms);
+        let head = cfg.seqs_sent_before(handoff_at) as usize;
+        let plan = ScenarioPlan::new().handoff(handoff_at, built.source, standby, &[]);
+        let mut builder = setup_sharqfec_scenario_builder(
+            &built,
+            seed,
+            cfg,
+            SimTime::from_secs(1),
+            plan,
+            Some(standby),
+        );
+        builder.audit(AuditConfig::default());
+        let mut engine = builder.build();
+        engine.advance(RunSpec::to(SimTime::from_secs(120)));
+        for &r in &built.receivers {
+            if r == standby {
+                continue;
+            }
+            let a = engine.agent::<SfAgent>(r).expect("receiver");
+            prop_assert!(
+                a.complete(),
+                "receiver {} missing {} after handoff at {} ms (seed {})",
+                r, a.missing(), handoff_ms, seed
+            );
+        }
+        let fresh_by = |n| {
+            engine
+                .recorder()
+                .transmissions
+                .iter()
+                .filter(|t| t.node == n && t.class == TrafficClass::Data)
+                .count()
+        };
+        prop_assert_eq!(fresh_by(built.source), head, "retiring sender overran");
+        prop_assert_eq!(fresh_by(standby), 64 - head, "standby sent the wrong tail");
+        let report = engine.audit_report().expect("auditor attached");
+        prop_assert!(report.ok(), "handoff at {} ms: {}", handoff_ms, report.summary());
+    }
+}
